@@ -1,0 +1,125 @@
+// Ablations of RankNet's own design choices (beyond the paper's Fig. 7
+// feature ablation), on Indy500-2019 with the cached full model:
+//
+//  A. Joint per-sample sorting (Section III-C "final rank positions are
+//     calculated by sorting the sampled outputs") vs using raw sampled
+//     values directly.
+//  B. Number of Monte-Carlo sample paths (the paper uses 100).
+//  C. Loss weight on rank-change windows (Fig. 7 step 1 fixes w=9): a sweep
+//     over w with a reduced training budget.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+
+namespace {
+
+using namespace ranknet;
+
+/// Task-A evaluation with optional joint sorting disabled: a thin variant
+/// of evaluate_task_a that reads medians from raw sampled values.
+struct RawVsSorted {
+  double mae_sorted = 0.0;
+  double mae_raw = 0.0;
+  double risk90_sorted = 0.0;
+  double risk90_raw = 0.0;
+  std::size_t count = 0;
+};
+
+RawVsSorted compare_sorting(core::RaceForecaster& f,
+                            const telemetry::RaceLog& race,
+                            const core::TaskAConfig& cfg) {
+  util::Rng rng(cfg.seed);
+  std::vector<double> med_s, med_r, q90_s, q90_r, actual;
+  for (int origin = cfg.min_origin;
+       origin <= race.num_laps() - cfg.horizon;
+       origin += cfg.origin_stride) {
+    const auto raw =
+        f.forecast(race, origin, cfg.horizon, cfg.num_samples, rng);
+    if (raw.empty()) continue;
+    const auto sorted = core::sort_to_ranks(raw);
+    const auto target = static_cast<std::size_t>(origin + cfg.horizon);
+    for (const auto& [car_id, m_raw] : raw) {
+      const auto& car = race.car(car_id);
+      if (car.laps() < target) continue;
+      const std::size_t h = m_raw.cols() - 1;
+      med_r.push_back(core::sample_quantile(m_raw, h, 0.5));
+      q90_r.push_back(core::sample_quantile(m_raw, h, 0.9));
+      med_s.push_back(core::sample_quantile(sorted.at(car_id), h, 0.5));
+      q90_s.push_back(core::sample_quantile(sorted.at(car_id), h, 0.9));
+      actual.push_back(car.rank[target - 1]);
+    }
+  }
+  RawVsSorted out;
+  out.count = actual.size();
+  out.mae_sorted = core::mae(med_s, actual);
+  out.mae_raw = core::mae(med_r, actual);
+  out.risk90_sorted = core::rho_risk(q90_s, actual, 0.9);
+  out.risk90_raw = core::rho_risk(q90_r, actual, 0.9);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const auto profile = bench::Profile::get();
+  const auto ds = sim::build_event_dataset("Indy500");
+  core::ModelZoo zoo;
+  util::Timer timer;
+  auto cfg = bench::task_a_config(profile);
+
+  std::printf("Ablation A — joint per-sample sorting vs raw sampled values "
+              "(RankNet-MLP, k=2, Indy500-2019)\n");
+  {
+    auto mlp = zoo.ranknet_mlp(ds);
+    const auto r = compare_sorting(*mlp, ds.test[0], cfg);
+    std::printf("  %-22s %10s %10s\n", "", "MAE", "90-risk");
+    std::printf("  %-22s %10.3f %10.3f\n", "sorted ranks", r.mae_sorted,
+                r.risk90_sorted);
+    std::printf("  %-22s %10.3f %10.3f\n", "raw sampled values", r.mae_raw,
+                r.risk90_raw);
+    std::printf("  (sorting projects samples onto valid permutations; it "
+                "should not hurt and typically tightens the quantiles)\n\n");
+  }
+
+  std::printf("Ablation B — Monte-Carlo sample budget (RankNet-MLP)\n");
+  std::printf("  %-10s %10s %10s %10s\n", "samples", "MAE", "50-risk",
+              "90-risk");
+  {
+    auto mlp = zoo.ranknet_mlp(ds);
+    for (const int s : {4, 16, 64}) {
+      auto c = cfg;
+      c.num_samples = s;
+      const auto r = core::evaluate_task_a(*mlp, ds.test, c);
+      std::printf("  %-10d %10.3f %10.3f %10.3f\n", s, r.all.mae,
+                  r.all.risk50, r.all.risk90);
+    }
+    std::printf("  (point accuracy saturates early; the tail quantiles keep "
+                "improving with more paths — why the paper draws 100)\n\n");
+  }
+
+  std::printf("Ablation C — loss weight on rank-change windows "
+              "(oracle status, reduced training budget)\n");
+  std::printf("  %-10s %10s %14s\n", "weight", "MAE(all)", "MAE(pit-cov.)");
+  {
+    core::TrainConfig tcfg = core::default_train_config();
+    tcfg.max_epochs = std::min(tcfg.max_epochs, 6);
+    tcfg.max_windows = std::min<std::size_t>(tcfg.max_windows, 2000);
+    for (const double w : {1.0, 3.0, 9.0, 15.0}) {
+      auto wcfg = core::ModelZoo::ranknet_window_config();
+      wcfg.change_weight = w;
+      auto bundle = zoo.custom_rank_model(ds, wcfg, tcfg);
+      core::RankNetForecaster oracle(bundle.model, nullptr, bundle.vocab,
+                                     wcfg.covariates,
+                                     core::StatusSource::kOracle, "ablation");
+      const auto r = core::evaluate_task_a(oracle, ds.test, cfg);
+      std::printf("  %-10.0f %10.3f %14.3f\n", w, r.all.mae,
+                  r.pit_covered.mae);
+      std::fflush(stdout);
+    }
+    std::printf("  (the paper tunes w to 9: too little weight misses the "
+                "changes, too much sacrifices the quiet laps)\n");
+  }
+  std::printf("\ndone in %.1fs\n", timer.seconds());
+  return 0;
+}

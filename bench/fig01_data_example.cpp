@@ -1,0 +1,41 @@
+// Fig. 1 — data examples: (a) the first scoring records of a race in the
+// Rank/CarId/Lap/LapTime/TimeBehindLeader/LapStatus/TrackStatus schema, and
+// (b) the Rank and LapTime series of the race winner annotated with pit
+// stops and caution laps.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "simulator/season.hpp"
+
+int main() {
+  using namespace ranknet;
+  const auto race =
+      sim::simulate_race({"Indy500", 2018, 200, sim::Usage::kValidation});
+
+  std::printf("Fig. 1(a) — scoring records of %s (first 12 of %zu)\n",
+              race.id().c_str(), race.num_records());
+  std::printf("%4s %6s %4s %9s %18s %10s %12s\n", "Rank", "CarId", "Lap",
+              "LapTime", "TimeBehindLeader", "LapStatus", "TrackStatus");
+  int shown = 0;
+  for (const auto& rec : race.records()) {
+    if (rec.lap < 31) continue;  // mid-race laps like the paper's excerpt
+    std::printf("%4d %6d %4d %9.4f %18.4f %10c %12c\n", rec.rank, rec.car_id,
+                rec.lap, rec.lap_time, rec.time_behind_leader,
+                telemetry::to_char(rec.lap_status),
+                telemetry::to_char(rec.track_status));
+    if (++shown >= 12) break;
+  }
+
+  const int winner = race.winner();
+  const auto& car = race.car(winner);
+  std::printf("\nFig. 1(b) — Rank and LapTime sequence of car %d (winner)\n",
+              winner);
+  std::printf("%4s %5s %9s %6s  (P = pit stop, Y = caution lap)\n", "Lap",
+              "Rank", "LapTime", "Flags");
+  for (std::size_t lap = 0; lap < car.laps(); ++lap) {
+    std::printf("%4zu %5.0f %9.3f %3c%c\n", lap + 1, car.rank[lap],
+                car.lap_time[lap], car.pit(lap) ? 'P' : ' ',
+                car.yellow(lap) ? 'Y' : ' ');
+  }
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Fig. 2 + Fig. 8 — two-lap forecasts around a pit-stop window for one car
+// of Indy500-2019, for every model family: the ML regressors and ARIMA
+// (Fig. 2a-c), DeepAR (Fig. 2d), and the RankNet / Transformer variants
+// (Fig. 8). Prints observed rank, forecast median and the 5%-95% band per
+// lap so the series can be plotted directly.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/forecaster.hpp"
+
+namespace {
+
+using namespace ranknet;
+
+/// Rolling two-lap-ahead forecast across [from, to]: at each origin o the
+/// model predicts lap o+2; we record median and quantiles for that lap.
+struct Series {
+  std::vector<double> median, q05, q95;
+};
+
+Series rolling_forecast(core::RaceForecaster& f,
+                        const telemetry::RaceLog& race, int car_id, int from,
+                        int to, int samples) {
+  Series s;
+  util::Rng rng(31);
+  for (int lap = from; lap <= to; ++lap) {
+    const int origin = lap - 2;
+    const auto ranks =
+        core::sort_to_ranks(f.forecast(race, origin, 2, samples, rng));
+    const auto it = ranks.find(car_id);
+    if (it == ranks.end()) {
+      s.median.push_back(0);
+      s.q05.push_back(0);
+      s.q95.push_back(0);
+      continue;
+    }
+    s.median.push_back(core::sample_quantile(it->second, 1, 0.5));
+    s.q05.push_back(core::sample_quantile(it->second, 1, 0.05));
+    s.q95.push_back(core::sample_quantile(it->second, 1, 0.95));
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  const auto profile = bench::Profile::get();
+  const auto ds = sim::build_event_dataset("Indy500");
+  const auto& race = ds.test[0];
+  core::ModelZoo zoo;
+
+  // Pick a car with a mid-race green-flag pit stop (the paper uses car 12,
+  // which pits around lap 34).
+  int car_id = race.winner();
+  int pit_lap = 0;
+  for (int cand : race.car_ids()) {
+    const auto& car = race.car(cand);
+    if (car.laps() < 60) continue;
+    for (std::size_t lap = 28; lap < 45; ++lap) {
+      if (car.pit(lap) && !car.yellow(lap)) {
+        car_id = cand;
+        pit_lap = static_cast<int>(lap) + 1;
+        break;
+      }
+    }
+    if (pit_lap > 0) break;
+  }
+  const int from = pit_lap - 8, to = pit_lap + 22;
+  std::printf("Fig. 2 / Fig. 8 — two-lap forecasts for car %d of %s "
+              "(green-flag pit at lap %d), laps %d..%d\n\n",
+              car_id, race.id().c_str(), pit_lap, from, to);
+
+  std::vector<bench::NamedForecaster> models;
+  for (auto& ml : bench::make_ml_baselines(ds.train, 2)) {
+    models.push_back(std::move(ml));
+  }
+  models.push_back({"ARIMA", std::make_unique<core::ArimaForecaster>()});
+  models.push_back({"DeepAR", zoo.deepar(ds)});
+  models.push_back({"RankNet-MLP", zoo.ranknet_mlp(ds)});
+  models.push_back({"RankNet-Oracle", zoo.ranknet_oracle(ds)});
+  models.push_back({"Transformer-MLP", zoo.transformer_mlp(ds)});
+  models.push_back({"Transformer-Oracle", zoo.transformer_oracle(ds)});
+
+  const auto& car = race.car(car_id);
+  for (auto& m : models) {
+    const bool transformer = m.name.rfind("Transformer", 0) == 0;
+    const int samples = m.name == "RandomForest" || m.name == "SVM" ||
+                                m.name == "XGBoost"
+                            ? 1
+                            : (transformer ? profile.transformer_samples
+                                           : profile.num_samples);
+    const auto s =
+        rolling_forecast(*m.forecaster, race, car_id, from, to, samples);
+    std::printf("%s\n%4s %9s %16s %8s %8s\n", m.name.c_str(), "lap",
+                "observed", "forecast-median", "q05", "q95");
+    for (int lap = from; lap <= to; ++lap) {
+      const auto i = static_cast<std::size_t>(lap - from);
+      std::printf("%4d %9.0f %16.1f %8.1f %8.1f%s\n", lap,
+                  car.rank[static_cast<std::size_t>(lap) - 1], s.median[i],
+                  s.q05[i], s.q95[i], lap == pit_lap ? "   <- pit stop" : "");
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  return 0;
+}

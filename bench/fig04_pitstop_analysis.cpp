@@ -1,0 +1,76 @@
+// Fig. 4 — pit-stop statistics over the Indy500 training data:
+//  (a) stint-distance distribution, normal vs caution pits,
+//  (b) stint-distance CDF,
+//  (c) pit-stop lap distribution,
+//  (d) rank-change distribution at the stop.
+#include <cstdio>
+#include <vector>
+
+#include "simulator/season.hpp"
+#include "telemetry/analysis.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace ranknet;
+  const auto ds = sim::build_event_dataset("Indy500");
+
+  std::vector<double> normal_stint, caution_stint;
+  std::vector<double> normal_lap, caution_lap;
+  std::vector<double> normal_change, caution_change;
+  for (const auto& race : ds.train) {
+    for (const auto& p : telemetry::extract_pit_stops(race)) {
+      auto& stints = p.caution ? caution_stint : normal_stint;
+      auto& laps = p.caution ? caution_lap : normal_lap;
+      auto& changes = p.caution ? caution_change : normal_change;
+      stints.push_back(p.stint_distance);
+      laps.push_back(p.lap);
+      changes.push_back(p.rank_change);
+    }
+  }
+  std::printf("Pit stops in the training data: %zu normal, %zu caution "
+              "(paper: 777 / 763)\n\n",
+              normal_lap.size(), caution_lap.size());
+
+  std::printf("(a) Stint distance distribution (frequency per 5-lap bin)\n");
+  std::printf("%10s %12s %12s\n", "laps", "normal", "caution");
+  const auto hn = util::histogram(normal_stint, 0, 50, 10);
+  const auto hc = util::histogram(caution_stint, 0, 50, 10);
+  for (std::size_t b = 0; b < 10; ++b) {
+    std::printf("%6.0f-%-4.0f %12.4f %12.4f\n", hn.lo + 5.0 * b,
+                hn.lo + 5.0 * (b + 1), hn.frequency(b), hc.frequency(b));
+  }
+
+  std::printf("\n(b) Stint distance CDF\n%10s %12s %12s\n", "laps", "normal",
+              "caution");
+  const auto cn = util::ecdf(normal_stint);
+  const auto cc = util::ecdf(caution_stint);
+  for (double x = 5; x <= 50; x += 5) {
+    std::printf("%10.0f %12.4f %12.4f\n", x, cn(x), cc(x));
+  }
+  std::printf("  normal stints: q10=%.0f median=%.0f q90=%.0f max=%.0f\n",
+              util::quantile(normal_stint, 0.1), util::median(normal_stint),
+              util::quantile(normal_stint, 0.9), util::max(normal_stint));
+
+  std::printf("\n(c) Pit-stop lap distribution (frequency per 20-lap bin)\n");
+  std::printf("%10s %12s %12s\n", "lap", "normal", "caution");
+  const auto ln = util::histogram(normal_lap, 0, 200, 10);
+  const auto lc = util::histogram(caution_lap, 0, 200, 10);
+  for (std::size_t b = 0; b < 10; ++b) {
+    std::printf("%5.0f-%-5.0f %12.4f %12.4f\n", 20.0 * b, 20.0 * (b + 1),
+                ln.frequency(b), lc.frequency(b));
+  }
+
+  std::printf("\n(d) Rank-change distribution at the stop "
+              "(frequency per 3-position bin)\n");
+  std::printf("%10s %12s %12s\n", "change", "normal", "caution");
+  const auto rn = util::histogram(normal_change, 0, 30, 10);
+  const auto rc = util::histogram(caution_change, 0, 30, 10);
+  for (std::size_t b = 0; b < 10; ++b) {
+    std::printf("%6.0f-%-4.0f %12.4f %12.4f\n", 3.0 * b, 3.0 * (b + 1),
+                rn.frequency(b), rc.frequency(b));
+  }
+  std::printf("  mean rank change: normal %.2f, caution %.2f "
+              "(paper: caution pits cost much less)\n",
+              util::mean(normal_change), util::mean(caution_change));
+  return 0;
+}

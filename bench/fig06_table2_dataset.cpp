@@ -1,0 +1,59 @@
+// Table II + Fig. 6 — the dataset inventory (25 superspeedway races across
+// four events with the paper's train/validation/test split) and the
+// per-race statistics PitLapsRatio vs RankChangesRatio.
+//
+// PitLapsRatio: fraction of race laps on which at least one car pits.
+// RankChangesRatio: fraction of (car, lap) transitions with a rank change.
+#include <cstdio>
+#include <set>
+
+#include "simulator/season.hpp"
+#include "telemetry/analysis.hpp"
+
+namespace {
+
+double pit_laps_ratio_by_lap(const ranknet::telemetry::RaceLog& race) {
+  std::set<int> pit_laps;
+  for (const auto& rec : race.records()) {
+    if (rec.lap_status == ranknet::telemetry::LapStatus::kPit) {
+      pit_laps.insert(rec.lap);
+    }
+  }
+  return static_cast<double>(pit_laps.size()) /
+         static_cast<double>(race.num_laps());
+}
+
+}  // namespace
+
+int main() {
+  using namespace ranknet;
+
+  std::printf("Table II — dataset summary\n");
+  std::printf("%-8s %-9s %7s %9s %6s %10s %13s %9s %-10s\n", "Event", "Year",
+              "Track", "Shape", "Laps", "AvgSpeed", "#Participants",
+              "#Records", "Usage");
+  for (const auto& spec : sim::table2_specs()) {
+    const auto race = sim::simulate_race(spec);
+    std::printf("%-8s %-9d %7.3f %9s %6d %10.0f %13zu %9zu %-10s\n",
+                spec.event.c_str(), spec.year,
+                race.info().track_length_miles,
+                race.info().track_shape.c_str(), race.num_laps(),
+                race.info().avg_speed_mph, race.car_ids().size(),
+                race.num_records(), sim::usage_name(spec.usage));
+  }
+
+  std::printf("\nFig. 6 — per-race data distribution\n");
+  std::printf("%-14s %14s %18s\n", "Race", "PitLapsRatio", "RankChangesRatio");
+  for (const auto& ds : sim::build_all_datasets()) {
+    for (const auto* group : {&ds.train, &ds.validation, &ds.test}) {
+      for (const auto& race : *group) {
+        std::printf("%-14s %14.3f %18.3f\n", race.id().c_str(),
+                    pit_laps_ratio_by_lap(race),
+                    telemetry::rank_changes_ratio(race));
+      }
+    }
+  }
+  std::printf("\n(paper: Indy500 is the most dynamic event on both axes, "
+              "Iowa the least)\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Fig. 10 (+ Table IV batch sizes, Table VIII devices) — impact of batch
+// size on training speed (µs/sample) for RankNet training steps.
+//
+// The CPU column is measured on this machine with kernel-level profiling;
+// the GPU / GPU-cuDNN / VE columns come from the analytic device model
+// (paper hardware peaks + per-call offload overhead) applied to the same
+// measured kernel workload — see src/core/device_model.hpp and DESIGN.md.
+#include <cstdio>
+#include <vector>
+
+#include "core/device_model.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace ranknet;
+  const std::vector<std::size_t> batch_sizes{32, 64, 128, 256, 640, 1600,
+                                             3200};
+  std::printf("Fig. 10 — training speed, µs/sample (lower is better)\n");
+  std::printf("%10s %12s %12s %12s %12s\n", "BatchSize", "CPU(meas.)",
+              "GPU(model)", "cuDNN(model)", "VE(model)");
+
+  const auto gpu = core::gpu_spec();
+  const auto cudnn = core::gpu_cudnn_spec();
+  const auto ve = core::ve_spec();
+  for (const auto b : batch_sizes) {
+    const int reps = b >= 1600 ? 1 : (b >= 256 ? 2 : 3);
+    const auto w = core::measure_ranknet_workload(b, reps);
+    std::printf("%10zu %12.1f %12.1f %12.1f %12.1f\n", b,
+                w.cpu_us_per_sample(), core::modeled_us_per_sample(w, gpu),
+                core::modeled_us_per_sample(w, cudnn),
+                core::modeled_us_per_sample(w, ve));
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\n(paper: all devices improve with batch size; cuDNN fastest "
+      "throughout; VE overtakes plain CPU at large batches)\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Micro-benchmarks (google-benchmark) for the compute kernels underneath
+// RankNet training: GEMM at LSTM-relevant shapes, the pointwise gate
+// kernels, a full LSTM cell step, one training step, and the Algorithm-2
+// sampling rollout. Useful for tracking kernel-level regressions; the
+// paper-level numbers come from the fig10-12 benches.
+#include <benchmark/benchmark.h>
+
+#include "core/ar_model.hpp"
+#include "nn/lstm.hpp"
+#include "tensor/kernels.hpp"
+
+namespace {
+
+using namespace ranknet;
+using tensor::Matrix;
+
+void BM_GemmLstmGates(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  const Matrix x = Matrix::randn(batch, 53, rng);
+  const Matrix w = Matrix::randn(53, 160, rng);
+  Matrix out(batch, 160);
+  for (auto _ : state) {
+    tensor::gemm(1.0, x, false, w, false, 0.0, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(batch));
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * batch * 53 * 160,
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_GemmLstmGates)->Arg(32)->Arg(256)->Arg(3200);
+
+void BM_SigmoidKernel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  Matrix m = Matrix::randn(n, 160, rng);
+  for (auto _ : state) {
+    Matrix copy = m;
+    tensor::sigmoid_inplace(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n * 160));
+}
+BENCHMARK(BM_SigmoidKernel)->Arg(32)->Arg(3200);
+
+void BM_LstmCellStep(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(3);
+  nn::LstmLayer lstm(53, 40, rng);
+  const Matrix x = Matrix::randn(batch, 53, rng);
+  nn::LstmState lstm_state(batch, 40);
+  for (auto _ : state) {
+    auto h = lstm.step(x, lstm_state);
+    benchmark::DoNotOptimize(h.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(batch));
+}
+BENCHMARK(BM_LstmCellStep)->Arg(32)->Arg(256)->Arg(3200);
+
+core::SeqModelConfig bench_model_config() {
+  core::SeqModelConfig cfg;
+  cfg.cov_dim = 9;
+  cfg.embed_dim = 4;
+  cfg.vocab = 40;
+  return cfg;
+}
+
+std::vector<features::SeqExample> bench_windows(std::size_t count,
+                                                std::size_t window) {
+  util::Rng rng(4);
+  std::vector<features::SeqExample> out(count);
+  for (auto& ex : out) {
+    ex.car_index = static_cast<int>(rng.uniform_int(0, 39));
+    ex.target.resize(window);
+    ex.covariates.assign(window, std::vector<double>(9));
+    for (std::size_t t = 0; t < window; ++t) {
+      ex.target[t] = rng.uniform(1, 33);
+      for (auto& c : ex.covariates[t]) c = rng.uniform(0, 1);
+    }
+  }
+  return out;
+}
+
+void BM_TrainStep(benchmark::State& state) {
+  const auto batch_size = static_cast<std::size_t>(state.range(0));
+  core::LstmSeqModel model(bench_model_config());
+  model.set_scaler(features::StandardScaler(17.0, 9.0));
+  const auto windows = bench_windows(batch_size, 62);
+  std::vector<const features::SeqExample*> ptrs;
+  for (const auto& w : windows) ptrs.push_back(&w);
+  const auto batch = model.make_batch(ptrs, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.train_step(batch));
+    model.zero_grad();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(batch_size));
+}
+BENCHMARK(BM_TrainStep)->Arg(32)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_SamplingRollout(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  core::LstmSeqModel model(bench_model_config());
+  model.set_scaler(features::StandardScaler(17.0, 9.0));
+  util::Rng rng(5);
+  core::LstmSeqModel::StackState start(2, nn::LstmState(rows, 40));
+  const std::vector<std::vector<double>> z(rows, {10.0});
+  const std::vector<std::vector<std::vector<double>>> covs(
+      rows, std::vector<std::vector<double>>(2, std::vector<double>(9, 0.0)));
+  const std::vector<int> idx(rows, 0);
+  for (auto _ : state) {
+    auto s = start;
+    auto out = model.sample_forward(s, z, covs, idx, 2, rng);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(rows) * 2);
+}
+BENCHMARK(BM_SamplingRollout)->Arg(330)->Arg(3300)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

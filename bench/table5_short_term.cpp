@@ -1,0 +1,58 @@
+// Table V — short-term rank position forecasting (prediction length 2) on
+// Indy500-2019: CurRank, ARIMA, RandomForest, SVM, XGBoost, DeepAR and the
+// three RankNet variants, evaluated per lap category (All / Normal /
+// PitStop-covered) with Top1Acc, MAE, 50-risk and 90-risk.
+//
+// Models are trained (or loaded) through the ModelZoo cache; set
+// RANKNET_FULL=1 for the paper's 100-sample / every-lap evaluation budget.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace ranknet;
+  const auto profile = bench::Profile::get();
+  const auto ds = sim::build_event_dataset("Indy500");
+  core::ModelZoo zoo;
+  util::Timer timer;
+
+  bench::print_task_a_header(
+      "Table V — short-term rank forecasting (k=2), Indy500-2019");
+
+  const auto cfg = bench::task_a_config(profile);
+  auto run = [&](const std::string& name, core::RaceForecaster& f,
+                 int samples) {
+    auto c = cfg;
+    c.num_samples = samples;
+    const auto r = core::evaluate_task_a(f, ds.test, c);
+    bench::print_task_a_row(name, r);
+    std::fflush(stdout);
+  };
+
+  core::CurRankForecaster currank;
+  run("CurRank", currank, 1);
+
+  core::ArimaForecaster arima;
+  run("ARIMA", arima, profile.num_samples);
+
+  for (auto& ml : bench::make_ml_baselines(ds.train, cfg.horizon)) {
+    run(ml.name, *ml.forecaster, 1);
+  }
+
+  auto deepar = zoo.deepar(ds);
+  run("DeepAR", *deepar, profile.num_samples);
+
+  auto joint = zoo.ranknet_joint(ds);
+  run("RankNet-Joint", *joint, profile.num_samples);
+
+  auto mlp = zoo.ranknet_mlp(ds);
+  run("RankNet-MLP", *mlp, profile.num_samples);
+
+  auto oracle = zoo.ranknet_oracle(ds);
+  run("RankNet-Oracle", *oracle, profile.num_samples);
+
+  bench::print_rule();
+  std::printf("evaluated in %.1fs (samples=%d, origin stride=%d)\n",
+              timer.seconds(), profile.num_samples, profile.origin_stride);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Table VI — rank-position-change forecasting between consecutive pit
+// stops (Task B), Indy500-2019: SignAcc, MAE, 50-risk, 90-risk for CurRank
+// (zero change), the stint-trained ML regressors, DeepAR and the RankNet
+// variants (Algorithm 2 applied regressively across the stint).
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "ml/gbdt.hpp"
+#include "ml/random_forest.hpp"
+#include "ml/svr.hpp"
+
+int main() {
+  using namespace ranknet;
+  const auto profile = bench::Profile::get();
+  const auto ds = sim::build_event_dataset("Indy500");
+  core::ModelZoo zoo;
+  util::Timer timer;
+
+  core::TaskBConfig cfg;
+  cfg.num_samples = profile.taskb_samples;
+
+  std::printf(
+      "Table VI — rank position changes forecasting between pit stops, "
+      "Indy500-2019\n");
+  bench::print_rule(64);
+  std::printf("%-18s %9s %9s %9s %9s %7s\n", "Model", "SignAcc", "MAE",
+              "50-Risk", "90-Risk", "count");
+  bench::print_rule(64);
+  auto run = [&](core::StintPredictor& p) {
+    const auto r = core::evaluate_task_b(p, ds.test, cfg);
+    std::printf("%-18s %9.2f %9.2f %9.3f %9.3f %7zu\n", p.name().c_str(),
+                r.sign_acc, r.mae, r.risk50, r.risk90, r.count);
+    std::fflush(stdout);
+  };
+
+  core::ZeroChangeStintPredictor zero;
+  run(zero);
+
+  // Stint-trained pointwise regressors ([30]-style baselines).
+  const auto stint_data =
+      core::RegressorStintPredictor::build_dataset(ds.train, cfg.min_stint);
+  {
+    auto forest = std::make_shared<ml::RandomForest>();
+    forest->fit(stint_data.x, stint_data.y);
+    core::RegressorStintPredictor p("RandomForest", forest);
+    run(p);
+  }
+  {
+    auto svr = std::make_shared<ml::Svr>();
+    svr->fit(stint_data.x, stint_data.y);
+    core::RegressorStintPredictor p("SVM", svr);
+    run(p);
+  }
+  {
+    auto gbdt = std::make_shared<ml::Gbdt>();
+    gbdt->fit(stint_data.x, stint_data.y);
+    core::RegressorStintPredictor p("XGBoost", gbdt);
+    run(p);
+  }
+
+  auto deepar = zoo.deepar(ds);
+  core::ForecasterStintAdapter deepar_adapter(*deepar, cfg.num_samples);
+  run(deepar_adapter);
+
+  auto joint = zoo.ranknet_joint(ds);
+  core::ForecasterStintAdapter joint_adapter(*joint, cfg.num_samples);
+  run(joint_adapter);
+
+  auto mlp = zoo.ranknet_mlp(ds);
+  core::ForecasterStintAdapter mlp_adapter(*mlp, cfg.num_samples);
+  run(mlp_adapter);
+
+  auto oracle = zoo.ranknet_oracle(ds);
+  core::ForecasterStintAdapter oracle_adapter(*oracle, cfg.num_samples);
+  run(oracle_adapter);
+
+  bench::print_rule(64);
+  std::printf("evaluated in %.1fs (%d sample paths per stint)\n",
+              timer.seconds(), cfg.num_samples);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Live race forecasting — replays a race lap by lap the way the on-premises
+// timing feed would deliver it, and at a fixed cadence prints the current
+// top five with RankNet's probabilistic forecast of the top five ten laps
+// later (the broadcast/strategy-desk use case).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/forecaster.hpp"
+#include "core/registry.hpp"
+
+int main() {
+  using namespace ranknet;
+  const auto ds = sim::build_event_dataset("Indy500");
+  const auto& race = ds.test[0];
+  core::ModelZoo zoo;
+  auto ranknet = zoo.ranknet_mlp(ds);
+
+  const int horizon = 10, samples = 60, cadence = 25;
+  util::Rng rng(11);
+
+  std::printf("replaying %s — forecast cadence every %d laps, horizon %d\n",
+              race.id().c_str(), cadence, horizon);
+  for (int lap = cadence; lap + horizon <= race.num_laps(); lap += cadence) {
+    // --- current standings (what the timing screen shows now) ----------
+    struct Entry {
+      int car;
+      double rank;
+    };
+    std::vector<Entry> now;
+    for (int car_id : race.car_ids()) {
+      const auto& car = race.car(car_id);
+      if (car.laps() < static_cast<std::size_t>(lap)) continue;
+      now.push_back({car_id, car.rank[static_cast<std::size_t>(lap) - 1]});
+    }
+    std::sort(now.begin(), now.end(),
+              [](const Entry& a, const Entry& b) { return a.rank < b.rank; });
+
+    // --- forecast -------------------------------------------------------
+    const auto ranks = core::sort_to_ranks(
+        ranknet->forecast(race, lap, horizon, samples, rng));
+    std::vector<std::pair<double, int>> predicted;  // (median rank, car)
+    for (const auto& [car_id, m] : ranks) {
+      predicted.emplace_back(
+          core::sample_quantile(m, m.cols() - 1, 0.5), car_id);
+    }
+    std::sort(predicted.begin(), predicted.end());
+
+    std::printf("\nlap %3d | %-34s | forecast for lap %d\n", lap,
+                "current top 5", lap + horizon);
+    for (int pos = 0; pos < 5 && pos < static_cast<int>(now.size()); ++pos) {
+      const auto [med, pred_car] = predicted[static_cast<std::size_t>(pos)];
+      const auto& m = ranks.at(pred_car);
+      std::printf("      P%d | car %2d%25s | car %2d (median %.1f, q90 "
+                  "%.1f)\n",
+                  pos + 1, now[static_cast<std::size_t>(pos)].car, "",
+                  pred_car, med,
+                  core::sample_quantile(m, m.cols() - 1, 0.9));
+    }
+    // How did the previous forecast hold up? (10-lap-old median leader)
+    const auto& leader_car = race.car(now[0].car);
+    (void)leader_car;
+  }
+
+  // Final verification against the checkered flag.
+  const int final_origin = race.num_laps() - horizon;
+  const auto final_ranks = core::sort_to_ranks(
+      ranknet->forecast(race, final_origin, horizon, samples, rng));
+  int predicted_winner = -1;
+  double best = 1e9;
+  for (const auto& [car_id, m] : final_ranks) {
+    const double med = core::sample_quantile(m, m.cols() - 1, 0.5);
+    if (med < best) {
+      best = med;
+      predicted_winner = car_id;
+    }
+  }
+  std::printf("\npredicted winner from lap %d: car %d | actual winner: car "
+              "%d\n",
+              final_origin, predicted_winner, race.winner());
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Quickstart: the five-minute tour of the public API.
+//
+//  1. Generate the Indy500 dataset (the simulator substitutes for the
+//     proprietary IndyCar timing logs — same schema and causal structure).
+//  2. Train (or load from ./artifacts) the RankNet-MLP forecaster.
+//  3. Forecast the next ten laps of the test race mid-way through and
+//     compare against what actually happened.
+#include <cstdio>
+
+#include "core/forecaster.hpp"
+#include "core/registry.hpp"
+
+int main() {
+  using namespace ranknet;
+
+  // 1. Data. Every race is a telemetry::RaceLog with the Fig. 1(a) schema.
+  const auto ds = sim::build_event_dataset("Indy500");
+  const auto& race = ds.test[0];
+  std::printf("dataset: %zu training races, test race %s with %zu cars\n",
+              ds.train.size(), race.id().c_str(), race.car_ids().size());
+
+  // 2. Model. The ModelZoo caches trained weights under ./artifacts, so the
+  // first run trains (a few minutes on one core) and later runs load.
+  core::ModelZoo zoo;
+  auto ranknet = zoo.ranknet_mlp(ds);
+
+  // 3. Forecast from lap 100: 10 laps ahead, 100 sampled futures. The
+  // PitModel predicts who will pit when; the LSTM rolls the rank forward;
+  // per-sample sorting turns values into rank positions.
+  const int origin = 100, horizon = 10, samples = 100;
+  util::Rng rng(2026);
+  const auto ranks = core::sort_to_ranks(
+      ranknet->forecast(race, origin, horizon, samples, rng));
+
+  std::printf("\nforecast from lap %d, %d laps ahead (median [q10, q90] at "
+              "lap %d):\n",
+              origin, horizon, origin + horizon);
+  std::printf("%6s %12s %22s %8s\n", "car", "rank@100", "forecast@110",
+              "actual");
+  for (const auto& [car_id, samples_matrix] : ranks) {
+    const auto& car = race.car(car_id);
+    const auto h = static_cast<std::size_t>(horizon) - 1;
+    const double med = core::sample_quantile(samples_matrix, h, 0.5);
+    const double q10 = core::sample_quantile(samples_matrix, h, 0.1);
+    const double q90 = core::sample_quantile(samples_matrix, h, 0.9);
+    const auto target = static_cast<std::size_t>(origin + horizon) - 1;
+    if (car.laps() <= target) continue;
+    std::printf("%6d %12.0f %10.1f [%4.1f, %4.1f] %8.0f\n", car_id,
+                car.rank[static_cast<std::size_t>(origin) - 1], med, q10, q90,
+                car.rank[target]);
+  }
+  std::printf("\n(see examples/pit_strategy.cpp and "
+              "examples/live_forecast.cpp for deeper scenarios)\n");
+  return 0;
+}

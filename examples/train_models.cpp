@@ -1,0 +1,53 @@
+// Example: train (or load from the artifact cache) every model the bench
+// suite uses — the full RankNet rank model, DeepAR, RankNet-Joint, the
+// Transformer variant and the PitModel — for one or all events.
+//
+// Usage:
+//   train_models [event]        # default: all four events
+//
+// Models are cached under $RANKNET_ARTIFACTS (default ./artifacts); rerun
+// after deleting that directory to retrain from scratch.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ranknet;
+  std::vector<std::string> events{"Indy500", "Texas", "Iowa", "Pocono"};
+  if (argc > 1) events = {argv[1]};
+
+  core::ModelZoo zoo;
+  util::Timer total;
+  for (const auto& event : events) {
+    std::printf("=== %s ===\n", event.c_str());
+    util::Timer t;
+    const auto ds = sim::build_event_dataset(event);
+    std::printf("  dataset: %zu train, %zu validation, %zu test races "
+                "(%zu records)\n",
+                ds.train.size(), ds.validation.size(), ds.test.size(),
+                ds.total_records());
+
+    const auto rank = zoo.rank_model(ds);
+    std::printf("  rank model   : %zu weights, best val NLL %.4f (%.1fs)\n",
+                rank.model->num_weights(), rank.stats.best_val, t.seconds());
+    zoo.pit_model(ds);
+    std::printf("  pit model    : ready (%.1fs)\n", t.seconds());
+    if (event == "Indy500") {
+      // DeepAR is an Indy500-only baseline (Tables V/VI).
+      const auto deepar = zoo.deepar_model(ds);
+      std::printf("  deepar model : best val NLL %.4f (%.1fs)\n",
+                  deepar.stats.best_val, t.seconds());
+    }
+    const auto joint = zoo.joint_model(ds);
+    std::printf("  joint model  : best val NLL %.4f (%.1fs)\n",
+                joint.stats.best_val, t.seconds());
+    const auto tf = zoo.transformer_model(ds);
+    std::printf("  transformer  : %zu weights, best val NLL %.4f (%.1fs)\n",
+                tf.model->num_weights(), tf.stats.best_val, t.seconds());
+  }
+  std::printf("all models ready in %.1fs\n", total.seconds());
+  return 0;
+}

@@ -1,0 +1,395 @@
+#include "core/ar_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace ranknet::core {
+
+namespace {
+/// Feedback clamp: sampled ranks are fed back as the next lag input;
+/// clamping keeps a rare extreme draw from destabilizing the rollout.
+constexpr double kMinRankFeedback = 1.0;
+constexpr double kMaxRankFeedback = 45.0;
+}  // namespace
+
+std::string SeqModelConfig::cache_key() const {
+  return util::format("lstm-c%zu-t%zu-h%zu-l%zu-e%zu-v%d-s%llu", cov_dim,
+                      target_dim, hidden, num_layers, embed_dim, vocab,
+                      static_cast<unsigned long long>(seed));
+}
+
+LstmSeqModel::LstmSeqModel(SeqModelConfig config) : config_(config) {
+  util::Rng rng(config_.seed);
+  if (config_.embed_dim > 0) {
+    embedding_ = std::make_unique<nn::Embedding>(
+        static_cast<std::size_t>(config_.vocab), config_.embed_dim, rng,
+        "car_embed");
+  }
+  layers_.clear();
+  for (std::size_t l = 0; l < config_.num_layers; ++l) {
+    const std::size_t in = l == 0 ? config_.input_dim() : config_.hidden;
+    layers_.push_back(std::make_unique<nn::LstmLayer>(
+        in, config_.hidden, rng, util::format("lstm%zu", l)));
+  }
+  head_ = std::make_unique<nn::GaussianHead>(config_.hidden,
+                                              config_.target_dim, rng, "head");
+}
+
+std::vector<nn::Parameter*> LstmSeqModel::params() {
+  std::vector<nn::Parameter*> out;
+  if (embedding_ != nullptr) {
+    for (auto* p : embedding_->params()) out.push_back(p);
+  }
+  for (auto& layer : layers_) {
+    for (auto* p : layer->params()) out.push_back(p);
+  }
+  for (auto* p : head_->params()) out.push_back(p);
+  return out;
+}
+
+LstmSeqModel::Batch LstmSeqModel::make_batch(
+    const std::vector<const features::SeqExample*>& examples,
+    std::size_t dec_len) const {
+  return pack_examples(examples, dec_len, scaler_, config_.target_dim,
+                       config_.cov_dim);
+}
+
+LstmSeqModel::Batch LstmSeqModel::pack_examples(
+    const std::vector<const features::SeqExample*>& examples,
+    std::size_t dec_len, const features::StandardScaler& scaler,
+    std::size_t target_dim, std::size_t cov_dim) {
+  if (examples.empty()) throw std::invalid_argument("make_batch: empty");
+  const std::size_t batch = examples.size();
+  const std::size_t window = examples[0]->target.size();
+  if (window < dec_len + 2) {
+    throw std::invalid_argument("make_batch: window too short");
+  }
+  const std::size_t steps = window - 1;
+  const std::size_t base_dim = target_dim + cov_dim;
+
+  Batch b;
+  b.batch = batch;
+  b.dec_len = dec_len;
+  b.car_index.resize(batch);
+  b.xs_base.assign(steps, tensor::Matrix(batch, base_dim));
+  b.z_dec = tensor::Matrix(dec_len * batch, target_dim);
+  b.weights.assign(dec_len * batch, 1.0);
+
+  for (std::size_t e = 0; e < batch; ++e) {
+    const auto& ex = *examples[e];
+    if (ex.target.size() != window) {
+      throw std::invalid_argument("make_batch: ragged windows");
+    }
+    b.car_index[e] = ex.car_index;
+    for (std::size_t t = 0; t < steps; ++t) {
+      auto row = b.xs_base[t].row(e);
+      // Lagged target z_t (dim 0 is the scaled rank). For multivariate
+      // targets (Joint), dims 1.. are the raw auxiliary statuses at lap t,
+      // taken from the leading covariate slots of the window builder.
+      row[0] = scaler.transform(ex.target[t]);
+      for (std::size_t j = 1; j < target_dim; ++j) {
+        row[j] = ex.covariates[t][j - 1];
+      }
+      for (std::size_t c = 0; c < cov_dim; ++c) {
+        row[target_dim + c] = ex.covariates[t + 1][c];
+      }
+    }
+    for (std::size_t d = 0; d < dec_len; ++d) {
+      const std::size_t lap = window - dec_len + d;  // target lap index
+      const std::size_t out_row = d * batch + e;
+      b.z_dec(out_row, 0) = scaler.transform(ex.target[lap]);
+      for (std::size_t j = 1; j < target_dim; ++j) {
+        b.z_dec(out_row, j) = ex.covariates[lap][j - 1];
+      }
+      b.weights[out_row] = ex.weight;
+    }
+  }
+  return b;
+}
+
+namespace {
+
+tensor::Matrix concat_cols(const tensor::Matrix& a, const tensor::Matrix& b) {
+  tensor::Matrix out(a.rows(), a.cols() + b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) out(r, c) = a(r, c);
+    for (std::size_t c = 0; c < b.cols(); ++c) out(r, a.cols() + c) = b(r, c);
+  }
+  return out;
+}
+
+}  // namespace
+
+double LstmSeqModel::train_step(const Batch& batch) {
+  const std::size_t steps = batch.xs_base.size();
+  tensor::Matrix embed;
+  if (embedding_ != nullptr) embed = embedding_->forward(batch.car_index);
+
+  std::vector<tensor::Matrix> xs(steps);
+  for (std::size_t t = 0; t < steps; ++t) {
+    xs[t] = embedding_ != nullptr ? concat_cols(batch.xs_base[t], embed)
+                                  : batch.xs_base[t];
+  }
+
+  std::vector<tensor::Matrix> hs = layers_[0]->forward(xs);
+  for (std::size_t l = 1; l < layers_.size(); ++l) {
+    hs = layers_[l]->forward(hs);
+  }
+
+  // Gather decoder-step hidden states: rows grouped by step.
+  tensor::Matrix h_dec(batch.dec_len * batch.batch, config_.hidden);
+  for (std::size_t d = 0; d < batch.dec_len; ++d) {
+    const std::size_t t = steps - batch.dec_len + d;
+    for (std::size_t e = 0; e < batch.batch; ++e) {
+      for (std::size_t c = 0; c < config_.hidden; ++c) {
+        h_dec(d * batch.batch + e, c) = hs[t](e, c);
+      }
+    }
+  }
+
+  auto out = head_->forward(h_dec);
+  tensor::Matrix dh_dec;
+  const double loss =
+      head_->nll_backward(out, batch.z_dec, batch.weights, dh_dec);
+
+  // Scatter head gradients back to their timesteps.
+  std::vector<tensor::Matrix> dhs(steps,
+                                  tensor::Matrix(batch.batch, config_.hidden));
+  for (std::size_t d = 0; d < batch.dec_len; ++d) {
+    const std::size_t t = steps - batch.dec_len + d;
+    for (std::size_t e = 0; e < batch.batch; ++e) {
+      for (std::size_t c = 0; c < config_.hidden; ++c) {
+        dhs[t](e, c) = dh_dec(d * batch.batch + e, c);
+      }
+    }
+  }
+
+  for (std::size_t l = layers_.size(); l-- > 0;) {
+    dhs = layers_[l]->backward(dhs);
+  }
+
+  if (embedding_ != nullptr) {
+    const std::size_t base_dim = config_.target_dim + config_.cov_dim;
+    tensor::Matrix dembed(batch.batch, config_.embed_dim);
+    for (std::size_t t = 0; t < steps; ++t) {
+      for (std::size_t e = 0; e < batch.batch; ++e) {
+        for (std::size_t c = 0; c < config_.embed_dim; ++c) {
+          dembed(e, c) = dhs[t](e, base_dim + c);
+        }
+      }
+      embedding_->backward(dembed);
+    }
+  }
+  return loss;
+}
+
+double LstmSeqModel::evaluate(const Batch& batch) {
+  const std::size_t steps = batch.xs_base.size();
+  tensor::Matrix embed;
+  if (embedding_ != nullptr) {
+    embed = embedding_->forward_inference(batch.car_index);
+  }
+  std::vector<nn::LstmState> states(layers_.size());
+  tensor::Matrix h_dec(batch.dec_len * batch.batch, config_.hidden);
+  for (std::size_t t = 0; t < steps; ++t) {
+    tensor::Matrix x = embedding_ != nullptr
+                           ? concat_cols(batch.xs_base[t], embed)
+                           : batch.xs_base[t];
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+      x = layers_[l]->step(x, states[l]);
+    }
+    if (t + batch.dec_len >= steps) {
+      const std::size_t d = t - (steps - batch.dec_len);
+      for (std::size_t e = 0; e < batch.batch; ++e) {
+        for (std::size_t c = 0; c < config_.hidden; ++c) {
+          h_dec(d * batch.batch + e, c) = x(e, c);
+        }
+      }
+    }
+  }
+  const auto out = head_->forward_inference(h_dec);
+  return nn::GaussianHead::nll(out, batch.z_dec, batch.weights);
+}
+
+tensor::Matrix LstmSeqModel::assemble_step(
+    const std::vector<std::vector<double>>& z_prev_scaled,
+    const std::vector<std::vector<double>>& cov_rows,
+    const tensor::Matrix& embed_rows) const {
+  const std::size_t rows = z_prev_scaled.size();
+  tensor::Matrix x(rows, config_.input_dim());
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t j = 0; j < config_.target_dim; ++j) {
+      x(r, j) = z_prev_scaled[r][j];
+    }
+    for (std::size_t c = 0; c < config_.cov_dim; ++c) {
+      x(r, config_.target_dim + c) = cov_rows[r][c];
+    }
+    for (std::size_t c = 0; c < config_.embed_dim; ++c) {
+      x(r, config_.target_dim + config_.cov_dim + c) = embed_rows(r, c);
+    }
+  }
+  return x;
+}
+
+std::vector<LstmSeqModel::StackState> LstmSeqModel::trace(
+    const std::vector<std::vector<double>>& history,
+    const std::vector<std::vector<std::vector<double>>>& covs,
+    const std::vector<int>& car_index) const {
+  const std::size_t rows = history.size();
+  if (rows == 0) return {};
+  const std::size_t laps = history[0].size();
+  for (const auto& h : history) {
+    if (h.size() != laps) {
+      throw std::invalid_argument("trace: ragged history");
+    }
+  }
+  tensor::Matrix embed(rows, config_.embed_dim);
+  if (embedding_ != nullptr) {
+    embed = embedding_->forward_inference(car_index);
+  }
+
+  std::vector<StackState> out;
+  if (laps < 2) return out;
+  out.reserve(laps - 1);
+  StackState state(layers_.size());
+  std::vector<std::vector<double>> z_prev(rows);
+  std::vector<std::vector<double>> cov_rows(rows);
+  for (std::size_t t = 0; t + 1 < laps; ++t) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      // Multivariate targets carry their aux dims in leading covariates
+      // (same convention as make_batch); univariate is just the rank.
+      z_prev[r].assign(config_.target_dim, 0.0);
+      z_prev[r][0] = scaler_.transform(history[r][t]);
+      for (std::size_t j = 1; j < config_.target_dim; ++j) {
+        z_prev[r][j] = covs[r][t][j - 1];
+      }
+      cov_rows[r] = std::vector<double>(covs[r][t + 1].begin(),
+                                        covs[r][t + 1].end());
+      cov_rows[r].resize(config_.cov_dim);
+    }
+    tensor::Matrix x = assemble_step(z_prev, cov_rows, embed);
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+      x = layers_[l]->step(x, state[l]);
+    }
+    out.push_back(state);
+  }
+  return out;
+}
+
+LstmSeqModel::StackState LstmSeqModel::replicate_state(const StackState& state,
+                                                       std::size_t row,
+                                                       std::size_t copies) {
+  StackState out(state.size());
+  for (std::size_t l = 0; l < state.size(); ++l) {
+    const std::size_t hidden = state[l].h.cols();
+    out[l] = nn::LstmState(copies, hidden);
+    for (std::size_t r = 0; r < copies; ++r) {
+      for (std::size_t c = 0; c < hidden; ++c) {
+        out[l].h(r, c) = state[l].h(row, c);
+        out[l].c(r, c) = state[l].c(row, c);
+      }
+    }
+  }
+  return out;
+}
+
+LstmSeqModel::StackState LstmSeqModel::concat_states(
+    const std::vector<StackState>& states) {
+  if (states.empty()) return {};
+  const std::size_t layers = states[0].size();
+  StackState out(layers);
+  for (std::size_t l = 0; l < layers; ++l) {
+    std::size_t rows = 0;
+    const std::size_t hidden = states[0][l].h.cols();
+    for (const auto& s : states) rows += s[l].h.rows();
+    out[l] = nn::LstmState(rows, hidden);
+    std::size_t r0 = 0;
+    for (const auto& s : states) {
+      for (std::size_t r = 0; r < s[l].h.rows(); ++r, ++r0) {
+        for (std::size_t c = 0; c < hidden; ++c) {
+          out[l].h(r0, c) = s[l].h(r, c);
+          out[l].c(r0, c) = s[l].c(r, c);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void LstmSeqModel::advance(StackState& state,
+                           const std::vector<std::vector<double>>& z_prev,
+                           const std::vector<std::vector<double>>& covs,
+                           const std::vector<int>& car_index) const {
+  const std::size_t rows = z_prev.size();
+  tensor::Matrix embed(rows, config_.embed_dim);
+  if (embedding_ != nullptr) {
+    embed = embedding_->forward_inference(car_index);
+  }
+  std::vector<std::vector<double>> z_scaled(rows);
+  std::vector<std::vector<double>> cov_rows(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    z_scaled[r].assign(config_.target_dim, 0.0);
+    z_scaled[r][0] = scaler_.transform(z_prev[r][0]);
+    for (std::size_t j = 1; j < config_.target_dim; ++j) {
+      z_scaled[r][j] = z_prev[r][j];
+    }
+    cov_rows[r] = covs[r];
+    cov_rows[r].resize(config_.cov_dim);
+  }
+  tensor::Matrix x = assemble_step(z_scaled, cov_rows, embed);
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    x = layers_[l]->step(x, state[l]);
+  }
+}
+
+tensor::Matrix LstmSeqModel::sample_forward(
+    StackState& state, std::vector<std::vector<double>> z_prev,
+    const std::vector<std::vector<std::vector<double>>>& future_covs,
+    const std::vector<int>& car_index, int horizon, util::Rng& rng,
+    std::vector<tensor::Matrix>* all_dims) const {
+  const std::size_t rows = z_prev.size();
+  tensor::Matrix embed(rows, config_.embed_dim);
+  if (embedding_ != nullptr) {
+    embed = embedding_->forward_inference(car_index);
+  }
+  tensor::Matrix out(rows, static_cast<std::size_t>(horizon));
+  if (all_dims != nullptr) all_dims->clear();
+
+  std::vector<std::vector<double>> z_scaled(rows);
+  std::vector<std::vector<double>> cov_rows(rows);
+  for (int h = 0; h < horizon; ++h) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      z_scaled[r].assign(config_.target_dim, 0.0);
+      z_scaled[r][0] = scaler_.transform(z_prev[r][0]);
+      for (std::size_t j = 1; j < config_.target_dim; ++j) {
+        z_scaled[r][j] = z_prev[r][j];
+      }
+      cov_rows[r] = future_covs[r][static_cast<std::size_t>(h)];
+      cov_rows[r].resize(config_.cov_dim);
+    }
+    tensor::Matrix x = assemble_step(z_scaled, cov_rows, embed);
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+      x = layers_[l]->step(x, state[l]);
+    }
+    const auto dist = head_->forward_inference(x);
+    const auto sample = nn::GaussianHead::sample(dist, rng);
+    tensor::Matrix raw(rows, config_.target_dim);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double rank = std::clamp(scaler_.inverse(sample(r, 0)),
+                                     kMinRankFeedback, kMaxRankFeedback);
+      raw(r, 0) = rank;
+      out(r, static_cast<std::size_t>(h)) = rank;
+      z_prev[r][0] = rank;
+      for (std::size_t j = 1; j < config_.target_dim; ++j) {
+        raw(r, j) = sample(r, j);
+        z_prev[r][j] = sample(r, j);
+      }
+    }
+    if (all_dims != nullptr) all_dims->push_back(std::move(raw));
+  }
+  return out;
+}
+
+}  // namespace ranknet::core

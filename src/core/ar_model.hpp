@@ -1,0 +1,142 @@
+// The autoregressive stacked-LSTM sequence model with Gaussian likelihood —
+// the shared network behind DeepAR, RankNet-MLP/-Oracle (covariates on) and
+// RankNet-Joint (multivariate target, covariates off). Implements paper
+// Algorithm 1 (teacher-forced likelihood training over the unrolled
+// encoder+decoder window) and the network half of Algorithm 2 (stateful
+// ancestral sampling).
+//
+// Step convention: input at step t is [z_{t-1}, x_t, embed(car)] and the
+// hidden state h_t parameterizes p(z_t | θ(h_t)), matching Fig. 5(c).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "features/scaler.hpp"
+#include "features/window.hpp"
+#include "nn/adam.hpp"
+#include "nn/embedding.hpp"
+#include "nn/gaussian.hpp"
+#include "nn/lstm.hpp"
+#include "util/rng.hpp"
+
+namespace ranknet::core {
+
+struct SeqModelConfig {
+  std::size_t cov_dim = 9;    // 0 = no covariates (DeepAR / Joint)
+  std::size_t target_dim = 1; // 3 for RankNet-Joint
+  std::size_t hidden = 40;    // paper Table IV: 40 LSTM nodes
+  std::size_t num_layers = 2; // paper Table IV: 2 LSTM layers
+  std::size_t embed_dim = 4;  // CarId embedding; 0 disables
+  int vocab = 1;              // embedding rows (CarVocab::size())
+  std::uint64_t seed = 1234;
+
+  std::size_t input_dim() const {
+    return target_dim + cov_dim + embed_dim;
+  }
+  /// Stable string for the model-cache key.
+  std::string cache_key() const;
+};
+
+class LstmSeqModel : public nn::Layer {
+ public:
+  explicit LstmSeqModel(SeqModelConfig config);
+
+  const SeqModelConfig& config() const { return config_; }
+
+  /// Target scaler (applied to target dim 0 = rank only); fitted by the
+  /// trainer on training ranks.
+  void set_scaler(const features::StandardScaler& scaler) { scaler_ = scaler; }
+  const features::StandardScaler& scaler() const { return scaler_; }
+
+  // ---- training (Algorithm 1) ----------------------------------------
+
+  /// A packed minibatch of equal-length windows. xs_base excludes the car
+  /// embedding columns (those are looked up inside train_step so the
+  /// embedding table receives gradients).
+  struct Batch {
+    std::vector<tensor::Matrix> xs_base;  // time-major, (B x target+cov dim)
+    tensor::Matrix z_dec;                 // (dec_len*B x target_dim), scaled
+    std::vector<double> weights;          // per z_dec row
+    std::vector<int> car_index;           // per example
+    std::size_t batch = 0;
+    std::size_t dec_len = 0;
+  };
+
+  /// Assemble a batch from windows (targets get scaled internally).
+  /// All examples must have covariates/target of equal length.
+  Batch make_batch(const std::vector<const features::SeqExample*>& examples,
+                   std::size_t dec_len) const;
+
+  /// Shared batch packer (also used by the Transformer model).
+  static Batch pack_examples(
+      const std::vector<const features::SeqExample*>& examples,
+      std::size_t dec_len, const features::StandardScaler& scaler,
+      std::size_t target_dim, std::size_t cov_dim);
+
+  /// One forward+backward pass; gradients accumulate into params.
+  /// Returns the weighted mean NLL of the batch.
+  double train_step(const Batch& batch);
+
+  /// NLL without touching gradients (validation).
+  double evaluate(const Batch& batch);
+
+  // ---- forecasting (Algorithm 2, network half) ------------------------
+
+  /// LSTM states (one per layer) for a batch of sequences.
+  using StackState = std::vector<nn::LstmState>;
+
+  /// Consume an observed prefix for `rows` parallel sequences and return
+  /// the state after each step. history[r] holds raw (unscaled) targets
+  /// z_1..z_T per row; covs[r][t] the covariate vector of lap t+1 (0-based).
+  /// Returned trace[t] is the state after consuming input
+  /// [z_t, x_{t+1}], i.e. the state from which lap t+2 would be predicted;
+  /// trace has T-1 entries.
+  std::vector<StackState> trace(
+      const std::vector<std::vector<double>>& history,
+      const std::vector<std::vector<std::vector<double>>>& covs,
+      const std::vector<int>& car_index) const;
+
+  /// Select one row of a traced state and replicate it `copies` times.
+  static StackState replicate_state(const StackState& state, std::size_t row,
+                                    std::size_t copies);
+  /// Concatenate states row-wise (used to batch all cars together).
+  static StackState concat_states(const std::vector<StackState>& states);
+
+  /// One teacher-forced step: consume [z_prev, cov] for each row and update
+  /// `state` in place (no sampling). Used to re-run the last encoder laps
+  /// with corrected (predicted) shift features before sampling.
+  void advance(StackState& state,
+               const std::vector<std::vector<double>>& z_prev,
+               const std::vector<std::vector<double>>& covs,
+               const std::vector<int>& car_index) const;
+
+  /// Roll the sampler forward `horizon` steps from `state` (modified in
+  /// place). z_prev[r] is the last observed raw target vector per row;
+  /// future_covs[r][h] the covariate vector for horizon step h. Returns
+  /// (rows x horizon) sampled raw target values (dim 0 = rank), plus all
+  /// target dims via `all_dims` when non-null.
+  tensor::Matrix sample_forward(
+      StackState& state, std::vector<std::vector<double>> z_prev,
+      const std::vector<std::vector<std::vector<double>>>& future_covs,
+      const std::vector<int>& car_index, int horizon, util::Rng& rng,
+      std::vector<tensor::Matrix>* all_dims = nullptr) const;
+
+  std::vector<nn::Parameter*> params() override;
+
+ private:
+  tensor::Matrix assemble_step(
+      const std::vector<std::vector<double>>& z_prev_scaled,
+      const std::vector<std::vector<double>>& cov_rows,
+      const tensor::Matrix& embed_rows) const;
+
+  SeqModelConfig config_;
+  features::StandardScaler scaler_{0.0, 1.0};
+  std::unique_ptr<nn::Embedding> embedding_;  // null when embed_dim == 0
+  std::vector<std::unique_ptr<nn::LstmLayer>> layers_;
+  std::unique_ptr<nn::GaussianHead> head_;
+};
+
+}  // namespace ranknet::core

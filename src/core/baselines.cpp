@@ -1,0 +1,164 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+
+#include "features/transforms.hpp"
+#include "util/rng.hpp"
+
+namespace ranknet::core {
+
+RaceSamples CurRankForecaster::forecast(const telemetry::RaceLog& race,
+                                        int origin_lap, int horizon,
+                                        int /*num_samples*/,
+                                        util::Rng& /*rng*/) {
+  RaceSamples out;
+  const auto origin = static_cast<std::size_t>(origin_lap);
+  for (int car_id : race.car_ids()) {
+    const auto& car = race.car(car_id);
+    if (car.laps() < origin) continue;
+    tensor::Matrix m(1, static_cast<std::size_t>(horizon));
+    for (std::size_t h = 0; h < m.cols(); ++h) {
+      m(0, h) = car.rank[origin - 1];
+    }
+    out.emplace(car_id, std::move(m));
+  }
+  return out;
+}
+
+ArimaForecaster::ArimaForecaster(ml::ArimaConfig config) : config_(config) {}
+
+RaceSamples ArimaForecaster::forecast(const telemetry::RaceLog& race,
+                                      int origin_lap, int horizon,
+                                      int num_samples, util::Rng& rng) {
+  RaceSamples out;
+  const auto origin = static_cast<std::size_t>(origin_lap);
+  for (int car_id : race.car_ids()) {
+    const auto& car = race.car(car_id);
+    if (car.laps() < origin) continue;
+    ml::Arima model(config_);
+    model.fit(std::span<const double>(car.rank.data(), origin));
+    const auto paths = model.sample_paths(horizon, num_samples, rng);
+    tensor::Matrix m(paths.size(), static_cast<std::size_t>(horizon));
+    for (std::size_t s = 0; s < paths.size(); ++s) {
+      for (std::size_t h = 0; h < m.cols(); ++h) {
+        m(s, h) = std::clamp(paths[s][h], 1.0, 45.0);
+      }
+    }
+    out.emplace(car_id, std::move(m));
+  }
+  return out;
+}
+
+bool MlRegressorForecaster::features_at(const telemetry::CarSeries& car,
+                                        const telemetry::RaceLog& race,
+                                        int origin_lap,
+                                        const MlFeatureConfig& config,
+                                        std::span<double> out) {
+  const auto origin = static_cast<std::size_t>(origin_lap);
+  if (car.laps() < origin || origin < static_cast<std::size_t>(config.lag)) {
+    return false;
+  }
+  // Lag window of ranks, most recent last.
+  for (int i = 0; i < config.lag; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        car.rank[origin - static_cast<std::size_t>(config.lag - i)];
+  }
+  const auto status = features::compute_status_features(car);
+  const std::size_t idx = origin - 1;
+  std::size_t j = static_cast<std::size_t>(config.lag);
+  out[j++] = status.track_status[idx];
+  out[j++] = status.lap_status[idx];
+  out[j++] = status.caution_laps[idx] / 10.0;
+  out[j++] = status.pit_age[idx] / 40.0;
+  out[j++] = static_cast<double>(origin) /
+             static_cast<double>(std::max(1, race.info().total_laps));
+  return true;
+}
+
+MlDataset build_ml_dataset(const std::vector<telemetry::RaceLog>& races,
+                           int horizon, const MlFeatureConfig& config,
+                           std::size_t max_rows, std::uint64_t seed) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  for (const auto& race : races) {
+    for (int car_id : race.car_ids()) {
+      const auto& car = race.car(car_id);
+      for (std::size_t origin = static_cast<std::size_t>(config.lag);
+           origin + static_cast<std::size_t>(horizon) <= car.laps();
+           ++origin) {
+        std::vector<double> x(config.dim());
+        if (!MlRegressorForecaster::features_at(
+                car, race, static_cast<int>(origin), config, x)) {
+          continue;
+        }
+        rows.push_back(std::move(x));
+        targets.push_back(
+            car.rank[origin - 1 + static_cast<std::size_t>(horizon)]);
+      }
+    }
+  }
+  if (max_rows > 0 && rows.size() > max_rows) {
+    util::Rng rng(seed);
+    // Deterministic downsample: shuffle an index list and keep a prefix.
+    std::vector<std::size_t> keep(rows.size());
+    for (std::size_t i = 0; i < keep.size(); ++i) keep[i] = i;
+    rng.shuffle(keep);
+    keep.resize(max_rows);
+    std::vector<std::vector<double>> r2;
+    std::vector<double> t2;
+    r2.reserve(max_rows);
+    t2.reserve(max_rows);
+    for (auto i : keep) {
+      r2.push_back(std::move(rows[i]));
+      t2.push_back(targets[i]);
+    }
+    rows = std::move(r2);
+    targets = std::move(t2);
+  }
+  MlDataset ds;
+  ds.x = tensor::Matrix(rows.size(), config.dim());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < config.dim(); ++c) ds.x(r, c) = rows[r][c];
+  }
+  ds.y = std::move(targets);
+  return ds;
+}
+
+MlRegressorForecaster::MlRegressorForecaster(
+    std::string name, std::shared_ptr<ml::Regressor> model,
+    MlFeatureConfig config, int trained_horizon)
+    : name_(std::move(name)),
+      model_(std::move(model)),
+      config_(config),
+      trained_horizon_(trained_horizon) {}
+
+RaceSamples MlRegressorForecaster::forecast(const telemetry::RaceLog& race,
+                                            int origin_lap, int horizon,
+                                            int /*num_samples*/,
+                                            util::Rng& /*rng*/) {
+  RaceSamples out;
+  std::vector<double> x(config_.dim());
+  for (int car_id : race.car_ids()) {
+    const auto& car = race.car(car_id);
+    if (car.laps() < static_cast<std::size_t>(origin_lap)) continue;
+    tensor::Matrix m(1, static_cast<std::size_t>(horizon));
+    const double current = car.rank[static_cast<std::size_t>(origin_lap) - 1];
+    double endpoint = current;
+    if (features_at(car, race, origin_lap, config_, x)) {
+      endpoint = std::clamp(model_->predict_one(x), 1.0, 45.0);
+    }
+    // The regressor is trained for its fixed horizon; intermediate laps are
+    // interpolated toward its endpoint prediction (deterministic model).
+    for (int h = 1; h <= horizon; ++h) {
+      const double frac =
+          std::min(1.0, static_cast<double>(h) /
+                            static_cast<double>(trained_horizon_));
+      m(0, static_cast<std::size_t>(h - 1)) =
+          current + frac * (endpoint - current);
+    }
+    out.emplace(car_id, std::move(m));
+  }
+  return out;
+}
+
+}  // namespace ranknet::core

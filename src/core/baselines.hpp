@@ -1,0 +1,79 @@
+// Baseline forecasters of the paper's Table III:
+//   CurRank      — naive persistence (rank never changes),
+//   ARIMA        — per-series statistical model with Gaussian intervals,
+//   ML regressors— RandomForest / SVM / XGBoost on lag+status features,
+//                  pointwise forecasts in the style of [30].
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/forecaster.hpp"
+#include "ml/arima.hpp"
+#include "ml/regressor.hpp"
+#include "telemetry/race_log.hpp"
+
+namespace ranknet::core {
+
+/// Naive baseline: the future rank equals the rank at the origin lap.
+class CurRankForecaster : public RaceForecaster {
+ public:
+  std::string name() const override { return "CurRank"; }
+  RaceSamples forecast(const telemetry::RaceLog& race, int origin_lap,
+                       int horizon, int num_samples, util::Rng& rng) override;
+};
+
+/// Per-car ARIMA fitted on the rank history up to the origin at every call.
+class ArimaForecaster : public RaceForecaster {
+ public:
+  explicit ArimaForecaster(ml::ArimaConfig config = {});
+  std::string name() const override { return "ARIMA"; }
+  RaceSamples forecast(const telemetry::RaceLog& race, int origin_lap,
+                       int horizon, int num_samples, util::Rng& rng) override;
+
+ private:
+  ml::ArimaConfig config_;
+};
+
+/// Feature extraction shared by the ML regression baselines: a lag window
+/// of recent ranks plus current race-status features, predicting the rank
+/// `horizon` laps ahead (pointwise, per [30]).
+struct MlFeatureConfig {
+  int lag = 5;  // number of recent ranks
+  std::size_t dim() const { return static_cast<std::size_t>(lag) + 5; }
+};
+
+/// Builds (x, y) rows for a fixed horizon from a set of races.
+struct MlDataset {
+  tensor::Matrix x;
+  std::vector<double> y;
+};
+MlDataset build_ml_dataset(const std::vector<telemetry::RaceLog>& races,
+                           int horizon, const MlFeatureConfig& config,
+                           std::size_t max_rows = 0, std::uint64_t seed = 3);
+
+/// Wraps any ml::Regressor as a (deterministic) race forecaster. The
+/// regressor must have been trained for the same horizon; intermediate
+/// horizon laps are linearly interpolated from the current rank.
+class MlRegressorForecaster : public RaceForecaster {
+ public:
+  MlRegressorForecaster(std::string name, std::shared_ptr<ml::Regressor> model,
+                        MlFeatureConfig config, int trained_horizon);
+  std::string name() const override { return name_; }
+  RaceSamples forecast(const telemetry::RaceLog& race, int origin_lap,
+                       int horizon, int num_samples, util::Rng& rng) override;
+
+  /// Feature row for (car, origin); returns false when history is too short.
+  static bool features_at(const telemetry::CarSeries& car,
+                          const telemetry::RaceLog& race, int origin_lap,
+                          const MlFeatureConfig& config,
+                          std::span<double> out);
+
+ private:
+  std::string name_;
+  std::shared_ptr<ml::Regressor> model_;
+  MlFeatureConfig config_;
+  int trained_horizon_;
+};
+
+}  // namespace ranknet::core

@@ -1,0 +1,257 @@
+#include "core/evaluation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "features/transforms.hpp"
+#include "util/stats.hpp"
+#include "util/string_util.hpp"
+
+namespace ranknet::core {
+
+namespace {
+
+struct Accumulator {
+  std::vector<double> med, q50, q90, actual;
+  std::vector<bool> top1;
+
+  MetricRow finish() const {
+    MetricRow row;
+    row.count = actual.size();
+    if (actual.empty()) return row;
+    row.mae = mae(med, actual);
+    row.risk50 = rho_risk(q50, actual, 0.5);
+    row.risk90 = rho_risk(q90, actual, 0.9);
+    row.top1 = accuracy(top1);
+    return row;
+  }
+};
+
+}  // namespace
+
+TaskAResult evaluate_task_a(RaceForecaster& forecaster,
+                            const telemetry::RaceLog& race,
+                            const TaskAConfig& config) {
+  util::Rng rng(config.seed);
+  Accumulator all, normal, pit;
+
+  const int last_origin = race.num_laps() - config.horizon;
+  for (int origin = config.min_origin; origin <= last_origin;
+       origin += config.origin_stride) {
+    auto raw = forecaster.forecast(race, origin, config.horizon,
+                                   config.num_samples, rng);
+    if (raw.empty()) continue;
+    const auto ranks = sort_to_ranks(raw);
+    const auto target_lap = static_cast<std::size_t>(origin + config.horizon);
+
+    // Predicted leader: the car with the smallest median predicted rank.
+    int predicted_leader = -1;
+    double best_median = 1e18;
+    int actual_leader = -1;
+    bool any_pit_this_window = false;
+
+    struct PairResult {
+      int car_id;
+      double med, q50, q90, actual;
+      bool pit_covered;
+    };
+    std::vector<PairResult> pairs;
+
+    for (const auto& [car_id, samples] : ranks) {
+      const auto& car = race.car(car_id);
+      if (car.laps() < target_lap) continue;  // retired inside the window
+      const std::size_t h = samples.cols() - 1;
+      PairResult p;
+      p.car_id = car_id;
+      p.med = sample_quantile(samples, h, 0.5);
+      p.q50 = p.med;
+      p.q90 = sample_quantile(samples, h, 0.9);
+      p.actual = car.rank[target_lap - 1];
+      // Pit-covered: the car pits near the forecast window.
+      p.pit_covered = false;
+      const int lo = std::max(1, origin + 1 - config.pit_margin);
+      const int hi = std::min<int>(static_cast<int>(car.laps()),
+                                   origin + config.horizon + config.pit_margin);
+      for (int lap = lo; lap <= hi; ++lap) {
+        if (car.pit(static_cast<std::size_t>(lap - 1))) p.pit_covered = true;
+      }
+      any_pit_this_window = any_pit_this_window || p.pit_covered;
+      if (p.med < best_median ||
+          (p.med == best_median && car_id < predicted_leader)) {
+        best_median = p.med;
+        predicted_leader = car_id;
+      }
+      if (p.actual == 1.0) actual_leader = car_id;
+      pairs.push_back(p);
+    }
+    if (pairs.empty() || actual_leader < 0) continue;
+
+    const bool leader_correct = predicted_leader == actual_leader;
+    all.top1.push_back(leader_correct);
+    (any_pit_this_window ? pit : normal).top1.push_back(leader_correct);
+
+    for (const auto& p : pairs) {
+      auto& bucket = p.pit_covered ? pit : normal;
+      for (Accumulator* acc : {&all, &bucket}) {
+        acc->med.push_back(p.med);
+        acc->q50.push_back(p.q50);
+        acc->q90.push_back(p.q90);
+        acc->actual.push_back(p.actual);
+      }
+    }
+  }
+
+  TaskAResult result;
+  result.all = all.finish();
+  result.normal = normal.finish();
+  result.pit_covered = pit.finish();
+  return result;
+}
+
+TaskAResult evaluate_task_a(RaceForecaster& forecaster,
+                            const std::vector<telemetry::RaceLog>& races,
+                            const TaskAConfig& config) {
+  // Aggregate by re-running per race and pooling the per-pair errors via
+  // count-weighted averages of the category metrics.
+  TaskAResult total;
+  auto merge = [](MetricRow& into, const MetricRow& from) {
+    const double n0 = static_cast<double>(into.count);
+    const double n1 = static_cast<double>(from.count);
+    if (n0 + n1 == 0.0) return;
+    into.top1 = (into.top1 * n0 + from.top1 * n1) / (n0 + n1);
+    into.mae = (into.mae * n0 + from.mae * n1) / (n0 + n1);
+    into.risk50 = (into.risk50 * n0 + from.risk50 * n1) / (n0 + n1);
+    into.risk90 = (into.risk90 * n0 + from.risk90 * n1) / (n0 + n1);
+    into.count += from.count;
+  };
+  for (const auto& race : races) {
+    const auto r = evaluate_task_a(forecaster, race, config);
+    merge(total.all, r.all);
+    merge(total.normal, r.normal);
+    merge(total.pit_covered, r.pit_covered);
+  }
+  return total;
+}
+
+ForecasterStintAdapter::ForecasterStintAdapter(RaceForecaster& forecaster,
+                                               int num_samples)
+    : forecaster_(forecaster), num_samples_(num_samples) {}
+
+std::vector<double> ForecasterStintAdapter::predict_change(
+    const telemetry::RaceLog& race, int car_id, int pit_lap, int next_pit_lap,
+    util::Rng& rng) {
+  const int horizon = next_pit_lap - pit_lap;
+  const auto key =
+      util::format("%s|%d|%d", race.id().c_str(), pit_lap, horizon);
+  if (key != cached_key_) {
+    cached_ranks_ = sort_to_ranks(
+        forecaster_.forecast(race, pit_lap, horizon, num_samples_, rng));
+    cached_key_ = key;
+  }
+  const auto it = cached_ranks_.find(car_id);
+  if (it == cached_ranks_.end()) return {};
+  const auto& samples = it->second;
+  const double current =
+      race.car(car_id).rank[static_cast<std::size_t>(pit_lap) - 1];
+  std::vector<double> out(samples.rows());
+  for (std::size_t s = 0; s < samples.rows(); ++s) {
+    out[s] = samples(s, samples.cols() - 1) - current;
+  }
+  return out;
+}
+
+RegressorStintPredictor::RegressorStintPredictor(
+    std::string name, std::shared_ptr<ml::Regressor> model)
+    : name_(std::move(name)), model_(std::move(model)) {}
+
+bool RegressorStintPredictor::features_at(const telemetry::RaceLog& race,
+                                          int car_id, int pit_lap,
+                                          int next_pit_lap,
+                                          std::span<double> out) {
+  const auto& car = race.car(car_id);
+  const auto idx = static_cast<std::size_t>(pit_lap) - 1;
+  if (car.laps() <= idx) return false;
+  const auto status = features::compute_status_features(car);
+  int pits_so_far = 0;
+  for (std::size_t i = 0; i <= idx; ++i) {
+    if (car.pit(i)) ++pits_so_far;
+  }
+  out[0] = car.rank[idx];
+  out[1] = status.pit_age[idx] / 40.0;
+  out[2] = status.caution_laps[idx] / 10.0;
+  out[3] = static_cast<double>(pit_lap) /
+           static_cast<double>(std::max(1, race.info().total_laps));
+  out[4] = static_cast<double>(pits_so_far);
+  out[5] = static_cast<double>(next_pit_lap - pit_lap) / 40.0;
+  return true;
+}
+
+MlDataset RegressorStintPredictor::build_dataset(
+    const std::vector<telemetry::RaceLog>& races, int min_stint) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  for (const auto& race : races) {
+    for (int car_id : race.car_ids()) {
+      const auto& car = race.car(car_id);
+      const auto pits = car.pit_laps();
+      for (std::size_t i = 0; i + 1 < pits.size(); ++i) {
+        const int p1 = static_cast<int>(pits[i]) + 1;
+        const int p2 = static_cast<int>(pits[i + 1]) + 1;
+        if (p2 - p1 < min_stint) continue;
+        std::vector<double> x(kFeatureDim);
+        if (!features_at(race, car_id, p1, p2, x)) continue;
+        rows.push_back(std::move(x));
+        targets.push_back(car.rank[pits[i + 1]] - car.rank[pits[i]]);
+      }
+    }
+  }
+  MlDataset ds;
+  ds.x = tensor::Matrix(rows.size(), kFeatureDim);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < kFeatureDim; ++c) ds.x(r, c) = rows[r][c];
+  }
+  ds.y = std::move(targets);
+  return ds;
+}
+
+std::vector<double> RegressorStintPredictor::predict_change(
+    const telemetry::RaceLog& race, int car_id, int pit_lap, int next_pit_lap,
+    util::Rng& /*rng*/) {
+  std::vector<double> x(kFeatureDim);
+  if (!features_at(race, car_id, pit_lap, next_pit_lap, x)) return {};
+  return {model_->predict_one(x)};
+}
+
+TaskBResult evaluate_task_b(StintPredictor& predictor,
+                            const std::vector<telemetry::RaceLog>& races,
+                            const TaskBConfig& config) {
+  util::Rng rng(config.seed);
+  std::vector<double> med, q50, q90, actual;
+  for (const auto& race : races) {
+    for (int car_id : race.car_ids()) {
+      const auto& car = race.car(car_id);
+      const auto pits = car.pit_laps();
+      for (std::size_t i = 0; i + 1 < pits.size(); ++i) {
+        const int p1 = static_cast<int>(pits[i]) + 1;
+        const int p2 = static_cast<int>(pits[i + 1]) + 1;
+        if (p2 - p1 < config.min_stint || p1 < config.min_origin) continue;
+        auto samples = predictor.predict_change(race, car_id, p1, p2, rng);
+        if (samples.empty()) continue;
+        med.push_back(util::median(samples));
+        q50.push_back(util::quantile(samples, 0.5));
+        q90.push_back(util::quantile(samples, 0.9));
+        actual.push_back(car.rank[pits[i + 1]] - car.rank[pits[i]]);
+      }
+    }
+  }
+  TaskBResult result;
+  result.count = actual.size();
+  if (actual.empty()) return result;
+  result.sign_acc = sign_accuracy(med, actual);
+  result.mae = mae(med, actual);
+  result.risk50 = rho_risk(q50, actual, 0.5);
+  result.risk90 = rho_risk(q90, actual, 0.9);
+  return result;
+}
+
+}  // namespace ranknet::core

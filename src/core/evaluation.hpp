@@ -1,0 +1,147 @@
+// Evaluation pipelines for the paper's two tasks (Section IV-D):
+//   Task A — short-term rank forecasting (Table V, Figs. 2/8/9): forecast
+//            `horizon` laps ahead from every origin; metrics per lap
+//            category (All / Normal / PitStop-covered).
+//   Task B — stint forecasting (Table VI): predict the change of rank
+//            position between consecutive pit stops.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/baselines.hpp"
+#include "core/forecaster.hpp"
+#include "core/metrics.hpp"
+#include "ml/regressor.hpp"
+
+namespace ranknet::core {
+
+struct TaskAConfig {
+  int horizon = 2;
+  int num_samples = 100;
+  int origin_stride = 1;
+  int min_origin = 10;
+  /// "PitStop covered": the car pits within [origin+1-m, origin+horizon+m].
+  int pit_margin = 1;
+  std::uint64_t seed = 99;
+};
+
+struct MetricRow {
+  double top1 = 0.0;
+  double mae = 0.0;
+  double risk50 = 0.0;
+  double risk90 = 0.0;
+  std::size_t count = 0;  // (car, origin) pairs
+};
+
+struct TaskAResult {
+  MetricRow all;
+  MetricRow normal;
+  MetricRow pit_covered;
+};
+
+/// Evaluate one forecaster on one test race. Forecast quality is measured
+/// at the final horizon lap of every origin, on jointly-sorted rank
+/// positions (paper Section III-C).
+TaskAResult evaluate_task_a(RaceForecaster& forecaster,
+                            const telemetry::RaceLog& race,
+                            const TaskAConfig& config);
+
+/// Aggregate Task A over several races (weighted by pair counts).
+TaskAResult evaluate_task_a(RaceForecaster& forecaster,
+                            const std::vector<telemetry::RaceLog>& races,
+                            const TaskAConfig& config);
+
+// ---------------------------------------------------------------------
+// Task B
+
+/// Prediction of the rank-position change across one stint.
+class StintPredictor {
+ public:
+  virtual ~StintPredictor() = default;
+  virtual std::string name() const = 0;
+  /// Sampled predictions of rank(p2) - rank(p1); deterministic predictors
+  /// return one sample.
+  virtual std::vector<double> predict_change(const telemetry::RaceLog& race,
+                                             int car_id, int pit_lap,
+                                             int next_pit_lap,
+                                             util::Rng& rng) = 0;
+};
+
+/// Rolls a RaceForecaster across the stint (Algorithm 2 regressive
+/// application) and reads the change at the next pit lap.
+class ForecasterStintAdapter : public StintPredictor {
+ public:
+  ForecasterStintAdapter(RaceForecaster& forecaster, int num_samples);
+  std::string name() const override { return forecaster_.name(); }
+  std::vector<double> predict_change(const telemetry::RaceLog& race,
+                                     int car_id, int pit_lap,
+                                     int next_pit_lap,
+                                     util::Rng& rng) override;
+
+ private:
+  RaceForecaster& forecaster_;
+  int num_samples_;
+  // One forecast serves every car of the same (race, origin, horizon).
+  std::string cached_key_;
+  RaceSamples cached_ranks_;
+};
+
+/// Pointwise ML regressor on stint features (the [30]-style baselines).
+class RegressorStintPredictor : public StintPredictor {
+ public:
+  RegressorStintPredictor(std::string name,
+                          std::shared_ptr<ml::Regressor> model);
+  std::string name() const override { return name_; }
+
+  /// Stint feature vector: [rank at pit, pit age, caution laps, lap/total,
+  /// pit count so far, stint length].
+  static constexpr std::size_t kFeatureDim = 6;
+  static bool features_at(const telemetry::RaceLog& race, int car_id,
+                          int pit_lap, int next_pit_lap,
+                          std::span<double> out);
+
+  /// Training rows (change targets) from a set of races.
+  static MlDataset build_dataset(
+      const std::vector<telemetry::RaceLog>& races, int min_stint);
+
+  std::vector<double> predict_change(const telemetry::RaceLog& race,
+                                     int car_id, int pit_lap,
+                                     int next_pit_lap,
+                                     util::Rng& rng) override;
+
+ private:
+  std::string name_;
+  std::shared_ptr<ml::Regressor> model_;
+};
+
+/// CurRank for Task B: predicts zero change.
+class ZeroChangeStintPredictor : public StintPredictor {
+ public:
+  std::string name() const override { return "CurRank"; }
+  std::vector<double> predict_change(const telemetry::RaceLog&, int, int, int,
+                                     util::Rng&) override {
+    return {0.0};
+  }
+};
+
+struct TaskBConfig {
+  int num_samples = 32;
+  int min_stint = 5;
+  int min_origin = 10;
+  std::uint64_t seed = 101;
+};
+
+struct TaskBResult {
+  double sign_acc = 0.0;
+  double mae = 0.0;
+  double risk50 = 0.0;
+  double risk90 = 0.0;
+  std::size_t count = 0;
+};
+
+TaskBResult evaluate_task_b(StintPredictor& predictor,
+                            const std::vector<telemetry::RaceLog>& races,
+                            const TaskBConfig& config);
+
+}  // namespace ranknet::core

@@ -1,0 +1,62 @@
+#include "core/forecaster.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace ranknet::core {
+
+RaceSamples sort_to_ranks(const RaceSamples& raw) {
+  if (raw.empty()) return {};
+  const std::size_t samples = raw.begin()->second.rows();
+  const std::size_t horizon = raw.begin()->second.cols();
+
+  std::vector<int> car_ids;
+  for (const auto& [car, _] : raw) car_ids.push_back(car);
+
+  RaceSamples ranks;
+  for (int car : car_ids) {
+    ranks[car] = tensor::Matrix(samples, horizon);
+  }
+
+  std::vector<std::pair<double, std::size_t>> order(car_ids.size());
+  for (std::size_t s = 0; s < samples; ++s) {
+    for (std::size_t h = 0; h < horizon; ++h) {
+      for (std::size_t c = 0; c < car_ids.size(); ++c) {
+        order[c] = {raw.at(car_ids[c])(s, h), c};
+      }
+      std::stable_sort(order.begin(), order.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first < b.first;
+                       });
+      for (std::size_t pos = 0; pos < order.size(); ++pos) {
+        ranks[car_ids[order[pos].second]](s, h) =
+            static_cast<double>(pos) + 1.0;
+      }
+    }
+  }
+  return ranks;
+}
+
+std::vector<double> median_trajectory(const tensor::Matrix& samples) {
+  std::vector<double> out(samples.cols());
+  std::vector<double> column(samples.rows());
+  for (std::size_t h = 0; h < samples.cols(); ++h) {
+    for (std::size_t s = 0; s < samples.rows(); ++s) {
+      column[s] = samples(s, h);
+    }
+    out[h] = util::median(column);
+  }
+  return out;
+}
+
+double sample_quantile(const tensor::Matrix& samples, std::size_t lap_idx,
+                       double q) {
+  std::vector<double> column(samples.rows());
+  for (std::size_t s = 0; s < samples.rows(); ++s) {
+    column[s] = samples(s, lap_idx);
+  }
+  return util::quantile(column, q);
+}
+
+}  // namespace ranknet::core

@@ -1,0 +1,48 @@
+// The forecasting interface every model implements.
+//
+// A race-level forecast at origin lap t0 with horizon H produces, for every
+// car still running at t0, a (num_samples x H) matrix of sampled rank
+// trajectories for laps t0+1 .. t0+H. Deterministic models return a single
+// repeated row. The evaluation pipeline computes medians / quantiles /
+// ρ-risk from the samples, and joint per-sample sorting converts raw sampled
+// values into integer rank positions (paper Section III-C: "the final rank
+// positions of the cars are calculated by sorting the sampled outputs").
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "tensor/matrix.hpp"
+#include "telemetry/race_log.hpp"
+#include "util/rng.hpp"
+
+namespace ranknet::core {
+
+/// car id -> (num_samples x horizon) sampled rank values.
+using RaceSamples = std::map<int, tensor::Matrix>;
+
+class RaceForecaster {
+ public:
+  virtual ~RaceForecaster() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Forecast ranks for laps (origin_lap, origin_lap + horizon] for every
+  /// car that has completed origin_lap. origin_lap is 1-based.
+  virtual RaceSamples forecast(const telemetry::RaceLog& race, int origin_lap,
+                               int horizon, int num_samples,
+                               util::Rng& rng) = 0;
+};
+
+/// Convert raw sampled values into integer ranks by sorting each
+/// (sample, lap) slice across cars (ties broken by car id order).
+RaceSamples sort_to_ranks(const RaceSamples& raw);
+
+/// Per-car median trajectory of a sample matrix (length = horizon).
+std::vector<double> median_trajectory(const tensor::Matrix& samples);
+
+/// Quantile of the sampled values at one horizon step.
+double sample_quantile(const tensor::Matrix& samples, std::size_t lap_idx,
+                       double q);
+
+}  // namespace ranknet::core

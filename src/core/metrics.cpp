@@ -1,0 +1,63 @@
+#include "core/metrics.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ranknet::core {
+
+double mae(std::span<const double> predicted, std::span<const double> actual) {
+  if (predicted.size() != actual.size()) {
+    throw std::invalid_argument("mae: size mismatch");
+  }
+  if (predicted.empty()) return std::numeric_limits<double>::quiet_NaN();
+  double total = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    total += std::abs(predicted[i] - actual[i]);
+  }
+  return total / static_cast<double>(predicted.size());
+}
+
+double rho_risk(std::span<const double> quantile_predictions,
+                std::span<const double> actual, double rho) {
+  if (quantile_predictions.size() != actual.size()) {
+    throw std::invalid_argument("rho_risk: size mismatch");
+  }
+  if (actual.empty()) return std::numeric_limits<double>::quiet_NaN();
+  double loss = 0.0, denom = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double zhat = quantile_predictions[i];
+    const double z = actual[i];
+    const double indicator = z < zhat ? 1.0 : 0.0;
+    loss += 2.0 * (zhat - z) * (indicator - rho);
+    denom += std::abs(z);
+  }
+  return denom > 0.0 ? loss / denom
+                     : std::numeric_limits<double>::quiet_NaN();
+}
+
+double sign_accuracy(std::span<const double> predicted_change,
+                     std::span<const double> actual_change) {
+  if (predicted_change.size() != actual_change.size()) {
+    throw std::invalid_argument("sign_accuracy: size mismatch");
+  }
+  if (actual_change.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::size_t correct = 0;
+  const auto sign = [](double v) { return v > 0.0 ? 1 : (v < 0.0 ? -1 : 0); };
+  for (std::size_t i = 0; i < actual_change.size(); ++i) {
+    if (sign(predicted_change[i]) == sign(actual_change[i])) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(actual_change.size());
+}
+
+double accuracy(const std::vector<bool>& correct) {
+  if (correct.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::size_t n = 0;
+  for (bool c : correct) {
+    if (c) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(correct.size());
+}
+
+}  // namespace ranknet::core

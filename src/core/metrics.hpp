@@ -1,0 +1,26 @@
+// Evaluation metrics of the paper (Section IV-D): MAE, Top1Acc, SignAcc and
+// the quantile ρ-risk of probabilistic forecasts.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ranknet::core {
+
+/// Mean absolute error between point predictions and actuals.
+double mae(std::span<const double> predicted, std::span<const double> actual);
+
+/// ρ-risk: sum over points of 2(Ẑρ − Z)(1{Z < Ẑρ} − ρ), normalized by
+/// Σ|Z|. Ẑρ is the model's ρ-quantile prediction per point.
+double rho_risk(std::span<const double> quantile_predictions,
+                std::span<const double> actual, double rho);
+
+/// Fraction of cases where the predicted sign of the change matches the
+/// actual sign (sign of zero counts as its own class).
+double sign_accuracy(std::span<const double> predicted_change,
+                     std::span<const double> actual_change);
+
+/// Fraction of correct binary outcomes (used for Top1Acc).
+double accuracy(const std::vector<bool>& correct);
+
+}  // namespace ranknet::core

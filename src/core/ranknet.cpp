@@ -1,0 +1,324 @@
+#include "core/ranknet.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/status_forecast.hpp"
+#include "util/string_util.hpp"
+
+namespace ranknet::core {
+
+const char* status_source_name(StatusSource s) {
+  switch (s) {
+    case StatusSource::kOracle: return "Oracle";
+    case StatusSource::kPitModel: return "PitModel";
+    case StatusSource::kJoint: return "Joint";
+  }
+  return "?";
+}
+
+RankNetForecaster::RankNetForecaster(
+    std::shared_ptr<const LstmSeqModel> model,
+    std::shared_ptr<const PitModel> pit_model, features::CarVocab vocab,
+    features::CovariateConfig cov_config, StatusSource source,
+    std::string name)
+    : model_(std::move(model)),
+      pit_model_(std::move(pit_model)),
+      vocab_(std::move(vocab)),
+      cov_config_(cov_config),
+      source_(source),
+      name_(std::move(name)) {
+  if (source_ == StatusSource::kPitModel && pit_model_ == nullptr) {
+    throw std::invalid_argument("RankNetForecaster: PitModel source needs a pit model");
+  }
+}
+
+const RankNetForecaster::RaceCache& RankNetForecaster::race_cache(
+    const telemetry::RaceLog& race) {
+  auto it = cache_.find(race.id());
+  if (it != cache_.end()) return it->second;
+
+  RaceCache rc;
+  for (int car_id : race.car_ids()) {
+    const auto& car = race.car(car_id);
+    if (car.laps() < 3) continue;
+    CarCache cc;
+    cc.history = car.rank;
+    cc.streams = features::StatusStreams::from_race(race, car_id);
+    cc.covariates = features::build_covariates(cc.streams, cov_config_);
+    cc.trace = model_->trace({cc.history}, {cc.covariates},
+                             {vocab_.index(car_id)});
+    rc.cars.emplace(car_id, std::move(cc));
+  }
+  return cache_.emplace(race.id(), std::move(rc)).first->second;
+}
+
+RaceSamples RankNetForecaster::forecast(const telemetry::RaceLog& race,
+                                        int origin_lap, int horizon,
+                                        int num_samples, util::Rng& rng) {
+  if (origin_lap < 2 || horizon < 1 || num_samples < 1) {
+    throw std::invalid_argument("RankNetForecaster::forecast: bad arguments");
+  }
+  const auto& rc = race_cache(race);
+  const auto origin = static_cast<std::size_t>(origin_lap);
+  const auto h_count = static_cast<std::size_t>(horizon);
+  const auto s_count = static_cast<std::size_t>(num_samples);
+
+  // Cars with a trace entry at the forecast origin.
+  std::vector<int> cars;
+  for (const auto& [car_id, cc] : rc.cars) {
+    if (cc.history.size() >= origin && cc.trace.size() >= origin - 1) {
+      cars.push_back(car_id);
+    }
+  }
+  if (cars.empty()) return {};
+
+  // Encoder-tail correction: with predicted status, the shift features of
+  // the last `shift` encoder laps must not peek at the true future.
+  const int tail_wanted =
+      source_ == StatusSource::kPitModel && cov_config_.shift_features
+          ? cov_config_.shift
+          : 0;
+  const int tail = std::min<int>(tail_wanted, origin_lap - 2);
+
+  const std::size_t rows = cars.size() * s_count;
+  std::vector<int> car_index(rows);
+  std::vector<std::vector<double>> z_prev(rows);
+  std::vector<std::vector<std::vector<double>>> future_covs(rows);
+  // Per-row covariates of the tail laps (teacher-forced replay window).
+  std::vector<std::vector<std::vector<double>>> tail_covs(
+      static_cast<std::size_t>(tail));
+  for (auto& step : tail_covs) step.resize(rows);
+  std::vector<std::vector<std::vector<double>>> tail_z(
+      static_cast<std::size_t>(tail));
+  for (auto& step : tail_z) step.resize(rows);
+
+  // Start state per row.
+  std::vector<LstmSeqModel::StackState> per_car_states;
+  per_car_states.reserve(cars.size());
+  const auto trace_idx = origin - 2 - static_cast<std::size_t>(tail);
+  for (std::size_t c = 0; c < cars.size(); ++c) {
+    const auto& cc = rc.cars.at(cars[c]);
+    per_car_states.push_back(
+        LstmSeqModel::replicate_state(cc.trace[trace_idx], 0, s_count));
+  }
+  auto state = LstmSeqModel::concat_states(per_car_states);
+  per_car_states.clear();
+
+  if (source_ == StatusSource::kPitModel) {
+    // Predicted status must cover the horizon plus the shift look-ahead.
+    const auto future_len =
+        h_count + static_cast<std::size_t>(cov_config_.shift);
+    // Rank order at the origin, for LeaderPitCount of future laps.
+    std::map<int, double> origin_rank;
+    std::map<int, const features::StatusStreams*> stream_ptrs;
+    for (int car_id : cars) {
+      origin_rank[car_id] = rc.cars.at(car_id).history[origin - 1];
+      stream_ptrs[car_id] = &rc.cars.at(car_id).streams;
+    }
+    for (std::size_t s = 0; s < s_count; ++s) {
+      // One coupled race-status realization across all cars.
+      const auto realization = sample_status_realization(
+          stream_ptrs, origin_rank, *pit_model_, cov_config_, origin,
+          future_len, rng);
+
+      for (std::size_t c = 0; c < cars.size(); ++c) {
+        const int car_id = cars[c];
+        const auto& cc = rc.cars.at(car_id);
+        const std::size_t row = c * s_count + s;
+        const auto& covs = realization.at(car_id);
+
+        car_index[row] = vocab_.index(car_id);
+        z_prev[row] = {cc.history[origin - 1]};
+        auto& fc = future_covs[row];
+        fc.resize(h_count);
+        for (std::size_t h = 0; h < h_count; ++h) {
+          fc[h] = covs[origin + h];
+        }
+        for (int t = 0; t < tail; ++t) {
+          // Tail step t replays lap (origin - tail + t): input is
+          // [z at that lap - 1, cov at that lap].
+          const auto lap0 =
+              origin - static_cast<std::size_t>(tail) + static_cast<std::size_t>(t);
+          tail_z[static_cast<std::size_t>(t)][row] = {cc.history[lap0 - 1]};
+          tail_covs[static_cast<std::size_t>(t)][row] = covs[lap0];
+        }
+      }
+    }
+  } else {
+    // Oracle / Joint / DeepAR: covariates straight from the cached
+    // (ground-truth) streams; rows for the same car share them.
+    for (std::size_t c = 0; c < cars.size(); ++c) {
+      const int car_id = cars[c];
+      const auto& cc = rc.cars.at(car_id);
+      for (std::size_t s = 0; s < s_count; ++s) {
+        const std::size_t row = c * s_count + s;
+        car_index[row] = vocab_.index(car_id);
+        if (source_ == StatusSource::kJoint) {
+          // Multivariate target: [rank, aux status dims from covariates].
+          z_prev[row] = {cc.history[origin - 1]};
+          const auto& aux = cc.covariates[origin - 1];
+          for (std::size_t j = 0; j + 1 < model_->config().target_dim; ++j) {
+            z_prev[row].push_back(j < aux.size() ? aux[j] : 0.0);
+          }
+        } else {
+          z_prev[row] = {cc.history[origin - 1]};
+        }
+        auto& fc = future_covs[row];
+        fc.resize(h_count);
+        for (std::size_t h = 0; h < h_count; ++h) {
+          const std::size_t idx = origin + h;
+          fc[h] = idx < cc.covariates.size()
+                      ? cc.covariates[idx]
+                      : std::vector<double>(cov_config_.dim(), 0.0);
+        }
+      }
+    }
+  }
+
+  // Teacher-forced tail replay (PitModel mode only; tail == 0 otherwise).
+  for (int t = 0; t < tail; ++t) {
+    model_->advance(state, tail_z[static_cast<std::size_t>(t)],
+                    tail_covs[static_cast<std::size_t>(t)], car_index);
+  }
+
+  const auto out =
+      model_->sample_forward(state, z_prev, future_covs, car_index,
+                             horizon, rng);
+
+  RaceSamples samples;
+  for (std::size_t c = 0; c < cars.size(); ++c) {
+    tensor::Matrix m(s_count, h_count);
+    for (std::size_t s = 0; s < s_count; ++s) {
+      for (std::size_t h = 0; h < h_count; ++h) {
+        m(s, h) = out(c * s_count + s, h);
+      }
+    }
+    samples.emplace(cars[c], std::move(m));
+  }
+  return samples;
+}
+
+TransformerForecaster::TransformerForecaster(
+    std::shared_ptr<const TransformerSeqModel> model,
+    std::shared_ptr<const PitModel> pit_model, features::CarVocab vocab,
+    features::CovariateConfig cov_config, StatusSource source,
+    std::string name)
+    : model_(std::move(model)),
+      pit_model_(std::move(pit_model)),
+      vocab_(std::move(vocab)),
+      cov_config_(cov_config),
+      source_(source),
+      name_(std::move(name)) {
+  if (source_ == StatusSource::kPitModel && pit_model_ == nullptr) {
+    throw std::invalid_argument(
+        "TransformerForecaster: PitModel source needs a pit model");
+  }
+  if (source_ == StatusSource::kJoint) {
+    throw std::invalid_argument(
+        "TransformerForecaster: Joint variant is LSTM-only in this repo");
+  }
+}
+
+const TransformerForecaster::RaceCache& TransformerForecaster::race_cache(
+    const telemetry::RaceLog& race) {
+  auto it = cache_.find(race.id());
+  if (it != cache_.end()) return it->second;
+  RaceCache rc;
+  for (int car_id : race.car_ids()) {
+    const auto& car = race.car(car_id);
+    if (car.laps() < 3) continue;
+    CarCache cc;
+    cc.history = car.rank;
+    cc.streams = features::StatusStreams::from_race(race, car_id);
+    cc.covariates = features::build_covariates(cc.streams, cov_config_);
+    rc.cars.emplace(car_id, std::move(cc));
+  }
+  return cache_.emplace(race.id(), std::move(rc)).first->second;
+}
+
+RaceSamples TransformerForecaster::forecast(const telemetry::RaceLog& race,
+                                            int origin_lap, int horizon,
+                                            int num_samples, util::Rng& rng) {
+  if (origin_lap < 3 || horizon < 1 || num_samples < 1) {
+    throw std::invalid_argument("TransformerForecaster: bad arguments");
+  }
+  const auto& rc = race_cache(race);
+  const auto origin = static_cast<std::size_t>(origin_lap);
+  const auto h_count = static_cast<std::size_t>(horizon);
+  const auto s_count = static_cast<std::size_t>(num_samples);
+
+  std::vector<int> cars;
+  for (const auto& [car_id, cc] : rc.cars) {
+    if (cc.history.size() >= origin) cars.push_back(car_id);
+  }
+  if (cars.empty()) return {};
+
+  const std::size_t ctx =
+      std::min<std::size_t>(model_->config().infer_context, origin);
+  const std::size_t first_lap = origin - ctx;  // 0-based index of first lap
+
+  const std::size_t rows = cars.size() * s_count;
+  std::vector<int> car_index(rows);
+  std::vector<std::vector<double>> history(rows);
+  std::vector<std::vector<std::vector<double>>> covs(rows);
+
+  const auto fill_row = [&](std::size_t row, int car_id,
+                            const std::vector<std::vector<double>>& full_covs,
+                            const std::vector<double>& ranks) {
+    car_index[row] = vocab_.index(car_id);
+    history[row].assign(ranks.begin() + static_cast<std::ptrdiff_t>(first_lap),
+                        ranks.begin() + static_cast<std::ptrdiff_t>(origin));
+    auto& cv = covs[row];
+    cv.resize(ctx + h_count);
+    for (std::size_t t = 0; t < ctx + h_count; ++t) {
+      const std::size_t idx = first_lap + t;
+      cv[t] = idx < full_covs.size()
+                  ? full_covs[idx]
+                  : std::vector<double>(cov_config_.dim(), 0.0);
+    }
+  };
+
+  if (source_ == StatusSource::kPitModel) {
+    const auto future_len =
+        h_count + static_cast<std::size_t>(cov_config_.shift);
+    std::map<int, double> origin_rank;
+    std::map<int, const features::StatusStreams*> stream_ptrs;
+    for (int car_id : cars) {
+      origin_rank[car_id] = rc.cars.at(car_id).history[origin - 1];
+      stream_ptrs[car_id] = &rc.cars.at(car_id).streams;
+    }
+    for (std::size_t s = 0; s < s_count; ++s) {
+      const auto realization = sample_status_realization(
+          stream_ptrs, origin_rank, *pit_model_, cov_config_, origin,
+          future_len, rng);
+      for (std::size_t c = 0; c < cars.size(); ++c) {
+        fill_row(c * s_count + s, cars[c], realization.at(cars[c]),
+                 rc.cars.at(cars[c]).history);
+      }
+    }
+  } else {
+    for (std::size_t c = 0; c < cars.size(); ++c) {
+      const auto& cc = rc.cars.at(cars[c]);
+      for (std::size_t s = 0; s < s_count; ++s) {
+        fill_row(c * s_count + s, cars[c], cc.covariates, cc.history);
+      }
+    }
+  }
+
+  const auto out = model_->sample_forecast(history, covs, car_index, horizon,
+                                           rng);
+  RaceSamples samples;
+  for (std::size_t c = 0; c < cars.size(); ++c) {
+    tensor::Matrix m(s_count, h_count);
+    for (std::size_t s = 0; s < s_count; ++s) {
+      for (std::size_t h = 0; h < h_count; ++h) {
+        m(s, h) = out(c * s_count + s, h);
+      }
+    }
+    samples.emplace(cars[c], std::move(m));
+  }
+  return samples;
+}
+
+}  // namespace ranknet::core

@@ -1,0 +1,111 @@
+// RankNet: the paper's proposed forecaster (Fig. 5a) and its variants.
+//
+// Forecasting follows Algorithm 2 at race level:
+//  1. future race status is obtained per variant —
+//       Oracle    : ground-truth future TrackStatus/LapStatus (upper bound),
+//       PitModel  : LapStatus sampled from the probabilistic MLP PitModel
+//                   per sample realization, TrackStatus assumed green,
+//       Joint     : no covariates; status dims are part of the sampled
+//                   multivariate target,
+//  2. the RankModel (stacked-LSTM, Gaussian output) rolls forward by
+//     ancestral sampling, feeding each sampled rank back as the next lag,
+//  3. per-sample sorting across cars converts values to rank positions.
+//
+// DeepAR is the same machinery with zero covariates (paper Table III).
+//
+// Per-race LSTM state traces are cached so that evaluating hundreds of
+// forecast origins per race costs one encoder pass over the race instead of
+// one per origin.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/ar_model.hpp"
+#include "core/forecaster.hpp"
+#include "core/pit_model.hpp"
+#include "core/transformer_model.hpp"
+#include "features/window.hpp"
+
+namespace ranknet::core {
+
+enum class StatusSource { kOracle, kPitModel, kJoint };
+
+const char* status_source_name(StatusSource s);
+
+class RankNetForecaster : public RaceForecaster {
+ public:
+  RankNetForecaster(std::shared_ptr<const LstmSeqModel> model,
+                    std::shared_ptr<const PitModel> pit_model,
+                    features::CarVocab vocab,
+                    features::CovariateConfig cov_config, StatusSource source,
+                    std::string name);
+
+  std::string name() const override { return name_; }
+
+  RaceSamples forecast(const telemetry::RaceLog& race, int origin_lap,
+                       int horizon, int num_samples, util::Rng& rng) override;
+
+  /// Drop cached traces (e.g. between races to bound memory).
+  void clear_cache() { cache_.clear(); }
+
+ private:
+  struct CarCache {
+    std::vector<double> history;  // observed ranks
+    features::StatusStreams streams;
+    std::vector<std::vector<double>> covariates;
+    std::vector<LstmSeqModel::StackState> trace;
+  };
+  struct RaceCache {
+    std::map<int, CarCache> cars;
+  };
+
+  const RaceCache& race_cache(const telemetry::RaceLog& race);
+
+  std::shared_ptr<const LstmSeqModel> model_;
+  std::shared_ptr<const PitModel> pit_model_;  // only for kPitModel
+  features::CarVocab vocab_;
+  features::CovariateConfig cov_config_;
+  StatusSource source_;
+  std::string name_;
+  std::map<std::string, RaceCache> cache_;
+};
+
+/// Transformer-based RankNet (paper Section IV-I): same Algorithm-2
+/// pipeline, attention stack instead of the LSTM. Supports the Oracle and
+/// PitModel status sources.
+class TransformerForecaster : public RaceForecaster {
+ public:
+  TransformerForecaster(std::shared_ptr<const TransformerSeqModel> model,
+                        std::shared_ptr<const PitModel> pit_model,
+                        features::CarVocab vocab,
+                        features::CovariateConfig cov_config,
+                        StatusSource source, std::string name);
+
+  std::string name() const override { return name_; }
+
+  RaceSamples forecast(const telemetry::RaceLog& race, int origin_lap,
+                       int horizon, int num_samples, util::Rng& rng) override;
+
+ private:
+  struct CarCache {
+    std::vector<double> history;
+    features::StatusStreams streams;
+    std::vector<std::vector<double>> covariates;
+  };
+  struct RaceCache {
+    std::map<int, CarCache> cars;
+  };
+  const RaceCache& race_cache(const telemetry::RaceLog& race);
+
+  std::shared_ptr<const TransformerSeqModel> model_;
+  std::shared_ptr<const PitModel> pit_model_;
+  features::CarVocab vocab_;
+  features::CovariateConfig cov_config_;
+  StatusSource source_;
+  std::string name_;
+  std::map<std::string, RaceCache> cache_;
+};
+
+}  // namespace ranknet::core

@@ -1,0 +1,72 @@
+#include "core/status_forecast.hpp"
+
+namespace ranknet::core {
+
+PitFeatures current_pit_features(const features::StatusStreams& streams,
+                                 std::size_t origin) {
+  PitFeatures f;
+  double caution = 0.0, age = 0.0;
+  const std::size_t n = std::min(origin, streams.laps());
+  for (std::size_t t = 0; t < n; ++t) {
+    if (streams.lap_status[t] > 0.5) {
+      caution = 0.0;
+      age = 0.0;
+    } else {
+      if (streams.track_status[t] > 0.5) caution += 1.0;
+      age += 1.0;
+    }
+  }
+  f.caution_laps = caution;
+  f.pit_age = age;
+  return f;
+}
+
+std::map<int, std::vector<std::vector<double>>> sample_status_realization(
+    const std::map<int, const features::StatusStreams*>& streams,
+    const std::map<int, double>& origin_rank, const PitModel& pit_model,
+    const features::CovariateConfig& config, std::size_t origin,
+    std::size_t future_len, util::Rng& rng) {
+  // Sample every car's future pit laps first (they couple through the
+  // race-context features).
+  std::map<int, std::vector<double>> predicted;
+  for (const auto& [car_id, s] : streams) {
+    predicted[car_id] = pit_model.sample_future_lap_status(
+        current_pit_features(*s, origin), static_cast<int>(future_len), rng);
+  }
+  std::vector<double> future_total(future_len, 0.0);
+  for (const auto& [_, status] : predicted) {
+    for (std::size_t t = 0; t < future_len; ++t) future_total[t] += status[t];
+  }
+
+  std::map<int, std::vector<std::vector<double>>> out;
+  for (const auto& [car_id, s] : streams) {
+    features::StatusStreams ext;
+    const auto prefix = [origin](const std::vector<double>& src) {
+      const auto n = std::min(origin, src.size());
+      return std::vector<double>(src.begin(),
+                                 src.begin() + static_cast<std::ptrdiff_t>(n));
+    };
+    ext.track_status = prefix(s->track_status);
+    ext.lap_status = prefix(s->lap_status);
+    ext.total_pit_count = prefix(s->total_pit_count);
+    ext.leader_pit_count = prefix(s->leader_pit_count);
+    const auto& mine = predicted.at(car_id);
+    for (std::size_t t = 0; t < future_len; ++t) {
+      ext.track_status.push_back(0.0);  // Algorithm 2: assume green
+      ext.lap_status.push_back(mine[t]);
+      ext.total_pit_count.push_back(future_total[t]);
+      double leaders = 0.0;
+      for (const auto& [other_id, status] : predicted) {
+        if (other_id != car_id && status[t] > 0.5 &&
+            origin_rank.at(other_id) < origin_rank.at(car_id)) {
+          leaders += 1.0;
+        }
+      }
+      ext.leader_pit_count.push_back(leaders);
+    }
+    out.emplace(car_id, features::build_covariates(ext, config));
+  }
+  return out;
+}
+
+}  // namespace ranknet::core

@@ -1,0 +1,28 @@
+// Shared Algorithm-2 step 1: sampling one coupled future race-status
+// realization for every car from the PitModel, and assembling full-length
+// covariate rows (ground truth through the origin lap, predictions after).
+// Used by both the LSTM and the Transformer RankNet forecasters.
+#pragma once
+
+#include <map>
+
+#include "core/pit_model.hpp"
+#include "features/window.hpp"
+
+namespace ranknet::core {
+
+/// Accumulation features (CautionLaps, PitAge) at the end of `origin` laps.
+PitFeatures current_pit_features(const features::StatusStreams& streams,
+                                 std::size_t origin);
+
+/// One sampled race-status realization: per-car covariate rows covering
+/// laps 1..origin+future_len (0-based rows 0..origin+future_len-1).
+/// TrackStatus is assumed green in the future; LeaderPitCount uses the
+/// rank order frozen at the origin.
+std::map<int, std::vector<std::vector<double>>> sample_status_realization(
+    const std::map<int, const features::StatusStreams*>& streams,
+    const std::map<int, double>& origin_rank, const PitModel& pit_model,
+    const features::CovariateConfig& config, std::size_t origin,
+    std::size_t future_len, util::Rng& rng);
+
+}  // namespace ranknet::core

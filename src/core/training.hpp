@@ -1,0 +1,65 @@
+// Training drivers: minibatch likelihood training (paper Algorithm 1) with
+// the paper's early-stopping scheme — decay the learning rate by 0.5 when
+// the validation loss stops improving, until a minimum rate is reached
+// (Table IV: ADAM, lr 1e-3, decay factor 0.5).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/ar_model.hpp"
+#include "core/transformer_model.hpp"
+#include "features/window.hpp"
+#include "telemetry/race_log.hpp"
+
+namespace ranknet::core {
+
+struct TrainConfig {
+  int max_epochs = 16;
+  std::size_t batch_size = 64;
+  double lr = 1e-3;
+  double lr_decay = 0.5;   // multiplied in when validation stalls
+  int patience = 2;        // epochs without improvement before decay
+  double min_lr = 2e-4;    // stop once decayed below this
+  std::size_t max_windows = 4500;      // training windows (subsampled)
+  std::size_t max_val_windows = 1200;  // validation windows (subsampled)
+  std::uint64_t seed = 5;
+
+  std::string cache_key() const;
+};
+
+/// Scaled-down defaults driven by the RANKNET_FAST env var (any non-empty
+/// value): fewer windows and epochs for CI-speed runs.
+TrainConfig default_train_config();
+
+struct TrainStats {
+  std::vector<double> train_loss;  // per epoch
+  std::vector<double> val_loss;    // per epoch (NaN if no validation set)
+  double best_val = 0.0;
+  double seconds = 0.0;
+};
+
+/// Train an LstmSeqModel in place. Fits the target scaler on training
+/// ranks, subsamples windows, runs Algorithm 1 to convergence, and restores
+/// the best-validation parameters.
+TrainStats train_sequence_model(
+    LstmSeqModel& model, const std::vector<telemetry::RaceLog>& train_races,
+    const std::vector<telemetry::RaceLog>& val_races,
+    const features::CarVocab& vocab, const features::WindowConfig& wcfg,
+    const TrainConfig& tcfg);
+
+/// Rank scaler fitted on all records of the given races (deterministic, so
+/// the model cache recomputes it instead of persisting it).
+features::StandardScaler fit_rank_scaler(
+    const std::vector<telemetry::RaceLog>& races);
+
+/// Transformer counterpart (same loop; different batch type).
+TrainStats train_transformer_model(
+    TransformerSeqModel& model,
+    const std::vector<telemetry::RaceLog>& train_races,
+    const std::vector<telemetry::RaceLog>& val_races,
+    const features::CarVocab& vocab, const features::WindowConfig& wcfg,
+    const TrainConfig& tcfg);
+
+}  // namespace ranknet::core

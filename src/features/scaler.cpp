@@ -1,0 +1,37 @@
+#include "features/scaler.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "util/stats.hpp"
+
+namespace ranknet::features {
+
+StandardScaler::StandardScaler(double mean, double stddev)
+    : mean_(mean), stddev_(stddev > 0.0 ? stddev : 1.0) {}
+
+void StandardScaler::fit(std::span<const double> xs) {
+  if (xs.empty()) {
+    mean_ = 0.0;
+    stddev_ = 1.0;
+    return;
+  }
+  mean_ = util::mean(xs);
+  const double sd = util::stddev(xs);
+  stddev_ = sd > 1e-12 ? sd : 1.0;
+}
+
+void StandardScaler::save(std::ostream& out) const {
+  out.write(reinterpret_cast<const char*>(&mean_), sizeof(mean_));
+  out.write(reinterpret_cast<const char*>(&stddev_), sizeof(stddev_));
+}
+
+StandardScaler StandardScaler::load(std::istream& in) {
+  StandardScaler s;
+  in.read(reinterpret_cast<char*>(&s.mean_), sizeof(s.mean_));
+  in.read(reinterpret_cast<char*>(&s.stddev_), sizeof(s.stddev_));
+  return s;
+}
+
+}  // namespace ranknet::features

@@ -1,0 +1,36 @@
+// Target/feature standardization fitted on training data only.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+namespace ranknet::features {
+
+/// Z-score scaler for a single variable.
+class StandardScaler {
+ public:
+  StandardScaler() = default;
+  StandardScaler(double mean, double stddev);
+
+  /// Fit mean/stddev on samples; a zero stddev degrades to 1 so transform
+  /// stays invertible.
+  void fit(std::span<const double> xs);
+
+  double transform(double x) const { return (x - mean_) / stddev_; }
+  double inverse(double z) const { return z * stddev_ + mean_; }
+  /// Scale-only inverse for standard deviations / widths.
+  double inverse_scale(double s) const { return s * stddev_; }
+
+  double mean() const { return mean_; }
+  double stddev() const { return stddev_; }
+
+  void save(std::ostream& out) const;
+  static StandardScaler load(std::istream& in);
+
+ private:
+  double mean_ = 0.0;
+  double stddev_ = 1.0;
+};
+
+}  // namespace ranknet::features

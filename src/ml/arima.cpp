@@ -1,0 +1,202 @@
+#include "ml/arima.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ranknet::ml {
+
+namespace {
+
+std::vector<double> difference(std::span<const double> xs) {
+  std::vector<double> out;
+  if (xs.size() < 2) return out;
+  out.reserve(xs.size() - 1);
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    out.push_back(xs[i] - xs[i - 1]);
+  }
+  return out;
+}
+
+/// Solve A w = b for small dense symmetric A by Gaussian elimination with
+/// partial pivoting. A is modified in place (row-major n x n).
+std::vector<double> solve_linear(std::vector<double> a, std::vector<double> b,
+                                 std::size_t n) {
+  for (std::size_t col = 0; col < n; ++col) {
+    // Pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a[r * n + col]) > std::abs(a[pivot * n + col])) pivot = r;
+    }
+    if (std::abs(a[pivot * n + col]) < 1e-12) {
+      // Singular system: ridge it slightly and continue.
+      a[col * n + col] += 1e-6;
+      pivot = col;
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a[col * n + c], a[pivot * n + c]);
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a[col * n + col];
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a[r * n + col] * inv;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a[r * n + c] -= factor * a[col * n + c];
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> w(n, 0.0);
+  for (std::size_t r = n; r-- > 0;) {
+    double acc = b[r];
+    for (std::size_t c = r + 1; c < n; ++c) acc -= a[r * n + c] * w[c];
+    w[r] = acc / a[r * n + r];
+  }
+  return w;
+}
+
+}  // namespace
+
+Arima::Arima(ArimaConfig config) : config_(config) {
+  if (config_.p < 0 || config_.d < 0) {
+    throw std::invalid_argument("Arima: negative order");
+  }
+}
+
+void Arima::fit(std::span<const double> series) {
+  history_.assign(series.begin(), series.end());
+  diffed_ = history_;
+  for (int k = 0; k < config_.d && diffed_.size() > 1; ++k) {
+    diffed_ = difference(diffed_);
+  }
+
+  // Degrade the AR order gracefully on short series.
+  const auto n = diffed_.size();
+  int p = config_.p;
+  while (p > 0 && n < static_cast<std::size_t>(3 * p + 2)) --p;
+  phi_.assign(static_cast<std::size_t>(std::max(p, 0)), 0.0);
+  intercept_ = 0.0;
+  sigma_ = 1.0;
+  if (n < 3) return;
+
+  if (p == 0) {
+    double mean = 0.0;
+    for (double v : diffed_) mean += v;
+    intercept_ = mean / static_cast<double>(n);
+    double sse = 0.0;
+    for (double v : diffed_) sse += (v - intercept_) * (v - intercept_);
+    sigma_ = std::sqrt(sse / static_cast<double>(n));
+    return;
+  }
+
+  // Conditional least squares: regress z_t on [1, z_{t-1}, ..., z_{t-p}].
+  const std::size_t dim = static_cast<std::size_t>(p) + 1;
+  std::vector<double> xtx(dim * dim, 0.0);
+  std::vector<double> xty(dim, 0.0);
+  std::vector<double> row(dim, 1.0);
+  std::size_t count = 0;
+  for (std::size_t t = static_cast<std::size_t>(p); t < n; ++t) {
+    row[0] = 1.0;
+    for (int i = 1; i <= p; ++i) {
+      row[static_cast<std::size_t>(i)] = diffed_[t - static_cast<std::size_t>(i)];
+    }
+    for (std::size_t a = 0; a < dim; ++a) {
+      for (std::size_t b = 0; b < dim; ++b) xtx[a * dim + b] += row[a] * row[b];
+      xty[a] += row[a] * diffed_[t];
+    }
+    ++count;
+  }
+  // Small ridge keeps near-constant series well-posed.
+  for (std::size_t a = 0; a < dim; ++a) xtx[a * dim + a] += 1e-8;
+  const auto w = solve_linear(std::move(xtx), std::move(xty), dim);
+  intercept_ = w[0];
+  for (int i = 0; i < p; ++i) phi_[static_cast<std::size_t>(i)] = w[static_cast<std::size_t>(i) + 1];
+
+  double sse = 0.0;
+  for (std::size_t t = static_cast<std::size_t>(p); t < n; ++t) {
+    double pred = intercept_;
+    for (int i = 1; i <= p; ++i) {
+      pred += phi_[static_cast<std::size_t>(i - 1)] *
+              diffed_[t - static_cast<std::size_t>(i)];
+    }
+    const double e = diffed_[t] - pred;
+    sse += e * e;
+  }
+  sigma_ = count > 0 ? std::sqrt(sse / static_cast<double>(count)) : 1.0;
+}
+
+std::vector<double> Arima::forecast_diffs(int horizon,
+                                          std::vector<double>* noise_buffer,
+                                          util::Rng* rng) const {
+  std::vector<double> extended = diffed_;
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(horizon));
+  const int p = static_cast<int>(phi_.size());
+  for (int h = 0; h < horizon; ++h) {
+    double pred = intercept_;
+    for (int i = 1; i <= p; ++i) {
+      const auto idx = static_cast<std::ptrdiff_t>(extended.size()) - i;
+      pred += phi_[static_cast<std::size_t>(i - 1)] *
+              (idx >= 0 ? extended[static_cast<std::size_t>(idx)] : 0.0);
+    }
+    if (rng != nullptr) {
+      const double eps = rng->normal(0.0, sigma_);
+      pred += eps;
+      if (noise_buffer != nullptr) noise_buffer->push_back(eps);
+    }
+    extended.push_back(pred);
+    out.push_back(pred);
+  }
+  return out;
+}
+
+std::vector<double> Arima::forecast(int horizon) const {
+  auto diffs = forecast_diffs(horizon, nullptr, nullptr);
+  // Integrate back up d levels: track the running last value per level.
+  std::vector<double> lasts;  // lasts[k] = last value of k-times-differenced
+  std::vector<double> level = history_;
+  for (int k = 0; k < config_.d; ++k) {
+    lasts.push_back(level.empty() ? 0.0 : level.back());
+    level = difference(level);
+  }
+  std::vector<double> out;
+  out.reserve(diffs.size());
+  for (double z : diffs) {
+    double v = z;
+    for (int k = config_.d - 1; k >= 0; --k) {
+      v += lasts[static_cast<std::size_t>(k)];
+      lasts[static_cast<std::size_t>(k)] = v;
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> Arima::sample_paths(int horizon,
+                                                     int num_samples,
+                                                     util::Rng& rng) const {
+  std::vector<std::vector<double>> paths;
+  paths.reserve(static_cast<std::size_t>(num_samples));
+  for (int s = 0; s < num_samples; ++s) {
+    auto diffs = forecast_diffs(horizon, nullptr, &rng);
+    std::vector<double> lasts;
+    std::vector<double> level = history_;
+    for (int k = 0; k < config_.d; ++k) {
+      lasts.push_back(level.empty() ? 0.0 : level.back());
+      level = difference(level);
+    }
+    std::vector<double> path;
+    path.reserve(diffs.size());
+    for (double z : diffs) {
+      double v = z;
+      for (int k = config_.d - 1; k >= 0; --k) {
+        v += lasts[static_cast<std::size_t>(k)];
+        lasts[static_cast<std::size_t>(k)] = v;
+      }
+      path.push_back(v);
+    }
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+}  // namespace ranknet::ml

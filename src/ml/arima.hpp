@@ -1,0 +1,52 @@
+// ARIMA(p, d, 0) forecaster: AR coefficients fitted by conditional least
+// squares on the d-times differenced series; probabilistic forecasts via
+// Gaussian innovations accumulated through the recursive forecast
+// (the statistical baseline of the paper's Table V / Fig. 2c).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ranknet::ml {
+
+struct ArimaConfig {
+  int p = 3;  // AR order
+  int d = 1;  // differencing order
+};
+
+class Arima {
+ public:
+  explicit Arima(ArimaConfig config = {});
+
+  /// Fit on one series (e.g. the rank history of one car up to the
+  /// forecast origin). Short series degrade gracefully to lower orders.
+  void fit(std::span<const double> series);
+
+  /// Point forecast for the next `horizon` values.
+  std::vector<double> forecast(int horizon) const;
+
+  /// `num_samples` Monte-Carlo sample paths (num_samples x horizon),
+  /// innovations drawn from the fitted residual distribution.
+  std::vector<std::vector<double>> sample_paths(int horizon, int num_samples,
+                                                util::Rng& rng) const;
+
+  const std::vector<double>& coefficients() const { return phi_; }
+  double intercept() const { return intercept_; }
+  double residual_stddev() const { return sigma_; }
+
+ private:
+  std::vector<double> forecast_diffs(int horizon,
+                                     std::vector<double>* noise_buffer,
+                                     util::Rng* rng) const;
+
+  ArimaConfig config_;
+  std::vector<double> phi_;
+  double intercept_ = 0.0;
+  double sigma_ = 1.0;
+  std::vector<double> history_;       // original series
+  std::vector<double> diffed_;        // differenced series used for the AR
+};
+
+}  // namespace ranknet::ml

@@ -1,0 +1,153 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ranknet::ml {
+
+DecisionTree::DecisionTree(TreeConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+void DecisionTree::fit(const tensor::Matrix& x, std::span<const double> y) {
+  std::vector<std::size_t> indices(x.rows());
+  std::iota(indices.begin(), indices.end(), 0);
+  fit_indices(x, y, std::move(indices));
+}
+
+void DecisionTree::fit_indices(const tensor::Matrix& x,
+                               std::span<const double> y,
+                               std::vector<std::size_t> indices) {
+  nodes_.clear();
+  if (indices.empty()) {
+    nodes_.push_back(Node{});  // degenerate: predicts 0
+    return;
+  }
+  build(x, y, indices, 0, indices.size(), 0);
+}
+
+int DecisionTree::build(const tensor::Matrix& x, std::span<const double> y,
+                        std::vector<std::size_t>& indices, std::size_t begin,
+                        std::size_t end, int depth) {
+  const std::size_t n = end - begin;
+  double sum = 0.0;
+  for (std::size_t i = begin; i < end; ++i) sum += y[indices[i]];
+  const double mean = sum / static_cast<double>(n);
+
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[static_cast<std::size_t>(node_id)].value = mean;
+
+  if (depth >= config_.max_depth || n < config_.min_samples_split) {
+    return node_id;
+  }
+
+  // Parent impurity (sum of squared deviations).
+  double parent_sse = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const double d = y[indices[i]] - mean;
+    parent_sse += d * d;
+  }
+  if (parent_sse <= 1e-12) return node_id;
+
+  // Candidate features (all, or a random subset for forests).
+  const std::size_t num_features = x.cols();
+  std::vector<std::size_t> features(num_features);
+  std::iota(features.begin(), features.end(), 0);
+  std::size_t tries = num_features;
+  if (config_.max_features > 0 && config_.max_features < num_features) {
+    rng_.shuffle(features);
+    tries = config_.max_features;
+  }
+
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_gain = 1e-12;
+  std::vector<std::pair<double, double>> col(n);  // (feature value, target)
+  for (std::size_t fi = 0; fi < tries; ++fi) {
+    const std::size_t f = features[fi];
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto row = indices[begin + i];
+      col[i] = {x(row, f), y[row]};
+    }
+    std::sort(col.begin(), col.end());
+    // Prefix scan: evaluate every split position between distinct values.
+    double left_sum = 0.0, left_sq = 0.0;
+    double total_sq = 0.0;
+    for (const auto& [_, t] : col) total_sq += t * t;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      left_sum += col[i].second;
+      left_sq += col[i].second * col[i].second;
+      if (col[i].first == col[i + 1].first) continue;
+      const auto nl = i + 1;
+      const auto nr = n - nl;
+      if (nl < config_.min_samples_leaf || nr < config_.min_samples_leaf) {
+        continue;
+      }
+      const double right_sum = sum - left_sum;
+      const double right_sq = total_sq - left_sq;
+      const double sse_l =
+          left_sq - left_sum * left_sum / static_cast<double>(nl);
+      const double sse_r =
+          right_sq - right_sum * right_sum / static_cast<double>(nr);
+      const double gain = parent_sse - sse_l - sse_r;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (col[i].first + col[i + 1].first);
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;
+
+  // Partition indices in place.
+  const auto mid_it = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t row) {
+        return x(row, static_cast<std::size_t>(best_feature)) <=
+               best_threshold;
+      });
+  const auto mid =
+      static_cast<std::size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return node_id;  // numeric degeneracy
+
+  nodes_[static_cast<std::size_t>(node_id)].feature = best_feature;
+  nodes_[static_cast<std::size_t>(node_id)].threshold = best_threshold;
+  const int left = build(x, y, indices, begin, mid, depth + 1);
+  const int right = build(x, y, indices, mid, end, depth + 1);
+  nodes_[static_cast<std::size_t>(node_id)].left = left;
+  nodes_[static_cast<std::size_t>(node_id)].right = right;
+  return node_id;
+}
+
+double DecisionTree::predict_one(std::span<const double> x) const {
+  if (nodes_.empty()) return 0.0;
+  std::size_t node = 0;
+  while (nodes_[node].feature >= 0) {
+    const auto f = static_cast<std::size_t>(nodes_[node].feature);
+    node = static_cast<std::size_t>(
+        x[f] <= nodes_[node].threshold ? nodes_[node].left
+                                       : nodes_[node].right);
+  }
+  return nodes_[node].value;
+}
+
+int DecisionTree::depth() const {
+  // Iterative depth computation over the implicit tree.
+  if (nodes_.empty()) return 0;
+  std::vector<std::pair<std::size_t, int>> stack{{0, 1}};
+  int best = 0;
+  while (!stack.empty()) {
+    const auto [node, d] = stack.back();
+    stack.pop_back();
+    best = std::max(best, d);
+    if (nodes_[node].feature >= 0) {
+      stack.push_back({static_cast<std::size_t>(nodes_[node].left), d + 1});
+      stack.push_back({static_cast<std::size_t>(nodes_[node].right), d + 1});
+    }
+  }
+  return best;
+}
+
+}  // namespace ranknet::ml

@@ -1,0 +1,56 @@
+// CART regression tree (variance-reduction splits), the base learner for
+// the RandomForest and XGBoost-style GBDT baselines.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ml/regressor.hpp"
+#include "util/rng.hpp"
+
+namespace ranknet::ml {
+
+struct TreeConfig {
+  int max_depth = 10;
+  std::size_t min_samples_leaf = 3;
+  std::size_t min_samples_split = 6;
+  /// Number of features tried per split; 0 = all (RandomForest passes d/3).
+  std::size_t max_features = 0;
+};
+
+class DecisionTree : public Regressor {
+ public:
+  explicit DecisionTree(TreeConfig config = {}, std::uint64_t seed = 7);
+
+  void fit(const tensor::Matrix& x, std::span<const double> y) override;
+
+  /// Fit on a subset of rows (bagging) with optional per-row weights is not
+  /// needed; the forest passes bootstrapped index lists instead.
+  void fit_indices(const tensor::Matrix& x, std::span<const double> y,
+                   std::vector<std::size_t> indices);
+
+  double predict_one(std::span<const double> x) const override;
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  int depth() const;
+
+ private:
+  struct Node {
+    int feature = -1;       // -1 = leaf
+    double threshold = 0.0;
+    double value = 0.0;     // leaf prediction
+    int left = -1;
+    int right = -1;
+  };
+
+  int build(const tensor::Matrix& x, std::span<const double> y,
+            std::vector<std::size_t>& indices, std::size_t begin,
+            std::size_t end, int depth);
+
+  TreeConfig config_;
+  util::Rng rng_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace ranknet::ml

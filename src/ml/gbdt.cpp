@@ -1,0 +1,135 @@
+#include "ml/gbdt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ranknet::ml {
+
+Gbdt::Gbdt(GbdtConfig config) : config_(config), rng_(config.seed) {}
+
+void Gbdt::fit(const tensor::Matrix& x, std::span<const double> y) {
+  trees_.clear();
+  const std::size_t n = x.rows();
+  if (n == 0) return;
+  base_score_ = 0.0;
+  for (double v : y) base_score_ += v;
+  base_score_ /= static_cast<double>(n);
+
+  std::vector<double> pred(n, base_score_);
+  std::vector<double> grad(n);  // g_i = pred - y (squared loss), h_i = 1
+  for (std::size_t round = 0; round < config_.num_rounds; ++round) {
+    for (std::size_t i = 0; i < n; ++i) grad[i] = pred[i] - y[i];
+
+    // Row subsampling without replacement.
+    std::vector<std::size_t> indices;
+    indices.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (config_.subsample >= 1.0 || rng_.bernoulli(config_.subsample)) {
+        indices.push_back(i);
+      }
+    }
+    if (indices.size() < 2 * config_.min_child_weight) continue;
+
+    Tree tree;
+    build(x, grad, indices, 0, indices.size(), 0, tree);
+    for (std::size_t i = 0; i < n; ++i) {
+      pred[i] += config_.learning_rate * predict_tree(tree, x.row(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+int Gbdt::build(const tensor::Matrix& x, std::span<const double> grad,
+                std::vector<std::size_t>& indices, std::size_t begin,
+                std::size_t end, int depth, Tree& tree) {
+  const std::size_t n = end - begin;
+  double g_sum = 0.0;
+  for (std::size_t i = begin; i < end; ++i) g_sum += grad[indices[i]];
+  const double h_sum = static_cast<double>(n);  // hessian = 1 per row
+
+  const int node_id = static_cast<int>(tree.size());
+  tree.push_back(Node{});
+  // Newton leaf weight: -G / (H + lambda).
+  tree[static_cast<std::size_t>(node_id)].value =
+      -g_sum / (h_sum + config_.lambda);
+
+  if (depth >= config_.max_depth || n < 2 * config_.min_child_weight) {
+    return node_id;
+  }
+
+  // Structure score before the split.
+  const double parent_score = g_sum * g_sum / (h_sum + config_.lambda);
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_gain = config_.gamma + 1e-12;
+
+  std::vector<std::pair<double, double>> col(n);  // (feature value, grad)
+  for (std::size_t f = 0; f < x.cols(); ++f) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto row = indices[begin + i];
+      col[i] = {x(row, f), grad[row]};
+    }
+    std::sort(col.begin(), col.end());
+    double gl = 0.0;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      gl += col[i].second;
+      if (col[i].first == col[i + 1].first) continue;
+      const auto nl = i + 1;
+      const auto nr = n - nl;
+      if (nl < config_.min_child_weight || nr < config_.min_child_weight) {
+        continue;
+      }
+      const double gr = g_sum - gl;
+      const double gain =
+          0.5 * (gl * gl / (static_cast<double>(nl) + config_.lambda) +
+                 gr * gr / (static_cast<double>(nr) + config_.lambda) -
+                 parent_score);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (col[i].first + col[i + 1].first);
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;
+
+  const auto mid_it = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t row) {
+        return x(row, static_cast<std::size_t>(best_feature)) <=
+               best_threshold;
+      });
+  const auto mid = static_cast<std::size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return node_id;
+
+  tree[static_cast<std::size_t>(node_id)].feature = best_feature;
+  tree[static_cast<std::size_t>(node_id)].threshold = best_threshold;
+  const int left = build(x, grad, indices, begin, mid, depth + 1, tree);
+  const int right = build(x, grad, indices, mid, end, depth + 1, tree);
+  tree[static_cast<std::size_t>(node_id)].left = left;
+  tree[static_cast<std::size_t>(node_id)].right = right;
+  return node_id;
+}
+
+double Gbdt::predict_tree(const Tree& tree, std::span<const double> x) {
+  std::size_t node = 0;
+  while (tree[node].feature >= 0) {
+    const auto f = static_cast<std::size_t>(tree[node].feature);
+    node = static_cast<std::size_t>(x[f] <= tree[node].threshold
+                                        ? tree[node].left
+                                        : tree[node].right);
+  }
+  return tree[node].value;
+}
+
+double Gbdt::predict_one(std::span<const double> x) const {
+  double out = base_score_;
+  for (const auto& tree : trees_) {
+    out += config_.learning_rate * predict_tree(tree, x);
+  }
+  return out;
+}
+
+}  // namespace ranknet::ml

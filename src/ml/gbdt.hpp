@@ -1,0 +1,53 @@
+// XGBoost-style gradient-boosted regression trees: second-order (Newton)
+// boosting with squared loss, shrinkage, L2 leaf regularization and
+// row subsampling. Squared loss makes the hessian 1, so leaf values reduce
+// to regularized residual means — the structure mirrors XGBoost exactly.
+#pragma once
+
+#include "ml/regressor.hpp"
+#include "util/rng.hpp"
+
+namespace ranknet::ml {
+
+struct GbdtConfig {
+  std::size_t num_rounds = 120;
+  int max_depth = 5;
+  double learning_rate = 0.1;
+  double lambda = 1.0;            // L2 regularization on leaf weights
+  double gamma = 0.0;             // min split gain
+  double subsample = 0.8;         // rows per round
+  std::size_t min_child_weight = 4;
+  std::uint64_t seed = 29;
+};
+
+class Gbdt : public Regressor {
+ public:
+  explicit Gbdt(GbdtConfig config = {});
+
+  void fit(const tensor::Matrix& x, std::span<const double> y) override;
+  double predict_one(std::span<const double> x) const override;
+
+  std::size_t num_rounds() const { return trees_.size(); }
+
+ private:
+  struct Node {
+    int feature = -1;
+    double threshold = 0.0;
+    double value = 0.0;  // leaf weight
+    int left = -1;
+    int right = -1;
+  };
+  using Tree = std::vector<Node>;
+
+  int build(const tensor::Matrix& x, std::span<const double> grad,
+            std::vector<std::size_t>& indices, std::size_t begin,
+            std::size_t end, int depth, Tree& tree);
+  static double predict_tree(const Tree& tree, std::span<const double> x);
+
+  GbdtConfig config_;
+  double base_score_ = 0.0;
+  std::vector<Tree> trees_;
+  util::Rng rng_{29};
+};
+
+}  // namespace ranknet::ml

@@ -1,0 +1,43 @@
+#include "ml/random_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ranknet::ml {
+
+RandomForest::RandomForest(ForestConfig config) : config_(config) {}
+
+void RandomForest::fit(const tensor::Matrix& x, std::span<const double> y) {
+  trees_.clear();
+  util::Rng rng(config_.seed);
+  const std::size_t n = x.rows();
+  if (n == 0) return;
+  const auto boot = std::min<std::size_t>(
+      config_.max_bootstrap,
+      static_cast<std::size_t>(config_.subsample * static_cast<double>(n)) +
+          1);
+  TreeConfig tree_config = config_.tree;
+  if (tree_config.max_features == 0) {
+    // Standard heuristic for regression forests: d/3 features per split.
+    tree_config.max_features = std::max<std::size_t>(1, x.cols() / 3);
+  }
+  trees_.reserve(config_.num_trees);
+  for (std::size_t t = 0; t < config_.num_trees; ++t) {
+    std::vector<std::size_t> indices(boot);
+    for (auto& idx : indices) {
+      idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    }
+    trees_.emplace_back(tree_config, rng());
+    trees_.back().fit_indices(x, y, std::move(indices));
+  }
+}
+
+double RandomForest::predict_one(std::span<const double> x) const {
+  if (trees_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& tree : trees_) sum += tree.predict_one(x);
+  return sum / static_cast<double>(trees_.size());
+}
+
+}  // namespace ranknet::ml

@@ -1,0 +1,34 @@
+// Random forest regressor (bagged CART trees with feature subsampling).
+#pragma once
+
+#include <memory>
+
+#include "ml/decision_tree.hpp"
+
+namespace ranknet::ml {
+
+struct ForestConfig {
+  std::size_t num_trees = 50;
+  TreeConfig tree;
+  /// Bootstrap sample size as a fraction of n (with replacement).
+  double subsample = 1.0;
+  /// Cap on bootstrap size (keeps single-core training tractable).
+  std::size_t max_bootstrap = 6000;
+  std::uint64_t seed = 13;
+};
+
+class RandomForest : public Regressor {
+ public:
+  explicit RandomForest(ForestConfig config = {});
+
+  void fit(const tensor::Matrix& x, std::span<const double> y) override;
+  double predict_one(std::span<const double> x) const override;
+
+  std::size_t num_trees() const { return trees_.size(); }
+
+ private:
+  ForestConfig config_;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace ranknet::ml

@@ -1,0 +1,32 @@
+// Common interface for the classical ML regression baselines
+// (paper Table III: RandomForest, SVM, XGBoost — point forecasts, no
+// representation learning, no uncertainty).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace ranknet::ml {
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Fit on rows of X (n x d) against targets y (n).
+  virtual void fit(const tensor::Matrix& x, std::span<const double> y) = 0;
+
+  /// Predict a single feature vector.
+  virtual double predict_one(std::span<const double> x) const = 0;
+
+  /// Predict every row of X.
+  std::vector<double> predict(const tensor::Matrix& x) const {
+    std::vector<double> out(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict_one(x.row(r));
+    return out;
+  }
+};
+
+}  // namespace ranknet::ml

@@ -1,0 +1,112 @@
+#include "ml/svr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/stats.hpp"
+
+namespace ranknet::ml {
+
+Svr::Svr(SvrConfig config) : config_(config) {}
+
+double Svr::kernel(std::span<const double> a, std::span<const double> b) const {
+  if (config_.kernel == SvrKernel::kLinear) {
+    double dot = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) dot += a[i] * b[i];
+    return dot;
+  }
+  double dist = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    dist += d * d;
+  }
+  return std::exp(-gamma_ * dist);
+}
+
+void Svr::fit(const tensor::Matrix& x, std::span<const double> y) {
+  util::Rng rng(config_.seed);
+  // Subsample if the problem is too large to materialize the kernel matrix.
+  std::vector<std::size_t> rows(x.rows());
+  std::iota(rows.begin(), rows.end(), 0);
+  if (rows.size() > config_.max_samples) {
+    rng.shuffle(rows);
+    rows.resize(config_.max_samples);
+  }
+  const std::size_t n = rows.size();
+  support_x_ = tensor::Matrix(n, x.cols());
+  std::vector<double> ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      support_x_(i, c) = x(rows[i], c);
+    }
+    ys[i] = y[rows[i]];
+  }
+
+  // gamma = 1 / (d * var(X)) — sklearn's "scale" default.
+  if (config_.gamma > 0.0) {
+    gamma_ = config_.gamma;
+  } else {
+    util::RunningStats st;
+    for (double v : support_x_.flat()) st.add(v);
+    const double var = std::max(st.variance(), 1e-9);
+    gamma_ = 1.0 / (static_cast<double>(x.cols()) * var);
+  }
+
+  // Dual coordinate descent on the bias-augmented kernel K' = K + 1
+  // (folding the bias into the kernel removes the equality constraint).
+  tensor::Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = kernel(support_x_.row(i), support_x_.row(j)) + 1.0;
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+
+  beta_.assign(n, 0.0);
+  std::vector<double> f(n, 0.0);  // f_i = sum_j beta_j K'_ij
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t pass = 0; pass < config_.max_passes; ++pass) {
+    rng.shuffle(order);
+    double max_delta = 0.0;
+    for (const auto i : order) {
+      const double f_without_i = f[i] - beta_[i] * k(i, i);
+      const double u = ys[i] - f_without_i;
+      // Soft-thresholded unconstrained optimum, clipped to the box.
+      double b_new = 0.0;
+      if (std::abs(u) > config_.epsilon) {
+        b_new = (u - std::copysign(config_.epsilon, u)) / k(i, i);
+        b_new = std::clamp(b_new, -config_.c, config_.c);
+      }
+      const double delta = b_new - beta_[i];
+      if (delta != 0.0) {
+        for (std::size_t j = 0; j < n; ++j) f[j] += delta * k(i, j);
+        beta_[i] = b_new;
+        max_delta = std::max(max_delta, std::abs(delta));
+      }
+    }
+    if (max_delta < config_.tol) break;
+  }
+  bias_ = std::accumulate(beta_.begin(), beta_.end(), 0.0);
+}
+
+double Svr::predict_one(std::span<const double> x) const {
+  double out = bias_;  // contribution of the constant kernel component
+  for (std::size_t i = 0; i < beta_.size(); ++i) {
+    if (beta_[i] == 0.0) continue;
+    out += beta_[i] * kernel(support_x_.row(i), x);
+  }
+  return out;
+}
+
+std::size_t Svr::num_support_vectors() const {
+  std::size_t n = 0;
+  for (double b : beta_) {
+    if (b != 0.0) ++n;
+  }
+  return n;
+}
+
+}  // namespace ranknet::ml

@@ -1,0 +1,43 @@
+// ε-insensitive Support Vector Regression with RBF or linear kernel,
+// trained by a simplified SMO on the dual (random working-pair selection).
+#pragma once
+
+#include "ml/regressor.hpp"
+#include "util/rng.hpp"
+
+namespace ranknet::ml {
+
+enum class SvrKernel { kRbf, kLinear };
+
+struct SvrConfig {
+  SvrKernel kernel = SvrKernel::kRbf;
+  double c = 10.0;         // box constraint
+  double epsilon = 0.1;    // insensitive tube half-width
+  double gamma = 0.0;      // RBF width; 0 = 1/(d * var(X)) (sklearn "scale")
+  std::size_t max_passes = 40;
+  double tol = 1e-3;
+  /// Cap on training points (the kernel matrix is materialized).
+  std::size_t max_samples = 2500;
+  std::uint64_t seed = 41;
+};
+
+class Svr : public Regressor {
+ public:
+  explicit Svr(SvrConfig config = {});
+
+  void fit(const tensor::Matrix& x, std::span<const double> y) override;
+  double predict_one(std::span<const double> x) const override;
+
+  std::size_t num_support_vectors() const;
+
+ private:
+  double kernel(std::span<const double> a, std::span<const double> b) const;
+
+  SvrConfig config_;
+  double gamma_ = 1.0;
+  double bias_ = 0.0;
+  tensor::Matrix support_x_;
+  std::vector<double> beta_;  // alpha - alpha*, per training point
+};
+
+}  // namespace ranknet::ml

@@ -1,0 +1,41 @@
+// ADAM optimizer (paper Table IV: ADAM, lr 1e-3, decay factor 0.5) with
+// global-norm gradient clipping.
+#pragma once
+
+#include <vector>
+
+#include "nn/param.hpp"
+
+namespace ranknet::nn {
+
+struct AdamConfig {
+  double lr = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  double clip_norm = 10.0;  // 0 disables clipping
+};
+
+class Adam {
+ public:
+  Adam(std::vector<Parameter*> params, AdamConfig config = {});
+
+  /// Apply one update from the accumulated gradients, then zero them.
+  void step();
+
+  void set_lr(double lr) { config_.lr = lr; }
+  double lr() const { return config_.lr; }
+
+  /// Scale all gradients so their global L2 norm is at most max_norm;
+  /// returns the pre-clip norm.
+  double clip_gradients(double max_norm);
+
+ private:
+  std::vector<Parameter*> params_;
+  std::vector<tensor::Matrix> m_;
+  std::vector<tensor::Matrix> v_;
+  AdamConfig config_;
+  long t_ = 0;
+};
+
+}  // namespace ranknet::nn

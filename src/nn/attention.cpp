@@ -1,0 +1,273 @@
+#include "nn/attention.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "tensor/kernels.hpp"
+
+namespace ranknet::nn {
+
+namespace {
+
+/// Copy head columns [h*dh, (h+1)*dh) of packed rows [row0, row0+T) into a
+/// (T x dh) matrix.
+tensor::Matrix slice_head(const tensor::Matrix& packed, std::size_t row0,
+                          std::size_t seq_len, std::size_t head,
+                          std::size_t head_dim) {
+  tensor::Matrix out(seq_len, head_dim);
+  for (std::size_t t = 0; t < seq_len; ++t) {
+    for (std::size_t c = 0; c < head_dim; ++c) {
+      out(t, c) = packed(row0 + t, head * head_dim + c);
+    }
+  }
+  return out;
+}
+
+void add_head_slice(tensor::Matrix& packed, const tensor::Matrix& part,
+                    std::size_t row0, std::size_t head,
+                    std::size_t head_dim) {
+  for (std::size_t t = 0; t < part.rows(); ++t) {
+    for (std::size_t c = 0; c < head_dim; ++c) {
+      packed(row0 + t, head * head_dim + c) += part(t, c);
+    }
+  }
+}
+
+/// Row-wise causal softmax of scores (T x T): entries j > i are masked out.
+void causal_softmax(tensor::Matrix& scores) {
+  const std::size_t n = scores.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    double mx = -std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j <= i; ++j) mx = std::max(mx, scores(i, j));
+    double total = 0.0;
+    for (std::size_t j = 0; j <= i; ++j) {
+      scores(i, j) = std::exp(scores(i, j) - mx);
+      total += scores(i, j);
+    }
+    const double inv = 1.0 / total;
+    for (std::size_t j = 0; j < n; ++j) {
+      scores(i, j) = j <= i ? scores(i, j) * inv : 0.0;
+    }
+  }
+  tensor::OpCounters::instance().record(tensor::Kernel::kSoftmax,
+                                        5ULL * n * n, 8ULL * 2 * n * n);
+}
+
+}  // namespace
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(std::size_t dim,
+                                               std::size_t heads,
+                                               util::Rng& rng,
+                                               std::string name)
+    : wq_(name + ".wq", tensor::Matrix::glorot(dim, dim, rng)),
+      wk_(name + ".wk", tensor::Matrix::glorot(dim, dim, rng)),
+      wv_(name + ".wv", tensor::Matrix::glorot(dim, dim, rng)),
+      wo_(name + ".wo", tensor::Matrix::glorot(dim, dim, rng)),
+      heads_(heads) {
+  if (dim % heads != 0) {
+    throw std::invalid_argument("MultiHeadSelfAttention: dim % heads != 0");
+  }
+}
+
+std::vector<Parameter*> MultiHeadSelfAttention::params() {
+  return {&wq_, &wk_, &wv_, &wo_};
+}
+
+tensor::Matrix MultiHeadSelfAttention::forward(const tensor::Matrix& x,
+                                               std::size_t seq_len) {
+  if (x.rows() % seq_len != 0) {
+    throw std::invalid_argument("MHA: rows not a multiple of seq_len");
+  }
+  const std::size_t batch = x.rows() / seq_len;
+  const std::size_t d = dim();
+  const std::size_t head_dim = d / heads_;
+  const double scale = 1.0 / std::sqrt(static_cast<double>(head_dim));
+
+  cached_x_ = x;
+  cached_seq_len_ = seq_len;
+  cached_q_ = tensor::Matrix(x.rows(), d);
+  cached_k_ = tensor::Matrix(x.rows(), d);
+  cached_v_ = tensor::Matrix(x.rows(), d);
+  tensor::gemm(1.0, x, false, wq_.value, false, 0.0, cached_q_);
+  tensor::gemm(1.0, x, false, wk_.value, false, 0.0, cached_k_);
+  tensor::gemm(1.0, x, false, wv_.value, false, 0.0, cached_v_);
+
+  cached_concat_ = tensor::Matrix(x.rows(), d);
+  cached_attn_.assign(batch * heads_, {});
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::size_t row0 = b * seq_len;
+    for (std::size_t h = 0; h < heads_; ++h) {
+      auto qh = slice_head(cached_q_, row0, seq_len, h, head_dim);
+      auto kh = slice_head(cached_k_, row0, seq_len, h, head_dim);
+      auto vh = slice_head(cached_v_, row0, seq_len, h, head_dim);
+      tensor::Matrix scores(seq_len, seq_len);
+      tensor::gemm(scale, qh, false, kh, true, 0.0, scores);
+      causal_softmax(scores);
+      tensor::Matrix out(seq_len, head_dim);
+      tensor::gemm(1.0, scores, false, vh, false, 0.0, out);
+      add_head_slice(cached_concat_, out, row0, h, head_dim);
+      cached_attn_[b * heads_ + h] = std::move(scores);
+    }
+  }
+  tensor::Matrix y(x.rows(), d);
+  tensor::gemm(1.0, cached_concat_, false, wo_.value, false, 0.0, y);
+  return y;
+}
+
+tensor::Matrix MultiHeadSelfAttention::forward_inference(
+    const tensor::Matrix& x, std::size_t seq_len) const {
+  // Same math as forward without touching caches.
+  const std::size_t batch = x.rows() / seq_len;
+  const std::size_t d = dim();
+  const std::size_t head_dim = d / heads_;
+  const double scale = 1.0 / std::sqrt(static_cast<double>(head_dim));
+  tensor::Matrix q(x.rows(), d), k(x.rows(), d), v(x.rows(), d);
+  tensor::gemm(1.0, x, false, wq_.value, false, 0.0, q);
+  tensor::gemm(1.0, x, false, wk_.value, false, 0.0, k);
+  tensor::gemm(1.0, x, false, wv_.value, false, 0.0, v);
+  tensor::Matrix concat(x.rows(), d);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::size_t row0 = b * seq_len;
+    for (std::size_t h = 0; h < heads_; ++h) {
+      auto qh = slice_head(q, row0, seq_len, h, head_dim);
+      auto kh = slice_head(k, row0, seq_len, h, head_dim);
+      auto vh = slice_head(v, row0, seq_len, h, head_dim);
+      tensor::Matrix scores(seq_len, seq_len);
+      tensor::gemm(scale, qh, false, kh, true, 0.0, scores);
+      causal_softmax(scores);
+      tensor::Matrix out(seq_len, head_dim);
+      tensor::gemm(1.0, scores, false, vh, false, 0.0, out);
+      add_head_slice(concat, out, row0, h, head_dim);
+    }
+  }
+  tensor::Matrix y(x.rows(), d);
+  tensor::gemm(1.0, concat, false, wo_.value, false, 0.0, y);
+  return y;
+}
+
+tensor::Matrix MultiHeadSelfAttention::backward(const tensor::Matrix& dy) {
+  if (cached_x_.empty()) {
+    throw std::logic_error("MHA::backward before forward");
+  }
+  const std::size_t seq_len = cached_seq_len_;
+  const std::size_t batch = cached_x_.rows() / seq_len;
+  const std::size_t d = dim();
+  const std::size_t head_dim = d / heads_;
+  const double scale = 1.0 / std::sqrt(static_cast<double>(head_dim));
+
+  // Through the output projection.
+  tensor::gemm(1.0, cached_concat_, true, dy, false, 1.0, wo_.grad);
+  tensor::Matrix dconcat(dy.rows(), d);
+  tensor::gemm(1.0, dy, false, wo_.value, true, 0.0, dconcat);
+
+  tensor::Matrix dq(dy.rows(), d), dk(dy.rows(), d), dv(dy.rows(), d);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::size_t row0 = b * seq_len;
+    for (std::size_t h = 0; h < heads_; ++h) {
+      const auto& attn = cached_attn_[b * heads_ + h];
+      auto qh = slice_head(cached_q_, row0, seq_len, h, head_dim);
+      auto kh = slice_head(cached_k_, row0, seq_len, h, head_dim);
+      auto vh = slice_head(cached_v_, row0, seq_len, h, head_dim);
+      auto dout = slice_head(dconcat, row0, seq_len, h, head_dim);
+
+      // dV_h = A^T dOut ; dA = dOut V_h^T.
+      tensor::Matrix dvh(seq_len, head_dim);
+      tensor::gemm(1.0, attn, true, dout, false, 0.0, dvh);
+      tensor::Matrix dattn(seq_len, seq_len);
+      tensor::gemm(1.0, dout, false, vh, true, 0.0, dattn);
+
+      // Softmax backward per row (masked entries have attn == 0).
+      tensor::Matrix dscores(seq_len, seq_len);
+      for (std::size_t i = 0; i < seq_len; ++i) {
+        double dot = 0.0;
+        for (std::size_t j = 0; j < seq_len; ++j) {
+          dot += dattn(i, j) * attn(i, j);
+        }
+        for (std::size_t j = 0; j < seq_len; ++j) {
+          dscores(i, j) = attn(i, j) * (dattn(i, j) - dot);
+        }
+      }
+
+      tensor::Matrix dqh(seq_len, head_dim), dkh(seq_len, head_dim);
+      tensor::gemm(scale, dscores, false, kh, false, 0.0, dqh);
+      tensor::gemm(scale, dscores, true, qh, false, 0.0, dkh);
+
+      add_head_slice(dq, dqh, row0, h, head_dim);
+      add_head_slice(dk, dkh, row0, h, head_dim);
+      add_head_slice(dv, dvh, row0, h, head_dim);
+    }
+  }
+
+  tensor::gemm(1.0, cached_x_, true, dq, false, 1.0, wq_.grad);
+  tensor::gemm(1.0, cached_x_, true, dk, false, 1.0, wk_.grad);
+  tensor::gemm(1.0, cached_x_, true, dv, false, 1.0, wv_.grad);
+  tensor::Matrix dx(cached_x_.rows(), d);
+  tensor::gemm(1.0, dq, false, wq_.value, true, 0.0, dx);
+  tensor::gemm(1.0, dk, false, wk_.value, true, 1.0, dx);
+  tensor::gemm(1.0, dv, false, wv_.value, true, 1.0, dx);
+  return dx;
+}
+
+TransformerBlock::TransformerBlock(std::size_t dim, std::size_t heads,
+                                   std::size_t ffn_dim, util::Rng& rng,
+                                   std::string name)
+    : ln1_(dim, name + ".ln1"),
+      ln2_(dim, name + ".ln2"),
+      attn_(dim, heads, rng, name + ".attn"),
+      ffn1_(dim, ffn_dim, rng, Activation::kRelu, name + ".ffn1"),
+      ffn2_(ffn_dim, dim, rng, Activation::kNone, name + ".ffn2") {}
+
+std::vector<Parameter*> TransformerBlock::params() {
+  std::vector<Parameter*> out;
+  for (auto* layer : std::initializer_list<Layer*>{&ln1_, &attn_, &ln2_,
+                                                   &ffn1_, &ffn2_}) {
+    for (auto* p : layer->params()) out.push_back(p);
+  }
+  return out;
+}
+
+tensor::Matrix TransformerBlock::forward(const tensor::Matrix& x,
+                                         std::size_t seq_len) {
+  tensor::Matrix h = x;
+  tensor::add_inplace(h, attn_.forward(ln1_.forward(x), seq_len));
+  tensor::Matrix out = h;
+  tensor::add_inplace(out, ffn2_.forward(ffn1_.forward(ln2_.forward(h))));
+  return out;
+}
+
+tensor::Matrix TransformerBlock::forward_inference(const tensor::Matrix& x,
+                                                   std::size_t seq_len) const {
+  tensor::Matrix h = x;
+  tensor::add_inplace(
+      h, attn_.forward_inference(ln1_.forward_inference(x), seq_len));
+  tensor::Matrix out = h;
+  tensor::add_inplace(out, ffn2_.forward_inference(ffn1_.forward_inference(
+                               ln2_.forward_inference(h))));
+  return out;
+}
+
+tensor::Matrix TransformerBlock::backward(const tensor::Matrix& dy) {
+  // out = h + ffn2(ffn1(ln2(h)));  h = x + attn(ln1(x)).
+  tensor::Matrix dh = dy;
+  tensor::add_inplace(dh, ln2_.backward(ffn1_.backward(ffn2_.backward(dy))));
+  tensor::Matrix dx = dh;
+  tensor::add_inplace(dx, ln1_.backward(attn_.backward(dh)));
+  return dx;
+}
+
+tensor::Matrix positional_encoding(std::size_t seq_len, std::size_t dim) {
+  tensor::Matrix pe(seq_len, dim);
+  for (std::size_t t = 0; t < seq_len; ++t) {
+    for (std::size_t c = 0; c < dim; ++c) {
+      const double exponent =
+          static_cast<double>(2 * (c / 2)) / static_cast<double>(dim);
+      const double angle =
+          static_cast<double>(t) / std::pow(10000.0, exponent);
+      pe(t, c) = (c % 2 == 0) ? std::sin(angle) : std::cos(angle);
+    }
+  }
+  return pe;
+}
+
+}  // namespace ranknet::nn

@@ -1,0 +1,70 @@
+// Causal multi-head self-attention and the pre-LN Transformer block used by
+// the Transformer implementation of RankNet (paper Section IV-I: GluonTS
+// Transformer, model dim 32, multi-head attention).
+//
+// Layout convention: a batch of B sequences of length T is packed into one
+// (B*T x d) matrix, rows grouped by sequence. LayerNorm and the FFN operate
+// on the packed matrix directly; attention slices per sequence and applies a
+// causal mask so step t only attends to steps <= t (autoregressive
+// forecasting needs causality, exactly like the LSTM).
+#pragma once
+
+#include <vector>
+
+#include "nn/dense.hpp"
+#include "nn/layer_norm.hpp"
+#include "nn/param.hpp"
+#include "util/rng.hpp"
+
+namespace ranknet::nn {
+
+class MultiHeadSelfAttention : public Layer {
+ public:
+  MultiHeadSelfAttention(std::size_t dim, std::size_t heads, util::Rng& rng,
+                         std::string name = "mha");
+
+  /// x: (B*T x d) packed rows; seq_len = T.
+  tensor::Matrix forward(const tensor::Matrix& x, std::size_t seq_len);
+  tensor::Matrix forward_inference(const tensor::Matrix& x,
+                                   std::size_t seq_len) const;
+  tensor::Matrix backward(const tensor::Matrix& dy);
+
+  std::vector<Parameter*> params() override;
+
+  std::size_t dim() const { return wq_.value.rows(); }
+  std::size_t heads() const { return heads_; }
+
+ private:
+  Parameter wq_, wk_, wv_, wo_;  // each (d x d)
+  std::size_t heads_;
+
+  // Training caches.
+  std::size_t cached_seq_len_ = 0;
+  tensor::Matrix cached_x_, cached_q_, cached_k_, cached_v_, cached_concat_;
+  // attention weights per (sequence, head): (T x T) each.
+  std::vector<tensor::Matrix> cached_attn_;
+};
+
+/// Pre-LN Transformer block: x + MHA(LN(x)), then x + FFN(LN(x)).
+class TransformerBlock : public Layer {
+ public:
+  TransformerBlock(std::size_t dim, std::size_t heads, std::size_t ffn_dim,
+                   util::Rng& rng, std::string name = "block");
+
+  tensor::Matrix forward(const tensor::Matrix& x, std::size_t seq_len);
+  tensor::Matrix forward_inference(const tensor::Matrix& x,
+                                   std::size_t seq_len) const;
+  tensor::Matrix backward(const tensor::Matrix& dy);
+
+  std::vector<Parameter*> params() override;
+
+ private:
+  LayerNorm ln1_, ln2_;
+  MultiHeadSelfAttention attn_;
+  Dense ffn1_, ffn2_;
+};
+
+/// Deterministic sinusoidal positional encoding, (seq_len x dim).
+tensor::Matrix positional_encoding(std::size_t seq_len, std::size_t dim);
+
+}  // namespace ranknet::nn

@@ -1,0 +1,82 @@
+#include "nn/dense.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/kernels.hpp"
+
+namespace ranknet::nn {
+
+Dense::Dense(std::size_t input_dim, std::size_t output_dim, util::Rng& rng,
+             Activation activation, std::string name)
+    : weight_(name + ".weight",
+              tensor::Matrix::glorot(input_dim, output_dim, rng)),
+      bias_(name + ".bias", tensor::Matrix(1, output_dim)),
+      activation_(activation) {}
+
+tensor::Matrix Dense::apply(const tensor::Matrix& x,
+                            tensor::Matrix* post) const {
+  tensor::Matrix y(x.rows(), weight_.value.cols());
+  tensor::gemm(1.0, x, false, weight_.value, false, 0.0, y);
+  tensor::add_bias_rows(y, bias_.value.row(0));
+  switch (activation_) {
+    case Activation::kNone:
+      break;
+    case Activation::kRelu:
+      for (auto& v : y.flat()) v = v > 0.0 ? v : 0.0;
+      break;
+    case Activation::kTanh:
+      tensor::tanh_inplace(y);
+      break;
+    case Activation::kSigmoid:
+      tensor::sigmoid_inplace(y);
+      break;
+  }
+  if (post != nullptr) *post = y;
+  return y;
+}
+
+tensor::Matrix Dense::forward(const tensor::Matrix& x) {
+  cached_x_ = x;
+  return apply(x, &cached_y_);
+}
+
+tensor::Matrix Dense::forward_inference(const tensor::Matrix& x) const {
+  return apply(x, nullptr);
+}
+
+tensor::Matrix Dense::backward(const tensor::Matrix& dy) {
+  if (cached_x_.empty()) {
+    throw std::logic_error("Dense::backward called before forward");
+  }
+  tensor::Matrix dz = dy;
+  switch (activation_) {
+    case Activation::kNone:
+      break;
+    case Activation::kRelu:
+      for (std::size_t i = 0; i < dz.size(); ++i) {
+        if (cached_y_.flat()[i] <= 0.0) dz.flat()[i] = 0.0;
+      }
+      break;
+    case Activation::kTanh:
+      for (std::size_t i = 0; i < dz.size(); ++i) {
+        const double y = cached_y_.flat()[i];
+        dz.flat()[i] *= 1.0 - y * y;
+      }
+      break;
+    case Activation::kSigmoid:
+      for (std::size_t i = 0; i < dz.size(); ++i) {
+        const double y = cached_y_.flat()[i];
+        dz.flat()[i] *= y * (1.0 - y);
+      }
+      break;
+  }
+  // dW += X^T dZ ; db += column sums of dZ ; dX = dZ W^T.
+  tensor::gemm(1.0, cached_x_, true, dz, false, 1.0, weight_.grad);
+  tensor::sum_rows(dz, bias_.grad.row(0));
+  tensor::Matrix dx(cached_x_.rows(), cached_x_.cols());
+  tensor::gemm(1.0, dz, false, weight_.value, true, 0.0, dx);
+  return dx;
+}
+
+}  // namespace ranknet::nn

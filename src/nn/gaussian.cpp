@@ -1,0 +1,118 @@
+#include "nn/gaussian.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "tensor/kernels.hpp"
+
+namespace ranknet::nn {
+
+namespace {
+/// Floor on sigma for numerical stability of the likelihood.
+constexpr double kSigmaFloor = 1e-3;
+constexpr double kHalfLog2Pi = 0.9189385332046727;  // 0.5*log(2*pi)
+}  // namespace
+
+GaussianHead::GaussianHead(std::size_t hidden_dim, std::size_t target_dim,
+                           util::Rng& rng, std::string name)
+    : mu_(hidden_dim, target_dim, rng, Activation::kNone, name + ".mu"),
+      sigma_raw_(hidden_dim, target_dim, rng, Activation::kNone,
+                 name + ".sigma") {}
+
+GaussianHead::Output GaussianHead::forward(const tensor::Matrix& h) {
+  Output out;
+  out.mu = mu_.forward(h);
+  cached_sigma_raw_ = sigma_raw_.forward(h);
+  out.sigma = cached_sigma_raw_;
+  tensor::softplus_inplace(out.sigma);
+  for (auto& s : out.sigma.flat()) s += kSigmaFloor;
+  return out;
+}
+
+GaussianHead::Output GaussianHead::forward_inference(
+    const tensor::Matrix& h) const {
+  Output out;
+  out.mu = mu_.forward_inference(h);
+  out.sigma = sigma_raw_.forward_inference(h);
+  tensor::softplus_inplace(out.sigma);
+  for (auto& s : out.sigma.flat()) s += kSigmaFloor;
+  return out;
+}
+
+double GaussianHead::nll(const Output& out, const tensor::Matrix& z,
+                         std::span<const double> weights) {
+  if (!out.mu.same_shape(z)) {
+    throw std::invalid_argument("GaussianHead::nll: target shape mismatch");
+  }
+  double total = 0.0, wsum = 0.0;
+  for (std::size_t r = 0; r < z.rows(); ++r) {
+    const double w = weights.empty() ? 1.0 : weights[r];
+    double row_nll = 0.0;
+    for (std::size_t c = 0; c < z.cols(); ++c) {
+      const double mu = out.mu(r, c);
+      const double sigma = out.sigma(r, c);
+      const double err = z(r, c) - mu;
+      row_nll += kHalfLog2Pi + std::log(sigma) +
+                 0.5 * err * err / (sigma * sigma);
+    }
+    total += w * row_nll;
+    wsum += w;
+  }
+  return wsum > 0.0 ? total / wsum : 0.0;
+}
+
+double GaussianHead::nll_backward(const Output& out, const tensor::Matrix& z,
+                                  std::span<const double> weights,
+                                  tensor::Matrix& dh) {
+  if (cached_sigma_raw_.empty()) {
+    throw std::logic_error("GaussianHead::nll_backward before forward");
+  }
+  double wsum = 0.0;
+  for (std::size_t r = 0; r < z.rows(); ++r) {
+    wsum += weights.empty() ? 1.0 : weights[r];
+  }
+  if (wsum <= 0.0) wsum = 1.0;
+
+  tensor::Matrix dmu(z.rows(), z.cols());
+  tensor::Matrix dsraw(z.rows(), z.cols());
+  for (std::size_t r = 0; r < z.rows(); ++r) {
+    const double w = (weights.empty() ? 1.0 : weights[r]) / wsum;
+    for (std::size_t c = 0; c < z.cols(); ++c) {
+      const double mu = out.mu(r, c);
+      const double sigma = out.sigma(r, c);
+      const double err = z(r, c) - mu;
+      // dNLL/dmu and dNLL/dsigma, then sigma -> raw via softplus'(x) =
+      // sigmoid(x).
+      dmu(r, c) = w * (-err) / (sigma * sigma);
+      const double dsig =
+          w * (1.0 / sigma - err * err / (sigma * sigma * sigma));
+      const double sraw = cached_sigma_raw_(r, c);
+      dsraw(r, c) = dsig / (1.0 + std::exp(-sraw));
+    }
+  }
+  const double total = nll(out, z, weights);
+
+  dh = mu_.backward(dmu);
+  tensor::add_inplace(dh, sigma_raw_.backward(dsraw));
+  return total;
+}
+
+tensor::Matrix GaussianHead::sample(const Output& out, util::Rng& rng) {
+  tensor::Matrix s(out.mu.rows(), out.mu.cols());
+  for (std::size_t r = 0; r < s.rows(); ++r) {
+    for (std::size_t c = 0; c < s.cols(); ++c) {
+      s(r, c) = rng.normal(out.mu(r, c), out.sigma(r, c));
+    }
+  }
+  return s;
+}
+
+std::vector<Parameter*> GaussianHead::params() {
+  std::vector<Parameter*> out;
+  for (auto* p : mu_.params()) out.push_back(p);
+  for (auto* p : sigma_raw_.params()) out.push_back(p);
+  return out;
+}
+
+}  // namespace ranknet::nn

@@ -1,0 +1,55 @@
+// Probabilistic (Gaussian likelihood) output head, following DeepAR
+// (paper Section III-B): the network emits distribution parameters
+//   µ = W_µᵀ h + b_µ,   σ = softplus(W_σᵀ h + b_σ)
+// and is trained by maximizing log-likelihood (paper Algorithm 1, Eq. 1).
+// Supports multivariate targets as independent Gaussian factors (used by
+// the RankNet-Joint variant on [Rank, LapStatus, TrackStatus]).
+#pragma once
+
+#include <span>
+
+#include "nn/dense.hpp"
+#include "nn/param.hpp"
+#include "util/rng.hpp"
+
+namespace ranknet::nn {
+
+class GaussianHead : public Layer {
+ public:
+  GaussianHead(std::size_t hidden_dim, std::size_t target_dim, util::Rng& rng,
+               std::string name = "gaussian");
+
+  struct Output {
+    tensor::Matrix mu;     // (rows x target_dim)
+    tensor::Matrix sigma;  // (rows x target_dim), strictly positive
+  };
+
+  /// Forward with caching for backward.
+  Output forward(const tensor::Matrix& h);
+  Output forward_inference(const tensor::Matrix& h) const;
+
+  /// Mean weighted negative log likelihood of targets z under the cached
+  /// forward output, and its gradient w.r.t. h (returned). `weights` has one
+  /// entry per row (instance weighting, Fig. 7 step 1); pass {} for uniform.
+  /// The NLL is averaged over rows (sum over target dims).
+  double nll_backward(const Output& out, const tensor::Matrix& z,
+                      std::span<const double> weights, tensor::Matrix& dh);
+
+  /// NLL value only (validation path; no gradients).
+  static double nll(const Output& out, const tensor::Matrix& z,
+                    std::span<const double> weights);
+
+  /// Draw one sample per row from N(mu, sigma).
+  static tensor::Matrix sample(const Output& out, util::Rng& rng);
+
+  std::vector<Parameter*> params() override;
+
+  std::size_t target_dim() const { return mu_.output_dim(); }
+
+ private:
+  Dense mu_;
+  Dense sigma_raw_;
+  tensor::Matrix cached_sigma_raw_;  // pre-softplus, for backward
+};
+
+}  // namespace ranknet::nn

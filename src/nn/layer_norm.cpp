@@ -1,0 +1,89 @@
+#include "nn/layer_norm.hpp"
+
+#include <cmath>
+
+namespace ranknet::nn {
+
+namespace {
+constexpr double kEps = 1e-5;
+}
+
+LayerNorm::LayerNorm(std::size_t dim, std::string name)
+    : gamma_(name + ".gamma", tensor::Matrix(1, dim, 1.0)),
+      beta_(name + ".beta", tensor::Matrix(1, dim, 0.0)) {}
+
+tensor::Matrix LayerNorm::apply(const tensor::Matrix& x,
+                                tensor::Matrix* x_hat) const {
+  const std::size_t d = x.cols();
+  tensor::Matrix y(x.rows(), d);
+  if (x_hat != nullptr) *x_hat = tensor::Matrix(x.rows(), d);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double* xr = x.data() + r * d;
+    double mean = 0.0;
+    for (std::size_t c = 0; c < d; ++c) mean += xr[c];
+    mean /= static_cast<double>(d);
+    double var = 0.0;
+    for (std::size_t c = 0; c < d; ++c) {
+      var += (xr[c] - mean) * (xr[c] - mean);
+    }
+    var /= static_cast<double>(d);
+    const double inv_std = 1.0 / std::sqrt(var + kEps);
+    for (std::size_t c = 0; c < d; ++c) {
+      const double xh = (xr[c] - mean) * inv_std;
+      if (x_hat != nullptr) (*x_hat)(r, c) = xh;
+      y(r, c) = xh * gamma_.value(0, c) + beta_.value(0, c);
+    }
+  }
+  return y;
+}
+
+tensor::Matrix LayerNorm::forward(const tensor::Matrix& x) {
+  cached_inv_std_.resize(x.rows());
+  const std::size_t d = x.cols();
+  // Compute inv_std alongside apply (recomputed cheaply here for clarity).
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double* xr = x.data() + r * d;
+    double mean = 0.0;
+    for (std::size_t c = 0; c < d; ++c) mean += xr[c];
+    mean /= static_cast<double>(d);
+    double var = 0.0;
+    for (std::size_t c = 0; c < d; ++c) {
+      var += (xr[c] - mean) * (xr[c] - mean);
+    }
+    var /= static_cast<double>(d);
+    cached_inv_std_[r] = 1.0 / std::sqrt(var + kEps);
+  }
+  return apply(x, &cached_x_hat_);
+}
+
+tensor::Matrix LayerNorm::forward_inference(const tensor::Matrix& x) const {
+  return apply(x, nullptr);
+}
+
+tensor::Matrix LayerNorm::backward(const tensor::Matrix& dy) {
+  const std::size_t d = dy.cols();
+  tensor::Matrix dx(dy.rows(), d);
+  for (std::size_t r = 0; r < dy.rows(); ++r) {
+    const double inv_std = cached_inv_std_[r];
+    // Grad w.r.t. x_hat, plus parameter grads.
+    double sum_dxhat = 0.0, sum_dxhat_xhat = 0.0;
+    for (std::size_t c = 0; c < d; ++c) {
+      const double dyv = dy(r, c);
+      const double xh = cached_x_hat_(r, c);
+      gamma_.grad(0, c) += dyv * xh;
+      beta_.grad(0, c) += dyv;
+      const double dxh = dyv * gamma_.value(0, c);
+      sum_dxhat += dxh;
+      sum_dxhat_xhat += dxh * xh;
+    }
+    const double inv_d = 1.0 / static_cast<double>(d);
+    for (std::size_t c = 0; c < d; ++c) {
+      const double dxh = dy(r, c) * gamma_.value(0, c);
+      const double xh = cached_x_hat_(r, c);
+      dx(r, c) = inv_std * (dxh - inv_d * sum_dxhat - inv_d * xh * sum_dxhat_xhat);
+    }
+  }
+  return dx;
+}
+
+}  // namespace ranknet::nn

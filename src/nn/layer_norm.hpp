@@ -1,0 +1,28 @@
+// Row-wise layer normalization with learned gain/bias (Transformer blocks).
+#pragma once
+
+#include "nn/param.hpp"
+#include "tensor/matrix.hpp"
+
+namespace ranknet::nn {
+
+class LayerNorm : public Layer {
+ public:
+  explicit LayerNorm(std::size_t dim, std::string name = "ln");
+
+  tensor::Matrix forward(const tensor::Matrix& x);
+  tensor::Matrix forward_inference(const tensor::Matrix& x) const;
+  tensor::Matrix backward(const tensor::Matrix& dy);
+
+  std::vector<Parameter*> params() override { return {&gamma_, &beta_}; }
+
+ private:
+  tensor::Matrix apply(const tensor::Matrix& x, tensor::Matrix* x_hat) const;
+
+  Parameter gamma_;  // (1 x dim)
+  Parameter beta_;   // (1 x dim)
+  tensor::Matrix cached_x_hat_;   // normalized input
+  std::vector<double> cached_inv_std_;
+};
+
+}  // namespace ranknet::nn

@@ -1,0 +1,213 @@
+#include "nn/lstm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/kernels.hpp"
+
+namespace ranknet::nn {
+
+namespace {
+
+/// Forget-gate bias starts at 1 (standard trick for gradient flow).
+tensor::Matrix initial_bias(std::size_t hidden) {
+  tensor::Matrix b(1, 4 * hidden);
+  for (std::size_t j = hidden; j < 2 * hidden; ++j) b(0, j) = 1.0;
+  return b;
+}
+
+}  // namespace
+
+LstmLayer::LstmLayer(std::size_t input_dim, std::size_t hidden_dim,
+                     util::Rng& rng, std::string name)
+    : wx_(name + ".wx",
+          tensor::Matrix::glorot(input_dim, 4 * hidden_dim, rng)),
+      wh_(name + ".wh",
+          tensor::Matrix::glorot(hidden_dim, 4 * hidden_dim, rng)),
+      b_(name + ".b", initial_bias(hidden_dim)) {}
+
+void LstmLayer::cell(const tensor::Matrix& x, const tensor::Matrix& h_prev,
+                     const tensor::Matrix& c_prev, tensor::Matrix& gates,
+                     tensor::Matrix& h, tensor::Matrix& c,
+                     tensor::Matrix& tanh_c) const {
+  const std::size_t batch = x.rows();
+  const std::size_t hidden = hidden_dim();
+  gates = tensor::Matrix(batch, 4 * hidden);
+  tensor::gemm(1.0, x, false, wx_.value, false, 0.0, gates);
+  tensor::gemm(1.0, h_prev, false, wh_.value, false, 1.0, gates);
+  tensor::add_bias_rows(gates, b_.value.row(0));
+
+  // Split activation: sigmoid on [i f o], tanh on [g]. Applied row-wise so
+  // the Sigmoid/Tanh kernel accounting matches the op classes of the paper.
+  // Gate layout per row: [i (h), f (h), g (h), o (h)].
+  {
+    // View-free approach: apply sigmoid/tanh on strided slices via
+    // temporary matrices to keep kernel accounting exact.
+    tensor::Matrix sig(batch, 3 * hidden);
+    tensor::Matrix tg(batch, hidden);
+    for (std::size_t r = 0; r < batch; ++r) {
+      const double* g = gates.data() + r * 4 * hidden;
+      double* s = sig.data() + r * 3 * hidden;
+      double* t = tg.data() + r * hidden;
+      for (std::size_t j = 0; j < hidden; ++j) {
+        s[j] = g[j];                        // i
+        s[hidden + j] = g[hidden + j];      // f
+        s[2 * hidden + j] = g[3 * hidden + j];  // o
+        t[j] = g[2 * hidden + j];           // g
+      }
+    }
+    tensor::sigmoid_inplace(sig);
+    tensor::tanh_inplace(tg);
+    for (std::size_t r = 0; r < batch; ++r) {
+      double* g = gates.data() + r * 4 * hidden;
+      const double* s = sig.data() + r * 3 * hidden;
+      const double* t = tg.data() + r * hidden;
+      for (std::size_t j = 0; j < hidden; ++j) {
+        g[j] = s[j];
+        g[hidden + j] = s[hidden + j];
+        g[3 * hidden + j] = s[2 * hidden + j];
+        g[2 * hidden + j] = t[j];
+      }
+    }
+  }
+
+  c = tensor::Matrix(batch, hidden);
+  h = tensor::Matrix(batch, hidden);
+  tanh_c = tensor::Matrix(batch, hidden);
+  // c = f ⊙ c_prev + i ⊙ g  — booked as Mul kernels like the paper's
+  // operation breakdown.
+  {
+    tensor::Matrix fgate(batch, hidden), igate(batch, hidden),
+        ggate(batch, hidden), ogate(batch, hidden);
+    for (std::size_t r = 0; r < batch; ++r) {
+      const double* g = gates.data() + r * 4 * hidden;
+      for (std::size_t j = 0; j < hidden; ++j) {
+        igate(r, j) = g[j];
+        fgate(r, j) = g[hidden + j];
+        ggate(r, j) = g[2 * hidden + j];
+        ogate(r, j) = g[3 * hidden + j];
+      }
+    }
+    tensor::hadamard(fgate, c_prev, c);
+    tensor::hadamard_add(igate, ggate, c);
+    tanh_c = c;
+    tensor::tanh_inplace(tanh_c);
+    tensor::hadamard(ogate, tanh_c, h);
+  }
+}
+
+std::vector<tensor::Matrix> LstmLayer::forward(
+    const std::vector<tensor::Matrix>& xs) {
+  const std::size_t steps = xs.size();
+  if (steps == 0) throw std::invalid_argument("LstmLayer: empty sequence");
+  const std::size_t batch = xs[0].rows();
+  const std::size_t hidden = hidden_dim();
+
+  xs_ = xs;
+  hs_.assign(steps, {});
+  cs_.assign(steps, {});
+  gates_.assign(steps, {});
+  tanh_cs_.assign(steps, {});
+
+  tensor::Matrix h_prev(batch, hidden);
+  tensor::Matrix c_prev(batch, hidden);
+  for (std::size_t t = 0; t < steps; ++t) {
+    cell(xs[t], h_prev, c_prev, gates_[t], hs_[t], cs_[t], tanh_cs_[t]);
+    h_prev = hs_[t];
+    c_prev = cs_[t];
+  }
+  return hs_;
+}
+
+std::vector<tensor::Matrix> LstmLayer::backward(
+    const std::vector<tensor::Matrix>& dhs) {
+  const std::size_t steps = xs_.size();
+  if (dhs.size() != steps) {
+    throw std::invalid_argument("LstmLayer::backward: wrong #steps");
+  }
+  const std::size_t batch = xs_[0].rows();
+  const std::size_t hidden = hidden_dim();
+
+  std::vector<tensor::Matrix> dxs(steps);
+  tensor::Matrix dh_next(batch, hidden);  // from step t+1
+  tensor::Matrix dc_next(batch, hidden);
+  const tensor::Matrix zero_state(batch, hidden);
+
+  for (std::size_t t = steps; t-- > 0;) {
+    // Total gradient at h_t: external + recurrent.
+    tensor::Matrix dh = dhs[t];
+    tensor::add_inplace(dh, dh_next);
+
+    const auto& gates = gates_[t];
+    const auto& tanh_c = tanh_cs_[t];
+    const tensor::Matrix& c_prev = t > 0 ? cs_[t - 1] : zero_state;
+
+    tensor::Matrix dgates(batch, 4 * hidden);  // pre-activation grads
+    tensor::Matrix dc(batch, hidden);
+    for (std::size_t r = 0; r < batch; ++r) {
+      const double* g = gates.data() + r * 4 * hidden;
+      const double* tc = tanh_c.data() + r * hidden;
+      const double* dhr = dh.data() + r * hidden;
+      const double* dcn = dc_next.data() + r * hidden;
+      const double* cp = c_prev.data() + r * hidden;
+      double* dg = dgates.data() + r * 4 * hidden;
+      double* dcr = dc.data() + r * hidden;
+      for (std::size_t j = 0; j < hidden; ++j) {
+        const double i = g[j];
+        const double f = g[hidden + j];
+        const double gg = g[2 * hidden + j];
+        const double o = g[3 * hidden + j];
+        const double dho = dhr[j];
+        // dL/dc_t = dL/dh_t * o * (1 - tanh(c)^2) + dL/dc_{t+1} part.
+        const double dct = dho * o * (1.0 - tc[j] * tc[j]) + dcn[j];
+        dcr[j] = dct;
+        const double di = dct * gg;
+        const double df = dct * cp[j];
+        const double dgg = dct * i;
+        const double dov = dho * tc[j];
+        dg[j] = di * i * (1.0 - i);
+        dg[hidden + j] = df * f * (1.0 - f);
+        dg[2 * hidden + j] = dgg * (1.0 - gg * gg);
+        dg[3 * hidden + j] = dov * o * (1.0 - o);
+      }
+    }
+
+    // Parameter grads and input grads.
+    tensor::gemm(1.0, xs_[t], true, dgates, false, 1.0, wx_.grad);
+    if (t > 0) {
+      tensor::gemm(1.0, hs_[t - 1], true, dgates, false, 1.0, wh_.grad);
+    }
+    tensor::sum_rows(dgates, b_.grad.row(0));
+
+    dxs[t] = tensor::Matrix(batch, xs_[t].cols());
+    tensor::gemm(1.0, dgates, false, wx_.value, true, 0.0, dxs[t]);
+
+    // Recurrent grads to step t-1.
+    dh_next = tensor::Matrix(batch, hidden);
+    tensor::gemm(1.0, dgates, false, wh_.value, true, 0.0, dh_next);
+    dc_next = tensor::Matrix(batch, hidden);
+    for (std::size_t r = 0; r < batch; ++r) {
+      const double* g = gates.data() + r * 4 * hidden;
+      const double* dcr = dc.data() + r * hidden;
+      double* dcn = dc_next.data() + r * hidden;
+      for (std::size_t j = 0; j < hidden; ++j) {
+        dcn[j] = dcr[j] * g[hidden + j];  // dL/dc_{t-1} = dc_t * f
+      }
+    }
+  }
+  return dxs;
+}
+
+tensor::Matrix LstmLayer::step(const tensor::Matrix& x,
+                               LstmState& state) const {
+  const std::size_t batch = x.rows();
+  const std::size_t hidden = hidden_dim();
+  if (state.h.empty()) state = LstmState(batch, hidden);
+  tensor::Matrix gates, h, c, tanh_c;
+  cell(x, state.h, state.c, gates, h, c, tanh_c);
+  state.h = h;
+  state.c = c;
+  return state.h;
+}
+
+}  // namespace ranknet::nn

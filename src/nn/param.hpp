@@ -1,0 +1,43 @@
+// Trainable parameter: value + accumulated gradient, plus the Layer
+// interface every trainable module implements so optimizers and the model
+// cache can walk a model's parameters uniformly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace ranknet::nn {
+
+struct Parameter {
+  std::string name;
+  tensor::Matrix value;
+  tensor::Matrix grad;
+
+  Parameter() = default;
+  Parameter(std::string n, tensor::Matrix v)
+      : name(std::move(n)),
+        value(std::move(v)),
+        grad(value.rows(), value.cols()) {}
+
+  void zero_grad() { grad.set_zero(); }
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  /// All trainable parameters of this layer (and sub-layers).
+  virtual std::vector<Parameter*> params() = 0;
+
+  void zero_grad() {
+    for (auto* p : params()) p->zero_grad();
+  }
+  std::size_t num_weights() {
+    std::size_t n = 0;
+    for (auto* p : params()) n += p->value.size();
+    return n;
+  }
+};
+
+}  // namespace ranknet::nn

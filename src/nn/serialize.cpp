@@ -1,0 +1,73 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+#include "tensor/serialize.hpp"
+
+namespace ranknet::nn {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x524b4e45542d3031ULL;  // "RKNET-01"
+
+void write_string(std::ostream& out, const std::string& s) {
+  const std::uint64_t n = s.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(s.data(), static_cast<std::streamsize>(n));
+}
+
+std::string read_string(std::istream& in) {
+  std::uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  std::string s(n, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(n));
+  return s;
+}
+
+}  // namespace
+
+void save_params(const std::string& path,
+                 const std::vector<Parameter*>& params) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_params: cannot open " + path);
+  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  const std::uint64_t count = params.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto* p : params) {
+    write_string(out, p->name);
+    tensor::write_matrix(out, p->value);
+  }
+  if (!out) throw std::runtime_error("save_params: write failed: " + path);
+}
+
+void load_params(const std::string& path,
+                 const std::vector<Parameter*>& params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_params: cannot open " + path);
+  std::uint64_t magic = 0, count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || magic != kMagic) {
+    throw std::runtime_error("load_params: bad header in " + path);
+  }
+  if (count != params.size()) {
+    throw std::runtime_error("load_params: parameter count mismatch in " +
+                             path);
+  }
+  for (auto* p : params) {
+    const std::string name = read_string(in);
+    if (name != p->name) {
+      throw std::runtime_error("load_params: expected parameter '" + p->name +
+                               "', found '" + name + "' in " + path);
+    }
+    auto m = tensor::read_matrix(in);
+    if (!m.same_shape(p->value)) {
+      throw std::runtime_error("load_params: shape mismatch for " + p->name);
+    }
+    p->value = std::move(m);
+    p->zero_grad();
+  }
+}
+
+}  // namespace ranknet::nn

@@ -1,0 +1,21 @@
+// Save / load all parameters of a model to a binary file (model cache).
+// Format: magic, count, then per parameter: name, rows, cols, payload.
+// Loading checks names and shapes so a stale cache fails loudly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/param.hpp"
+
+namespace ranknet::nn {
+
+void save_params(const std::string& path,
+                 const std::vector<Parameter*>& params);
+
+/// Loads into existing parameters (shapes/names must match); throws
+/// std::runtime_error on any mismatch or I/O failure.
+void load_params(const std::string& path,
+                 const std::vector<Parameter*>& params);
+
+}  // namespace ranknet::nn

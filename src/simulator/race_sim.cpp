@@ -1,0 +1,278 @@
+#include "simulator/race_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "util/string_util.hpp"
+
+namespace ranknet::sim {
+
+namespace {
+
+/// Mutable per-car simulation state.
+struct CarState {
+  DriverProfile profile;
+  double cum_time = 0.0;     // race time at the end of the last lap
+  double prev_cum = 0.0;     // race time at the end of the previous lap
+  double fuel_used = 0.0;    // green-lap equivalents since the last stop
+  int stint_age = 0;         // laps since the last stop
+  double planned_stint = 30; // target laps for the current stint
+  double pace_drift = 0.0;   // slow random walk on pace
+  bool pitted_this_caution = false;
+  bool active = true;
+  int grid_pos = 0;
+  int prev_rank = 0;  // 1-based rank at the end of the previous lap
+};
+
+double draw_planned_stint(const TrackConfig& track, const DriverProfile& d,
+                          util::Rng& rng) {
+  const double fw = track.fuel_window_laps;
+  const double target = 0.86 * fw + d.pit_window_bias;
+  return rng.truncated_normal(target, 2.5, 0.60 * fw, fw - 1.0);
+}
+
+}  // namespace
+
+std::vector<DriverProfile> make_field(const TrackConfig& track, int num_cars,
+                                      util::Rng& rng) {
+  // Distinct two-digit car ids, like real entry lists.
+  std::set<int> ids;
+  while (static_cast<int>(ids.size()) < num_cars) {
+    ids.insert(static_cast<int>(rng.uniform_int(1, 99)));
+  }
+  std::vector<DriverProfile> field;
+  field.reserve(static_cast<std::size_t>(num_cars));
+  int i = 0;
+  for (int id : ids) {
+    DriverProfile d;
+    d.car_id = id;
+    // Evenly spread skill plus an individual wobble; assignment of skill to
+    // car id is randomized below so id does not encode pace ordering.
+    const double frac =
+        num_cars > 1 ? static_cast<double>(i) / (num_cars - 1) - 0.5 : 0.0;
+    d.skill_offset = track.skill_spread_seconds * frac + rng.normal(0.0, 0.08);
+    d.noise_sigma = track.lap_noise_seconds * rng.uniform(0.8, 1.25);
+    d.pit_window_bias = rng.normal(0.0, 1.5);
+    d.dnf_rate = track.attrition_prob * rng.uniform(0.4, 1.8);
+    field.push_back(d);
+    ++i;
+  }
+  // Shuffle skills across ids.
+  std::vector<double> skills;
+  for (const auto& d : field) skills.push_back(d.skill_offset);
+  rng.shuffle(skills);
+  for (std::size_t j = 0; j < field.size(); ++j) {
+    field[j].skill_offset = skills[j];
+  }
+  return field;
+}
+
+RaceSimulator::RaceSimulator(RaceParams params) : params_(std::move(params)) {}
+
+telemetry::RaceLog RaceSimulator::run() {
+  const TrackConfig& track = params_.track;
+  util::Rng rng(params_.seed);
+
+  const int num_cars =
+      params_.num_cars > 0
+          ? params_.num_cars
+          : static_cast<int>(rng.uniform_int(track.min_cars, track.max_cars));
+  const int total_laps =
+      params_.total_laps > 0 ? params_.total_laps : track.total_laps;
+  const double base = track.base_lap_seconds();
+  // Hard stint cap from tire wear; fuel alone would allow very long stints
+  // under caution, but the paper observes no stint beyond ~1.5 windows.
+  const double max_stint = 1.5 * track.fuel_window_laps;
+
+  auto field = make_field(track, num_cars, rng);
+
+  // Qualifying: grid order is skill order perturbed by qualifying noise.
+  std::vector<CarState> cars(field.size());
+  for (std::size_t i = 0; i < field.size(); ++i) cars[i].profile = field[i];
+  std::vector<std::size_t> grid(cars.size());
+  std::iota(grid.begin(), grid.end(), 0);
+  std::vector<double> quali(cars.size());
+  for (std::size_t i = 0; i < cars.size(); ++i) {
+    quali[i] = cars[i].profile.skill_offset + rng.normal(0.0, 0.35);
+  }
+  std::sort(grid.begin(), grid.end(),
+            [&](std::size_t a, std::size_t b) { return quali[a] < quali[b]; });
+  for (std::size_t pos = 0; pos < grid.size(); ++pos) {
+    cars[grid[pos]].grid_pos = static_cast<int>(pos);
+    cars[grid[pos]].prev_rank = static_cast<int>(pos) + 1;
+    // Rolling start: the field crosses SF already spread out a little.
+    cars[grid[pos]].cum_time = 0.55 * static_cast<double>(pos);
+  }
+  for (auto& c : cars) c.planned_stint = draw_planned_stint(track, c.profile, rng);
+
+  std::vector<telemetry::LapRecord> records;
+  records.reserve(cars.size() * static_cast<std::size_t>(total_laps));
+
+  int caution_remaining = 0;
+  for (int lap = 1; lap <= total_laps; ++lap) {
+    // --- incidents -------------------------------------------------------
+    if (caution_remaining == 0 && rng.bernoulli(track.caution_prob_per_lap)) {
+      caution_remaining = static_cast<int>(
+          rng.uniform_int(track.caution_min_laps, track.caution_max_laps));
+      for (auto& c : cars) c.pitted_this_caution = false;
+      // Roughly half the cautions involve a car crashing out.
+      if (rng.bernoulli(0.5)) {
+        std::vector<std::size_t> active_idx;
+        for (std::size_t i = 0; i < cars.size(); ++i) {
+          if (cars[i].active) active_idx.push_back(i);
+        }
+        if (!active_idx.empty()) {
+          const auto victim = active_idx[static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(active_idx.size()) - 1))];
+          cars[victim].active = false;
+        }
+      }
+    }
+    const bool yellow = caution_remaining > 0;
+
+    // --- per-car lap -----------------------------------------------------
+    std::vector<std::size_t> finishers;
+    std::vector<bool> pitted(cars.size(), false);
+    for (std::size_t i = 0; i < cars.size(); ++i) {
+      auto& c = cars[i];
+      if (!c.active) continue;
+      // Attrition (non-caution mechanical retirement).
+      if (rng.bernoulli(c.profile.dnf_rate)) {
+        c.active = false;
+        continue;
+      }
+
+      // Pit decision.
+      const double fuel_left = track.fuel_window_laps - c.fuel_used;
+      bool pit = false;
+      if (fuel_left <= 1.0 || c.stint_age >= static_cast<int>(max_stint)) {
+        pit = true;  // resource constraint: out of fuel or tires
+      } else if (!yellow && c.fuel_used >= c.planned_stint) {
+        // Planned green-flag stop. The plan is in fuel units, so caution
+        // laps (reduced burn) stretch the stint in lap terms — the long
+        // tail of the paper's Fig. 4(b) CDF.
+        pit = true;
+      } else if (yellow && !c.pitted_this_caution &&
+                 c.fuel_used > 0.30 * track.fuel_window_laps &&
+                 rng.bernoulli(0.85)) {
+        pit = true;  // opportunistic stop under caution
+      } else if (rng.bernoulli(track.mechanical_pit_prob)) {
+        pit = true;  // unscheduled mechanical stop (short-stint tail)
+      }
+
+      // Pace drift: slow random walk, bounded.
+      c.pace_drift =
+          std::clamp(c.pace_drift + rng.normal(0.0, 0.012), -0.5, 0.5);
+
+      double lt = base * (yellow ? track.caution_speed_factor : 1.0) +
+                  c.profile.skill_offset + c.pace_drift +
+                  rng.normal(0.0, c.profile.noise_sigma);
+      if (lap == 1) {
+        // Accordion effect through the first green lap.
+        lt += 0.25 * static_cast<double>(c.grid_pos);
+      }
+      if (pit) {
+        const double loss = track.pit_loss_seconds * (yellow ? 0.55 : 1.0);
+        lt += loss + std::abs(rng.normal(0.0, 2.2));
+        c.fuel_used = 0.0;
+        c.stint_age = 0;
+        c.planned_stint = draw_planned_stint(track, c.profile, rng);
+        if (yellow) c.pitted_this_caution = true;
+      } else {
+        c.fuel_used += yellow ? track.caution_fuel_factor : 1.0;
+        c.stint_age += 1;
+      }
+
+      c.prev_cum = c.cum_time;
+      c.cum_time += lt;
+      pitted[i] = pit;
+      finishers.push_back(i);
+    }
+
+    // --- safety-car bunching ---------------------------------------------
+    // Under yellow the field closes up behind the pace car: each car's gap
+    // to the leader shrinks toward a tight queue while on-track order is
+    // preserved. This is what makes caution pits cheap in rank terms.
+    if (yellow && !finishers.empty()) {
+      std::sort(finishers.begin(), finishers.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return cars[a].cum_time < cars[b].cum_time;
+                });
+      const double leader_time = cars[finishers[0]].cum_time;
+      double prev_time = leader_time;
+      // No car can close faster than a flat-out lap allows: this floor keeps
+      // recorded lap times physical while the gap shrinks over several laps.
+      const double min_lap = 0.92 * base;
+      for (std::size_t pos = 1; pos < finishers.size(); ++pos) {
+        auto& c = cars[finishers[pos]];
+        const double queue_gap =
+            1.1 * static_cast<double>(pos) + 0.4;  // target bunched gap
+        const double target = leader_time + queue_gap;
+        double t = std::min(c.cum_time, target);
+        t = std::max(t, prev_time + 0.25);  // keep order + minimum spacing
+        t = std::max(t, c.prev_cum + min_lap);
+        c.cum_time = t;
+        prev_time = t;
+      }
+    } else {
+      // Green-flag overtaking friction: passing needs a decisive time
+      // advantage; marginal attackers get stuck in dirty air and settle a
+      // small gap behind the defender. This keeps the running order sticky
+      // between pit cycles, as the real scoring data is.
+      std::sort(finishers.begin(), finishers.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return cars[a].cum_time < cars[b].cum_time;
+                });
+      for (std::size_t pos = 1; pos < finishers.size(); ++pos) {
+        auto& ahead = cars[finishers[pos - 1]];
+        auto& behind = cars[finishers[pos]];
+        const bool is_overtake = ahead.prev_rank > behind.prev_rank;
+        const double gain = behind.cum_time - ahead.cum_time;
+        if (is_overtake && gain < track.pass_margin_seconds) {
+          // Revert the pass: the attacker tucks in behind the defender.
+          ahead.cum_time = behind.cum_time + track.follow_gap_seconds;
+          std::swap(finishers[pos - 1], finishers[pos]);
+        }
+      }
+      std::sort(finishers.begin(), finishers.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return cars[a].cum_time < cars[b].cum_time;
+                });
+    }
+
+    // --- scoring ----------------------------------------------------------
+    const double leader_time =
+        finishers.empty() ? 0.0 : cars[finishers[0]].cum_time;
+    for (std::size_t pos = 0; pos < finishers.size(); ++pos) {
+      const auto i = finishers[pos];
+      auto& c = cars[i];
+      telemetry::LapRecord rec;
+      rec.rank = static_cast<int>(pos) + 1;
+      rec.car_id = c.profile.car_id;
+      rec.lap = lap;
+      rec.lap_time = c.cum_time - c.prev_cum;
+      rec.time_behind_leader = c.cum_time - leader_time;
+      rec.lap_status =
+          pitted[i] ? telemetry::LapStatus::kPit : telemetry::LapStatus::kNormal;
+      rec.track_status = yellow ? telemetry::TrackStatus::kYellow
+                                : telemetry::TrackStatus::kGreen;
+      records.push_back(rec);
+      c.prev_rank = rec.rank;
+    }
+
+    if (caution_remaining > 0) --caution_remaining;
+  }
+
+  telemetry::EventInfo info;
+  info.name = track.name;
+  info.year = params_.year;
+  info.track_length_miles = track.length_miles;
+  info.track_shape = track.shape;
+  info.total_laps = total_laps;
+  info.avg_speed_mph = track.avg_speed_mph;
+  return telemetry::RaceLog(info, std::move(records));
+}
+
+}  // namespace ranknet::sim

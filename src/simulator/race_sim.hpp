@@ -1,0 +1,60 @@
+// Discrete lap-by-lap race simulator.
+//
+// This is the data substrate standing in for the proprietary IndyCar
+// timing-and-scoring logs (see DESIGN.md). It models the causal structure
+// the paper analyses:
+//   * pace = track base lap time + driver skill + slow pace drift + noise,
+//   * pit stops bounded by a fuel/tire resource window (Fig. 4a: no stint
+//     beyond ~50 laps), planned under green, opportunistic under yellow,
+//     plus rare unscheduled mechanical stops (the short-stint tail),
+//   * caution periods triggered by incidents: the field slows and bunches
+//     behind the safety car (so caution pits cost far less rank than green
+//     pits — Fig. 4d), cars burn less fuel (stretching stints — Fig. 4b),
+//   * retirements/attrition.
+// Output is a telemetry::RaceLog in the exact Fig. 1(a) schema.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simulator/track.hpp"
+#include "telemetry/race_log.hpp"
+#include "util/rng.hpp"
+
+namespace ranknet::sim {
+
+/// Per-driver latent parameters, drawn once per race by make_field.
+struct DriverProfile {
+  int car_id = 0;
+  double skill_offset = 0.0;     // seconds per lap vs field average
+  double noise_sigma = 0.4;      // per-lap pace noise (seconds)
+  double pit_window_bias = 0.0;  // strategy: early (-) vs late (+) stops
+  double dnf_rate = 0.0005;      // per-lap retirement probability
+};
+
+/// Draw a field of `num_cars` drivers with distinct car ids.
+std::vector<DriverProfile> make_field(const TrackConfig& track, int num_cars,
+                                      util::Rng& rng);
+
+struct RaceParams {
+  TrackConfig track;
+  int year = 2018;
+  std::uint64_t seed = 1;
+  /// 0 means: draw from [track.min_cars, track.max_cars].
+  int num_cars = 0;
+  /// 0 means: use track.total_laps (Table II varies laps by year).
+  int total_laps = 0;
+};
+
+class RaceSimulator {
+ public:
+  explicit RaceSimulator(RaceParams params);
+
+  /// Simulate the full race and return its scoring log.
+  telemetry::RaceLog run();
+
+ private:
+  RaceParams params_;
+};
+
+}  // namespace ranknet::sim

@@ -1,0 +1,94 @@
+#include "simulator/season.hpp"
+
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace ranknet::sim {
+
+const char* usage_name(Usage u) {
+  switch (u) {
+    case Usage::kTrain: return "Training";
+    case Usage::kValidation: return "Validation";
+    case Usage::kTest: return "Test";
+  }
+  return "?";
+}
+
+std::vector<RaceSpec> table2_specs() {
+  std::vector<RaceSpec> specs;
+  // Indy500 2013-2017 train, 2018 validation, 2019 test; 200 laps.
+  for (int year = 2013; year <= 2017; ++year) {
+    specs.push_back({"Indy500", year, 200, Usage::kTrain});
+  }
+  specs.push_back({"Indy500", 2018, 200, Usage::kValidation});
+  specs.push_back({"Indy500", 2019, 200, Usage::kTest});
+  // Iowa 2013, 2015-2018 train (250 laps); 2019 test (300 laps).
+  specs.push_back({"Iowa", 2013, 250, Usage::kTrain});
+  for (int year = 2015; year <= 2018; ++year) {
+    specs.push_back({"Iowa", year, 250, Usage::kTrain});
+  }
+  specs.push_back({"Iowa", 2019, 300, Usage::kTest});
+  // Pocono 2013, 2015-2017 train (160 laps); 2018 test (200 laps).
+  specs.push_back({"Pocono", 2013, 160, Usage::kTrain});
+  for (int year = 2015; year <= 2017; ++year) {
+    specs.push_back({"Pocono", year, 160, Usage::kTrain});
+  }
+  specs.push_back({"Pocono", 2018, 200, Usage::kTest});
+  // Texas 2013-2017 train (228 laps); 2018-2019 test (248 laps).
+  for (int year = 2013; year <= 2017; ++year) {
+    specs.push_back({"Texas", year, 228, Usage::kTrain});
+  }
+  specs.push_back({"Texas", 2018, 248, Usage::kTest});
+  specs.push_back({"Texas", 2019, 248, Usage::kTest});
+  return specs;
+}
+
+telemetry::RaceLog simulate_race(const RaceSpec& spec,
+                                 std::uint64_t base_seed) {
+  RaceParams params;
+  params.track = track_by_name(spec.event);
+  params.year = spec.year;
+  params.total_laps = spec.laps;
+  params.seed = base_seed ^ util::fnv1a(util::format(
+                                "%s-%d", spec.event.c_str(), spec.year));
+  return RaceSimulator(params).run();
+}
+
+std::size_t EventDataset::total_records() const {
+  std::size_t n = 0;
+  for (const auto* group : {&train, &validation, &test}) {
+    for (const auto& race : *group) n += race.num_records();
+  }
+  return n;
+}
+
+EventDataset build_event_dataset(const std::string& event,
+                                 std::uint64_t base_seed) {
+  EventDataset ds;
+  ds.event = event;
+  for (const auto& spec : table2_specs()) {
+    if (spec.event != event) continue;
+    auto race = simulate_race(spec, base_seed);
+    switch (spec.usage) {
+      case Usage::kTrain: ds.train.push_back(std::move(race)); break;
+      case Usage::kValidation: ds.validation.push_back(std::move(race)); break;
+      case Usage::kTest: ds.test.push_back(std::move(race)); break;
+    }
+  }
+  if (ds.train.empty() && ds.validation.empty() && ds.test.empty()) {
+    throw std::invalid_argument("build_event_dataset: unknown event '" +
+                                event + "'");
+  }
+  return ds;
+}
+
+std::vector<EventDataset> build_all_datasets(std::uint64_t base_seed) {
+  std::vector<EventDataset> out;
+  for (const auto& name : {"Indy500", "Iowa", "Pocono", "Texas"}) {
+    out.push_back(build_event_dataset(name, base_seed));
+  }
+  return out;
+}
+
+}  // namespace ranknet::sim

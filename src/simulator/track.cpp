@@ -1,0 +1,103 @@
+#include "simulator/track.hpp"
+
+#include <stdexcept>
+
+namespace ranknet::sim {
+
+TrackConfig indy500_track() {
+  TrackConfig t;
+  t.name = "Indy500";
+  t.length_miles = 2.5;
+  t.shape = "Oval";
+  t.total_laps = 200;
+  t.avg_speed_mph = 175.0;
+  t.pit_loss_seconds = 46.0;
+  t.caution_speed_factor = 1.8;
+  t.caution_prob_per_lap = 0.024;  // most dynamic event (paper Fig. 6)
+  t.caution_min_laps = 4;
+  t.caution_max_laps = 9;
+  t.fuel_window_laps = 33.0;
+  t.min_cars = 33;
+  t.max_cars = 33;
+  t.pass_margin_seconds = 0.85;
+  t.skill_spread_seconds = 2.0;
+  t.lap_noise_seconds = 0.50;
+  return t;
+}
+
+TrackConfig texas_track() {
+  TrackConfig t;
+  t.name = "Texas";
+  t.length_miles = 1.455;
+  t.shape = "Oval";
+  t.total_laps = 228;
+  t.avg_speed_mph = 153.0;
+  t.pit_loss_seconds = 34.0;
+  t.caution_speed_factor = 1.7;
+  t.caution_prob_per_lap = 0.016;
+  t.caution_min_laps = 5;
+  t.caution_max_laps = 11;
+  t.fuel_window_laps = 40.0;
+  t.min_cars = 22;
+  t.max_cars = 24;
+  t.pass_margin_seconds = 1.1;
+  t.skill_spread_seconds = 1.3;
+  t.lap_noise_seconds = 0.36;
+  return t;
+}
+
+TrackConfig iowa_track() {
+  TrackConfig t;
+  t.name = "Iowa";
+  t.length_miles = 0.894;
+  t.shape = "Oval";
+  t.total_laps = 250;
+  t.avg_speed_mph = 135.0;
+  t.pit_loss_seconds = 24.0;
+  t.caution_speed_factor = 1.6;
+  t.caution_prob_per_lap = 0.010;  // least dynamic event (paper Fig. 6)
+  t.caution_min_laps = 6;
+  t.caution_max_laps = 12;
+  t.fuel_window_laps = 58.0;
+  t.min_cars = 21;
+  t.max_cars = 24;
+  t.pass_margin_seconds = 1.5;
+  t.skill_spread_seconds = 0.9;
+  t.lap_noise_seconds = 0.20;
+  return t;
+}
+
+TrackConfig pocono_track() {
+  TrackConfig t;
+  t.name = "Pocono";
+  t.length_miles = 2.5;
+  t.shape = "Triangle";
+  t.total_laps = 160;
+  t.avg_speed_mph = 135.0;
+  t.pit_loss_seconds = 42.0;
+  t.caution_prob_per_lap = 0.014;
+  t.caution_speed_factor = 1.7;
+  t.caution_min_laps = 4;
+  t.caution_max_laps = 8;
+  t.fuel_window_laps = 30.0;
+  t.min_cars = 22;
+  t.max_cars = 24;
+  t.pass_margin_seconds = 1.2;
+  t.skill_spread_seconds = 1.4;
+  t.lap_noise_seconds = 0.33;
+  return t;
+}
+
+std::vector<TrackConfig> all_tracks() {
+  return {indy500_track(), iowa_track(), pocono_track(), texas_track()};
+}
+
+TrackConfig track_by_name(const std::string& name) {
+  if (name == "Indy500") return indy500_track();
+  if (name == "Texas") return texas_track();
+  if (name == "Iowa") return iowa_track();
+  if (name == "Pocono") return pocono_track();
+  throw std::invalid_argument("track_by_name: unknown event '" + name + "'");
+}
+
+}  // namespace ranknet::sim

@@ -1,0 +1,75 @@
+// Track and event configuration for the race simulator.
+//
+// The four superspeedway events of the paper's Table II are provided as
+// presets (Indy500, Texas, Iowa, Pocono). Parameters control the causal
+// structure the forecasting models must learn: lap pace, pit-lane time loss,
+// caution frequency/length, and the fuel/tire resource window that bounds
+// stint length (paper Fig. 4: no car runs more than ~50 laps on a tank).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ranknet::sim {
+
+struct TrackConfig {
+  std::string name;
+  double length_miles = 2.5;
+  std::string shape = "Oval";
+  int total_laps = 200;
+  double avg_speed_mph = 175.0;
+
+  /// Green-flag pit-lane time loss in seconds (drive-through + service).
+  double pit_loss_seconds = 46.0;
+  /// Multiplier on the base lap time while under yellow.
+  double caution_speed_factor = 1.75;
+  /// Per-lap probability that an incident triggers a caution period.
+  double caution_prob_per_lap = 0.022;
+  int caution_min_laps = 4;
+  int caution_max_laps = 9;
+
+  /// Fuel/tire window: laps a full tank lasts at green-flag pace.
+  double fuel_window_laps = 34.0;
+  /// Fuel burned by one caution lap relative to a green lap.
+  double caution_fuel_factor = 0.35;
+
+  /// Field size range (varies by year).
+  int min_cars = 33;
+  int max_cars = 33;
+
+  /// Minimum single-lap time advantage needed to complete an overtake under
+  /// green; smaller gains leave the attacker stuck in dirty air behind the
+  /// defender. Governs how static the running order is (paper Fig. 6).
+  double pass_margin_seconds = 1.0;
+  /// Gap a failed attacker settles to behind the defender.
+  double follow_gap_seconds = 0.2;
+
+  /// Spread of driver skill in seconds per lap (fastest to slowest).
+  double skill_spread_seconds = 1.6;
+  /// Per-lap i.i.d. pace noise (seconds).
+  double lap_noise_seconds = 0.55;
+  /// Per-lap probability of an unscheduled (mechanical) early pit.
+  double mechanical_pit_prob = 0.0035;
+  /// Per-lap probability a car retires outside of caution-causing crashes.
+  double attrition_prob = 0.0006;
+
+  /// Base green-flag lap time implied by length and average speed.
+  double base_lap_seconds() const {
+    return length_miles / avg_speed_mph * 3600.0;
+  }
+};
+
+/// Table II presets.
+TrackConfig indy500_track();
+TrackConfig texas_track();
+TrackConfig iowa_track();
+TrackConfig pocono_track();
+
+/// All four presets in paper order.
+std::vector<TrackConfig> all_tracks();
+
+/// Preset lookup by event name ("Indy500", "Texas", "Iowa", "Pocono");
+/// throws std::invalid_argument for unknown names.
+TrackConfig track_by_name(const std::string& name);
+
+}  // namespace ranknet::sim

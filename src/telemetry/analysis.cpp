@@ -1,0 +1,63 @@
+#include "telemetry/analysis.hpp"
+
+#include <cmath>
+
+namespace ranknet::telemetry {
+
+std::vector<PitStop> extract_pit_stops(const RaceLog& race, int settle_laps) {
+  std::vector<PitStop> out;
+  for (const auto& [car_id, series] : race.cars()) {
+    std::size_t previous_pit = 0;  // stint measured from race start initially
+    for (std::size_t i = 0; i < series.laps(); ++i) {
+      if (!series.pit(i)) continue;
+      PitStop p;
+      p.car_id = car_id;
+      p.lap = static_cast<int>(i) + 1;
+      p.caution = series.yellow(i);
+      p.stint_distance = static_cast<int>(i - previous_pit);
+      const std::size_t before = i > 0 ? i - 1 : i;
+      const std::size_t after =
+          std::min(i + static_cast<std::size_t>(settle_laps),
+                   series.laps() - 1);
+      p.rank_change = static_cast<int>(
+          std::abs(series.rank[after] - series.rank[before]));
+      out.push_back(p);
+      previous_pit = i;
+    }
+  }
+  return out;
+}
+
+double pit_laps_ratio(const RaceLog& race) {
+  std::size_t pits = 0, total = 0;
+  for (const auto& [_, series] : race.cars()) {
+    total += series.laps();
+    for (std::size_t i = 0; i < series.laps(); ++i) {
+      if (series.pit(i)) ++pits;
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(pits) / static_cast<double>(total);
+}
+
+double rank_changes_ratio(const RaceLog& race) {
+  std::size_t changes = 0, total = 0;
+  for (const auto& [_, series] : race.cars()) {
+    for (std::size_t i = 1; i < series.laps(); ++i) {
+      ++total;
+      if (series.rank[i] != series.rank[i - 1]) ++changes;
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(changes) / static_cast<double>(total);
+}
+
+std::size_t caution_lap_records(const RaceLog& race) {
+  std::size_t n = 0;
+  for (const auto& r : race.records()) {
+    if (r.track_status == TrackStatus::kYellow) ++n;
+  }
+  return n;
+}
+
+}  // namespace ranknet::telemetry

@@ -1,0 +1,38 @@
+// Race-log analysis used by the paper's data-exploration artifacts:
+// stints and pit classification (Fig. 4) and the per-race dataset
+// statistics PitLapsRatio / RankChangesRatio (Fig. 6).
+#pragma once
+
+#include <vector>
+
+#include "telemetry/race_log.hpp"
+
+namespace ranknet::telemetry {
+
+/// One pit stop event, classified per the paper: a "caution pit" happens
+/// on a yellow-flag lap, a "normal pit" under green.
+struct PitStop {
+  int car_id = 0;
+  int lap = 0;             // 1-based lap of the stop
+  bool caution = false;    // occurred under yellow
+  int stint_distance = 0;  // laps since the previous pit (or race start)
+  int rank_change = 0;     // |rank after settling - rank before the stop|
+};
+
+/// All pit stops of a race, with stint distances and local rank impact.
+/// `settle_laps` is how many laps after the stop the post-pit rank is read
+/// (the paper observes the rank loss materializes over the next few laps).
+std::vector<PitStop> extract_pit_stops(const RaceLog& race,
+                                       int settle_laps = 2);
+
+/// Fraction of (car, lap) records that are pit-stop laps.
+double pit_laps_ratio(const RaceLog& race);
+
+/// Fraction of (car, lap) transitions where the rank changed vs the
+/// previous lap.
+double rank_changes_ratio(const RaceLog& race);
+
+/// Count of records with yellow-flag track status.
+std::size_t caution_lap_records(const RaceLog& race);
+
+}  // namespace ranknet::telemetry

@@ -1,0 +1,31 @@
+// Timing-and-scoring record schema, mirroring the paper's Fig. 1(a):
+// Rank, CarId, Lap, LapTime, TimeBehindLeader, LapStatus, TrackStatus.
+#pragma once
+
+#include <cstdint>
+
+namespace ranknet::telemetry {
+
+/// 'T' = normal lap, 'P' = pit-stop lap (car crossed SF/SFP in the pit lane).
+enum class LapStatus : std::uint8_t { kNormal = 0, kPit = 1 };
+
+/// 'G' = green flag, 'Y' = yellow flag / caution lap.
+enum class TrackStatus : std::uint8_t { kGreen = 0, kYellow = 1 };
+
+inline char to_char(LapStatus s) { return s == LapStatus::kPit ? 'P' : 'T'; }
+inline char to_char(TrackStatus s) {
+  return s == TrackStatus::kYellow ? 'Y' : 'G';
+}
+
+/// One scoring line: the state of one car at the completion of one lap.
+struct LapRecord {
+  int rank = 0;      // 1-based position crossing SF/SFP on this lap
+  int car_id = 0;
+  int lap = 0;       // 1-based lap number
+  double lap_time = 0.0;             // seconds to complete this lap
+  double time_behind_leader = 0.0;   // seconds behind the lap leader
+  LapStatus lap_status = LapStatus::kNormal;
+  TrackStatus track_status = TrackStatus::kGreen;
+};
+
+}  // namespace ranknet::telemetry

@@ -1,0 +1,261 @@
+#include "tensor/kernels.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace ranknet::tensor {
+
+namespace {
+
+/// Books a kernel invocation; times it only when profiling is enabled.
+template <typename Fn>
+void run_kernel(Kernel k, std::uint64_t flops, std::uint64_t bytes, Fn&& fn) {
+  auto& counters = OpCounters::instance();
+  if (counters.profiling()) {
+    util::Timer t;
+    fn();
+    counters.record(k, flops, bytes, t.seconds());
+  } else {
+    fn();
+    counters.record(k, flops, bytes);
+  }
+}
+
+// C = alpha*A*B + beta*C with A (m x k), B (k x n): ikj loop, contiguous
+// inner access on both B and C rows so the compiler vectorizes it.
+void gemm_nn(double alpha, const Matrix& a, const Matrix& b, double beta,
+             Matrix& c) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < m; ++i) {
+    double* ci = c.data() + i * n;
+    if (beta == 0.0) {
+      for (std::size_t j = 0; j < n; ++j) ci[j] = 0.0;
+    } else if (beta != 1.0) {
+      for (std::size_t j = 0; j < n; ++j) ci[j] *= beta;
+    }
+    const double* ai = a.data() + i * k;
+    for (std::size_t p = 0; p < k; ++p) {
+      const double aip = alpha * ai[p];
+      if (aip == 0.0) continue;
+      const double* bp = b.data() + p * n;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+}
+
+// C = alpha*A^T*B + beta*C with A (k x m), B (k x n).
+void gemm_tn(double alpha, const Matrix& a, const Matrix& b, double beta,
+             Matrix& c) {
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < m; ++i) {
+    double* ci = c.data() + i * n;
+    if (beta == 0.0) {
+      for (std::size_t j = 0; j < n; ++j) ci[j] = 0.0;
+    } else if (beta != 1.0) {
+      for (std::size_t j = 0; j < n; ++j) ci[j] *= beta;
+    }
+    for (std::size_t p = 0; p < k; ++p) {
+      const double aip = alpha * a(p, i);
+      if (aip == 0.0) continue;
+      const double* bp = b.data() + p * n;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+}
+
+// C = alpha*A*B^T + beta*C with A (m x k), B (n x k): dot products of rows.
+void gemm_nt(double alpha, const Matrix& a, const Matrix& b, double beta,
+             Matrix& c) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* ai = a.data() + i * k;
+    double* ci = c.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* bj = b.data() + j * k;
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+      ci[j] = alpha * acc + (beta == 0.0 ? 0.0 : beta * ci[j]);
+    }
+  }
+}
+
+// C = alpha*A^T*B^T + beta*C with A (k x m), B (n x k). Rare; simple loops.
+void gemm_tt(double alpha, const Matrix& a, const Matrix& b, double beta,
+             Matrix& c) {
+  const std::size_t k = a.rows(), m = a.cols(), n = b.rows();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < m; ++i) {
+    double* ci = c.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) acc += a(p, i) * b(j, p);
+      ci[j] = alpha * acc + (beta == 0.0 ? 0.0 : beta * ci[j]);
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(double alpha, const Matrix& a, bool trans_a, const Matrix& b,
+          bool trans_b, double beta, Matrix& c) {
+  const std::size_t m = trans_a ? a.cols() : a.rows();
+  const std::size_t k = trans_a ? a.rows() : a.cols();
+  const std::size_t kb = trans_b ? b.cols() : b.rows();
+  const std::size_t n = trans_b ? b.rows() : b.cols();
+  if (k != kb || c.rows() != m || c.cols() != n) {
+    throw std::invalid_argument("gemm: shape mismatch");
+  }
+  const std::uint64_t flops = 2ULL * m * n * k;
+  const std::uint64_t bytes =
+      8ULL * (m * k + k * n + (beta == 0.0 ? 1ULL : 2ULL) * m * n);
+  run_kernel(Kernel::kMatMul, flops, bytes, [&] {
+    if (!trans_a && !trans_b) gemm_nn(alpha, a, b, beta, c);
+    else if (trans_a && !trans_b) gemm_tn(alpha, a, b, beta, c);
+    else if (!trans_a && trans_b) gemm_nt(alpha, a, b, beta, c);
+    else gemm_tt(alpha, a, b, beta, c);
+  });
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  gemm(1.0, a, false, b, false, 0.0, c);
+  return c;
+}
+
+void add_inplace(Matrix& out, const Matrix& a) {
+  assert(out.same_shape(a));
+  const std::size_t n = out.size();
+  run_kernel(Kernel::kAdd, n, 8ULL * 3 * n, [&] {
+    double* o = out.data();
+    const double* x = a.data();
+    for (std::size_t i = 0; i < n; ++i) o[i] += x[i];
+  });
+}
+
+void axpy(double alpha, const Matrix& a, Matrix& out) {
+  assert(out.same_shape(a));
+  const std::size_t n = out.size();
+  run_kernel(Kernel::kAdd, 2ULL * n, 8ULL * 3 * n, [&] {
+    double* o = out.data();
+    const double* x = a.data();
+    for (std::size_t i = 0; i < n; ++i) o[i] += alpha * x[i];
+  });
+}
+
+void scale_inplace(Matrix& out, double s) {
+  const std::size_t n = out.size();
+  run_kernel(Kernel::kMul, n, 8ULL * 2 * n, [&] {
+    double* o = out.data();
+    for (std::size_t i = 0; i < n; ++i) o[i] *= s;
+  });
+}
+
+void hadamard(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.same_shape(b));
+  if (!out.same_shape(a)) out = Matrix(a.rows(), a.cols());
+  const std::size_t n = out.size();
+  run_kernel(Kernel::kMul, n, 8ULL * 3 * n, [&] {
+    const double* x = a.data();
+    const double* y = b.data();
+    double* o = out.data();
+    for (std::size_t i = 0; i < n; ++i) o[i] = x[i] * y[i];
+  });
+}
+
+void hadamard_add(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.same_shape(b) && out.same_shape(a));
+  const std::size_t n = out.size();
+  run_kernel(Kernel::kMul, 2ULL * n, 8ULL * 4 * n, [&] {
+    const double* x = a.data();
+    const double* y = b.data();
+    double* o = out.data();
+    for (std::size_t i = 0; i < n; ++i) o[i] += x[i] * y[i];
+  });
+}
+
+void add_bias_rows(Matrix& m, std::span<const double> bias) {
+  assert(bias.size() == m.cols());
+  const std::size_t n = m.size();
+  run_kernel(Kernel::kAdd, n, 8ULL * (2 * n + bias.size()), [&] {
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      double* row = m.data() + r * m.cols();
+      for (std::size_t c = 0; c < m.cols(); ++c) row[c] += bias[c];
+    }
+  });
+}
+
+void sum_rows(const Matrix& m, std::span<double> bias_grad) {
+  assert(bias_grad.size() == m.cols());
+  const std::size_t n = m.size();
+  run_kernel(Kernel::kAdd, n, 8ULL * (n + 2 * bias_grad.size()), [&] {
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      const double* row = m.data() + r * m.cols();
+      for (std::size_t c = 0; c < m.cols(); ++c) bias_grad[c] += row[c];
+    }
+  });
+}
+
+void sigmoid_inplace(Matrix& m) {
+  const std::size_t n = m.size();
+  // ~4 flops per element (exp approximated as one op plus add/div).
+  run_kernel(Kernel::kSigmoid, 4ULL * n, 8ULL * 2 * n, [&] {
+    double* x = m.data();
+    for (std::size_t i = 0; i < n; ++i) x[i] = 1.0 / (1.0 + std::exp(-x[i]));
+  });
+}
+
+void tanh_inplace(Matrix& m) {
+  const std::size_t n = m.size();
+  run_kernel(Kernel::kTanh, 4ULL * n, 8ULL * 2 * n, [&] {
+    double* x = m.data();
+    for (std::size_t i = 0; i < n; ++i) x[i] = std::tanh(x[i]);
+  });
+}
+
+void softplus_inplace(Matrix& m) {
+  const std::size_t n = m.size();
+  run_kernel(Kernel::kSigmoid, 4ULL * n, 8ULL * 2 * n, [&] {
+    double* x = m.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      // Numerically stable softplus: max(x,0) + log1p(exp(-|x|)).
+      x[i] = std::max(x[i], 0.0) + std::log1p(std::exp(-std::abs(x[i])));
+    }
+  });
+}
+
+void softmax_rows(Matrix& m) {
+  const std::size_t n = m.size();
+  run_kernel(Kernel::kSoftmax, 5ULL * n, 8ULL * 2 * n, [&] {
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      double* row = m.data() + r * m.cols();
+      double mx = row[0];
+      for (std::size_t c = 1; c < m.cols(); ++c) mx = std::max(mx, row[c]);
+      double total = 0.0;
+      for (std::size_t c = 0; c < m.cols(); ++c) {
+        row[c] = std::exp(row[c] - mx);
+        total += row[c];
+      }
+      const double inv = 1.0 / total;
+      for (std::size_t c = 0; c < m.cols(); ++c) row[c] *= inv;
+    }
+  });
+}
+
+void copy(const Matrix& src, Matrix& dst) {
+  run_kernel(Kernel::kDataMove, 0, 8ULL * 2 * src.size(), [&] { dst = src; });
+}
+
+double squared_norm(const Matrix& m) {
+  double s = 0.0;
+  const double* x = m.data();
+  for (std::size_t i = 0; i < m.size(); ++i) s += x[i] * x[i];
+  return s;
+}
+
+}  // namespace ranknet::tensor

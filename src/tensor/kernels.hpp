@@ -1,0 +1,58 @@
+// Instrumented compute kernels over tensor::Matrix.
+//
+// These five kernel classes (MatMul, Mul, Add, Sigmoid, Tanh — plus Softmax
+// for the Transformer) are exactly the ones the paper's profiling section
+// identifies inside the LSTM cell; every call books its flop/byte footprint
+// into tensor::OpCounters so the Fig. 10-12 benches can reproduce the
+// roofline and breakdown analysis from real counts.
+#pragma once
+
+#include <span>
+
+#include "tensor/matrix.hpp"
+#include "tensor/opcount.hpp"
+
+namespace ranknet::tensor {
+
+/// C = alpha * op(A) * op(B) + beta * C, where op is optional transpose.
+/// Blocked and OpenMP-parallel over rows of C.
+void gemm(double alpha, const Matrix& a, bool trans_a, const Matrix& b,
+          bool trans_b, double beta, Matrix& c);
+
+/// Convenience: returns A * B.
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// out += a (element-wise). Shapes must match.
+void add_inplace(Matrix& out, const Matrix& a);
+/// out += alpha * a.
+void axpy(double alpha, const Matrix& a, Matrix& out);
+/// out *= s (scalar).
+void scale_inplace(Matrix& out, double s);
+/// out = a ⊙ b (Hadamard product); out may alias a or b.
+void hadamard(const Matrix& a, const Matrix& b, Matrix& out);
+/// out += a ⊙ b.
+void hadamard_add(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// Adds a length-cols bias vector to every row.
+void add_bias_rows(Matrix& m, std::span<const double> bias);
+/// Accumulates column sums of m into bias_grad (length cols).
+void sum_rows(const Matrix& m, std::span<double> bias_grad);
+
+/// Element-wise logistic sigmoid, in place.
+void sigmoid_inplace(Matrix& m);
+/// Element-wise tanh, in place.
+void tanh_inplace(Matrix& m);
+/// softplus(x) = log(1 + exp(x)), in place; used for the σ head.
+void softplus_inplace(Matrix& m);
+
+/// Row-wise softmax (in place) — attention weights.
+void softmax_rows(Matrix& m);
+
+/// Explicit copy booked as data movement (stands in for host<->device
+/// transfers in the hybrid-offload model of Fig. 12).
+void copy(const Matrix& src, Matrix& dst);
+
+/// Squared L2 norm of all elements.
+double squared_norm(const Matrix& m);
+
+}  // namespace ranknet::tensor

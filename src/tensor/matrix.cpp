@@ -1,0 +1,31 @@
+// Binary (de)serialization for Matrix — the model-cache format.
+#include "tensor/matrix.hpp"
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace ranknet::tensor {
+
+void write_matrix(std::ostream& out, const Matrix& m) {
+  const std::uint64_t rows = m.rows(), cols = m.cols();
+  out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  out.write(reinterpret_cast<const char*>(m.data()),
+            static_cast<std::streamsize>(sizeof(double) * m.size()));
+}
+
+Matrix read_matrix(std::istream& in) {
+  std::uint64_t rows = 0, cols = 0;
+  in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  if (!in) throw std::runtime_error("read_matrix: truncated header");
+  Matrix m(rows, cols);
+  in.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(sizeof(double) * m.size()));
+  if (!in) throw std::runtime_error("read_matrix: truncated payload");
+  return m;
+}
+
+}  // namespace ranknet::tensor

@@ -1,0 +1,100 @@
+// Dense row-major matrix of doubles — the storage type for all NN and ML
+// code in this library. Kept deliberately small: owning storage, shape,
+// element access and simple initializers; the compute kernels live in
+// tensor/kernels.hpp so they can be instrumented in one place.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ranknet::tensor {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix zeros(std::size_t rows, std::size_t cols) {
+    return Matrix(rows, cols, 0.0);
+  }
+
+  /// i.i.d. normal entries, used by weight initializers.
+  static Matrix randn(std::size_t rows, std::size_t cols, util::Rng& rng,
+                      double stddev = 1.0) {
+    Matrix m(rows, cols);
+    for (auto& x : m.data_) x = rng.normal(0.0, stddev);
+    return m;
+  }
+
+  /// Xavier/Glorot uniform initializer.
+  static Matrix glorot(std::size_t rows, std::size_t cols, util::Rng& rng) {
+    Matrix m(rows, cols);
+    const double limit =
+        std::sqrt(6.0 / static_cast<double>(rows + cols));
+    for (auto& x : m.data_) x = rng.uniform(-limit, limit);
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  std::span<double> row(std::size_t r) {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t r) const {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::span<double> flat() { return {data_.data(), data_.size()}; }
+  std::span<const double> flat() const { return {data_.data(), data_.size()}; }
+
+  void fill(double v) {
+    for (auto& x : data_) x = v;
+  }
+  void set_zero() { fill(0.0); }
+
+  /// Reshape without reallocation; total size must match.
+  void reshape(std::size_t rows, std::size_t cols) {
+    assert(rows * cols == data_.size());
+    rows_ = rows;
+    cols_ = cols;
+  }
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+using Vector = std::vector<double>;
+
+}  // namespace ranknet::tensor

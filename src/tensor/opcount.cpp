@@ -1,0 +1,78 @@
+#include "tensor/opcount.hpp"
+
+#include <sstream>
+
+#include "util/string_util.hpp"
+
+namespace ranknet::tensor {
+
+const char* kernel_name(Kernel k) {
+  switch (k) {
+    case Kernel::kMatMul: return "MatMul";
+    case Kernel::kMul: return "Mul";
+    case Kernel::kAdd: return "Add";
+    case Kernel::kSigmoid: return "Sigmoid";
+    case Kernel::kTanh: return "Tanh";
+    case Kernel::kSoftmax: return "Softmax";
+    case Kernel::kDataMove: return "DataMove";
+    case Kernel::kOther: return "Other";
+    case Kernel::kCount: break;
+  }
+  return "?";
+}
+
+OpCounters& OpCounters::instance() {
+  static OpCounters counters;
+  return counters;
+}
+
+void OpCounters::reset() {
+  for (auto& s : stats_) s = KernelStats{};
+}
+
+KernelStats OpCounters::total() const {
+  KernelStats t;
+  for (const auto& s : stats_) {
+    t.calls += s.calls;
+    t.flops += s.flops;
+    t.bytes += s.bytes;
+    t.seconds += s.seconds;
+  }
+  return t;
+}
+
+std::string OpCounters::report() const {
+  std::ostringstream out;
+  out << util::format("%-10s %12s %16s %16s %10s %10s\n", "kernel", "calls",
+                      "flops", "bytes", "AI", "Gflop/s");
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Kernel::kCount); ++i) {
+    const auto& s = stats_[i];
+    if (s.calls == 0) continue;
+    out << util::format("%-10s %12llu %16llu %16llu %10.4f %10.3f\n",
+                        kernel_name(static_cast<Kernel>(i)),
+                        static_cast<unsigned long long>(s.calls),
+                        static_cast<unsigned long long>(s.flops),
+                        static_cast<unsigned long long>(s.bytes),
+                        s.intensity(), s.gflops());
+  }
+  return out.str();
+}
+
+OpCounterScope::OpCounterScope() {
+  for (std::size_t i = 0; i < start_.size(); ++i) {
+    start_[i] = OpCounters::instance().stats(static_cast<Kernel>(i));
+  }
+}
+
+KernelStats OpCounterScope::delta(Kernel k) const {
+  const auto& now = OpCounters::instance().stats(k);
+  const auto& then = start_[static_cast<std::size_t>(k)];
+  KernelStats d;
+  d.calls = now.calls - then.calls;
+  d.flops = now.flops - then.flops;
+  d.bytes = now.bytes - then.bytes;
+  d.seconds = now.seconds - then.seconds;
+  return d;
+}
+
+}  // namespace ranknet::tensor

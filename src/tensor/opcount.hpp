@@ -1,0 +1,94 @@
+// Kernel-level operation accounting.
+//
+// The paper's efficiency study (Section IV-J, Figs. 10-12) reasons about
+// RankNet training at the level of five kernel classes identified from the
+// LSTM cell: MatMul, Mul (element-wise product), Add, Sigmoid, Tanh. Every
+// kernel in this library reports its floating-point operation count, the
+// bytes it moved, and (when profiling is enabled) its walltime, so the
+// roofline (Fig. 11) and breakdown (Fig. 12) benches read real numbers from
+// the same code the model trains with.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ranknet::tensor {
+
+enum class Kernel : std::size_t {
+  kMatMul = 0,
+  kMul,
+  kAdd,
+  kSigmoid,
+  kTanh,
+  kSoftmax,
+  kDataMove,  // explicit copies / host<->device stand-ins
+  kOther,
+  kCount,
+};
+
+const char* kernel_name(Kernel k);
+
+struct KernelStats {
+  std::uint64_t calls = 0;
+  std::uint64_t flops = 0;
+  std::uint64_t bytes = 0;
+  double seconds = 0.0;
+
+  /// Arithmetic intensity in flop/byte (0 if no bytes recorded).
+  double intensity() const {
+    return bytes == 0 ? 0.0
+                      : static_cast<double>(flops) / static_cast<double>(bytes);
+  }
+  /// Achieved Gflop/s (0 if no time recorded).
+  double gflops() const {
+    return seconds <= 0.0 ? 0.0 : static_cast<double>(flops) / seconds * 1e-9;
+  }
+};
+
+/// Global accounting registry. Counting of flops/bytes is always on (cheap
+/// integer adds); per-call timing is gated behind set_profiling(true) because
+/// clock reads around microsecond kernels would distort the measurement.
+class OpCounters {
+ public:
+  static OpCounters& instance();
+
+  void reset();
+  void set_profiling(bool on) { profiling_ = on; }
+  bool profiling() const { return profiling_; }
+
+  void record(Kernel k, std::uint64_t flops, std::uint64_t bytes,
+              double seconds = 0.0) {
+    auto& s = stats_[static_cast<std::size_t>(k)];
+    ++s.calls;
+    s.flops += flops;
+    s.bytes += bytes;
+    s.seconds += seconds;
+  }
+
+  const KernelStats& stats(Kernel k) const {
+    return stats_[static_cast<std::size_t>(k)];
+  }
+
+  KernelStats total() const;
+
+  std::string report() const;
+
+ private:
+  OpCounters() = default;
+  std::array<KernelStats, static_cast<std::size_t>(Kernel::kCount)> stats_{};
+  bool profiling_ = false;
+};
+
+/// RAII scope that snapshots counters on entry and exposes the delta.
+class OpCounterScope {
+ public:
+  OpCounterScope();
+  KernelStats delta(Kernel k) const;
+
+ private:
+  std::array<KernelStats, static_cast<std::size_t>(Kernel::kCount)> start_{};
+};
+
+}  // namespace ranknet::tensor

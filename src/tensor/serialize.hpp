@@ -1,0 +1,13 @@
+// Binary stream (de)serialization for Matrix, used by the model cache.
+#pragma once
+
+#include <iosfwd>
+
+#include "tensor/matrix.hpp"
+
+namespace ranknet::tensor {
+
+void write_matrix(std::ostream& out, const Matrix& m);
+Matrix read_matrix(std::istream& in);
+
+}  // namespace ranknet::tensor

@@ -1,0 +1,90 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace ranknet::util {
+
+CsvTable::CsvTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  for (std::size_t i = 0; i < header_.size(); ++i) index_[header_[i]] = i;
+}
+
+std::size_t CsvTable::col(const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) {
+    throw std::out_of_range("CsvTable: no column named '" + name + "'");
+  }
+  return it->second;
+}
+
+bool CsvTable::has_col(const std::string& name) const {
+  return index_.count(name) != 0;
+}
+
+const std::string& CsvTable::cell(std::size_t r,
+                                  const std::string& name) const {
+  return rows_.at(r).at(col(name));
+}
+
+double CsvTable::cell_double(std::size_t r, const std::string& name) const {
+  return std::stod(cell(r, name));
+}
+
+long CsvTable::cell_long(std::size_t r, const std::string& name) const {
+  return std::stol(cell(r, name));
+}
+
+void CsvTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument(
+        format("CsvTable: row with %zu cells, expected %zu", row.size(),
+               header_.size()));
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvTable::to_string() const {
+  std::ostringstream out;
+  out << join(header_, ",") << '\n';
+  for (const auto& row : rows_) out << join(row, ",") << '\n';
+  return out.str();
+}
+
+void CsvTable::save(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("CsvTable: cannot open " + path);
+  f << to_string();
+}
+
+CsvTable CsvTable::parse(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("CsvTable: empty input");
+  std::vector<std::string> header;
+  for (auto& cellv : split(trim(line), ',')) {
+    header.emplace_back(trim(cellv));
+  }
+  CsvTable table(std::move(header));
+  while (std::getline(in, line)) {
+    const auto trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    std::vector<std::string> row;
+    for (auto& cellv : split(trimmed, ',')) row.emplace_back(trim(cellv));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+CsvTable CsvTable::load(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("CsvTable: cannot open " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return parse(buf.str());
+}
+
+}  // namespace ranknet::util

@@ -1,0 +1,46 @@
+// Tiny CSV reader/writer used by the telemetry round-trip and by benches
+// that dump series for external plotting. Handles plain (unquoted) CSV,
+// which is all the timing-and-scoring schema needs.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ranknet::util {
+
+/// In-memory CSV table with a header row.
+class CsvTable {
+ public:
+  CsvTable() = default;
+  explicit CsvTable(std::vector<std::string> header);
+
+  const std::vector<std::string>& header() const { return header_; }
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return header_.size(); }
+
+  /// Column index for a header name; throws std::out_of_range if absent.
+  std::size_t col(const std::string& name) const;
+  bool has_col(const std::string& name) const;
+
+  const std::vector<std::string>& row(std::size_t r) const { return rows_.at(r); }
+  const std::string& cell(std::size_t r, const std::string& name) const;
+  double cell_double(std::size_t r, const std::string& name) const;
+  long cell_long(std::size_t r, const std::string& name) const;
+
+  void add_row(std::vector<std::string> row);
+
+  std::string to_string() const;
+  void save(const std::string& path) const;
+
+  static CsvTable parse(const std::string& text);
+  static CsvTable load(const std::string& path);
+
+ private:
+  std::vector<std::string> header_;
+  std::map<std::string, std::size_t> index_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ranknet::util

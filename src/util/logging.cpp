@@ -1,0 +1,60 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "util/string_util.hpp"
+
+namespace ranknet::util {
+
+namespace {
+
+LogLevel g_level = LogLevel::kInfo;
+std::once_flag g_env_once;
+std::mutex g_mutex;
+
+void init_from_env() {
+  const char* env = std::getenv("RANKNET_LOG");
+  if (env == nullptr) return;
+  const std::string v = lower(env);
+  if (v == "debug") g_level = LogLevel::kDebug;
+  else if (v == "info") g_level = LogLevel::kInfo;
+  else if (v == "warn") g_level = LogLevel::kWarn;
+  else if (v == "error") g_level = LogLevel::kError;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  std::call_once(g_env_once, init_from_env);
+  g_level = level;
+}
+
+LogLevel log_level() {
+  std::call_once(g_env_once, init_from_env);
+  return g_level;
+}
+
+void log(LogLevel level, const std::string& msg) {
+  if (level < log_level()) return;
+  std::scoped_lock lock(g_mutex);
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+}
+
+void log_debug(const std::string& msg) { log(LogLevel::kDebug, msg); }
+void log_info(const std::string& msg) { log(LogLevel::kInfo, msg); }
+void log_warn(const std::string& msg) { log(LogLevel::kWarn, msg); }
+void log_error(const std::string& msg) { log(LogLevel::kError, msg); }
+
+}  // namespace ranknet::util

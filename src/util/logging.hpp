@@ -1,0 +1,24 @@
+// Minimal leveled logger. Benches keep their tables on stdout; diagnostics
+// go through here on stderr so output stays machine-parsable.
+#pragma once
+
+#include <string>
+
+namespace ranknet::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Default: kInfo.
+/// Honors the RANKNET_LOG environment variable (debug|info|warn|error)
+/// on first use.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log(LogLevel level, const std::string& msg);
+
+void log_debug(const std::string& msg);
+void log_info(const std::string& msg);
+void log_warn(const std::string& msg);
+void log_error(const std::string& msg);
+
+}  // namespace ranknet::util

@@ -1,0 +1,163 @@
+// Deterministic random number generation for the whole library.
+//
+// Every stochastic component (simulator, initializers, samplers, baselines)
+// takes an explicit Rng so that experiments are reproducible bit-for-bit.
+// The generator is xoshiro256++ (Blackman & Vigna), seeded via splitmix64:
+// small integer seeds expand to well-distributed 256-bit states.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numbers>
+#include <span>
+#include <vector>
+
+namespace ranknet::util {
+
+/// xoshiro256++ generator. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64 expansion, recommended by the xoshiro authors.
+    auto next = [&seed]() {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return z ^ (z >> 31);
+    };
+    for (auto& s : state_) s = next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+    // Lemire's multiply-shift rejection method (unbiased).
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * range;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < range) {
+      const std::uint64_t t = (0 - range) % range;
+      while (l < t) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * range;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return lo + static_cast<std::int64_t>(m >> 64);
+  }
+
+  /// Standard normal via Marsaglia polar method (no cached state would break
+  /// determinism across call sites, so we always draw a fresh pair).
+  double normal() {
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    return u * std::sqrt(-2.0 * std::log(s) / s);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Bernoulli draw with probability p of true.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Poisson draw (Knuth for small lambda, normal approx for large).
+  int poisson(double lambda) {
+    if (lambda <= 0.0) return 0;
+    if (lambda > 30.0) {
+      const double x = normal(lambda, std::sqrt(lambda));
+      return x < 0.0 ? 0 : static_cast<int>(std::lround(x));
+    }
+    const double limit = std::exp(-lambda);
+    double prod = uniform();
+    int n = 0;
+    while (prod > limit) {
+      prod *= uniform();
+      ++n;
+    }
+    return n;
+  }
+
+  /// Exponential draw with given rate (mean = 1/rate).
+  double exponential(double rate) {
+    return -std::log(1.0 - uniform()) / rate;
+  }
+
+  /// Truncated normal on [lo, hi] by rejection (assumes reasonable overlap).
+  double truncated_normal(double mean, double stddev, double lo, double hi) {
+    for (int i = 0; i < 1024; ++i) {
+      const double x = normal(mean, stddev);
+      if (x >= lo && x <= hi) return x;
+    }
+    return std::clamp(mean, lo, hi);  // degenerate parameters; stay in range
+  }
+
+  /// Sample an index from unnormalized non-negative weights.
+  std::size_t categorical(std::span<const double> weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    double r = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      r -= weights[i];
+      if (r <= 0.0) return i;
+    }
+    return weights.empty() ? 0 : weights.size() - 1;
+  }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for parallel streams).
+  Rng split() { return Rng((*this)() ^ 0xa5a5a5a5a5a5a5a5ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace ranknet::util

@@ -1,0 +1,145 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ranknet::util {
+
+double sum(std::span<const double> xs) {
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s;
+}
+
+double mean(std::span<const double> xs) {
+  return xs.empty() ? std::numeric_limits<double>::quiet_NaN()
+                    : sum(xs) / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double min(std::span<const double> xs) {
+  return xs.empty() ? std::numeric_limits<double>::quiet_NaN()
+                    : *std::min_element(xs.begin(), xs.end());
+}
+
+double max(std::span<const double> xs) {
+  return xs.empty() ? std::numeric_limits<double>::quiet_NaN()
+                    : *std::max_element(xs.begin(), xs.end());
+}
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.empty()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double Histogram::bin_width() const {
+  return counts.empty() ? 0.0 : (hi - lo) / static_cast<double>(counts.size());
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  return lo + (static_cast<double>(i) + 0.5) * bin_width();
+}
+
+std::size_t Histogram::total() const {
+  std::size_t t = 0;
+  for (auto c : counts) t += c;
+  return t;
+}
+
+double Histogram::frequency(std::size_t i) const {
+  const auto t = total();
+  return t == 0 ? 0.0
+                : static_cast<double>(counts[i]) / static_cast<double>(t);
+}
+
+Histogram histogram(std::span<const double> xs, double lo, double hi,
+                    std::size_t bins) {
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.counts.assign(bins, 0);
+  if (bins == 0 || hi <= lo) return h;
+  const double w = (hi - lo) / static_cast<double>(bins);
+  for (double x : xs) {
+    auto idx = static_cast<std::ptrdiff_t>((x - lo) / w);
+    idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                     static_cast<std::ptrdiff_t>(bins) - 1);
+    ++h.counts[static_cast<std::size_t>(idx)];
+  }
+  return h;
+}
+
+double Ecdf::operator()(double x) const {
+  const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+  if (it == xs.begin()) return 0.0;
+  return ps[static_cast<std::size_t>(it - xs.begin()) - 1];
+}
+
+Ecdf ecdf(std::span<const double> xs) {
+  Ecdf e;
+  e.xs.assign(xs.begin(), xs.end());
+  std::sort(e.xs.begin(), e.xs.end());
+  e.ps.resize(e.xs.size());
+  for (std::size_t i = 0; i < e.xs.size(); ++i) {
+    e.ps[i] = static_cast<double>(i + 1) / static_cast<double>(e.xs.size());
+  }
+  return e;
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace ranknet::util

@@ -1,0 +1,74 @@
+// Small descriptive-statistics toolkit used by the simulator analysis
+// benches (Fig. 4, Fig. 6) and by the evaluation metrics.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ranknet::util {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  // population variance
+double stddev(std::span<const double> xs);
+double min(std::span<const double> xs);
+double max(std::span<const double> xs);
+double sum(std::span<const double> xs);
+
+/// Quantile with linear interpolation between order statistics
+/// (type-7, the numpy default). q in [0,1]. Empty input -> NaN.
+double quantile(std::span<const double> xs, double q);
+double median(std::span<const double> xs);
+
+/// Pearson correlation coefficient; NaN when either side is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets.
+/// Values outside the range are clamped into the edge buckets.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<std::size_t> counts;
+
+  double bin_width() const;
+  double bin_center(std::size_t i) const;
+  std::size_t total() const;
+  /// Normalized frequency of bucket i (counts[i] / total).
+  double frequency(std::size_t i) const;
+};
+
+Histogram histogram(std::span<const double> xs, double lo, double hi,
+                    std::size_t bins);
+
+/// Empirical CDF evaluated at sorted sample points.
+struct Ecdf {
+  std::vector<double> xs;   // sorted support
+  std::vector<double> ps;   // P(X <= xs[i])
+
+  /// Evaluate the step function at x.
+  double operator()(double x) const;
+};
+
+Ecdf ecdf(std::span<const double> xs);
+
+/// Streaming mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance (n-1)
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace ranknet::util

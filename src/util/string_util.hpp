@@ -1,0 +1,24 @@
+// String helpers shared across modules (CSV, logging, table printers).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ranknet::util {
+
+std::vector<std::string> split(std::string_view s, char delim);
+std::string_view trim(std::string_view s);
+std::string lower(std::string_view s);
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Join elements with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// FNV-1a 64-bit hash, used for model-cache keys.
+std::uint64_t fnv1a(std::string_view s);
+
+}  // namespace ranknet::util

@@ -1,0 +1,224 @@
+// Tests of the forecasting interface, metrics, baselines and the
+// evaluation drivers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/baselines.hpp"
+#include "core/evaluation.hpp"
+#include "core/forecaster.hpp"
+#include "core/metrics.hpp"
+#include "ml/random_forest.hpp"
+#include "ml/svr.hpp"
+#include "simulator/season.hpp"
+
+namespace {
+
+using namespace ranknet;
+using core::RaceSamples;
+using tensor::Matrix;
+
+TEST(Metrics, MaeBasics) {
+  const std::vector<double> pred{1, 2, 3};
+  const std::vector<double> actual{2, 2, 5};
+  EXPECT_DOUBLE_EQ(core::mae(pred, actual), 1.0);
+  EXPECT_THROW(core::mae(pred, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(Metrics, RhoRiskPerfectForecastIsZero) {
+  const std::vector<double> z{3, 5, 7};
+  EXPECT_DOUBLE_EQ(core::rho_risk(z, z, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(core::rho_risk(z, z, 0.9), 0.0);
+}
+
+TEST(Metrics, RhoRiskIsNonNegativeAndAsymmetric) {
+  const std::vector<double> actual{10, 10, 10, 10};
+  const std::vector<double> over{12, 12, 12, 12};
+  const std::vector<double> under{8, 8, 8, 8};
+  // Any miss has positive risk.
+  EXPECT_GT(core::rho_risk(over, actual, 0.9), 0.0);
+  EXPECT_GT(core::rho_risk(under, actual, 0.9), 0.0);
+  // At rho=0.9, over-prediction is cheap, under-prediction expensive.
+  EXPECT_LT(core::rho_risk(over, actual, 0.9),
+            core::rho_risk(under, actual, 0.9));
+  // 50-risk of a point forecast equals MAE normalized by sum |Z|.
+  EXPECT_NEAR(core::rho_risk(over, actual, 0.5),
+              core::mae(over, actual) * 4.0 / 40.0, 1e-12);
+}
+
+TEST(Metrics, SignAccuracy) {
+  const std::vector<double> pred{1, -2, 0, 3};
+  const std::vector<double> actual{4, -1, 0, -2};
+  EXPECT_DOUBLE_EQ(core::sign_accuracy(pred, actual), 0.75);
+}
+
+TEST(Forecaster, SortToRanksIsJointPerSample) {
+  RaceSamples raw;
+  // Two samples, one lap horizon, three cars with crossing values.
+  Matrix a(2, 1), b(2, 1), c(2, 1);
+  a(0, 0) = 1.2; a(1, 0) = 9.0;
+  b(0, 0) = 4.0; b(1, 0) = 2.0;
+  c(0, 0) = 8.0; c(1, 0) = 5.0;
+  raw.emplace(10, a);
+  raw.emplace(20, b);
+  raw.emplace(30, c);
+  const auto ranks = core::sort_to_ranks(raw);
+  EXPECT_DOUBLE_EQ(ranks.at(10)(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(ranks.at(20)(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(ranks.at(30)(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(ranks.at(10)(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(ranks.at(20)(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(ranks.at(30)(1, 0), 2.0);
+}
+
+TEST(Forecaster, MedianTrajectoryAndQuantiles) {
+  Matrix samples(3, 2);
+  samples(0, 0) = 1; samples(0, 1) = 4;
+  samples(1, 0) = 2; samples(1, 1) = 6;
+  samples(2, 0) = 3; samples(2, 1) = 8;
+  const auto med = core::median_trajectory(samples);
+  EXPECT_DOUBLE_EQ(med[0], 2.0);
+  EXPECT_DOUBLE_EQ(med[1], 6.0);
+  EXPECT_DOUBLE_EQ(core::sample_quantile(samples, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(core::sample_quantile(samples, 1, 1.0), 8.0);
+}
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    race_ = new telemetry::RaceLog(
+        sim::simulate_race({"Indy500", 2019, 200, sim::Usage::kTest}));
+  }
+  static void TearDownTestSuite() {
+    delete race_;
+    race_ = nullptr;
+  }
+  static telemetry::RaceLog* race_;
+};
+telemetry::RaceLog* BaselineTest::race_ = nullptr;
+
+TEST_F(BaselineTest, CurRankPredictsPersistence) {
+  core::CurRankForecaster f;
+  util::Rng rng(1);
+  const auto samples = f.forecast(*race_, 50, 3, 10, rng);
+  ASSERT_FALSE(samples.empty());
+  for (const auto& [car_id, m] : samples) {
+    EXPECT_EQ(m.rows(), 1u);  // deterministic
+    const double current = race_->car(car_id).rank[49];
+    for (std::size_t h = 0; h < m.cols(); ++h) {
+      EXPECT_DOUBLE_EQ(m(0, h), current);
+    }
+  }
+}
+
+TEST_F(BaselineTest, ArimaProducesFiniteSpreadSamples) {
+  core::ArimaForecaster f;
+  util::Rng rng(2);
+  const auto samples = f.forecast(*race_, 60, 2, 30, rng);
+  ASSERT_FALSE(samples.empty());
+  for (const auto& [car_id, m] : samples) {
+    EXPECT_EQ(m.rows(), 30u);
+    for (double v : m.flat()) {
+      EXPECT_TRUE(std::isfinite(v));
+      EXPECT_GE(v, 1.0);
+      EXPECT_LE(v, 45.0);
+    }
+  }
+}
+
+TEST_F(BaselineTest, MlDatasetAndForecaster) {
+  core::MlFeatureConfig fcfg;
+  const auto ds =
+      core::build_ml_dataset({*race_}, 2, fcfg, /*max_rows=*/2000);
+  ASSERT_GT(ds.y.size(), 500u);
+  EXPECT_LE(ds.y.size(), 2000u);
+  EXPECT_EQ(ds.x.cols(), fcfg.dim());
+  // Train a tiny forest and wrap it.
+  auto forest = std::make_shared<ml::RandomForest>(ml::ForestConfig{
+      .num_trees = 10});
+  forest->fit(ds.x, ds.y);
+  core::MlRegressorForecaster f("RandomForest", forest, fcfg, 2);
+  util::Rng rng(3);
+  const auto samples = f.forecast(*race_, 70, 2, 1, rng);
+  ASSERT_FALSE(samples.empty());
+  for (const auto& [car_id, m] : samples) {
+    for (double v : m.flat()) {
+      EXPECT_GE(v, 1.0);
+      EXPECT_LE(v, 45.0);
+    }
+  }
+}
+
+TEST_F(BaselineTest, TaskAEvaluationCountsAndOrdering) {
+  core::CurRankForecaster currank;
+  core::TaskAConfig cfg;
+  cfg.origin_stride = 8;
+  cfg.num_samples = 1;
+  const auto r = core::evaluate_task_a(currank, *race_, cfg);
+  EXPECT_GT(r.all.count, 100u);
+  EXPECT_EQ(r.all.count, r.normal.count + r.pit_covered.count);
+  // Persistence is very accurate on normal laps, poor around pit stops.
+  EXPECT_LT(r.normal.mae, 1.0);
+  EXPECT_GT(r.pit_covered.mae, r.normal.mae + 0.5);
+  // 50-risk and 90-risk coincide for a deterministic forecaster.
+  EXPECT_NEAR(r.all.risk50, r.all.risk90, 1e-12);
+}
+
+TEST_F(BaselineTest, TaskAMultiRaceAggregation) {
+  core::CurRankForecaster currank;
+  core::TaskAConfig cfg;
+  cfg.origin_stride = 16;
+  cfg.num_samples = 1;
+  const auto one = core::evaluate_task_a(currank, *race_, cfg);
+  const auto two = core::evaluate_task_a(
+      currank, std::vector<telemetry::RaceLog>{*race_, *race_}, cfg);
+  EXPECT_EQ(two.all.count, 2 * one.all.count);
+  EXPECT_NEAR(two.all.mae, one.all.mae, 1e-9);
+}
+
+TEST_F(BaselineTest, TaskBZeroChangeBaseline) {
+  core::ZeroChangeStintPredictor zero;
+  core::TaskBConfig cfg;
+  const auto r = core::evaluate_task_b(zero, {*race_}, cfg);
+  ASSERT_GT(r.count, 20u);
+  // Rank changes between stints are substantial, so zero-change MAE is
+  // large and its sign accuracy is the frequency of exact zero changes.
+  EXPECT_GT(r.mae, 1.5);
+  EXPECT_LT(r.sign_acc, 0.5);
+}
+
+TEST_F(BaselineTest, TaskBRegressorBeatsZeroChange) {
+  const auto train = sim::build_event_dataset("Indy500").train;
+  const auto ds = core::RegressorStintPredictor::build_dataset(train, 5);
+  ASSERT_GT(ds.y.size(), 300u);
+  auto svr = std::make_shared<ml::Svr>();
+  svr->fit(ds.x, ds.y);
+  core::RegressorStintPredictor pred("SVM", svr);
+  core::ZeroChangeStintPredictor zero;
+  core::TaskBConfig cfg;
+  const auto r_svr = core::evaluate_task_b(pred, {*race_}, cfg);
+  const auto r_zero = core::evaluate_task_b(zero, {*race_}, cfg);
+  EXPECT_GT(r_svr.sign_acc, r_zero.sign_acc);
+}
+
+TEST(StintFeatures, ExtractsSensibleValues) {
+  const auto race =
+      sim::simulate_race({"Indy500", 2017, 200, sim::Usage::kTrain});
+  for (int car_id : race.car_ids()) {
+    const auto& car = race.car(car_id);
+    const auto pits = car.pit_laps();
+    if (pits.size() < 2) continue;
+    std::vector<double> x(core::RegressorStintPredictor::kFeatureDim);
+    const int p1 = static_cast<int>(pits[0]) + 1;
+    const int p2 = static_cast<int>(pits[1]) + 1;
+    ASSERT_TRUE(core::RegressorStintPredictor::features_at(race, car_id, p1,
+                                                           p2, x));
+    EXPECT_GE(x[0], 1.0);   // rank
+    EXPECT_GE(x[4], 1.0);   // pits so far includes this one
+    EXPECT_GT(x[5], 0.0);   // stint length
+    break;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,88 @@
+// Tests of the efficiency-study substrate (Figs. 10-12): instrumented
+// workload measurement and the analytic device model.
+#include <gtest/gtest.h>
+
+#include "core/device_model.hpp"
+
+namespace {
+
+using namespace ranknet;
+using core::Workload;
+using tensor::Kernel;
+
+TEST(Workload, MeasuresAllLstmKernelClasses) {
+  const auto w = core::measure_ranknet_workload(16, 1);
+  EXPECT_EQ(w.batch, 16u);
+  EXPECT_GT(w.wall_seconds, 0.0);
+  EXPECT_GT(w.cpu_us_per_sample(), 0.0);
+  // The paper's five kernel classes must all appear in a training step.
+  for (const auto k : {Kernel::kMatMul, Kernel::kMul, Kernel::kAdd,
+                       Kernel::kSigmoid, Kernel::kTanh}) {
+    EXPECT_GT(w.kernel(k).calls, 0u) << tensor::kernel_name(k);
+    EXPECT_GT(w.kernel(k).flops, 0u) << tensor::kernel_name(k);
+    EXPECT_GT(w.kernel(k).bytes, 0u) << tensor::kernel_name(k);
+  }
+  // MatMul dominates the flops (paper: ~half the walltime, most flops).
+  const auto total = [&] {
+    std::uint64_t t = 0;
+    for (const auto& s : w.per_kernel) t += s.flops;
+    return t;
+  }();
+  EXPECT_GT(w.kernel(Kernel::kMatMul).flops, total / 2);
+}
+
+TEST(Workload, FlopsScaleLinearlyWithBatch) {
+  const auto w1 = core::measure_ranknet_workload(8, 1);
+  const auto w2 = core::measure_ranknet_workload(16, 1);
+  const double f1 = static_cast<double>(w1.kernel(Kernel::kMatMul).flops);
+  const double f2 = static_cast<double>(w2.kernel(Kernel::kMatMul).flops);
+  // X*W flops double; H*W flops double as well -> total should ~double.
+  EXPECT_NEAR(f2 / f1, 2.0, 0.2);
+  // Call counts are batch-independent (same graph, bigger tensors).
+  EXPECT_EQ(w1.kernel(Kernel::kMatMul).calls,
+            w2.kernel(Kernel::kMatMul).calls);
+}
+
+TEST(DeviceModel, LargeBatchIsFasterPerSampleOnAccelerators) {
+  const auto w_small = core::measure_ranknet_workload(16, 1);
+  const auto w_large = core::measure_ranknet_workload(256, 1);
+  for (const auto& spec : {core::gpu_spec(), core::gpu_cudnn_spec()}) {
+    const double small = core::modeled_us_per_sample(w_small, spec);
+    const double large = core::modeled_us_per_sample(w_large, spec);
+    EXPECT_LT(large, small) << spec.name;
+  }
+}
+
+TEST(DeviceModel, CudnnFusionBeatsOpByOpGpu) {
+  const auto w = core::measure_ranknet_workload(32, 1);
+  EXPECT_LT(core::modeled_us_per_sample(w, core::gpu_cudnn_spec()),
+            core::modeled_us_per_sample(w, core::gpu_spec()));
+}
+
+TEST(DeviceModel, HybridOffloadGrowsWithBatch) {
+  const auto w_small = core::measure_ranknet_workload(16, 1);
+  const auto w_large = core::measure_ranknet_workload(512, 1);
+  const auto ve = core::ve_spec();
+  const auto b_small = core::hybrid_breakdown(w_small, ve);
+  const auto b_large = core::hybrid_breakdown(w_large, ve);
+  EXPECT_GE(b_large.offloaded_flop_fraction,
+            b_small.offloaded_flop_fraction);
+  // Breakdown fractions sum to ~1.
+  for (const auto& b : {b_small, b_large}) {
+    const double total = b.matmul_mul_host + b.matmul_mul_dev +
+                         b.pointwise_host + b.pointwise_dev + b.other_host +
+                         b.other_dev + b.data_move;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(DeviceModel, RooflineCeilingsArePositiveAndOrdered) {
+  const auto roof = core::measure_cpu_roofline();
+  EXPECT_GT(roof.peak_gflops, 0.1);
+  EXPECT_GT(roof.scalar_gflops, 0.05);
+  EXPECT_GT(roof.dram_bw_gbs, 0.1);
+  // Dense FMA peak must exceed the dependent-scalar peak.
+  EXPECT_GT(roof.peak_gflops, roof.scalar_gflops * 0.5);
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+// End-to-end integration: simulate an event, train a small RankNet through
+// the ModelZoo (cached under a temp dir), forecast a test race, and check
+// the paper's headline qualitative claim — RankNet with oracle race status
+// beats the persistence baseline around pit stops.
+//
+// Kept intentionally small (few epochs / windows) so the suite stays fast;
+// the bench harness runs the full-size configuration.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/evaluation.hpp"
+#include "core/registry.hpp"
+
+namespace {
+
+using namespace ranknet;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ds_ = new sim::EventDataset(sim::build_event_dataset("Indy500"));
+    core::ZooConfig zc;
+    zc.artifacts_dir =
+        (std::filesystem::temp_directory_path() / "ranknet_it_cache")
+            .string();
+    zc.train.max_epochs = 8;
+    zc.train.max_windows = 2500;
+    zc.train.max_val_windows = 400;
+    zoo_ = new core::ModelZoo(zc);
+  }
+  static void TearDownTestSuite() {
+    delete zoo_;
+    delete ds_;
+  }
+  static sim::EventDataset* ds_;
+  static core::ModelZoo* zoo_;
+};
+sim::EventDataset* IntegrationTest::ds_ = nullptr;
+core::ModelZoo* IntegrationTest::zoo_ = nullptr;
+
+TEST_F(IntegrationTest, OracleBeatsCurRankOnPitCoveredLaps) {
+  auto oracle = zoo_->ranknet_oracle(*ds_);
+  core::CurRankForecaster currank;
+  core::TaskAConfig cfg;
+  cfg.num_samples = 24;
+  cfg.origin_stride = 6;
+  const auto r_oracle = core::evaluate_task_a(*oracle, ds_->test, cfg);
+  const auto r_currank = core::evaluate_task_a(currank, ds_->test, cfg);
+  ASSERT_GT(r_oracle.all.count, 200u);
+  EXPECT_EQ(r_oracle.all.count, r_currank.all.count);
+  // Headline claim: the win comes from the pit-covered laps.
+  EXPECT_LT(r_oracle.pit_covered.mae, r_currank.pit_covered.mae);
+  EXPECT_LT(r_oracle.all.mae, r_currank.all.mae + 0.15);
+}
+
+TEST_F(IntegrationTest, ModelCacheRoundTrip) {
+  // Second construction must load from cache and produce identical
+  // forecasts for the same seed.
+  auto a = zoo_->ranknet_oracle(*ds_);
+  auto b = zoo_->ranknet_oracle(*ds_);
+  util::Rng rng_a(5), rng_b(5);
+  const auto& race = ds_->test[0];
+  const auto fa = a->forecast(race, 40, 2, 8, rng_a);
+  const auto fb = b->forecast(race, 40, 2, 8, rng_b);
+  ASSERT_EQ(fa.size(), fb.size());
+  for (const auto& [car_id, m] : fa) {
+    const auto& n = fb.at(car_id);
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      EXPECT_DOUBLE_EQ(m.flat()[i], n.flat()[i]);
+    }
+  }
+}
+
+TEST_F(IntegrationTest, MlpVariantProducesCalibratedSamples) {
+  auto mlp = zoo_->ranknet_mlp(*ds_);
+  util::Rng rng(6);
+  const auto& race = ds_->test[0];
+  const auto raw = mlp->forecast(race, 60, 4, 16, rng);
+  ASSERT_FALSE(raw.empty());
+  const auto ranks = core::sort_to_ranks(raw);
+  const auto cars = static_cast<double>(ranks.size());
+  for (const auto& [car_id, m] : ranks) {
+    EXPECT_EQ(m.rows(), 16u);
+    EXPECT_EQ(m.cols(), 4u);
+    for (double v : m.flat()) {
+      EXPECT_GE(v, 1.0);
+      EXPECT_LE(v, cars);
+    }
+  }
+  // Joint sorting makes each (sample, lap) slice a permutation: the sum of
+  // ranks across cars is n(n+1)/2.
+  for (std::size_t s = 0; s < 16; ++s) {
+    for (std::size_t h = 0; h < 4; ++h) {
+      double total = 0.0;
+      for (const auto& [_, m] : ranks) total += m(s, h);
+      EXPECT_DOUBLE_EQ(total, cars * (cars + 1.0) / 2.0);
+    }
+  }
+}
+
+TEST_F(IntegrationTest, StintAdapterEvaluates) {
+  auto oracle = zoo_->ranknet_oracle(*ds_);
+  core::ForecasterStintAdapter adapter(*oracle, 8);
+  core::TaskBConfig cfg;
+  cfg.min_stint = 10;
+  const auto r = core::evaluate_task_b(adapter, ds_->test, cfg);
+  EXPECT_GT(r.count, 10u);
+  EXPECT_TRUE(std::isfinite(r.mae));
+  EXPECT_GE(r.sign_acc, 0.0);
+  EXPECT_LE(r.sign_acc, 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/arima.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/gbdt.hpp"
+#include "ml/random_forest.hpp"
+#include "ml/svr.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace ranknet;
+using tensor::Matrix;
+using util::Rng;
+
+/// y = 3*x0 - 2*x1 + noise on [0,1]^2.
+struct LinearProblem {
+  Matrix x;
+  std::vector<double> y;
+};
+LinearProblem make_linear(std::size_t n, double noise, std::uint64_t seed) {
+  Rng rng(seed);
+  LinearProblem p;
+  p.x = Matrix(n, 2);
+  p.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.x(i, 0) = rng.uniform();
+    p.x(i, 1) = rng.uniform();
+    p.y[i] = 3.0 * p.x(i, 0) - 2.0 * p.x(i, 1) + rng.normal(0.0, noise);
+  }
+  return p;
+}
+
+double mse(const ml::Regressor& model, const Matrix& x,
+           const std::vector<double>& y) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const double e = model.predict_one(x.row(i)) - y[i];
+    acc += e * e;
+  }
+  return acc / static_cast<double>(x.rows());
+}
+
+TEST(DecisionTree, FitsStepFunctionExactly) {
+  // y = 1{x0 > 0.5}: a depth-1 tree should nail it.
+  Rng rng(1);
+  Matrix x(200, 1);
+  std::vector<double> y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    x(i, 0) = rng.uniform();
+    y[i] = x(i, 0) > 0.5 ? 1.0 : 0.0;
+  }
+  ml::TreeConfig cfg;
+  cfg.max_depth = 3;
+  ml::DecisionTree tree(cfg);
+  tree.fit(x, y);
+  EXPECT_NEAR(tree.predict_one(std::vector<double>{0.2}), 0.0, 1e-9);
+  EXPECT_NEAR(tree.predict_one(std::vector<double>{0.9}), 1.0, 1e-9);
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+  const auto p = make_linear(500, 0.0, 2);
+  ml::TreeConfig cfg;
+  cfg.max_depth = 4;
+  ml::DecisionTree tree(cfg);
+  tree.fit(p.x, p.y);
+  EXPECT_LE(tree.depth(), 5);  // root at depth 1
+  EXPECT_GT(tree.num_nodes(), 3u);
+}
+
+TEST(DecisionTree, ConstantTargetSingleLeaf) {
+  Matrix x(50, 2, 0.5);
+  std::vector<double> y(50, 7.0);
+  ml::DecisionTree tree;
+  tree.fit(x, y);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict_one(std::vector<double>{0.0, 0.0}), 7.0);
+}
+
+TEST(RandomForest, BeatsMeanBaselineOnLinear) {
+  const auto train = make_linear(800, 0.1, 3);
+  const auto test = make_linear(200, 0.1, 4);
+  ml::ForestConfig cfg;
+  cfg.num_trees = 30;
+  ml::RandomForest forest(cfg);
+  forest.fit(train.x, train.y);
+  EXPECT_EQ(forest.num_trees(), 30u);
+  const double model_mse = mse(forest, test.x, test.y);
+  const double var = util::variance(test.y);
+  EXPECT_LT(model_mse, 0.3 * var);
+}
+
+TEST(Gbdt, DrivesTrainErrorDown) {
+  const auto train = make_linear(600, 0.05, 5);
+  ml::GbdtConfig cfg;
+  cfg.num_rounds = 80;
+  ml::Gbdt model(cfg);
+  model.fit(train.x, train.y);
+  EXPECT_GT(model.num_rounds(), 40u);
+  EXPECT_LT(mse(model, train.x, train.y), 0.05);
+}
+
+TEST(Gbdt, MoreRoundsHelp) {
+  const auto train = make_linear(600, 0.05, 6);
+  const auto test = make_linear(200, 0.05, 7);
+  ml::GbdtConfig small;
+  small.num_rounds = 5;
+  ml::GbdtConfig big;
+  big.num_rounds = 100;
+  ml::Gbdt a(small), b(big);
+  a.fit(train.x, train.y);
+  b.fit(train.x, train.y);
+  EXPECT_LT(mse(b, test.x, test.y), mse(a, test.x, test.y));
+}
+
+TEST(Svr, FitsSmoothFunction) {
+  // y = sin(2*pi*x): RBF SVR should track it closely.
+  Rng rng(8);
+  Matrix x(300, 1);
+  std::vector<double> y(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    x(i, 0) = rng.uniform();
+    y[i] = std::sin(2.0 * M_PI * x(i, 0));
+  }
+  ml::SvrConfig cfg;
+  cfg.epsilon = 0.05;
+  cfg.c = 20.0;
+  ml::Svr svr(cfg);
+  svr.fit(x, y);
+  EXPECT_GT(svr.num_support_vectors(), 5u);
+  double max_err = 0.0;
+  for (double t = 0.05; t < 1.0; t += 0.05) {
+    max_err = std::max(max_err, std::abs(svr.predict_one(
+                                    std::vector<double>{t}) -
+                                std::sin(2.0 * M_PI * t)));
+  }
+  EXPECT_LT(max_err, 0.25);
+}
+
+TEST(Svr, LinearKernelRecoversLine) {
+  const auto p = make_linear(400, 0.01, 9);
+  ml::SvrConfig cfg;
+  cfg.kernel = ml::SvrKernel::kLinear;
+  cfg.epsilon = 0.02;
+  cfg.c = 50.0;
+  ml::Svr svr(cfg);
+  svr.fit(p.x, p.y);
+  EXPECT_LT(mse(svr, p.x, p.y), 0.02);
+}
+
+TEST(Svr, SubsamplesHugeProblems) {
+  const auto p = make_linear(4000, 0.1, 10);
+  ml::SvrConfig cfg;
+  cfg.max_samples = 500;
+  ml::Svr svr(cfg);
+  svr.fit(p.x, p.y);  // must not blow up memory / time
+  EXPECT_LE(svr.num_support_vectors(), 500u);
+}
+
+TEST(Arima, RecoversArCoefficients) {
+  // AR(1): z_t = 0.8 z_{t-1} + eps.
+  Rng rng(11);
+  std::vector<double> z{0.0};
+  for (int t = 1; t < 3000; ++t) {
+    z.push_back(0.8 * z.back() + rng.normal(0.0, 0.5));
+  }
+  ml::ArimaConfig cfg;
+  cfg.p = 1;
+  cfg.d = 0;
+  ml::Arima model(cfg);
+  model.fit(z);
+  ASSERT_EQ(model.coefficients().size(), 1u);
+  EXPECT_NEAR(model.coefficients()[0], 0.8, 0.05);
+  EXPECT_NEAR(model.residual_stddev(), 0.5, 0.05);
+}
+
+TEST(Arima, DifferencingHandlesLinearTrend) {
+  // z_t = 2t + noise: with d=1 the forecast must continue the slope.
+  Rng rng(12);
+  std::vector<double> z;
+  for (int t = 0; t < 200; ++t) z.push_back(2.0 * t + rng.normal(0.0, 0.1));
+  ml::Arima model({2, 1});
+  model.fit(z);
+  const auto fc = model.forecast(5);
+  ASSERT_EQ(fc.size(), 5u);
+  for (int h = 0; h < 5; ++h) {
+    EXPECT_NEAR(fc[static_cast<std::size_t>(h)], 2.0 * (200 + h), 2.0);
+  }
+}
+
+TEST(Arima, SamplePathsCenterOnForecast) {
+  Rng rng(13);
+  std::vector<double> z;
+  for (int t = 0; t < 300; ++t) z.push_back(rng.normal(5.0, 1.0));
+  ml::Arima model({1, 0});
+  model.fit(z);
+  util::Rng sample_rng(14);
+  const auto paths = model.sample_paths(3, 400, sample_rng);
+  ASSERT_EQ(paths.size(), 400u);
+  std::vector<double> last;
+  for (const auto& p : paths) last.push_back(p[2]);
+  EXPECT_NEAR(util::mean(last), model.forecast(3)[2], 0.25);
+  EXPECT_GT(util::stddev(last), 0.5);  // real spread from innovations
+}
+
+TEST(Arima, ShortSeriesDegradeGracefully) {
+  ml::Arima model({3, 1});
+  model.fit(std::vector<double>{1.0, 2.0});
+  const auto fc = model.forecast(3);
+  ASSERT_EQ(fc.size(), 3u);
+  for (double v : fc) EXPECT_TRUE(std::isfinite(v));
+}
+
+}  // namespace

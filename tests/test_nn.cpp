@@ -1,0 +1,182 @@
+// Behavioral tests of the NN stack: optimizer convergence, serialization,
+// sampling, and the batch/step equivalences the forecaster relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "nn/adam.hpp"
+#include "nn/dense.hpp"
+#include "tensor/kernels.hpp"
+#include "nn/gaussian.hpp"
+#include "nn/lstm.hpp"
+#include "nn/serialize.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace ranknet;
+using nn::Activation;
+using nn::Dense;
+using nn::GaussianHead;
+using tensor::Matrix;
+using util::Rng;
+
+TEST(Adam, MinimizesQuadratic) {
+  // One parameter, loss (w - 3)^2 per element.
+  nn::Parameter w("w", Matrix(2, 2, 10.0));
+  nn::AdamConfig cfg;
+  cfg.lr = 0.1;
+  nn::Adam adam({&w}, cfg);
+  for (int i = 0; i < 500; ++i) {
+    for (std::size_t j = 0; j < w.value.size(); ++j) {
+      w.grad.flat()[j] = 2.0 * (w.value.flat()[j] - 3.0);
+    }
+    adam.step();
+  }
+  for (double v : w.value.flat()) EXPECT_NEAR(v, 3.0, 1e-3);
+}
+
+TEST(Adam, StepZeroesGradients) {
+  nn::Parameter w("w", Matrix(1, 4, 1.0));
+  nn::Adam adam({&w});
+  w.grad.fill(5.0);
+  adam.step();
+  for (double g : w.grad.flat()) EXPECT_DOUBLE_EQ(g, 0.0);
+}
+
+TEST(Adam, ClipGradientsBoundsGlobalNorm) {
+  nn::Parameter a("a", Matrix(1, 3));
+  nn::Parameter b("b", Matrix(1, 4));
+  nn::Adam adam({&a, &b});
+  a.grad.fill(10.0);
+  b.grad.fill(10.0);
+  const double before = adam.clip_gradients(1.0);
+  EXPECT_GT(before, 1.0);
+  double norm2 = tensor::squared_norm(a.grad) + tensor::squared_norm(b.grad);
+  EXPECT_NEAR(std::sqrt(norm2), 1.0, 1e-9);
+}
+
+TEST(DenseAdam, LearnsLinearMap) {
+  Rng rng(1);
+  Dense layer(3, 1, rng);
+  nn::AdamConfig cfg;
+  cfg.lr = 0.02;
+  nn::Adam adam(layer.params(), cfg);
+  // Target: y = 2x0 - x1 + 0.5x2 + 1.
+  for (int step = 0; step < 800; ++step) {
+    const Matrix x = Matrix::randn(16, 3, rng);
+    Matrix y = layer.forward(x);
+    Matrix dy(16, 1);
+    double loss = 0.0;
+    for (std::size_t i = 0; i < 16; ++i) {
+      const double target = 2 * x(i, 0) - x(i, 1) + 0.5 * x(i, 2) + 1.0;
+      dy(i, 0) = 2.0 * (y(i, 0) - target) / 16.0;
+      loss += (y(i, 0) - target) * (y(i, 0) - target);
+    }
+    layer.backward(dy);
+    adam.step();
+    if (step == 799) {
+      EXPECT_LT(loss / 16.0, 1e-3);
+    }
+  }
+}
+
+TEST(GaussianHead, SampleMatchesParameters) {
+  Rng rng(2);
+  GaussianHead::Output out;
+  out.mu = Matrix(1, 1, 4.0);
+  out.sigma = Matrix(1, 1, 2.0);
+  util::RunningStats st;
+  for (int i = 0; i < 20000; ++i) {
+    st.add(GaussianHead::sample(out, rng)(0, 0));
+  }
+  EXPECT_NEAR(st.mean(), 4.0, 0.1);
+  EXPECT_NEAR(st.stddev(), 2.0, 0.1);
+}
+
+TEST(GaussianHead, SigmaAlwaysPositive) {
+  Rng rng(3);
+  GaussianHead head(4, 1, rng);
+  const Matrix h = Matrix::randn(32, 4, rng, 10.0);  // extreme inputs
+  const auto out = head.forward_inference(h);
+  for (double s : out.sigma.flat()) EXPECT_GT(s, 0.0);
+}
+
+TEST(GaussianHead, NllLowerForBetterFit) {
+  Rng rng(4);
+  GaussianHead::Output good, bad;
+  good.mu = Matrix(8, 1, 1.0);
+  good.sigma = Matrix(8, 1, 0.5);
+  bad.mu = Matrix(8, 1, 5.0);
+  bad.sigma = Matrix(8, 1, 0.5);
+  const Matrix z(8, 1, 1.1);
+  EXPECT_LT(GaussianHead::nll(good, z, {}), GaussianHead::nll(bad, z, {}));
+}
+
+TEST(GaussianHead, WeightsTiltTheLoss) {
+  GaussianHead::Output out;
+  out.mu = Matrix(2, 1);
+  out.mu(0, 0) = 0.0;   // perfect on row 0
+  out.mu(1, 0) = 10.0;  // terrible on row 1
+  out.sigma = Matrix(2, 1, 1.0);
+  Matrix z(2, 1, 0.0);
+  const std::vector<double> weight_bad_row{1.0, 9.0};
+  const std::vector<double> weight_good_row{9.0, 1.0};
+  EXPECT_GT(GaussianHead::nll(out, z, weight_bad_row),
+            GaussianHead::nll(out, z, weight_good_row));
+}
+
+TEST(Lstm, StatefulStepsEqualBatchForward) {
+  Rng rng(5);
+  nn::LstmLayer lstm(4, 6, rng);
+  std::vector<Matrix> xs;
+  for (int t = 0; t < 8; ++t) xs.push_back(Matrix::randn(3, 4, rng));
+  const auto hs = lstm.forward(xs);
+  nn::LstmState state;
+  for (std::size_t t = 0; t < xs.size(); ++t) {
+    const auto h = lstm.step(xs[t], state);
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      ASSERT_NEAR(h.flat()[i], hs[t].flat()[i], 1e-12);
+    }
+  }
+}
+
+TEST(Serialize, RoundTripRestoresParams) {
+  Rng rng(6);
+  Dense a(5, 3, rng), b(5, 3, rng);
+  const std::string path = "/tmp/ranknet_test_params.bin";
+  nn::save_params(path, a.params());
+  // b starts different...
+  bool same = true;
+  for (std::size_t i = 0; i < a.params().size(); ++i) {
+    if (!(a.params()[i]->value == b.params()[i]->value)) same = false;
+  }
+  EXPECT_FALSE(same);
+  nn::load_params(path, b.params());
+  for (std::size_t i = 0; i < a.params().size(); ++i) {
+    EXPECT_TRUE(a.params()[i]->value == b.params()[i]->value);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, RejectsWrongShape) {
+  Rng rng(7);
+  Dense a(5, 3, rng);
+  Dense c(4, 3, rng);  // different input dim, same param names
+  const std::string path = "/tmp/ranknet_test_params2.bin";
+  nn::save_params(path, a.params());
+  EXPECT_THROW(nn::load_params(path, c.params()), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, RejectsMissingFile) {
+  Rng rng(8);
+  Dense a(2, 2, rng);
+  EXPECT_THROW(nn::load_params("/tmp/definitely_missing_file.bin",
+                               a.params()),
+               std::runtime_error);
+}
+
+}  // namespace

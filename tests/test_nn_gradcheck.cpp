@@ -1,0 +1,327 @@
+// Numerical gradient checks for every hand-written backward pass.
+//
+// Each check perturbs parameters (and inputs) with central differences and
+// compares against the analytic gradients. A scalar loss L = sum(w ⊙ out)
+// with fixed random weights exercises all output positions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/attention.hpp"
+#include "nn/dense.hpp"
+#include "nn/embedding.hpp"
+#include "nn/gaussian.hpp"
+#include "nn/layer_norm.hpp"
+#include "nn/lstm.hpp"
+
+namespace {
+
+using ranknet::nn::Activation;
+using ranknet::nn::Dense;
+using ranknet::nn::Embedding;
+using ranknet::nn::GaussianHead;
+using ranknet::nn::LayerNorm;
+using ranknet::nn::LstmLayer;
+using ranknet::nn::MultiHeadSelfAttention;
+using ranknet::nn::Parameter;
+using ranknet::nn::TransformerBlock;
+using ranknet::tensor::Matrix;
+using ranknet::util::Rng;
+
+constexpr double kEps = 1e-5;
+constexpr double kTol = 2e-5;  // relative-ish tolerance for doubles
+
+/// Compare analytic parameter gradients of `loss_fn` (which must run
+/// forward+backward, accumulating grads) against central differences.
+void check_param_grads(std::vector<Parameter*> params,
+                       const std::function<double()>& loss_fn,
+                       const std::function<void()>& zero_grad,
+                       int max_checks_per_param = 8) {
+  zero_grad();
+  loss_fn();
+  // Snapshot analytic grads.
+  std::vector<Matrix> analytic;
+  for (auto* p : params) analytic.push_back(p->grad);
+
+  Rng pick(123);
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    auto* p = params[pi];
+    const std::size_t n = p->value.size();
+    for (int c = 0; c < max_checks_per_param; ++c) {
+      const auto idx = static_cast<std::size_t>(
+          pick.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      const double saved = p->value.flat()[idx];
+      p->value.flat()[idx] = saved + kEps;
+      zero_grad();
+      const double lp = loss_fn();
+      p->value.flat()[idx] = saved - kEps;
+      zero_grad();
+      const double lm = loss_fn();
+      p->value.flat()[idx] = saved;
+      const double numeric = (lp - lm) / (2 * kEps);
+      const double exact = analytic[pi].flat()[idx];
+      const double scale = std::max({1.0, std::abs(numeric), std::abs(exact)});
+      EXPECT_NEAR(numeric, exact, kTol * scale)
+          << "param " << p->name << " index " << idx;
+    }
+  }
+}
+
+/// Random "loss weights" matrix so the scalar loss covers every output.
+Matrix loss_weights(std::size_t rows, std::size_t cols, Rng& rng) {
+  return Matrix::randn(rows, cols, rng, 1.0);
+}
+
+double weighted_sum(const Matrix& out, const Matrix& w) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    acc += out.flat()[i] * w.flat()[i];
+  }
+  return acc;
+}
+
+TEST(GradCheck, DenseLinear) {
+  Rng rng(1);
+  Dense layer(4, 3, rng, Activation::kNone);
+  const Matrix x = Matrix::randn(5, 4, rng);
+  const Matrix w = loss_weights(5, 3, rng);
+  auto loss = [&] {
+    const auto y = layer.forward(x);
+    layer.backward(w);
+    return weighted_sum(y, w);
+  };
+  check_param_grads(layer.params(), loss, [&] { layer.zero_grad(); });
+}
+
+TEST(GradCheck, DenseActivations) {
+  for (auto act : {Activation::kRelu, Activation::kTanh,
+                   Activation::kSigmoid}) {
+    Rng rng(2);
+    Dense layer(4, 4, rng, act);
+    const Matrix x = Matrix::randn(6, 4, rng);
+    const Matrix w = loss_weights(6, 4, rng);
+    auto loss = [&] {
+      const auto y = layer.forward(x);
+      layer.backward(w);
+      return weighted_sum(y, w);
+    };
+    check_param_grads(layer.params(), loss, [&] { layer.zero_grad(); });
+  }
+}
+
+TEST(GradCheck, DenseInputGradient) {
+  Rng rng(3);
+  Dense layer(4, 3, rng, Activation::kTanh);
+  Matrix x = Matrix::randn(2, 4, rng);
+  const Matrix w = loss_weights(2, 3, rng);
+  layer.zero_grad();
+  layer.forward(x);
+  const Matrix dx = layer.backward(w);
+  for (std::size_t idx = 0; idx < x.size(); ++idx) {
+    const double saved = x.flat()[idx];
+    x.flat()[idx] = saved + kEps;
+    const double lp = weighted_sum(layer.forward(x), w);
+    x.flat()[idx] = saved - kEps;
+    const double lm = weighted_sum(layer.forward(x), w);
+    x.flat()[idx] = saved;
+    EXPECT_NEAR((lp - lm) / (2 * kEps), dx.flat()[idx], kTol);
+  }
+}
+
+TEST(GradCheck, Embedding) {
+  Rng rng(4);
+  Embedding emb(6, 3, rng);
+  const std::vector<int> idx{0, 2, 2, 5};
+  const Matrix w = loss_weights(4, 3, rng);
+  auto loss = [&] {
+    const auto y = emb.forward(idx);
+    emb.backward(w);
+    return weighted_sum(y, w);
+  };
+  check_param_grads(emb.params(), loss, [&] { emb.zero_grad(); }, 12);
+}
+
+TEST(GradCheck, LayerNorm) {
+  Rng rng(5);
+  LayerNorm ln(6);
+  const Matrix x = Matrix::randn(4, 6, rng);
+  const Matrix w = loss_weights(4, 6, rng);
+  auto loss = [&] {
+    const auto y = ln.forward(x);
+    ln.backward(w);
+    return weighted_sum(y, w);
+  };
+  check_param_grads(ln.params(), loss, [&] { ln.zero_grad(); });
+}
+
+TEST(GradCheck, LayerNormInputGradient) {
+  Rng rng(6);
+  LayerNorm ln(5);
+  Matrix x = Matrix::randn(3, 5, rng);
+  const Matrix w = loss_weights(3, 5, rng);
+  ln.zero_grad();
+  ln.forward(x);
+  const Matrix dx = ln.backward(w);
+  for (std::size_t idx = 0; idx < x.size(); ++idx) {
+    const double saved = x.flat()[idx];
+    x.flat()[idx] = saved + kEps;
+    const double lp = weighted_sum(ln.forward(x), w);
+    x.flat()[idx] = saved - kEps;
+    const double lm = weighted_sum(ln.forward(x), w);
+    x.flat()[idx] = saved;
+    EXPECT_NEAR((lp - lm) / (2 * kEps), dx.flat()[idx], 1e-4);
+  }
+}
+
+TEST(GradCheck, LstmParams) {
+  Rng rng(7);
+  LstmLayer lstm(3, 4, rng);
+  const std::size_t steps = 5, batch = 2;
+  std::vector<Matrix> xs;
+  std::vector<Matrix> ws;
+  for (std::size_t t = 0; t < steps; ++t) {
+    xs.push_back(Matrix::randn(batch, 3, rng));
+    ws.push_back(loss_weights(batch, 4, rng));
+  }
+  auto loss = [&] {
+    const auto hs = lstm.forward(xs);
+    lstm.backward(ws);
+    double acc = 0.0;
+    for (std::size_t t = 0; t < steps; ++t) acc += weighted_sum(hs[t], ws[t]);
+    return acc;
+  };
+  check_param_grads(lstm.params(), loss, [&] { lstm.zero_grad(); }, 12);
+}
+
+TEST(GradCheck, LstmInputGradient) {
+  Rng rng(8);
+  LstmLayer lstm(2, 3, rng);
+  const std::size_t steps = 4, batch = 1;
+  std::vector<Matrix> xs;
+  std::vector<Matrix> ws;
+  for (std::size_t t = 0; t < steps; ++t) {
+    xs.push_back(Matrix::randn(batch, 2, rng));
+    ws.push_back(loss_weights(batch, 3, rng));
+  }
+  auto run = [&] {
+    const auto hs = lstm.forward(xs);
+    double acc = 0.0;
+    for (std::size_t t = 0; t < steps; ++t) acc += weighted_sum(hs[t], ws[t]);
+    return acc;
+  };
+  lstm.zero_grad();
+  run();
+  const auto dxs = lstm.backward(ws);
+  for (std::size_t t = 0; t < steps; ++t) {
+    for (std::size_t idx = 0; idx < xs[t].size(); ++idx) {
+      const double saved = xs[t].flat()[idx];
+      xs[t].flat()[idx] = saved + kEps;
+      const double lp = run();
+      xs[t].flat()[idx] = saved - kEps;
+      const double lm = run();
+      xs[t].flat()[idx] = saved;
+      EXPECT_NEAR((lp - lm) / (2 * kEps), dxs[t].flat()[idx], 1e-4)
+          << "t=" << t << " idx=" << idx;
+    }
+  }
+}
+
+TEST(GradCheck, LstmStepMatchesForward) {
+  // The inference `step` path must reproduce the training forward exactly.
+  Rng rng(9);
+  LstmLayer lstm(3, 5, rng);
+  std::vector<Matrix> xs;
+  for (int t = 0; t < 6; ++t) xs.push_back(Matrix::randn(2, 3, rng));
+  const auto hs = lstm.forward(xs);
+  ranknet::nn::LstmState state;
+  for (std::size_t t = 0; t < xs.size(); ++t) {
+    const auto h = lstm.step(xs[t], state);
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      EXPECT_NEAR(h.flat()[i], hs[t].flat()[i], 1e-12);
+    }
+  }
+}
+
+TEST(GradCheck, GaussianHeadNll) {
+  Rng rng(10);
+  GaussianHead head(4, 2, rng);
+  const Matrix h = Matrix::randn(5, 4, rng);
+  const Matrix z = Matrix::randn(5, 2, rng);
+  const std::vector<double> weights{1.0, 9.0, 1.0, 2.0, 0.5};
+  Matrix dh;
+  auto loss = [&] {
+    const auto out = head.forward(h);
+    return head.nll_backward(out, z, weights, dh);
+  };
+  check_param_grads(head.params(), loss, [&] { head.zero_grad(); }, 10);
+}
+
+TEST(GradCheck, GaussianHeadHiddenGradient) {
+  Rng rng(11);
+  GaussianHead head(3, 1, rng);
+  Matrix h = Matrix::randn(4, 3, rng);
+  const Matrix z = Matrix::randn(4, 1, rng);
+  head.zero_grad();
+  Matrix dh;
+  const auto out = head.forward(h);
+  head.nll_backward(out, z, {}, dh);
+  for (std::size_t idx = 0; idx < h.size(); ++idx) {
+    const double saved = h.flat()[idx];
+    h.flat()[idx] = saved + kEps;
+    const double lp = GaussianHead::nll(head.forward(h), z, {});
+    h.flat()[idx] = saved - kEps;
+    const double lm = GaussianHead::nll(head.forward(h), z, {});
+    h.flat()[idx] = saved;
+    EXPECT_NEAR((lp - lm) / (2 * kEps), dh.flat()[idx], 1e-4);
+  }
+}
+
+TEST(GradCheck, MultiHeadAttention) {
+  Rng rng(12);
+  MultiHeadSelfAttention mha(8, 2, rng);
+  const std::size_t seq = 4, batchseq = 2;
+  const Matrix x = Matrix::randn(batchseq * seq, 8, rng, 0.5);
+  const Matrix w = loss_weights(batchseq * seq, 8, rng);
+  auto loss = [&] {
+    const auto y = mha.forward(x, seq);
+    mha.backward(w);
+    return weighted_sum(y, w);
+  };
+  check_param_grads(mha.params(), loss, [&] { mha.zero_grad(); }, 10);
+}
+
+TEST(GradCheck, MultiHeadAttentionCausality) {
+  // Changing a future input must not affect earlier outputs.
+  Rng rng(13);
+  MultiHeadSelfAttention mha(4, 2, rng);
+  Matrix x = Matrix::randn(5, 4, rng);
+  const auto y0 = mha.forward_inference(x, 5);
+  x(4, 1) += 10.0;  // perturb the last timestep
+  const auto y1 = mha.forward_inference(x, 5);
+  for (std::size_t t = 0; t < 4; ++t) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_DOUBLE_EQ(y0(t, c), y1(t, c)) << "t=" << t;
+    }
+  }
+  // ...but it must affect the perturbed step itself.
+  double diff = 0.0;
+  for (std::size_t c = 0; c < 4; ++c) diff += std::abs(y0(4, c) - y1(4, c));
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST(GradCheck, TransformerBlock) {
+  Rng rng(14);
+  TransformerBlock block(8, 2, 16, rng);
+  const std::size_t seq = 3, batchseq = 2;
+  const Matrix x = Matrix::randn(batchseq * seq, 8, rng, 0.5);
+  const Matrix w = loss_weights(batchseq * seq, 8, rng);
+  auto loss = [&] {
+    const auto y = block.forward(x, seq);
+    block.backward(w);
+    return weighted_sum(y, w);
+  };
+  check_param_grads(block.params(), loss, [&] { block.zero_grad(); }, 6);
+}
+
+}  // namespace

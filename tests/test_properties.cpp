@@ -1,0 +1,165 @@
+// Cross-cutting property tests (parameterized sweeps) over the pieces the
+// forecasting pipeline relies on: quantile/risk optimality, joint sorting,
+// covariate reconstruction, and simulator invariants across all events.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/forecaster.hpp"
+#include "core/metrics.hpp"
+#include "features/window.hpp"
+#include "simulator/season.hpp"
+#include "telemetry/analysis.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace ranknet;
+
+// ---------------------------------------------------------------------
+// ρ-risk: among constant predictors, the empirical ρ-quantile of the data
+// minimizes ρ-risk. This is the property that makes 90-risk a meaningful
+// score for the q90 forecast.
+class RhoRiskProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(RhoRiskProperty, QuantileMinimizesRisk) {
+  const double rho = GetParam();
+  util::Rng rng(17);
+  std::vector<double> z;
+  for (int i = 0; i < 400; ++i) z.push_back(rng.normal(10.0, 3.0));
+  const double qstar = util::quantile(z, rho);
+  const std::vector<double> pred_star(z.size(), qstar);
+  const double risk_star = core::rho_risk(pred_star, z, rho);
+  for (double delta : {-2.0, -0.7, 0.7, 2.0}) {
+    const std::vector<double> pred(z.size(), qstar + delta);
+    EXPECT_GE(core::rho_risk(pred, z, rho), risk_star - 1e-9)
+        << "rho=" << rho << " delta=" << delta;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, RhoRiskProperty,
+                         ::testing::Values(0.1, 0.5, 0.9));
+
+// ---------------------------------------------------------------------
+// Joint sorting: for any sampled values, each (sample, lap) slice becomes a
+// permutation of 1..C, and sorting is monotone (higher raw value -> higher
+// rank).
+class SortToRanksProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SortToRanksProperty, ProducesPermutationsAndMonotonicity) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t cars = 3 + static_cast<std::size_t>(GetParam()) % 7;
+  const std::size_t samples = 5, horizon = 3;
+  core::RaceSamples raw;
+  for (std::size_t c = 0; c < cars; ++c) {
+    tensor::Matrix m(samples, horizon);
+    for (auto& v : m.flat()) v = rng.uniform(1.0, 33.0);
+    raw.emplace(static_cast<int>(c) + 1, std::move(m));
+  }
+  const auto ranks = core::sort_to_ranks(raw);
+  for (std::size_t s = 0; s < samples; ++s) {
+    for (std::size_t h = 0; h < horizon; ++h) {
+      std::vector<double> slice;
+      for (const auto& [car, m] : ranks) slice.push_back(m(s, h));
+      std::sort(slice.begin(), slice.end());
+      for (std::size_t i = 0; i < cars; ++i) {
+        EXPECT_DOUBLE_EQ(slice[i], static_cast<double>(i + 1));
+      }
+      // Monotonicity vs raw values.
+      for (const auto& [car_a, ma] : raw) {
+        for (const auto& [car_b, mb] : raw) {
+          if (ma(s, h) < mb(s, h)) {
+            EXPECT_LT(ranks.at(car_a)(s, h), ranks.at(car_b)(s, h));
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SortToRanksProperty,
+                         ::testing::Values(1, 2, 3, 4));
+
+// ---------------------------------------------------------------------
+// Covariate reconstruction: build_covariates recomputes age features from
+// raw statuses; on ground-truth streams this must agree with the per-car
+// transform for every event and car.
+class CovariateConsistency
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CovariateConsistency, AgeFeaturesMatchTransforms) {
+  const auto race = sim::simulate_race({GetParam(), 2016, 120,
+                                        sim::Usage::kTrain});
+  features::CovariateConfig cfg;  // full
+  for (int car_id : race.car_ids()) {
+    const auto streams = features::StatusStreams::from_race(race, car_id);
+    const auto covs = features::build_covariates(streams, cfg);
+    const auto status = features::compute_status_features(race.car(car_id));
+    for (std::size_t t = 0; t < covs.size(); ++t) {
+      ASSERT_NEAR(covs[t][2] * 10.0, status.caution_laps[t], 1e-9);
+      ASSERT_NEAR(covs[t][3] * 40.0, status.pit_age[t], 1e-9);
+      ASSERT_EQ(covs[t][0], status.track_status[t]);
+      ASSERT_EQ(covs[t][1], status.lap_status[t]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Events, CovariateConsistency,
+                         ::testing::Values("Indy500", "Texas", "Iowa",
+                                           "Pocono"));
+
+// ---------------------------------------------------------------------
+// Simulator invariants across every event preset.
+class EventInvariants : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EventInvariants, RecordsWellFormed) {
+  const auto race =
+      sim::simulate_race({GetParam(), 2017, 0, sim::Usage::kTrain});
+  const auto track = sim::track_by_name(GetParam());
+  EXPECT_EQ(race.num_laps(), track.total_laps);
+  for (const auto& rec : race.records()) {
+    EXPECT_GE(rec.rank, 1);
+    EXPECT_LE(rec.rank, track.max_cars);
+    EXPECT_GT(rec.lap_time, 0.3 * track.base_lap_seconds());
+    EXPECT_GE(rec.time_behind_leader, 0.0);
+  }
+  // Pit stops are sparse and present.
+  const double ratio = telemetry::pit_laps_ratio(race);
+  EXPECT_GT(ratio, 0.005);
+  EXPECT_LT(ratio, 0.06);
+}
+
+TEST_P(EventInvariants, WindowsCoverTrainingRaces) {
+  const auto ds = sim::build_event_dataset(GetParam());
+  features::CarVocab vocab(ds.train);
+  auto wcfg = features::WindowConfig{};
+  wcfg.encoder_length = 30;
+  wcfg.stride = 8;
+  const auto windows = features::build_windows(ds.train, vocab, wcfg);
+  EXPECT_GT(windows.size(), 300u);
+  for (const auto& w : windows) {
+    ASSERT_EQ(w.target.size(), 32u);
+    for (double rank : w.target) {
+      ASSERT_GE(rank, 1.0);
+      ASSERT_LE(rank, 40.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Events, EventInvariants,
+                         ::testing::Values("Indy500", "Texas", "Iowa",
+                                           "Pocono"));
+
+// ---------------------------------------------------------------------
+// Dataset determinism: the same spec and seed always produce the same race.
+TEST(Determinism, SimulateRaceIsAFunctionOfSpecAndSeed) {
+  const sim::RaceSpec spec{"Texas", 2018, 248, sim::Usage::kTest};
+  const auto a = sim::simulate_race(spec, 777);
+  const auto b = sim::simulate_race(spec, 777);
+  const auto c = sim::simulate_race(spec, 778);
+  EXPECT_EQ(a.num_records(), b.num_records());
+  EXPECT_EQ(a.to_csv().to_string(), b.to_csv().to_string());
+  EXPECT_NE(a.to_csv().to_string(), c.to_csv().to_string());
+}
+
+}  // namespace

@@ -1,0 +1,152 @@
+// Forecaster-level tests of RankNetForecaster / TransformerForecaster using
+// tiny untrained models (fast): shape contracts, determinism for a fixed
+// seed, cache behavior, and status-source differences.
+#include <gtest/gtest.h>
+
+#include "core/ranknet.hpp"
+#include "simulator/season.hpp"
+
+namespace {
+
+using namespace ranknet;
+
+class ForecasterContract : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    race_ = new telemetry::RaceLog(
+        sim::simulate_race({"Indy500", 2019, 200, sim::Usage::kTest}));
+    vocab_ = new features::CarVocab({*race_});
+
+    core::SeqModelConfig cfg;
+    cfg.cov_dim = features::CovariateConfig{}.dim();
+    cfg.hidden = 8;
+    cfg.embed_dim = 2;
+    cfg.vocab = vocab_->size();
+    model_ = std::make_shared<core::LstmSeqModel>(cfg);
+    model_->set_scaler(features::StandardScaler(17.0, 9.0));
+
+    pit_ = std::make_shared<core::PitModel>();
+    pit_->set_scaler(features::StandardScaler(15.0, 6.0));
+  }
+  static void TearDownTestSuite() {
+    model_.reset();
+    pit_.reset();
+    delete vocab_;
+    delete race_;
+  }
+
+  static telemetry::RaceLog* race_;
+  static features::CarVocab* vocab_;
+  static std::shared_ptr<core::LstmSeqModel> model_;
+  static std::shared_ptr<core::PitModel> pit_;
+};
+telemetry::RaceLog* ForecasterContract::race_ = nullptr;
+features::CarVocab* ForecasterContract::vocab_ = nullptr;
+std::shared_ptr<core::LstmSeqModel> ForecasterContract::model_;
+std::shared_ptr<core::PitModel> ForecasterContract::pit_;
+
+TEST_F(ForecasterContract, OracleShapesAndDeterminism) {
+  core::RankNetForecaster f(model_, nullptr, *vocab_,
+                            features::CovariateConfig{},
+                            core::StatusSource::kOracle, "test");
+  util::Rng rng1(9), rng2(9);
+  const auto a = f.forecast(*race_, 50, 3, 7, rng1);
+  const auto b = f.forecast(*race_, 50, 3, 7, rng2);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [car_id, m] : a) {
+    EXPECT_EQ(m.rows(), 7u);
+    EXPECT_EQ(m.cols(), 3u);
+    const auto& n = b.at(car_id);
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      EXPECT_DOUBLE_EQ(m.flat()[i], n.flat()[i]);
+    }
+  }
+}
+
+TEST_F(ForecasterContract, PitModelSourceRunsAndDiffersFromOracle) {
+  core::RankNetForecaster oracle(model_, nullptr, *vocab_,
+                                 features::CovariateConfig{},
+                                 core::StatusSource::kOracle, "oracle");
+  core::RankNetForecaster mlp(model_, pit_, *vocab_,
+                              features::CovariateConfig{},
+                              core::StatusSource::kPitModel, "mlp");
+  util::Rng rng1(5), rng2(5);
+  const auto a = oracle.forecast(*race_, 60, 4, 5, rng1);
+  const auto b = mlp.forecast(*race_, 60, 4, 5, rng2);
+  ASSERT_EQ(a.size(), b.size());
+  // Different covariate futures must (almost surely) change the samples.
+  bool differs = false;
+  for (const auto& [car_id, m] : a) {
+    const auto& n = b.at(car_id);
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      if (m.flat()[i] != n.flat()[i]) differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(ForecasterContract, ExcludesRetiredCars) {
+  core::RankNetForecaster f(model_, nullptr, *vocab_,
+                            features::CovariateConfig{},
+                            core::StatusSource::kOracle, "test");
+  util::Rng rng(3);
+  const int origin = race_->num_laps() - 5;
+  const auto samples = f.forecast(*race_, origin, 2, 3, rng);
+  for (const auto& [car_id, _] : samples) {
+    EXPECT_GE(race_->car(car_id).laps(), static_cast<std::size_t>(origin));
+  }
+  // At least one car retired before the final laps in a 200-lap race.
+  EXPECT_LT(samples.size(), race_->car_ids().size());
+}
+
+TEST_F(ForecasterContract, RejectsBadArguments) {
+  core::RankNetForecaster f(model_, nullptr, *vocab_,
+                            features::CovariateConfig{},
+                            core::StatusSource::kOracle, "test");
+  util::Rng rng(1);
+  EXPECT_THROW(f.forecast(*race_, 1, 2, 4, rng), std::invalid_argument);
+  EXPECT_THROW(f.forecast(*race_, 50, 0, 4, rng), std::invalid_argument);
+  EXPECT_THROW(f.forecast(*race_, 50, 2, 0, rng), std::invalid_argument);
+}
+
+TEST_F(ForecasterContract, PitModelSourceRequiresPitModel) {
+  EXPECT_THROW(core::RankNetForecaster(model_, nullptr, *vocab_,
+                                       features::CovariateConfig{},
+                                       core::StatusSource::kPitModel, "bad"),
+               std::invalid_argument);
+}
+
+TEST_F(ForecasterContract, TransformerForecasterContract) {
+  core::TransformerConfig cfg;
+  cfg.cov_dim = features::CovariateConfig{}.dim();
+  cfg.model_dim = 16;
+  cfg.heads = 4;
+  cfg.blocks = 1;
+  cfg.embed_dim = 2;
+  cfg.vocab = vocab_->size();
+  cfg.infer_context = 12;
+  auto tf = std::make_shared<core::TransformerSeqModel>(cfg);
+  tf->set_scaler(features::StandardScaler(17.0, 9.0));
+  core::TransformerForecaster f(tf, nullptr, *vocab_,
+                                features::CovariateConfig{},
+                                core::StatusSource::kOracle, "tf");
+  util::Rng rng(4);
+  const auto samples = f.forecast(*race_, 40, 2, 3, rng);
+  ASSERT_FALSE(samples.empty());
+  for (const auto& [_, m] : samples) {
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 2u);
+    for (double v : m.flat()) {
+      EXPECT_GE(v, 1.0);
+      EXPECT_LE(v, 45.0);
+    }
+  }
+  // Joint source is documented as LSTM-only.
+  EXPECT_THROW(core::TransformerForecaster(tf, nullptr, *vocab_,
+                                           features::CovariateConfig{},
+                                           core::StatusSource::kJoint, "x"),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,85 @@
+// Tests of the model zoo: canonical configurations, cache-key behavior and
+// validation splitting. Training itself is covered by test_integration.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/registry.hpp"
+
+namespace {
+
+using namespace ranknet;
+using core::ModelZoo;
+
+TEST(ZooConfig, ArtifactsDirDefaultsAndEnvOverride) {
+  core::ZooConfig cfg;
+  EXPECT_FALSE(cfg.artifacts_dir.empty());
+  EXPECT_GT(cfg.train.max_epochs, 0);
+}
+
+TEST(WindowConfigs, RanknetMatchesPaperTableIV) {
+  const auto w = ModelZoo::ranknet_window_config();
+  EXPECT_EQ(w.encoder_length, 60);   // Table IV: encoder length 60
+  EXPECT_EQ(w.decoder_length, 2);    // Table IV: decoder length 2
+  EXPECT_EQ(w.change_weight, 9.0);   // Fig. 7: optimal loss weight 9
+  EXPECT_EQ(w.covariates.dim(), 9u); // full covariate set
+}
+
+TEST(WindowConfigs, DeepArHasNoCovariates) {
+  const auto w = ModelZoo::deepar_window_config();
+  EXPECT_EQ(w.covariates.dim(), 0u);
+}
+
+TEST(WindowConfigs, JointKeepsOnlyRaceStatus) {
+  const auto w = ModelZoo::joint_window_config();
+  EXPECT_TRUE(w.covariates.race_status);
+  EXPECT_FALSE(w.covariates.age_features);
+  EXPECT_FALSE(w.covariates.context_features);
+  EXPECT_FALSE(w.covariates.shift_features);
+  EXPECT_EQ(w.covariates.dim(), 2u);
+}
+
+TEST(CacheKeys, WindowKeyDistinguishesConfigs) {
+  const auto base = ModelZoo::ranknet_window_config();
+  auto weights_off = base;
+  weights_off.change_weight = 1.0;
+  auto shorter = base;
+  shorter.encoder_length = 40;
+  auto no_shift = base;
+  no_shift.covariates.shift_features = false;
+  const auto k0 = ModelZoo::window_key(base);
+  EXPECT_NE(k0, ModelZoo::window_key(weights_off));
+  EXPECT_NE(k0, ModelZoo::window_key(shorter));
+  EXPECT_NE(k0, ModelZoo::window_key(no_shift));
+  EXPECT_EQ(k0, ModelZoo::window_key(base));  // stable
+}
+
+TEST(CacheKeys, ModelAndTrainConfigKeysAreStable) {
+  core::SeqModelConfig a, b;
+  EXPECT_EQ(a.cache_key(), b.cache_key());
+  b.hidden = 64;
+  EXPECT_NE(a.cache_key(), b.cache_key());
+  core::TrainConfig t1, t2;
+  EXPECT_EQ(t1.cache_key(), t2.cache_key());
+  t2.max_windows += 1;
+  EXPECT_NE(t1.cache_key(), t2.cache_key());
+  core::TransformerConfig tf1, tf2;
+  EXPECT_EQ(tf1.cache_key(), tf2.cache_key());
+  tf2.heads = 4;
+  EXPECT_NE(tf1.cache_key(), tf2.cache_key());
+  core::PitModelConfig p1, p2;
+  EXPECT_EQ(p1.cache_key(), p2.cache_key());
+  p2.min_stint = 3;
+  EXPECT_NE(p1.cache_key(), p2.cache_key());
+}
+
+TEST(DefaultTrainConfig, FastEnvShrinksBudget) {
+  const auto base = core::default_train_config();
+  ::setenv("RANKNET_FAST", "1", 1);
+  const auto fast = core::default_train_config();
+  ::unsetenv("RANKNET_FAST");
+  EXPECT_LT(fast.max_epochs, base.max_epochs);
+  EXPECT_LT(fast.max_windows, base.max_windows);
+}
+
+}  // namespace

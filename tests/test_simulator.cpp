@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "simulator/race_sim.hpp"
+#include "simulator/season.hpp"
+#include "telemetry/analysis.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace ranknet;
+using sim::RaceParams;
+using sim::RaceSimulator;
+
+telemetry::RaceLog simulate_indy(std::uint64_t seed) {
+  RaceParams params;
+  params.track = sim::indy500_track();
+  params.year = 2018;
+  params.seed = seed;
+  return RaceSimulator(params).run();
+}
+
+TEST(Simulator, DeterministicForSameSeed) {
+  const auto a = simulate_indy(11);
+  const auto b = simulate_indy(11);
+  ASSERT_EQ(a.num_records(), b.num_records());
+  for (std::size_t i = 0; i < a.num_records(); ++i) {
+    EXPECT_EQ(a.records()[i].car_id, b.records()[i].car_id);
+    EXPECT_EQ(a.records()[i].rank, b.records()[i].rank);
+    EXPECT_DOUBLE_EQ(a.records()[i].lap_time, b.records()[i].lap_time);
+  }
+}
+
+TEST(Simulator, DifferentSeedsProduceDifferentRaces) {
+  const auto a = simulate_indy(1);
+  const auto b = simulate_indy(2);
+  EXPECT_NE(a.winner(), -1);
+  bool differs = a.num_records() != b.num_records();
+  if (!differs) {
+    for (std::size_t i = 0; i < a.num_records(); ++i) {
+      if (a.records()[i].rank != b.records()[i].rank) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+// Structural invariants that must hold for any seed.
+class SimulatorInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimulatorInvariants, RanksArePermutationPerLap) {
+  const auto race = simulate_indy(GetParam());
+  std::map<int, std::vector<int>> ranks_per_lap;
+  for (const auto& rec : race.records()) {
+    ranks_per_lap[rec.lap].push_back(rec.rank);
+  }
+  for (auto& [lap, ranks] : ranks_per_lap) {
+    std::sort(ranks.begin(), ranks.end());
+    for (std::size_t i = 0; i < ranks.size(); ++i) {
+      EXPECT_EQ(ranks[i], static_cast<int>(i) + 1) << "lap " << lap;
+    }
+  }
+}
+
+TEST_P(SimulatorInvariants, TimeBehindLeaderConsistentWithRank) {
+  const auto race = simulate_indy(GetParam());
+  std::map<int, std::vector<const telemetry::LapRecord*>> by_lap;
+  for (const auto& rec : race.records()) {
+    EXPECT_GE(rec.time_behind_leader, 0.0);
+    EXPECT_GT(rec.lap_time, 0.0);
+    by_lap[rec.lap].push_back(&rec);
+  }
+  for (auto& [lap, recs] : by_lap) {
+    std::sort(recs.begin(), recs.end(),
+              [](const auto* a, const auto* b) { return a->rank < b->rank; });
+    for (std::size_t i = 1; i < recs.size(); ++i) {
+      EXPECT_GE(recs[i]->time_behind_leader,
+                recs[i - 1]->time_behind_leader - 1e-9)
+          << "lap " << lap;
+    }
+    EXPECT_NEAR(recs[0]->time_behind_leader, 0.0, 1e-9);
+  }
+}
+
+TEST_P(SimulatorInvariants, StintsRespectResourceWindow) {
+  const auto race = simulate_indy(GetParam());
+  const auto pits = telemetry::extract_pit_stops(race);
+  const double cap = 1.5 * sim::indy500_track().fuel_window_laps + 1;
+  for (const auto& p : pits) {
+    EXPECT_LE(p.stint_distance, cap);
+    EXPECT_GE(p.stint_distance, 0);
+  }
+  // Every car that finishes must have pitted several times in 200 laps.
+  for (int car_id : race.car_ids()) {
+    const auto& car = race.car(car_id);
+    if (car.laps() == 200u) {
+      EXPECT_GE(car.pit_laps().size(), 4u) << "car " << car_id;
+    }
+  }
+}
+
+TEST_P(SimulatorInvariants, PitLapsAreSparse) {
+  const auto race = simulate_indy(GetParam());
+  const double ratio = telemetry::pit_laps_ratio(race);
+  EXPECT_GT(ratio, 0.01);
+  EXPECT_LT(ratio, 0.05);  // paper: pit laps are <5% of records
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorInvariants,
+                         ::testing::Values(1, 7, 42, 1234, 98765));
+
+TEST(Simulator, CautionLapsAreSlowerAndBunched) {
+  const auto race = simulate_indy(3);
+  std::vector<double> green_times, yellow_times;
+  std::vector<double> green_spread, yellow_spread;
+  std::map<int, std::pair<double, bool>> lap_max_tbl;
+  for (const auto& rec : race.records()) {
+    if (rec.lap_status == telemetry::LapStatus::kPit) continue;
+    (rec.track_status == telemetry::TrackStatus::kYellow ? yellow_times
+                                                         : green_times)
+        .push_back(rec.lap_time);
+    auto& [mx, yellow] = lap_max_tbl[rec.lap];
+    mx = std::max(mx, rec.time_behind_leader);
+    yellow = rec.track_status == telemetry::TrackStatus::kYellow;
+  }
+  ASSERT_FALSE(yellow_times.empty());
+  EXPECT_GT(util::mean(yellow_times), 1.3 * util::mean(green_times));
+  // After a few caution laps the field is far more compressed than the
+  // typical green-flag spread.
+  for (const auto& [lap, v] : lap_max_tbl) {
+    (v.second ? yellow_spread : green_spread).push_back(v.first);
+  }
+  EXPECT_LT(util::quantile(yellow_spread, 0.3),
+            util::quantile(green_spread, 0.5));
+}
+
+TEST(Simulator, NormalPitsCostMoreRankThanCautionPits) {
+  // Aggregate across several races for stable statistics.
+  std::vector<double> normal_changes, caution_changes;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto race = simulate_indy(seed);
+    for (const auto& p : telemetry::extract_pit_stops(race)) {
+      (p.caution ? caution_changes : normal_changes)
+          .push_back(p.rank_change);
+    }
+  }
+  ASSERT_GT(normal_changes.size(), 50u);
+  ASSERT_GT(caution_changes.size(), 50u);
+  EXPECT_GT(util::mean(normal_changes), util::mean(caution_changes) + 1.0);
+}
+
+TEST(Season, Table2InventoryMatchesPaper) {
+  const auto specs = sim::table2_specs();
+  EXPECT_EQ(specs.size(), 25u);  // 25 races from four events
+  std::map<std::string, int> per_event;
+  int train = 0, val = 0, test = 0;
+  for (const auto& s : specs) {
+    ++per_event[s.event];
+    switch (s.usage) {
+      case sim::Usage::kTrain: ++train; break;
+      case sim::Usage::kValidation: ++val; break;
+      case sim::Usage::kTest: ++test; break;
+    }
+  }
+  EXPECT_EQ(per_event["Indy500"], 7);
+  EXPECT_EQ(per_event["Iowa"], 6);
+  EXPECT_EQ(per_event["Pocono"], 5);
+  EXPECT_EQ(per_event["Texas"], 7);
+  EXPECT_EQ(val, 1);   // Indy500-2018 only
+  EXPECT_EQ(test, 5);  // Indy500-2019, Iowa-2019, Pocono-2018, Texas-2018/19
+  EXPECT_EQ(train, 19);
+}
+
+TEST(Season, EventDatasetSplit) {
+  const auto ds = sim::build_event_dataset("Indy500");
+  EXPECT_EQ(ds.train.size(), 5u);
+  EXPECT_EQ(ds.validation.size(), 1u);
+  EXPECT_EQ(ds.test.size(), 1u);
+  EXPECT_EQ(ds.validation[0].info().year, 2018);
+  EXPECT_EQ(ds.test[0].info().year, 2019);
+  EXPECT_GT(ds.total_records(), 30000u);
+  EXPECT_THROW(sim::build_event_dataset("Daytona"), std::invalid_argument);
+}
+
+TEST(Season, IowaUses300LapsIn2019) {
+  const auto ds = sim::build_event_dataset("Iowa");
+  ASSERT_EQ(ds.test.size(), 1u);
+  EXPECT_EQ(ds.test[0].num_laps(), 300);
+  for (const auto& r : ds.train) EXPECT_EQ(r.num_laps(), 250);
+}
+
+TEST(Season, FieldSizesWithinTrackRange) {
+  for (const auto& ds : {sim::build_event_dataset("Texas"),
+                         sim::build_event_dataset("Pocono")}) {
+    const auto track = sim::track_by_name(ds.event);
+    for (const auto* group : {&ds.train, &ds.test}) {
+      for (const auto& race : *group) {
+        const int n = static_cast<int>(race.car_ids().size());
+        EXPECT_GE(n, track.min_cars);
+        EXPECT_LE(n, track.max_cars);
+      }
+    }
+  }
+}
+
+TEST(Track, PresetsAndLookup) {
+  EXPECT_EQ(sim::all_tracks().size(), 4u);
+  EXPECT_NEAR(sim::indy500_track().base_lap_seconds(),
+              2.5 / 175.0 * 3600.0, 1e-9);
+  EXPECT_THROW(sim::track_by_name("Monza"), std::invalid_argument);
+}
+
+TEST(Simulator, MakeFieldDistinctIdsAndSkillSpread) {
+  util::Rng rng(5);
+  const auto field = sim::make_field(sim::indy500_track(), 33, rng);
+  std::set<int> ids;
+  for (const auto& d : field) ids.insert(d.car_id);
+  EXPECT_EQ(ids.size(), 33u);
+  std::vector<double> skills;
+  for (const auto& d : field) skills.push_back(d.skill_offset);
+  EXPECT_GT(util::max(skills) - util::min(skills), 1.0);
+}
+
+}  // namespace

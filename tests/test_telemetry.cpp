@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "telemetry/analysis.hpp"
+#include "telemetry/race_log.hpp"
+
+namespace {
+
+using namespace ranknet::telemetry;
+
+EventInfo tiny_event() {
+  EventInfo info;
+  info.name = "Tiny";
+  info.year = 2020;
+  info.total_laps = 4;
+  return info;
+}
+
+/// Two cars, four laps; car 2 pits on lap 3 under yellow and drops a rank.
+std::vector<LapRecord> tiny_records() {
+  std::vector<LapRecord> recs;
+  auto add = [&](int rank, int car, int lap, double lt, double tbl,
+                 LapStatus ls, TrackStatus ts) {
+    recs.push_back({rank, car, lap, lt, tbl, ls, ts});
+  };
+  add(1, 1, 1, 50.0, 0.0, LapStatus::kNormal, TrackStatus::kGreen);
+  add(2, 2, 1, 50.5, 0.5, LapStatus::kNormal, TrackStatus::kGreen);
+  add(1, 2, 2, 49.0, 0.0, LapStatus::kNormal, TrackStatus::kGreen);
+  add(2, 1, 2, 51.0, 1.5, LapStatus::kNormal, TrackStatus::kGreen);
+  add(1, 1, 3, 80.0, 0.0, LapStatus::kNormal, TrackStatus::kYellow);
+  add(2, 2, 3, 95.0, 10.0, LapStatus::kPit, TrackStatus::kYellow);
+  add(1, 1, 4, 80.0, 0.0, LapStatus::kNormal, TrackStatus::kYellow);
+  add(2, 2, 4, 81.0, 1.0, LapStatus::kNormal, TrackStatus::kYellow);
+  return recs;
+}
+
+TEST(RaceLog, BuildsPerCarViews) {
+  RaceLog race(tiny_event(), tiny_records());
+  EXPECT_EQ(race.num_laps(), 4);
+  EXPECT_EQ(race.car_ids(), (std::vector<int>{1, 2}));
+  const auto& car2 = race.car(2);
+  EXPECT_EQ(car2.laps(), 4u);
+  EXPECT_DOUBLE_EQ(car2.rank[0], 2.0);
+  EXPECT_DOUBLE_EQ(car2.rank[1], 1.0);
+  EXPECT_TRUE(car2.pit(2));
+  EXPECT_TRUE(car2.yellow(2));
+  EXPECT_EQ(car2.pit_laps(), (std::vector<std::size_t>{2}));
+}
+
+TEST(RaceLog, UnknownCarThrows) {
+  RaceLog race(tiny_event(), tiny_records());
+  EXPECT_THROW(race.car(99), std::out_of_range);
+}
+
+TEST(RaceLog, NonContiguousLapsRejected) {
+  auto recs = tiny_records();
+  recs.push_back({1, 1, 6, 50.0, 0.0, LapStatus::kNormal,
+                  TrackStatus::kGreen});  // lap 5 missing
+  EXPECT_THROW(RaceLog(tiny_event(), std::move(recs)),
+               std::invalid_argument);
+}
+
+TEST(RaceLog, CsvRoundTrip) {
+  RaceLog race(tiny_event(), tiny_records());
+  const auto csv = race.to_csv();
+  const auto back = RaceLog::from_csv(tiny_event(), csv);
+  EXPECT_EQ(back.num_records(), race.num_records());
+  EXPECT_EQ(back.num_laps(), race.num_laps());
+  const auto& car2 = back.car(2);
+  EXPECT_TRUE(car2.pit(2));
+  EXPECT_NEAR(car2.lap_time[2], 95.0, 1e-6);
+  EXPECT_EQ(back.id(), "Tiny-2020");
+}
+
+TEST(Analysis, PitStopExtraction) {
+  RaceLog race(tiny_event(), tiny_records());
+  const auto pits = extract_pit_stops(race, 1);
+  ASSERT_EQ(pits.size(), 1u);
+  EXPECT_EQ(pits[0].car_id, 2);
+  EXPECT_EQ(pits[0].lap, 3);
+  EXPECT_TRUE(pits[0].caution);
+  EXPECT_EQ(pits[0].stint_distance, 2);
+  // rank before (lap 2: rank 1) vs one lap after (lap 4: rank 2).
+  EXPECT_EQ(pits[0].rank_change, 1);
+}
+
+TEST(Analysis, Ratios) {
+  RaceLog race(tiny_event(), tiny_records());
+  EXPECT_NEAR(pit_laps_ratio(race), 1.0 / 8.0, 1e-12);
+  // Car 1: changes at lap 2->? ranks 1,2,1,1 => changes at laps 2,3.
+  // Car 2: ranks 2,1,2,2 => changes at laps 2,3. Total 4 changes / 6 pairs.
+  EXPECT_NEAR(rank_changes_ratio(race), 4.0 / 6.0, 1e-12);
+  EXPECT_EQ(caution_lap_records(race), 4u);
+}
+
+TEST(Analysis, WinnerIsLongestThenBestRank) {
+  RaceLog race(tiny_event(), tiny_records());
+  EXPECT_EQ(race.winner(), 1);
+}
+
+}  // namespace

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "tensor/kernels.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/opcount.hpp"
+#include "tensor/serialize.hpp"
+
+#include <sstream>
+
+namespace {
+
+using ranknet::tensor::Kernel;
+using ranknet::tensor::Matrix;
+using ranknet::tensor::OpCounters;
+using ranknet::util::Rng;
+
+/// Reference O(n^3) gemm with explicit index transposition.
+Matrix naive_gemm(double alpha, const Matrix& a, bool ta, const Matrix& b,
+                  bool tb, double beta, Matrix c) {
+  const std::size_t m = ta ? a.cols() : a.rows();
+  const std::size_t k = ta ? a.rows() : a.cols();
+  const std::size_t n = tb ? b.rows() : b.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        const double av = ta ? a(p, i) : a(i, p);
+        const double bv = tb ? b(j, p) : b(p, j);
+        acc += av * bv;
+      }
+      c(i, j) = alpha * acc + beta * c(i, j);
+    }
+  }
+  return c;
+}
+
+class GemmParamTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool, int, int, int>> {
+};
+
+TEST_P(GemmParamTest, MatchesNaiveReference) {
+  const auto [ta, tb, m, k, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 100 + k * 10 + n + (ta ? 1 : 0) +
+                                     (tb ? 2 : 0)));
+  const Matrix a = ta ? Matrix::randn(k, m, rng) : Matrix::randn(m, k, rng);
+  const Matrix b = tb ? Matrix::randn(n, k, rng) : Matrix::randn(k, n, rng);
+  Matrix c = Matrix::randn(m, n, rng);
+  const double alpha = 1.3, beta = 0.7;
+
+  const Matrix expected = naive_gemm(alpha, a, ta, b, tb, beta, c);
+  ranknet::tensor::gemm(alpha, a, ta, b, tb, beta, c);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c.flat()[i], expected.flat()[i], 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransposesAndShapes, GemmParamTest,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                       ::testing::Values(1, 3, 8), ::testing::Values(1, 5, 16),
+                       ::testing::Values(1, 4, 9)));
+
+TEST(Gemm, ShapeMismatchThrows) {
+  Matrix a(2, 3), b(4, 5), c(2, 5);
+  EXPECT_THROW(ranknet::tensor::gemm(1.0, a, false, b, false, 0.0, c),
+               std::invalid_argument);
+}
+
+TEST(Gemm, BetaZeroOverwritesGarbage) {
+  Rng rng(3);
+  const Matrix a = Matrix::randn(4, 4, rng);
+  const Matrix b = Matrix::randn(4, 4, rng);
+  Matrix c(4, 4, std::numeric_limits<double>::quiet_NaN());
+  ranknet::tensor::gemm(1.0, a, false, b, false, 0.0, c);
+  for (double v : c.flat()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Kernels, HadamardAndAxpy) {
+  Matrix a(2, 2), b(2, 2), out(2, 2);
+  a(0, 0) = 2;
+  a(1, 1) = 3;
+  b(0, 0) = 4;
+  b(1, 1) = 5;
+  ranknet::tensor::hadamard(a, b, out);
+  EXPECT_DOUBLE_EQ(out(0, 0), 8.0);
+  EXPECT_DOUBLE_EQ(out(1, 1), 15.0);
+  EXPECT_DOUBLE_EQ(out(0, 1), 0.0);
+  ranknet::tensor::axpy(2.0, a, out);
+  EXPECT_DOUBLE_EQ(out(0, 0), 12.0);
+}
+
+TEST(Kernels, BiasAndRowSums) {
+  Matrix m(2, 3, 1.0);
+  const std::vector<double> bias{1.0, 2.0, 3.0};
+  ranknet::tensor::add_bias_rows(m, bias);
+  EXPECT_DOUBLE_EQ(m(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 2), 4.0);
+  std::vector<double> sums(3, 0.0);
+  ranknet::tensor::sum_rows(m, sums);
+  EXPECT_DOUBLE_EQ(sums[0], 4.0);
+  EXPECT_DOUBLE_EQ(sums[2], 8.0);
+}
+
+TEST(Kernels, SigmoidTanhSoftplusValues) {
+  Matrix m(1, 3);
+  m(0, 0) = 0.0;
+  m(0, 1) = 100.0;
+  m(0, 2) = -100.0;
+  Matrix s = m;
+  ranknet::tensor::sigmoid_inplace(s);
+  EXPECT_NEAR(s(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(s(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(s(0, 2), 0.0, 1e-12);
+  Matrix t = m;
+  ranknet::tensor::tanh_inplace(t);
+  EXPECT_NEAR(t(0, 0), 0.0, 1e-12);
+  EXPECT_NEAR(t(0, 1), 1.0, 1e-12);
+  Matrix p = m;
+  ranknet::tensor::softplus_inplace(p);
+  EXPECT_NEAR(p(0, 0), std::log(2.0), 1e-12);
+  EXPECT_NEAR(p(0, 1), 100.0, 1e-9);   // large x: softplus(x) ~ x
+  EXPECT_NEAR(p(0, 2), 0.0, 1e-12);    // very negative: ~ 0, not -inf
+}
+
+TEST(Kernels, SoftmaxRowsSumToOneAndOrder) {
+  Rng rng(4);
+  Matrix m = Matrix::randn(5, 7, rng, 3.0);
+  Matrix original = m;
+  ranknet::tensor::softmax_rows(m);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    double total = 0.0;
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      EXPECT_GT(m(r, c), 0.0);
+      total += m(r, c);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    // Softmax preserves ordering.
+    for (std::size_t c = 1; c < m.cols(); ++c) {
+      EXPECT_EQ(original(r, c) > original(r, c - 1),
+                m(r, c) > m(r, c - 1));
+    }
+  }
+}
+
+TEST(OpCount, GemmBooksFlops) {
+  auto& counters = OpCounters::instance();
+  counters.reset();
+  Matrix a(8, 16), b(16, 4), c(8, 4);
+  ranknet::tensor::gemm(1.0, a, false, b, false, 0.0, c);
+  const auto& s = counters.stats(Kernel::kMatMul);
+  EXPECT_EQ(s.calls, 1u);
+  EXPECT_EQ(s.flops, 2ull * 8 * 16 * 4);
+  EXPECT_GT(s.bytes, 0u);
+  counters.reset();
+  EXPECT_EQ(counters.stats(Kernel::kMatMul).calls, 0u);
+}
+
+TEST(OpCount, ProfilingRecordsTime) {
+  auto& counters = OpCounters::instance();
+  counters.reset();
+  counters.set_profiling(true);
+  Rng rng(5);
+  Matrix a = Matrix::randn(64, 64, rng);
+  Matrix b = Matrix::randn(64, 64, rng);
+  Matrix c(64, 64);
+  ranknet::tensor::gemm(1.0, a, false, b, false, 0.0, c);
+  counters.set_profiling(false);
+  EXPECT_GT(counters.stats(Kernel::kMatMul).seconds, 0.0);
+  EXPECT_GT(counters.stats(Kernel::kMatMul).gflops(), 0.0);
+  counters.reset();
+}
+
+TEST(Matrix, SerializeRoundTrip) {
+  Rng rng(6);
+  const Matrix m = Matrix::randn(7, 3, rng);
+  std::stringstream ss;
+  ranknet::tensor::write_matrix(ss, m);
+  const Matrix back = ranknet::tensor::read_matrix(ss);
+  EXPECT_TRUE(m == back);
+}
+
+TEST(Matrix, ReshapeAndRowSpan) {
+  Matrix m(2, 6, 1.0);
+  m(1, 5) = 9.0;
+  m.reshape(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_DOUBLE_EQ(m(2, 3), 9.0);
+  auto row = m.row(2);
+  EXPECT_EQ(row.size(), 4u);
+  row[0] = 7.0;
+  EXPECT_DOUBLE_EQ(m(2, 0), 7.0);
+}
+
+}  // namespace

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/string_util.hpp"
+
+namespace {
+
+using namespace ranknet::util;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(8);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng rng(9);
+  RunningStats st;
+  for (int i = 0; i < 20000; ++i) st.add(rng.normal(2.0, 3.0));
+  EXPECT_NEAR(st.mean(), 2.0, 0.1);
+  EXPECT_NEAR(st.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, PoissonMeanMatchesLambda) {
+  Rng rng(10);
+  for (double lambda : {0.5, 3.0, 12.0}) {
+    RunningStats st;
+    for (int i = 0; i < 5000; ++i) st.add(rng.poisson(lambda));
+    EXPECT_NEAR(st.mean(), lambda, 0.15 * lambda + 0.05);
+  }
+}
+
+TEST(Rng, TruncatedNormalStaysInBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.truncated_normal(10.0, 5.0, 8.0, 12.0);
+    EXPECT_GE(x, 8.0);
+    EXPECT_LE(x, 12.0);
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(12);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(13);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Stats, MeanVarianceStddev) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(variance(xs), 1.25);
+  EXPECT_DOUBLE_EQ(stddev(xs), std::sqrt(1.25));
+}
+
+TEST(Stats, QuantileInterpolation) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(median(xs), 25.0);
+}
+
+TEST(Stats, QuantileIsMonotoneInQ) {
+  Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 50; ++i) xs.push_back(rng.normal());
+  double prev = quantile(xs, 0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = quantile(xs, q);
+    EXPECT_GE(cur, prev - 1e-12);
+    prev = cur;
+  }
+}
+
+TEST(Stats, EmptyInputsGiveNan) {
+  const std::vector<double> empty;
+  EXPECT_TRUE(std::isnan(mean(empty)));
+  EXPECT_TRUE(std::isnan(quantile(empty, 0.5)));
+}
+
+TEST(Stats, HistogramCountsAndClamping) {
+  const std::vector<double> xs{-1.0, 0.1, 0.2, 0.55, 0.9, 2.0};
+  const auto h = histogram(xs, 0.0, 1.0, 2);
+  ASSERT_EQ(h.counts.size(), 2u);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.counts[0], 3u);  // -1 clamps into the first bucket
+  EXPECT_EQ(h.counts[1], 3u);  // 2.0 clamps into the last
+  EXPECT_NEAR(h.frequency(0), 0.5, 1e-12);
+}
+
+TEST(Stats, EcdfStepFunction) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const auto e = ecdf(xs);
+  EXPECT_DOUBLE_EQ(e(0.5), 0.0);
+  EXPECT_NEAR(e(1.0), 1.0 / 3, 1e-12);
+  EXPECT_NEAR(e(2.5), 2.0 / 3, 1e-12);
+  EXPECT_DOUBLE_EQ(e(3.0), 1.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> zs{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, zs), -1.0, 1e-12);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  Rng rng(6);
+  std::vector<double> xs;
+  RunningStats st;
+  for (int i = 0; i < 500; ++i) {
+    xs.push_back(rng.uniform(-3, 5));
+    st.add(xs.back());
+  }
+  EXPECT_NEAR(st.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(st.min(), ranknet::util::min(xs), 1e-12);
+  EXPECT_NEAR(st.max(), ranknet::util::max(xs), 1e-12);
+}
+
+TEST(StringUtil, SplitTrimLower) {
+  const auto parts = split("a, b ,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(trim(parts[1]), "b");
+  EXPECT_EQ(lower("AbC"), "abc");
+  EXPECT_TRUE(starts_with("ranknet", "rank"));
+  EXPECT_FALSE(starts_with("rank", "ranknet"));
+}
+
+TEST(StringUtil, FormatAndJoin) {
+  EXPECT_EQ(format("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(StringUtil, Fnv1aStableAndDistinct) {
+  EXPECT_EQ(fnv1a("abc"), fnv1a("abc"));
+  EXPECT_NE(fnv1a("abc"), fnv1a("abd"));
+}
+
+TEST(Csv, RoundTrip) {
+  CsvTable t({"A", "B"});
+  t.add_row({"1", "x"});
+  t.add_row({"2", "y"});
+  const auto parsed = CsvTable::parse(t.to_string());
+  EXPECT_EQ(parsed.num_rows(), 2u);
+  EXPECT_EQ(parsed.cell(1, "B"), "y");
+  EXPECT_EQ(parsed.cell_long(0, "A"), 1);
+}
+
+TEST(Csv, ErrorsOnBadShapeAndMissingColumn) {
+  CsvTable t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  t.add_row({"1", "2"});
+  EXPECT_THROW(t.col("C"), std::out_of_range);
+}
+
+}  // namespace
