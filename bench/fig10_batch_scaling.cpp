@@ -1,5 +1,7 @@
 // Fig. 10 (+ Table IV batch sizes, Table VIII devices) — impact of batch
-// size on training speed (µs/sample) for RankNet training steps.
+// size on training speed (µs/sample) for RankNet training steps, plus the
+// inference-side counterpart: Monte-Carlo forecast throughput versus worker
+// threads through core::ParallelForecastEngine.
 //
 // The CPU column is measured on this machine with kernel-level profiling;
 // the GPU / GPU-cuDNN / VE columns come from the analytic device model
@@ -9,7 +11,72 @@
 #include <vector>
 
 #include "core/device_model.hpp"
+#include "core/parallel_engine.hpp"
+#include "core/ranknet.hpp"
+#include "simulator/season.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
+
+namespace {
+
+// Forecast-side scaling: one RankNet-sized model, a full simulated race,
+// per-car sampling fanned across the engine's pool. The determinism
+// contract means every row of this table computes the same bits; only the
+// wall clock may move.
+void inference_thread_scaling() {
+  using namespace ranknet;
+  const auto race =
+      sim::simulate_race({"Indy500", 2019, 4242, sim::Usage::kTest});
+  features::CarVocab vocab({race});
+  core::SeqModelConfig cfg;
+  cfg.cov_dim = features::CovariateConfig{}.dim();
+  cfg.hidden = 40;
+  cfg.embed_dim = 4;
+  cfg.vocab = vocab.size();
+  auto model = std::make_shared<core::LstmSeqModel>(cfg);
+  model->set_scaler(features::StandardScaler(17.0, 9.0));
+  core::RankNetForecaster forecaster(model, nullptr, vocab,
+                                     features::CovariateConfig{},
+                                     core::StatusSource::kOracle, "RankNet");
+
+  const int horizon = 5, samples = 96;
+  const std::vector<int> origins{40, 80, 120, 160};
+  const std::vector<std::size_t> thread_counts{1, 2, 4, 8};
+
+  std::printf("\nInference — RankNet forecast throughput vs threads "
+              "(horizon %d, %d samples/car, %zu origins; hw threads: %zu)\n",
+              horizon, samples, origins.size(),
+              util::ThreadPool::hardware_threads());
+  std::printf("%10s %14s %10s %12s\n", "Threads", "us/sample", "speedup",
+              "concurrency");
+
+  double base_us = 0.0;
+  for (const auto t : thread_counts) {
+    core::ParallelForecastEngine engine(forecaster, t);
+    // Warm the per-race feature cache outside the timed region.
+    util::Rng warm(7);
+    (void)engine.forecast(race, origins[0], horizon, samples, warm);
+    engine.reset_stats();
+
+    util::Rng rng(7);
+    std::size_t rows = 0;
+    util::Timer timer;
+    for (const int origin : origins) {
+      const auto out = engine.forecast(race, origin, horizon, samples, rng);
+      for (const auto& [car_id, m] : out) rows += m.rows();
+    }
+    const double us = timer.seconds() * 1e6 / static_cast<double>(rows);
+    if (t == thread_counts.front()) base_us = us;
+    const auto stats = engine.stats();
+    std::printf("%10zu %14.2f %9.2fx %12.2f\n", t, us,
+                base_us > 0.0 ? base_us / us : 0.0, stats.concurrency());
+    std::fflush(stdout);
+  }
+  std::printf("(speedup tracks physical cores; concurrency = summed task "
+              "time / wall time)\n");
+}
+
+}  // namespace
 
 int main() {
   using namespace ranknet;
@@ -34,5 +101,7 @@ int main() {
   std::printf(
       "\n(paper: all devices improve with batch size; cuDNN fastest "
       "throughout; VE overtakes plain CPU at large batches)\n");
+
+  inference_thread_scaling();
   return 0;
 }

@@ -214,9 +214,9 @@ bench/CMakeFiles/ablation_design_choices.dir/ablation_design_choices.cpp.o: \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
  /root/repo/src/core/forecaster.hpp /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/tensor/matrix.hpp \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/span \
+ /usr/include/c++/12/cstddef /root/repo/src/tensor/matrix.hpp \
  /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/cstddef /usr/include/c++/12/span \
  /root/repo/src/util/rng.hpp /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \

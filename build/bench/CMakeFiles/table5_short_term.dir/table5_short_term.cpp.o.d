@@ -213,9 +213,9 @@ bench/CMakeFiles/table5_short_term.dir/table5_short_term.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/core/forecaster.hpp /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/tensor/matrix.hpp \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/span \
+ /usr/include/c++/12/cstddef /root/repo/src/tensor/matrix.hpp \
  /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/cstddef /usr/include/c++/12/span \
  /root/repo/src/util/rng.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

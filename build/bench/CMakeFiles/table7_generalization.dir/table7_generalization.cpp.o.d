@@ -213,9 +213,9 @@ bench/CMakeFiles/table7_generalization.dir/table7_generalization.cpp.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /root/repo/src/core/forecaster.hpp /root/repo/src/tensor/matrix.hpp \
+ /root/repo/src/core/forecaster.hpp /usr/include/c++/12/span \
+ /usr/include/c++/12/cstddef /root/repo/src/tensor/matrix.hpp \
  /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/cstddef /usr/include/c++/12/span \
  /root/repo/src/util/rng.hpp /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \

@@ -125,15 +125,15 @@ examples/CMakeFiles/forecast_csv.dir/forecast_csv.cpp.o: \
  /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/tensor/matrix.hpp \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/cstddef /usr/include/c++/12/span \
- /usr/include/c++/12/array /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/span \
+ /usr/include/c++/12/array /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/util/rng.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/tensor/matrix.hpp \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /root/repo/src/util/rng.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
@@ -241,7 +241,13 @@ examples/CMakeFiles/forecast_csv.dir/forecast_csv.cpp.o: \
  /root/repo/src/core/pit_model.hpp /root/repo/src/features/scaler.hpp \
  /root/repo/src/nn/dense.hpp /root/repo/src/nn/param.hpp \
  /root/repo/src/nn/gaussian.hpp /root/repo/src/core/ranknet.hpp \
- /root/repo/src/core/ar_model.hpp /root/repo/src/features/window.hpp \
+ /root/repo/src/core/ar_model.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/features/window.hpp \
  /root/repo/src/features/transforms.hpp /root/repo/src/nn/adam.hpp \
  /root/repo/src/nn/embedding.hpp /root/repo/src/nn/lstm.hpp \
  /root/repo/src/core/transformer_model.hpp \

@@ -239,7 +239,13 @@ examples/CMakeFiles/train_models.dir/train_models.cpp.o: \
  /usr/include/c++/12/bits/stl_multimap.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/telemetry/record.hpp \
  /root/repo/src/util/csv.hpp /root/repo/src/core/ranknet.hpp \
- /root/repo/src/core/ar_model.hpp /root/repo/src/features/window.hpp \
+ /root/repo/src/core/ar_model.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/features/window.hpp \
  /root/repo/src/features/transforms.hpp /root/repo/src/nn/adam.hpp \
  /root/repo/src/nn/embedding.hpp /root/repo/src/nn/lstm.hpp \
  /root/repo/src/core/forecaster.hpp \

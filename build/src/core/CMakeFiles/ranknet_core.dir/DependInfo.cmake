@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/evaluation.cpp" "src/core/CMakeFiles/ranknet_core.dir/evaluation.cpp.o" "gcc" "src/core/CMakeFiles/ranknet_core.dir/evaluation.cpp.o.d"
   "/root/repo/src/core/forecaster.cpp" "src/core/CMakeFiles/ranknet_core.dir/forecaster.cpp.o" "gcc" "src/core/CMakeFiles/ranknet_core.dir/forecaster.cpp.o.d"
   "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/ranknet_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/ranknet_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/parallel_engine.cpp" "src/core/CMakeFiles/ranknet_core.dir/parallel_engine.cpp.o" "gcc" "src/core/CMakeFiles/ranknet_core.dir/parallel_engine.cpp.o.d"
   "/root/repo/src/core/pit_model.cpp" "src/core/CMakeFiles/ranknet_core.dir/pit_model.cpp.o" "gcc" "src/core/CMakeFiles/ranknet_core.dir/pit_model.cpp.o.d"
   "/root/repo/src/core/ranknet.cpp" "src/core/CMakeFiles/ranknet_core.dir/ranknet.cpp.o" "gcc" "src/core/CMakeFiles/ranknet_core.dir/ranknet.cpp.o.d"
   "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/ranknet_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/ranknet_core.dir/registry.cpp.o.d"

@@ -11,6 +11,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/ranknet_core.dir/forecaster.cpp.o.d"
   "CMakeFiles/ranknet_core.dir/metrics.cpp.o"
   "CMakeFiles/ranknet_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/ranknet_core.dir/parallel_engine.cpp.o"
+  "CMakeFiles/ranknet_core.dir/parallel_engine.cpp.o.d"
   "CMakeFiles/ranknet_core.dir/pit_model.cpp.o"
   "CMakeFiles/ranknet_core.dir/pit_model.cpp.o.d"
   "CMakeFiles/ranknet_core.dir/ranknet.cpp.o"

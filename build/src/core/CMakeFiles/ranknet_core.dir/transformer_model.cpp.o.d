@@ -198,25 +198,28 @@ src/core/CMakeFiles/ranknet_core.dir/transformer_model.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/ar_model.hpp \
- /root/repo/src/features/scaler.hpp /usr/include/c++/12/span \
- /usr/include/c++/12/array /usr/include/c++/12/cstddef \
- /root/repo/src/features/window.hpp \
- /root/repo/src/features/transforms.hpp \
- /root/repo/src/telemetry/race_log.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/telemetry/record.hpp \
- /root/repo/src/util/csv.hpp /root/repo/src/nn/adam.hpp \
- /root/repo/src/nn/param.hpp /root/repo/src/tensor/matrix.hpp \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /root/repo/src/util/rng.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/span \
+ /usr/include/c++/12/cstddef /root/repo/src/features/scaler.hpp \
+ /root/repo/src/features/window.hpp \
+ /root/repo/src/features/transforms.hpp \
+ /root/repo/src/telemetry/race_log.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /root/repo/src/telemetry/record.hpp /root/repo/src/util/csv.hpp \
+ /root/repo/src/nn/adam.hpp /root/repo/src/nn/param.hpp \
+ /root/repo/src/tensor/matrix.hpp /usr/include/c++/12/cassert \
+ /usr/include/assert.h /root/repo/src/util/rng.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
@@ -244,4 +247,5 @@ src/core/CMakeFiles/ranknet_core.dir/transformer_model.cpp.o: \
  /root/repo/src/nn/gaussian.hpp /root/repo/src/nn/dense.hpp \
  /root/repo/src/nn/lstm.hpp /root/repo/src/nn/attention.hpp \
  /root/repo/src/nn/layer_norm.hpp /root/repo/src/tensor/kernels.hpp \
- /root/repo/src/tensor/opcount.hpp /root/repo/src/util/string_util.hpp
+ /root/repo/src/tensor/opcount.hpp /usr/include/c++/12/atomic \
+ /root/repo/src/util/string_util.hpp

@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/ranknet_util.dir/stats.cpp.o.d"
   "CMakeFiles/ranknet_util.dir/string_util.cpp.o"
   "CMakeFiles/ranknet_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/ranknet_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/ranknet_util.dir/thread_pool.cpp.o.d"
   "libranknet_util.a"
   "libranknet_util.pdb"
 )

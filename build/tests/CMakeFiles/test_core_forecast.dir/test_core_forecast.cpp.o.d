@@ -316,7 +316,7 @@ tests/CMakeFiles/test_core_forecast.dir/test_core_forecast.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/core/baselines.hpp /root/repo/src/core/forecaster.hpp \
- /root/repo/src/tensor/matrix.hpp /usr/include/c++/12/span \
+ /usr/include/c++/12/span /root/repo/src/tensor/matrix.hpp \
  /root/repo/src/util/rng.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

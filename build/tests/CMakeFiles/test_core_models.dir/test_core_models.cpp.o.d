@@ -315,8 +315,8 @@ tests/CMakeFiles/test_core_models.dir/test_core_models.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/core/ar_model.hpp /root/repo/src/features/scaler.hpp \
- /usr/include/c++/12/span /root/repo/src/features/window.hpp \
+ /root/repo/src/core/ar_model.hpp /usr/include/c++/12/span \
+ /root/repo/src/features/scaler.hpp /root/repo/src/features/window.hpp \
  /root/repo/src/features/transforms.hpp \
  /root/repo/src/telemetry/race_log.hpp \
  /root/repo/src/telemetry/record.hpp /root/repo/src/util/csv.hpp \

@@ -298,8 +298,8 @@ tests/CMakeFiles/test_integration.dir/test_integration.cpp.o: \
  /usr/include/c++/12/bits/fs_path.h /usr/include/c++/12/codecvt \
  /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
  /root/repo/src/core/evaluation.hpp /root/repo/src/core/baselines.hpp \
- /root/repo/src/core/forecaster.hpp /root/repo/src/tensor/matrix.hpp \
- /usr/include/c++/12/span /root/repo/src/util/rng.hpp \
+ /root/repo/src/core/forecaster.hpp /usr/include/c++/12/span \
+ /root/repo/src/tensor/matrix.hpp /root/repo/src/util/rng.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \

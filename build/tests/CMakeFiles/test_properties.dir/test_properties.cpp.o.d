@@ -315,15 +315,35 @@ tests/CMakeFiles/test_properties.dir/test_properties.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/core/forecaster.hpp /root/repo/src/tensor/matrix.hpp \
- /usr/include/c++/12/span /root/repo/src/util/rng.hpp \
+ /root/repo/src/core/forecaster.hpp /usr/include/c++/12/span \
+ /root/repo/src/tensor/matrix.hpp /root/repo/src/util/rng.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/telemetry/race_log.hpp \
  /root/repo/src/telemetry/record.hpp /root/repo/src/util/csv.hpp \
- /root/repo/src/core/metrics.hpp /root/repo/src/features/window.hpp \
- /root/repo/src/features/transforms.hpp \
+ /root/repo/src/core/metrics.hpp /root/repo/src/core/parallel_engine.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/util/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
+ /usr/include/c++/12/thread /root/repo/src/core/ranknet.hpp \
+ /root/repo/src/core/ar_model.hpp /root/repo/src/features/scaler.hpp \
+ /root/repo/src/features/window.hpp \
+ /root/repo/src/features/transforms.hpp /root/repo/src/nn/adam.hpp \
+ /root/repo/src/nn/param.hpp /root/repo/src/nn/embedding.hpp \
+ /root/repo/src/nn/gaussian.hpp /root/repo/src/nn/dense.hpp \
+ /root/repo/src/nn/lstm.hpp /root/repo/src/core/pit_model.hpp \
+ /root/repo/src/core/transformer_model.hpp \
+ /root/repo/src/nn/attention.hpp /root/repo/src/nn/layer_norm.hpp \
  /root/repo/src/simulator/season.hpp \
  /root/repo/src/simulator/race_sim.hpp /root/repo/src/simulator/track.hpp \
  /root/repo/src/telemetry/analysis.hpp /root/repo/src/util/stats.hpp

@@ -294,7 +294,7 @@ tests/CMakeFiles/test_ranknet_forecaster.dir/test_ranknet_forecaster.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/core/ranknet.hpp /root/repo/src/core/ar_model.hpp \
- /root/repo/src/features/scaler.hpp /usr/include/c++/12/span \
+ /usr/include/c++/12/span /root/repo/src/features/scaler.hpp \
  /root/repo/src/features/window.hpp \
  /root/repo/src/features/transforms.hpp \
  /root/repo/src/telemetry/race_log.hpp \

@@ -18,4 +18,6 @@ include("/root/repo/build/tests/test_registry[1]_include.cmake")
 include("/root/repo/build/tests/test_device_model[1]_include.cmake")
 include("/root/repo/build/tests/test_properties[1]_include.cmake")
 include("/root/repo/build/tests/test_ranknet_forecaster[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_golden_regression[1]_include.cmake")
 include("/root/repo/build/tests/test_integration[1]_include.cmake")

@@ -344,10 +344,12 @@ void LstmSeqModel::advance(StackState& state,
   }
 }
 
-tensor::Matrix LstmSeqModel::sample_forward(
-    StackState& state, std::vector<std::vector<double>> z_prev,
+tensor::Matrix LstmSeqModel::sample_forward_impl(
+    StackState& state, std::vector<std::vector<double>>& z_prev,
     const std::vector<std::vector<std::vector<double>>>& future_covs,
-    const std::vector<int>& car_index, int horizon, util::Rng& rng,
+    const std::vector<int>& car_index, int horizon,
+    const std::function<tensor::Matrix(const nn::GaussianHead::Output&)>&
+        sampler,
     std::vector<tensor::Matrix>* all_dims) const {
   const std::size_t rows = z_prev.size();
   tensor::Matrix embed(rows, config_.embed_dim);
@@ -374,7 +376,7 @@ tensor::Matrix LstmSeqModel::sample_forward(
       x = layers_[l]->step(x, state[l]);
     }
     const auto dist = head_->forward_inference(x);
-    const auto sample = nn::GaussianHead::sample(dist, rng);
+    const auto sample = sampler(dist);
     tensor::Matrix raw(rows, config_.target_dim);
     for (std::size_t r = 0; r < rows; ++r) {
       const double rank = std::clamp(scaler_.inverse(sample(r, 0)),
@@ -390,6 +392,36 @@ tensor::Matrix LstmSeqModel::sample_forward(
     if (all_dims != nullptr) all_dims->push_back(std::move(raw));
   }
   return out;
+}
+
+tensor::Matrix LstmSeqModel::sample_forward(
+    StackState& state, std::vector<std::vector<double>> z_prev,
+    const std::vector<std::vector<std::vector<double>>>& future_covs,
+    const std::vector<int>& car_index, int horizon, util::Rng& rng,
+    std::vector<tensor::Matrix>* all_dims) const {
+  return sample_forward_impl(
+      state, z_prev, future_covs, car_index, horizon,
+      [&rng](const nn::GaussianHead::Output& dist) {
+        return nn::GaussianHead::sample(dist, rng);
+      },
+      all_dims);
+}
+
+tensor::Matrix LstmSeqModel::sample_forward(
+    StackState& state, std::vector<std::vector<double>> z_prev,
+    const std::vector<std::vector<std::vector<double>>>& future_covs,
+    const std::vector<int>& car_index, int horizon,
+    std::span<util::Rng> row_rngs,
+    std::vector<tensor::Matrix>* all_dims) const {
+  if (row_rngs.size() != z_prev.size()) {
+    throw std::invalid_argument("sample_forward: one rng stream per row");
+  }
+  return sample_forward_impl(
+      state, z_prev, future_covs, car_index, horizon,
+      [row_rngs](const nn::GaussianHead::Output& dist) {
+        return nn::GaussianHead::sample(dist, row_rngs);
+      },
+      all_dims);
 }
 
 }  // namespace ranknet::core

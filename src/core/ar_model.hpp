@@ -10,7 +10,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -118,15 +120,43 @@ class LstmSeqModel : public nn::Layer {
   /// future_covs[r][h] the covariate vector for horizon step h. Returns
   /// (rows x horizon) sampled raw target values (dim 0 = rank), plus all
   /// target dims via `all_dims` when non-null.
+  ///
+  /// All rows advance through the LSTM stack together: one decode step is
+  /// one (rows x hidden) batch per layer, so all live cars' hidden states
+  /// ride in a single GEMM instead of many per-car ones. Every row-level
+  /// quantity (gates, head output, feedback) depends only on that row, so
+  /// the batch may be any subset of cars/samples without changing results.
   tensor::Matrix sample_forward(
       StackState& state, std::vector<std::vector<double>> z_prev,
       const std::vector<std::vector<std::vector<double>>>& future_covs,
       const std::vector<int>& car_index, int horizon, util::Rng& rng,
       std::vector<tensor::Matrix>* all_dims = nullptr) const;
 
+  /// Partition-invariant variant: row r draws its Gaussian noise from its
+  /// own stream row_rngs[r] (derived via util::Rng::stream keyed by
+  /// (car, sample)), so the sampled trajectory of a row is byte-identical
+  /// no matter how rows are grouped into batches or threads.
+  tensor::Matrix sample_forward(
+      StackState& state, std::vector<std::vector<double>> z_prev,
+      const std::vector<std::vector<std::vector<double>>>& future_covs,
+      const std::vector<int>& car_index, int horizon,
+      std::span<util::Rng> row_rngs,
+      std::vector<tensor::Matrix>* all_dims = nullptr) const;
+
   std::vector<nn::Parameter*> params() override;
 
  private:
+  /// Shared decode loop; `sampler` draws one row-wise sample matrix from a
+  /// head output (the two public overloads differ only in how noise is
+  /// drawn).
+  tensor::Matrix sample_forward_impl(
+      StackState& state, std::vector<std::vector<double>>& z_prev,
+      const std::vector<std::vector<std::vector<double>>>& future_covs,
+      const std::vector<int>& car_index, int horizon,
+      const std::function<tensor::Matrix(const nn::GaussianHead::Output&)>&
+          sampler,
+      std::vector<tensor::Matrix>* all_dims) const;
+
   tensor::Matrix assemble_step(
       const std::vector<std::vector<double>>& z_prev_scaled,
       const std::vector<std::vector<double>>& cov_rows,

@@ -7,13 +7,29 @@
 
 namespace ranknet::core {
 
-RaceSamples CurRankForecaster::forecast(const telemetry::RaceLog& race,
-                                        int origin_lap, int horizon,
-                                        int /*num_samples*/,
-                                        util::Rng& /*rng*/) {
-  RaceSamples out;
+std::vector<int> running_cars(const telemetry::RaceLog& race, int origin_lap) {
+  std::vector<int> cars;
   const auto origin = static_cast<std::size_t>(origin_lap);
   for (int car_id : race.car_ids()) {
+    if (race.car(car_id).laps() >= origin) cars.push_back(car_id);
+  }
+  return cars;
+}
+
+RaceSamples CurRankForecaster::forecast(const telemetry::RaceLog& race,
+                                        int origin_lap, int horizon,
+                                        int num_samples, util::Rng& rng) {
+  const std::uint64_t base = rng();
+  return forecast_partition(race, origin_lap, horizon, num_samples, base,
+                            forecast_cars(race, origin_lap));
+}
+
+RaceSamples CurRankForecaster::forecast_partition(
+    const telemetry::RaceLog& race, int origin_lap, int horizon,
+    int /*num_samples*/, std::uint64_t /*base*/, std::span<const int> cars) {
+  RaceSamples out;
+  const auto origin = static_cast<std::size_t>(origin_lap);
+  for (int car_id : cars) {
     const auto& car = race.car(car_id);
     if (car.laps() < origin) continue;
     tensor::Matrix m(1, static_cast<std::size_t>(horizon));
@@ -30,14 +46,28 @@ ArimaForecaster::ArimaForecaster(ml::ArimaConfig config) : config_(config) {}
 RaceSamples ArimaForecaster::forecast(const telemetry::RaceLog& race,
                                       int origin_lap, int horizon,
                                       int num_samples, util::Rng& rng) {
+  const std::uint64_t base = rng();
+  return forecast_partition(race, origin_lap, horizon, num_samples, base,
+                            forecast_cars(race, origin_lap));
+}
+
+RaceSamples ArimaForecaster::forecast_partition(const telemetry::RaceLog& race,
+                                                int origin_lap, int horizon,
+                                                int num_samples,
+                                                std::uint64_t base,
+                                                std::span<const int> cars) {
   RaceSamples out;
   const auto origin = static_cast<std::size_t>(origin_lap);
-  for (int car_id : race.car_ids()) {
+  for (int car_id : cars) {
     const auto& car = race.car(car_id);
     if (car.laps() < origin) continue;
     ml::Arima model(config_);
     model.fit(std::span<const double>(car.rank.data(), origin));
-    const auto paths = model.sample_paths(horizon, num_samples, rng);
+    // Child stream keyed by the car id: the paths a car draws are the same
+    // whichever partition (or thread) computes them.
+    util::Rng car_rng =
+        util::Rng::stream(base, static_cast<std::uint64_t>(car_id));
+    const auto paths = model.sample_paths(horizon, num_samples, car_rng);
     tensor::Matrix m(paths.size(), static_cast<std::size_t>(horizon));
     for (std::size_t s = 0; s < paths.size(); ++s) {
       for (std::size_t h = 0; h < m.cols(); ++h) {
@@ -134,11 +164,18 @@ MlRegressorForecaster::MlRegressorForecaster(
 
 RaceSamples MlRegressorForecaster::forecast(const telemetry::RaceLog& race,
                                             int origin_lap, int horizon,
-                                            int /*num_samples*/,
-                                            util::Rng& /*rng*/) {
+                                            int num_samples, util::Rng& rng) {
+  const std::uint64_t base = rng();
+  return forecast_partition(race, origin_lap, horizon, num_samples, base,
+                            forecast_cars(race, origin_lap));
+}
+
+RaceSamples MlRegressorForecaster::forecast_partition(
+    const telemetry::RaceLog& race, int origin_lap, int horizon,
+    int /*num_samples*/, std::uint64_t /*base*/, std::span<const int> cars) {
   RaceSamples out;
   std::vector<double> x(config_.dim());
-  for (int car_id : race.car_ids()) {
+  for (int car_id : cars) {
     const auto& car = race.car(car_id);
     if (car.laps() < static_cast<std::size_t>(origin_lap)) continue;
     tensor::Matrix m(1, static_cast<std::size_t>(horizon));

@@ -15,21 +15,48 @@
 
 namespace ranknet::core {
 
+/// Cars a baseline emits at an origin: everyone still running at that lap.
+std::vector<int> running_cars(const telemetry::RaceLog& race, int origin_lap);
+
 /// Naive baseline: the future rank equals the rank at the origin lap.
-class CurRankForecaster : public RaceForecaster {
+class CurRankForecaster : public RaceForecaster,
+                          public PartitionableForecaster {
  public:
   std::string name() const override { return "CurRank"; }
   RaceSamples forecast(const telemetry::RaceLog& race, int origin_lap,
                        int horizon, int num_samples, util::Rng& rng) override;
+
+  void prepare(const telemetry::RaceLog&) override {}
+  std::vector<int> forecast_cars(const telemetry::RaceLog& race,
+                                 int origin_lap) override {
+    return running_cars(race, origin_lap);
+  }
+  RaceSamples forecast_partition(const telemetry::RaceLog& race,
+                                 int origin_lap, int horizon, int num_samples,
+                                 std::uint64_t base,
+                                 std::span<const int> cars) override;
 };
 
 /// Per-car ARIMA fitted on the rank history up to the origin at every call.
-class ArimaForecaster : public RaceForecaster {
+/// Sampling draws each car's paths from its own child stream keyed by the
+/// car id, so per-car forecasts are independent of the car subset.
+class ArimaForecaster : public RaceForecaster,
+                        public PartitionableForecaster {
  public:
   explicit ArimaForecaster(ml::ArimaConfig config = {});
   std::string name() const override { return "ARIMA"; }
   RaceSamples forecast(const telemetry::RaceLog& race, int origin_lap,
                        int horizon, int num_samples, util::Rng& rng) override;
+
+  void prepare(const telemetry::RaceLog&) override {}
+  std::vector<int> forecast_cars(const telemetry::RaceLog& race,
+                                 int origin_lap) override {
+    return running_cars(race, origin_lap);
+  }
+  RaceSamples forecast_partition(const telemetry::RaceLog& race,
+                                 int origin_lap, int horizon, int num_samples,
+                                 std::uint64_t base,
+                                 std::span<const int> cars) override;
 
  private:
   ml::ArimaConfig config_;
@@ -55,13 +82,24 @@ MlDataset build_ml_dataset(const std::vector<telemetry::RaceLog>& races,
 /// Wraps any ml::Regressor as a (deterministic) race forecaster. The
 /// regressor must have been trained for the same horizon; intermediate
 /// horizon laps are linearly interpolated from the current rank.
-class MlRegressorForecaster : public RaceForecaster {
+class MlRegressorForecaster : public RaceForecaster,
+                              public PartitionableForecaster {
  public:
   MlRegressorForecaster(std::string name, std::shared_ptr<ml::Regressor> model,
                         MlFeatureConfig config, int trained_horizon);
   std::string name() const override { return name_; }
   RaceSamples forecast(const telemetry::RaceLog& race, int origin_lap,
                        int horizon, int num_samples, util::Rng& rng) override;
+
+  void prepare(const telemetry::RaceLog&) override {}
+  std::vector<int> forecast_cars(const telemetry::RaceLog& race,
+                                 int origin_lap) override {
+    return running_cars(race, origin_lap);
+  }
+  RaceSamples forecast_partition(const telemetry::RaceLog& race,
+                                 int origin_lap, int horizon, int num_samples,
+                                 std::uint64_t base,
+                                 std::span<const int> cars) override;
 
   /// Feature row for (car, origin); returns false when history is too short.
   static bool features_at(const telemetry::CarSeries& car,

@@ -10,6 +10,18 @@
 
 namespace ranknet::core {
 
+EngineCounters& EngineCounters::instance() {
+  static EngineCounters counters;
+  return counters;
+}
+
+void EngineCounters::reset() {
+  tasks_.store(0, std::memory_order_relaxed);
+  forecasts_.store(0, std::memory_order_relaxed);
+  task_seconds_.store(0.0, std::memory_order_relaxed);
+  wall_seconds_.store(0.0, std::memory_order_relaxed);
+}
+
 namespace {
 
 using tensor::Kernel;

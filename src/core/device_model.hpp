@@ -14,12 +14,58 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <string>
 #include <vector>
 
 #include "tensor/opcount.hpp"
 
 namespace ranknet::core {
+
+/// Global wall-time accounting for the parallel forecast engine, kept next
+/// to the kernel counters so the efficiency benches can report CPU-seconds
+/// (summed per-task wall time across workers) against elapsed wall time —
+/// without this split a parallel run would look like a flop-rate miracle on
+/// the roofline. Booked by core::ParallelForecastEngine.
+class EngineCounters {
+ public:
+  static EngineCounters& instance();
+
+  void reset();
+  void record_task(double seconds) {
+    tasks_.fetch_add(1, std::memory_order_relaxed);
+    add_double(task_seconds_, seconds);
+  }
+  void record_forecast(double wall_seconds) {
+    forecasts_.fetch_add(1, std::memory_order_relaxed);
+    add_double(wall_seconds_, wall_seconds);
+  }
+
+  std::uint64_t tasks() const {
+    return tasks_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t forecasts() const {
+    return forecasts_.load(std::memory_order_relaxed);
+  }
+  double task_seconds() const {
+    return task_seconds_.load(std::memory_order_relaxed);
+  }
+  double wall_seconds() const {
+    return wall_seconds_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static void add_double(std::atomic<double>& a, double v) {
+    double cur = a.load(std::memory_order_relaxed);
+    while (!a.compare_exchange_weak(cur, cur + v,
+                                    std::memory_order_relaxed)) {
+    }
+  }
+
+  EngineCounters() = default;
+  std::atomic<std::uint64_t> tasks_{0}, forecasts_{0};
+  std::atomic<double> task_seconds_{0.0}, wall_seconds_{0.0};
+};
 
 struct KernelClassStats {
   std::uint64_t calls = 0;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
+#include "core/parallel_engine.hpp"
 #include "features/transforms.hpp"
 #include "util/stats.hpp"
 #include "util/string_util.hpp"
@@ -35,11 +37,19 @@ TaskAResult evaluate_task_a(RaceForecaster& forecaster,
   util::Rng rng(config.seed);
   Accumulator all, normal, pit;
 
+  // threads > 1 fans per-car sampling across a pool; the engine's
+  // determinism contract keeps the metrics bit-identical to threads == 1.
+  std::optional<ParallelForecastEngine> engine;
+  if (config.threads > 1) {
+    engine.emplace(forecaster, static_cast<std::size_t>(config.threads));
+  }
+  RaceForecaster& runner = engine ? *engine : forecaster;
+
   const int last_origin = race.num_laps() - config.horizon;
   for (int origin = config.min_origin; origin <= last_origin;
        origin += config.origin_stride) {
-    auto raw = forecaster.forecast(race, origin, config.horizon,
-                                   config.num_samples, rng);
+    auto raw = runner.forecast(race, origin, config.horizon,
+                               config.num_samples, rng);
     if (raw.empty()) continue;
     const auto ranks = sort_to_ranks(raw);
     const auto target_lap = static_cast<std::size_t>(origin + config.horizon);

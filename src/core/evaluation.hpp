@@ -24,6 +24,10 @@ struct TaskAConfig {
   /// "PitStop covered": the car pits within [origin+1-m, origin+horizon+m].
   int pit_margin = 1;
   std::uint64_t seed = 99;
+  /// Worker threads for per-car sample fan-out (ParallelForecastEngine).
+  /// 1 = run sequentially on the calling thread. Results are bit-identical
+  /// for every value (see DESIGN.md "Parallel inference & determinism").
+  int threads = 1;
 };
 
 struct MetricRow {

@@ -9,8 +9,11 @@
 // positions of the cars are calculated by sorting the sampled outputs").
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "tensor/matrix.hpp"
 #include "telemetry/race_log.hpp"
@@ -32,6 +35,41 @@ class RaceForecaster {
   virtual RaceSamples forecast(const telemetry::RaceLog& race, int origin_lap,
                                int horizon, int num_samples,
                                util::Rng& rng) = 0;
+};
+
+/// Mixin for forecasters whose per-car sample generation can be computed on
+/// any subset of cars without changing per-car results — the contract the
+/// parallel forecast engine (core/parallel_engine.hpp) fans out over.
+///
+/// The determinism contract:
+///  * `forecast(rng)` must be exactly `prepare(race); base = rng();
+///    forecast_partition(..., base, forecast_cars(...))` — so wrapping a
+///    forecaster in the engine changes neither its output nor how it
+///    consumes the caller's rng.
+///  * `forecast_partition` must derive all randomness from `base` via
+///    util::Rng::stream keyed by stable ids (car id, sample index), never
+///    from shared mutable generator state. Per-car output must be
+///    byte-identical for any car subset containing that car.
+///  * After `prepare(race)` has run, `forecast_partition` must be safe to
+///    call concurrently from multiple threads (read-only on caches).
+class PartitionableForecaster {
+ public:
+  virtual ~PartitionableForecaster() = default;
+
+  /// Warm per-race caches; called once, single-threaded, before fan-out.
+  virtual void prepare(const telemetry::RaceLog& race) = 0;
+
+  /// Car ids the forecaster would emit at this origin (ascending order).
+  virtual std::vector<int> forecast_cars(const telemetry::RaceLog& race,
+                                         int origin_lap) = 0;
+
+  /// Forecast only `cars` (a subset of forecast_cars) from seed material
+  /// `base`. Keys child rng streams by (car id, sample) so the result for
+  /// each car does not depend on which other cars share the call.
+  virtual RaceSamples forecast_partition(const telemetry::RaceLog& race,
+                                         int origin_lap, int horizon,
+                                         int num_samples, std::uint64_t base,
+                                         std::span<const int> cars) = 0;
 };
 
 /// Convert raw sampled values into integer ranks by sorting each

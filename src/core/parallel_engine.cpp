@@ -1,0 +1,117 @@
+#include "core/parallel_engine.hpp"
+
+#include <algorithm>
+#include <future>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/device_model.hpp"
+#include "util/timer.hpp"
+
+namespace ranknet::core {
+
+ParallelForecastEngine::ParallelForecastEngine(RaceForecaster& wrapped,
+                                               std::size_t threads,
+                                               std::size_t max_cars_per_task)
+    : wrapped_(wrapped),
+      partitioned_(dynamic_cast<PartitionableForecaster*>(&wrapped)),
+      pool_(threads),
+      max_cars_per_task_(max_cars_per_task == 0 ? 1 : max_cars_per_task) {}
+
+ParallelForecastEngine::ParallelForecastEngine(
+    std::shared_ptr<RaceForecaster> wrapped, std::size_t threads,
+    std::size_t max_cars_per_task)
+    : owned_(std::move(wrapped)),
+      wrapped_(*owned_),
+      partitioned_(dynamic_cast<PartitionableForecaster*>(owned_.get())),
+      pool_(threads),
+      max_cars_per_task_(max_cars_per_task == 0 ? 1 : max_cars_per_task) {
+  if (!owned_) {
+    throw std::invalid_argument("ParallelForecastEngine: null forecaster");
+  }
+}
+
+RaceSamples ParallelForecastEngine::forecast(const telemetry::RaceLog& race,
+                                             int origin_lap, int horizon,
+                                             int num_samples, util::Rng& rng) {
+  util::Timer wall;
+  if (partitioned_ == nullptr) {
+    // Not partitionable: plain delegation on the calling thread.
+    auto out = wrapped_.forecast(race, origin_lap, horizon, num_samples, rng);
+    const double secs = wall.seconds();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.forecasts;
+      ++stats_.tasks;
+      stats_.task_seconds += secs;
+      stats_.wall_seconds += secs;
+    }
+    EngineCounters::instance().record_task(secs);
+    EngineCounters::instance().record_forecast(secs);
+    return out;
+  }
+
+  // Same rng protocol as the wrapped forecaster's own forecast(): warm the
+  // per-race cache, then consume exactly one u64 as the stream base. This is
+  // what makes engine output identical to a direct forecast() call.
+  partitioned_->prepare(race);
+  const std::uint64_t base = rng();
+  const std::vector<int> cars = partitioned_->forecast_cars(race, origin_lap);
+
+  // Chunk cars into contiguous blocks. Block composition cannot affect the
+  // result (per-car child streams), only load balance.
+  std::vector<std::pair<std::size_t, std::size_t>> blocks;  // [begin, end)
+  for (std::size_t begin = 0; begin < cars.size();
+       begin += max_cars_per_task_) {
+    blocks.emplace_back(begin,
+                        std::min(begin + max_cars_per_task_, cars.size()));
+  }
+
+  std::vector<std::future<std::pair<RaceSamples, double>>> futures;
+  futures.reserve(blocks.size());
+  for (const auto& [begin, end] : blocks) {
+    futures.push_back(pool_.submit([&, begin = begin, end = end] {
+      util::Timer task_timer;
+      auto part = partitioned_->forecast_partition(
+          race, origin_lap, horizon, num_samples, base,
+          std::span<const int>(cars.data() + begin, end - begin));
+      const double secs = task_timer.seconds();
+      EngineCounters::instance().record_task(secs);
+      return std::make_pair(std::move(part), secs);
+    }));
+  }
+
+  RaceSamples out;
+  double task_seconds = 0.0;
+  for (auto& f : futures) {
+    auto [part, secs] = f.get();
+    task_seconds += secs;
+    for (auto& [car_id, samples] : part) {
+      out.insert_or_assign(car_id, std::move(samples));
+    }
+  }
+
+  const double wall_seconds = wall.seconds();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.forecasts;
+    stats_.tasks += futures.size();
+    stats_.task_seconds += task_seconds;
+    stats_.wall_seconds += wall_seconds;
+  }
+  EngineCounters::instance().record_forecast(wall_seconds);
+  return out;
+}
+
+ParallelForecastEngine::Stats ParallelForecastEngine::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void ParallelForecastEngine::reset_stats() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_ = Stats{};
+}
+
+}  // namespace ranknet::core

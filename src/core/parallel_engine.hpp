@@ -1,0 +1,75 @@
+// Deterministic parallel Monte-Carlo forecast engine.
+//
+// Wraps any RaceForecaster and fans the per-car sample generation out
+// across a fixed-size util::ThreadPool. Correctness rests on the
+// PartitionableForecaster contract (core/forecaster.hpp): every source of
+// randomness is a child stream derived from one base draw via
+// util::Rng::stream keyed by (car id, sample), so each car's trajectory
+// matrix is a pure function of (model, race, origin, base) — never of which
+// thread computed it, how cars were grouped into tasks, or in what order
+// tasks ran. Results are therefore bit-identical for any thread count,
+// including 1, and identical to calling the wrapped forecaster directly.
+//
+// Forecasters that do not implement PartitionableForecaster (e.g. the
+// Transformer) are delegated to unchanged on the calling thread.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "core/forecaster.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ranknet::core {
+
+class ParallelForecastEngine : public RaceForecaster {
+ public:
+  /// Wall-time bookkeeping (also mirrored into the global
+  /// core::EngineCounters, see device_model.hpp).
+  struct Stats {
+    std::uint64_t forecasts = 0;  // forecast() calls served
+    std::uint64_t tasks = 0;      // partition tasks executed
+    double task_seconds = 0.0;    // summed per-task wall time
+    double wall_seconds = 0.0;    // summed end-to-end forecast() wall time
+    /// task_seconds / wall_seconds: ~thread count when scaling is perfect,
+    /// ~1 when the workload is serialized.
+    double concurrency() const {
+      return wall_seconds > 0.0 ? task_seconds / wall_seconds : 0.0;
+    }
+  };
+
+  /// Non-owning wrap. `threads` == 0 runs every task inline on the calling
+  /// thread (sequential mode, same code path). `max_cars_per_task` bounds
+  /// task granularity so many small tasks can load-balance across workers.
+  explicit ParallelForecastEngine(RaceForecaster& wrapped,
+                                  std::size_t threads,
+                                  std::size_t max_cars_per_task = 4);
+  /// Owning wrap (keeps the forecaster alive alongside the engine).
+  ParallelForecastEngine(std::shared_ptr<RaceForecaster> wrapped,
+                         std::size_t threads,
+                         std::size_t max_cars_per_task = 4);
+
+  std::string name() const override { return wrapped_.name(); }
+
+  RaceSamples forecast(const telemetry::RaceLog& race, int origin_lap,
+                       int horizon, int num_samples, util::Rng& rng) override;
+
+  std::size_t threads() const { return pool_.size(); }
+  /// True when the wrapped forecaster supports partitioned fan-out.
+  bool partitioned() const { return partitioned_ != nullptr; }
+
+  Stats stats() const;
+  void reset_stats();
+
+ private:
+  std::shared_ptr<RaceForecaster> owned_;  // null for the non-owning ctor
+  RaceForecaster& wrapped_;
+  PartitionableForecaster* partitioned_;  // null -> sequential delegation
+  util::ThreadPool pool_;
+  std::size_t max_cars_per_task_;
+  mutable std::mutex stats_mutex_;
+  Stats stats_;
+};
+
+}  // namespace ranknet::core

@@ -53,17 +53,20 @@ const RankNetForecaster::RaceCache& RankNetForecaster::race_cache(
   return cache_.emplace(race.id(), std::move(rc)).first->second;
 }
 
-RaceSamples RankNetForecaster::forecast(const telemetry::RaceLog& race,
-                                        int origin_lap, int horizon,
-                                        int num_samples, util::Rng& rng) {
-  if (origin_lap < 2 || horizon < 1 || num_samples < 1) {
-    throw std::invalid_argument("RankNetForecaster::forecast: bad arguments");
-  }
+void RankNetForecaster::prepare(const telemetry::RaceLog& race) {
+  race_cache(race);
+}
+
+const RankNetForecaster::RaceCache* RankNetForecaster::find_cache(
+    const telemetry::RaceLog& race) const {
+  const auto it = cache_.find(race.id());
+  return it == cache_.end() ? nullptr : &it->second;
+}
+
+std::vector<int> RankNetForecaster::forecast_cars(
+    const telemetry::RaceLog& race, int origin_lap) {
   const auto& rc = race_cache(race);
   const auto origin = static_cast<std::size_t>(origin_lap);
-  const auto h_count = static_cast<std::size_t>(horizon);
-  const auto s_count = static_cast<std::size_t>(num_samples);
-
   // Cars with a trace entry at the forecast origin.
   std::vector<int> cars;
   for (const auto& [car_id, cc] : rc.cars) {
@@ -71,6 +74,39 @@ RaceSamples RankNetForecaster::forecast(const telemetry::RaceLog& race,
       cars.push_back(car_id);
     }
   }
+  return cars;
+}
+
+RaceSamples RankNetForecaster::forecast(const telemetry::RaceLog& race,
+                                        int origin_lap, int horizon,
+                                        int num_samples, util::Rng& rng) {
+  if (origin_lap < 2 || horizon < 1 || num_samples < 1) {
+    throw std::invalid_argument("RankNetForecaster::forecast: bad arguments");
+  }
+  prepare(race);
+  const std::uint64_t base = rng();
+  const auto cars = forecast_cars(race, origin_lap);
+  return forecast_partition(race, origin_lap, horizon, num_samples, base,
+                            cars);
+}
+
+RaceSamples RankNetForecaster::forecast_partition(
+    const telemetry::RaceLog& race, int origin_lap, int horizon,
+    int num_samples, std::uint64_t base, std::span<const int> cars_span) {
+  if (origin_lap < 2 || horizon < 1 || num_samples < 1) {
+    throw std::invalid_argument("RankNetForecaster::forecast: bad arguments");
+  }
+  const RaceCache* rc_ptr = find_cache(race);
+  if (rc_ptr == nullptr) {
+    prepare(race);  // single-threaded caller without prior prepare()
+    rc_ptr = find_cache(race);
+  }
+  const RaceCache& rc = *rc_ptr;
+  const auto origin = static_cast<std::size_t>(origin_lap);
+  const auto h_count = static_cast<std::size_t>(horizon);
+  const auto s_count = static_cast<std::size_t>(num_samples);
+
+  const std::vector<int> cars(cars_span.begin(), cars_span.end());
   if (cars.empty()) return {};
 
   // Encoder-tail correction: with predicted status, the shift features of
@@ -109,18 +145,25 @@ RaceSamples RankNetForecaster::forecast(const telemetry::RaceLog& race,
     // Predicted status must cover the horizon plus the shift look-ahead.
     const auto future_len =
         h_count + static_cast<std::size_t>(cov_config_.shift);
+    // The status realization couples every active car (LeaderPitCount sees
+    // the whole field), so it is always drawn over the full car set — a
+    // partition holding a subset of cars replays the identical realization.
+    const auto all_cars = forecast_cars(race, origin_lap);
     // Rank order at the origin, for LeaderPitCount of future laps.
     std::map<int, double> origin_rank;
     std::map<int, const features::StatusStreams*> stream_ptrs;
-    for (int car_id : cars) {
+    for (int car_id : all_cars) {
       origin_rank[car_id] = rc.cars.at(car_id).history[origin - 1];
       stream_ptrs[car_id] = &rc.cars.at(car_id).streams;
     }
     for (std::size_t s = 0; s < s_count; ++s) {
-      // One coupled race-status realization across all cars.
+      // One coupled race-status realization across all cars, from a child
+      // stream keyed by the sample index alone (k2 = 0 keeps the status
+      // keys disjoint from the per-row keys below, which use k2 >= 1).
+      util::Rng status_rng = util::Rng::stream(base, s, 0);
       const auto realization = sample_status_realization(
           stream_ptrs, origin_rank, *pit_model_, cov_config_, origin,
-          future_len, rng);
+          future_len, status_rng);
 
       for (std::size_t c = 0; c < cars.size(); ++c) {
         const int car_id = cars[c];
@@ -182,9 +225,18 @@ RaceSamples RankNetForecaster::forecast(const telemetry::RaceLog& race,
                     tail_covs[static_cast<std::size_t>(t)], car_index);
   }
 
-  const auto out =
-      model_->sample_forward(state, z_prev, future_covs, car_index,
-                             horizon, rng);
+  // One independent noise stream per (car, sample) row, keyed so the draw
+  // for a row never depends on which other rows share the batch.
+  std::vector<util::Rng> row_rngs;
+  row_rngs.reserve(rows);
+  for (std::size_t c = 0; c < cars.size(); ++c) {
+    for (std::size_t s = 0; s < s_count; ++s) {
+      row_rngs.push_back(util::Rng::stream(
+          base, static_cast<std::uint64_t>(cars[c]), s + 1));
+    }
+  }
+  const auto out = model_->sample_forward(state, z_prev, future_covs,
+                                          car_index, horizon, row_rngs);
 
   RaceSamples samples;
   for (std::size_t c = 0; c < cars.size(); ++c) {

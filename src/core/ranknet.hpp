@@ -34,7 +34,8 @@ enum class StatusSource { kOracle, kPitModel, kJoint };
 
 const char* status_source_name(StatusSource s);
 
-class RankNetForecaster : public RaceForecaster {
+class RankNetForecaster : public RaceForecaster,
+                          public PartitionableForecaster {
  public:
   RankNetForecaster(std::shared_ptr<const LstmSeqModel> model,
                     std::shared_ptr<const PitModel> pit_model,
@@ -44,8 +45,23 @@ class RankNetForecaster : public RaceForecaster {
 
   std::string name() const override { return name_; }
 
+  /// Equivalent to forecast_partition over the full forecast_cars set with
+  /// base = rng() — see the PartitionableForecaster contract.
   RaceSamples forecast(const telemetry::RaceLog& race, int origin_lap,
                        int horizon, int num_samples, util::Rng& rng) override;
+
+  // PartitionableForecaster -------------------------------------------
+  void prepare(const telemetry::RaceLog& race) override;
+  std::vector<int> forecast_cars(const telemetry::RaceLog& race,
+                                 int origin_lap) override;
+  /// Child streams: per-row noise from Rng::stream(base, car_id, sample+1);
+  /// kPitModel's coupled status realization for sample s from
+  /// Rng::stream(base, s, 0), always over the full active car set so the
+  /// realization is the same in every partition.
+  RaceSamples forecast_partition(const telemetry::RaceLog& race,
+                                 int origin_lap, int horizon, int num_samples,
+                                 std::uint64_t base,
+                                 std::span<const int> cars) override;
 
   /// Drop cached traces (e.g. between races to bound memory).
   void clear_cache() { cache_.clear(); }
@@ -62,6 +78,9 @@ class RankNetForecaster : public RaceForecaster {
   };
 
   const RaceCache& race_cache(const telemetry::RaceLog& race);
+  /// Read-only lookup (no insertion) — the thread-safe path used by
+  /// forecast_partition after prepare() has warmed the cache.
+  const RaceCache* find_cache(const telemetry::RaceLog& race) const;
 
   std::shared_ptr<const LstmSeqModel> model_;
   std::shared_ptr<const PitModel> pit_model_;  // only for kPitModel

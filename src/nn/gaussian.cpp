@@ -108,6 +108,20 @@ tensor::Matrix GaussianHead::sample(const Output& out, util::Rng& rng) {
   return s;
 }
 
+tensor::Matrix GaussianHead::sample(const Output& out,
+                                    std::span<util::Rng> row_rngs) {
+  if (row_rngs.size() != out.mu.rows()) {
+    throw std::invalid_argument("GaussianHead::sample: one rng per row");
+  }
+  tensor::Matrix s(out.mu.rows(), out.mu.cols());
+  for (std::size_t r = 0; r < s.rows(); ++r) {
+    for (std::size_t c = 0; c < s.cols(); ++c) {
+      s(r, c) = row_rngs[r].normal(out.mu(r, c), out.sigma(r, c));
+    }
+  }
+  return s;
+}
+
 std::vector<Parameter*> GaussianHead::params() {
   std::vector<Parameter*> out;
   for (auto* p : mu_.params()) out.push_back(p);

@@ -39,8 +39,14 @@ class GaussianHead : public Layer {
   static double nll(const Output& out, const tensor::Matrix& z,
                     std::span<const double> weights);
 
-  /// Draw one sample per row from N(mu, sigma).
+  /// Draw one sample per row from N(mu, sigma), all rows from one stream.
   static tensor::Matrix sample(const Output& out, util::Rng& rng);
+
+  /// Draw one sample per row, row r from its own stream row_rngs[r]. Row
+  /// r's draw then depends only on (mu_r, sigma_r, row_rngs[r]) — never on
+  /// which other rows share the batch — which is what lets the parallel
+  /// forecast engine split or merge row blocks without changing results.
+  static tensor::Matrix sample(const Output& out, std::span<util::Rng> row_rngs);
 
   std::vector<Parameter*> params() override;
 

@@ -27,12 +27,18 @@ OpCounters& OpCounters::instance() {
 }
 
 void OpCounters::reset() {
-  for (auto& s : stats_) s = KernelStats{};
+  for (auto& s : stats_) {
+    s.calls.store(0, std::memory_order_relaxed);
+    s.flops.store(0, std::memory_order_relaxed);
+    s.bytes.store(0, std::memory_order_relaxed);
+    s.seconds.store(0.0, std::memory_order_relaxed);
+  }
 }
 
 KernelStats OpCounters::total() const {
   KernelStats t;
-  for (const auto& s : stats_) {
+  for (std::size_t k = 0; k < static_cast<std::size_t>(Kernel::kCount); ++k) {
+    const auto s = stats(static_cast<Kernel>(k));
     t.calls += s.calls;
     t.flops += s.flops;
     t.bytes += s.bytes;
@@ -46,7 +52,7 @@ std::string OpCounters::report() const {
   out << util::format("%-10s %12s %16s %16s %10s %10s\n", "kernel", "calls",
                       "flops", "bytes", "AI", "Gflop/s");
   for (std::size_t i = 0; i < static_cast<std::size_t>(Kernel::kCount); ++i) {
-    const auto& s = stats_[i];
+    const auto s = stats(static_cast<Kernel>(i));
     if (s.calls == 0) continue;
     out << util::format("%-10s %12llu %16llu %16llu %10.4f %10.3f\n",
                         kernel_name(static_cast<Kernel>(i)),

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -48,27 +49,41 @@ struct KernelStats {
 };
 
 /// Global accounting registry. Counting of flops/bytes is always on (cheap
-/// integer adds); per-call timing is gated behind set_profiling(true) because
-/// clock reads around microsecond kernels would distort the measurement.
+/// relaxed atomic adds — kernels are booked concurrently by the parallel
+/// forecast engine's worker threads); per-call timing is gated behind
+/// set_profiling(true) because clock reads around microsecond kernels would
+/// distort the measurement.
 class OpCounters {
  public:
   static OpCounters& instance();
 
   void reset();
-  void set_profiling(bool on) { profiling_ = on; }
-  bool profiling() const { return profiling_; }
+  void set_profiling(bool on) {
+    profiling_.store(on, std::memory_order_relaxed);
+  }
+  bool profiling() const {
+    return profiling_.load(std::memory_order_relaxed);
+  }
 
   void record(Kernel k, std::uint64_t flops, std::uint64_t bytes,
               double seconds = 0.0) {
     auto& s = stats_[static_cast<std::size_t>(k)];
-    ++s.calls;
-    s.flops += flops;
-    s.bytes += bytes;
-    s.seconds += seconds;
+    s.calls.fetch_add(1, std::memory_order_relaxed);
+    s.flops.fetch_add(flops, std::memory_order_relaxed);
+    s.bytes.fetch_add(bytes, std::memory_order_relaxed);
+    if (seconds != 0.0) add_double(s.seconds, seconds);
   }
 
-  const KernelStats& stats(Kernel k) const {
-    return stats_[static_cast<std::size_t>(k)];
+  /// Snapshot of one kernel class (values may lag in-flight records by a
+  /// relaxed-ordering window; exact once concurrent kernels have finished).
+  KernelStats stats(Kernel k) const {
+    const auto& s = stats_[static_cast<std::size_t>(k)];
+    KernelStats out;
+    out.calls = s.calls.load(std::memory_order_relaxed);
+    out.flops = s.flops.load(std::memory_order_relaxed);
+    out.bytes = s.bytes.load(std::memory_order_relaxed);
+    out.seconds = s.seconds.load(std::memory_order_relaxed);
+    return out;
   }
 
   KernelStats total() const;
@@ -76,9 +91,25 @@ class OpCounters {
   std::string report() const;
 
  private:
+  struct AtomicKernelStats {
+    std::atomic<std::uint64_t> calls{0}, flops{0}, bytes{0};
+    std::atomic<double> seconds{0.0};
+  };
+
+  /// CAS add (atomic<double>::fetch_add is C++20 but not universally
+  /// lock-free across toolchains; the loop is contention-rare anyway since
+  /// timing is only on while profiling).
+  static void add_double(std::atomic<double>& a, double v) {
+    double cur = a.load(std::memory_order_relaxed);
+    while (!a.compare_exchange_weak(cur, cur + v,
+                                    std::memory_order_relaxed)) {
+    }
+  }
+
   OpCounters() = default;
-  std::array<KernelStats, static_cast<std::size_t>(Kernel::kCount)> stats_{};
-  bool profiling_ = false;
+  std::array<AtomicKernelStats, static_cast<std::size_t>(Kernel::kCount)>
+      stats_{};
+  std::atomic<bool> profiling_{false};
 };
 
 /// RAII scope that snapshots counters on entry and exposes the delta.

@@ -152,6 +152,24 @@ class Rng {
   /// Derive an independent child generator (for parallel streams).
   Rng split() { return Rng((*this)() ^ 0xa5a5a5a5a5a5a5a5ULL); }
 
+  /// Keyed variant of split(): derive the child stream for (base, k1, k2)
+  /// as a pure function of the key tuple, without consuming any generator
+  /// state. Any worker can therefore recreate exactly the same stream for a
+  /// given (car, sample) regardless of scheduling order — the property the
+  /// parallel forecast engine's thread-count invariance rests on. The key
+  /// is folded with the same splitmix64 finalizer the seeder uses.
+  static Rng stream(std::uint64_t base, std::uint64_t k1,
+                    std::uint64_t k2 = 0) {
+    auto mix = [](std::uint64_t z) {
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return z ^ (z >> 31);
+    };
+    std::uint64_t s = mix(base + 0x9e3779b97f4a7c15ULL * (k1 + 1));
+    s = mix(s ^ (0xa5a5a5a5a5a5a5a5ULL + 0x9e3779b97f4a7c15ULL * (k2 + 1)));
+    return Rng(s);
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -1,0 +1,44 @@
+#include "util/thread_pool.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace ranknet::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+#ifdef _OPENMP
+  // Tasks run OpenMP-parallel kernels; one OMP thread per worker keeps a
+  // pool of N workers at N threads total instead of N x omp_num_threads.
+  omp_set_num_threads(1);
+#endif
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace ranknet::util

@@ -1,0 +1,73 @@
+// Fixed-size, futures-based thread pool for the parallel forecast engine.
+//
+// Deliberately work-stealing-free: tasks run in FIFO submission order on a
+// fixed set of workers, so the pool itself introduces no scheduling
+// nondeterminism beyond which worker picks a task up — and the forecast
+// engine is designed so that the *result* of every task is independent of
+// that choice (see core/parallel_engine.hpp).
+//
+// A pool of size 0 is valid and runs every task inline on the submitting
+// thread, which gives callers a zero-overhead sequential mode with the same
+// code path.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace ranknet::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means "run tasks inline on submit".
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Number of concurrent hardware threads (>= 1).
+  static std::size_t hardware_threads() {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<std::size_t>(n);
+  }
+
+  /// Enqueue a task and get a future for its result. Exceptions thrown by
+  /// the task are delivered through the future.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn&>> {
+    using Result = std::invoke_result_t<Fn&>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<Fn>(fn));
+    std::future<Result> future = task->get_future();
+    if (workers_.empty()) {
+      (*task)();  // inline mode
+      return future;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace ranknet::util

@@ -243,6 +243,63 @@ TEST(GradCheck, LstmStepMatchesForward) {
   }
 }
 
+TEST(GradCheck, LstmStepBatchedMatchesPerRow) {
+  // Decoder hot-path contract: the forecaster stacks all live cars' states
+  // into one (cars*samples x hidden) batch and steps them together. Each
+  // row of the batched step must equal stepping that row alone — bitwise,
+  // not approximately — or batch composition would leak into the samples
+  // and break the parallel engine's partition invariance.
+  Rng rng(21);
+  LstmLayer lstm(3, 5, rng);
+  const std::size_t batch = 7, steps = 4;
+  std::vector<Matrix> xs;
+  for (std::size_t t = 0; t < steps; ++t) {
+    xs.push_back(Matrix::randn(batch, 3, rng));
+  }
+
+  ranknet::nn::LstmState batched(batch, 5);
+  std::vector<ranknet::nn::LstmState> single(
+      batch, ranknet::nn::LstmState(1, 5));
+  for (std::size_t t = 0; t < steps; ++t) {
+    const auto h_batched = lstm.step(xs[t], batched);
+    for (std::size_t r = 0; r < batch; ++r) {
+      Matrix row(1, 3);
+      for (std::size_t c = 0; c < 3; ++c) row(0, c) = xs[t](r, c);
+      const auto h_single = lstm.step(row, single[r]);
+      for (std::size_t c = 0; c < 5; ++c) {
+        // EXPECT_EQ on doubles: bit-equality is the requirement.
+        EXPECT_EQ(h_batched(r, c), h_single(0, c))
+            << "t=" << t << " row=" << r << " col=" << c;
+        EXPECT_EQ(batched.h(r, c), single[r].h(0, c));
+        EXPECT_EQ(batched.c(r, c), single[r].c(0, c));
+      }
+    }
+  }
+}
+
+TEST(GradCheck, LstmParamsMultiCarBatch) {
+  // Same check as LstmParams but at the stacked multi-car batch size the
+  // forecaster actually uses, so the batched gate math is gradient-checked
+  // beyond batch 2.
+  Rng rng(22);
+  LstmLayer lstm(3, 4, rng);
+  const std::size_t steps = 3, batch = 6;
+  std::vector<Matrix> xs;
+  std::vector<Matrix> ws;
+  for (std::size_t t = 0; t < steps; ++t) {
+    xs.push_back(Matrix::randn(batch, 3, rng));
+    ws.push_back(loss_weights(batch, 4, rng));
+  }
+  auto loss = [&] {
+    const auto hs = lstm.forward(xs);
+    lstm.backward(ws);
+    double acc = 0.0;
+    for (std::size_t t = 0; t < steps; ++t) acc += weighted_sum(hs[t], ws[t]);
+    return acc;
+  };
+  check_param_grads(lstm.params(), loss, [&] { lstm.zero_grad(); }, 12);
+}
+
 TEST(GradCheck, GaussianHeadNll) {
   Rng rng(10);
   GaussianHead head(4, 2, rng);

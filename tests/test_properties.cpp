@@ -7,6 +7,8 @@
 
 #include "core/forecaster.hpp"
 #include "core/metrics.hpp"
+#include "core/parallel_engine.hpp"
+#include "core/ranknet.hpp"
 #include "features/window.hpp"
 #include "simulator/season.hpp"
 #include "telemetry/analysis.hpp"
@@ -149,6 +151,61 @@ TEST_P(EventInvariants, WindowsCoverTrainingRaces) {
 INSTANTIATE_TEST_SUITE_P(Events, EventInvariants,
                          ::testing::Values("Indy500", "Texas", "Iowa",
                                            "Pocono"));
+
+// ---------------------------------------------------------------------
+// End-to-end rank validity on PARALLEL-engine output: whatever the thread
+// count and task partition did, jointly sorting the merged samples must
+// yield a permutation of 1..N in every (sample, lap) slice, with raw-value
+// ties broken by ascending car id (stable sort over map order).
+TEST(ParallelEngineProperty, SortedRanksArePermutationsPerSlice) {
+  const auto race =
+      sim::simulate_race({"Indy500", 2019, 200, sim::Usage::kTest});
+  features::CarVocab vocab({race});
+  core::SeqModelConfig cfg;
+  cfg.cov_dim = features::CovariateConfig{}.dim();
+  cfg.hidden = 8;
+  cfg.embed_dim = 2;
+  cfg.vocab = vocab.size();
+  auto model = std::make_shared<core::LstmSeqModel>(cfg);
+  model->set_scaler(features::StandardScaler(17.0, 9.0));
+  core::RankNetForecaster forecaster(model, nullptr, vocab,
+                                     features::CovariateConfig{},
+                                     core::StatusSource::kOracle, "oracle");
+  core::ParallelForecastEngine engine(forecaster, 2,
+                                      /*max_cars_per_task=*/3);
+
+  util::Rng rng(31);
+  const auto raw = engine.forecast(race, 50, 4, 9, rng);
+  ASSERT_FALSE(raw.empty());
+  const auto ranks = core::sort_to_ranks(raw);
+  const std::size_t cars = ranks.size();
+  const std::size_t samples = ranks.begin()->second.rows();
+  const std::size_t horizon = ranks.begin()->second.cols();
+
+  for (std::size_t s = 0; s < samples; ++s) {
+    for (std::size_t h = 0; h < horizon; ++h) {
+      std::vector<bool> seen(cars, false);
+      for (const auto& [car_id, m] : ranks) {
+        const double r = m(s, h);
+        ASSERT_EQ(r, std::floor(r)) << "non-integer rank";
+        const auto pos = static_cast<std::size_t>(r) - 1;
+        ASSERT_LT(pos, cars) << "rank out of range at s=" << s << " h=" << h;
+        ASSERT_FALSE(seen[pos]) << "duplicate rank at s=" << s << " h=" << h;
+        seen[pos] = true;
+      }
+      // Ties in the raw samples resolve by ascending car id.
+      for (auto a = raw.begin(); a != raw.end(); ++a) {
+        for (auto b = std::next(a); b != raw.end(); ++b) {
+          if (a->second(s, h) == b->second(s, h)) {
+            EXPECT_LT(ranks.at(a->first)(s, h), ranks.at(b->first)(s, h))
+                << "tie between cars " << a->first << " and " << b->first
+                << " not broken by car id";
+          }
+        }
+      }
+    }
+  }
+}
 
 // ---------------------------------------------------------------------
 // Dataset determinism: the same spec and seed always produce the same race.
