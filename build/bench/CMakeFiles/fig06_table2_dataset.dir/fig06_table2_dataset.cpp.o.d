@@ -134,7 +134,12 @@ bench/CMakeFiles/fig06_table2_dataset.dir/fig06_table2_dataset.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/telemetry/record.hpp /root/repo/src/util/csv.hpp \
- /usr/include/c++/12/cstddef /root/repo/src/util/rng.hpp \
+ /usr/include/c++/12/cstddef /root/repo/src/util/status.hpp \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/util/rng.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \

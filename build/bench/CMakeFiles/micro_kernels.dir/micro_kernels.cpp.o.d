@@ -222,10 +222,11 @@ bench/CMakeFiles/micro_kernels.dir/micro_kernels.cpp.o: \
  /root/repo/src/features/transforms.hpp \
  /root/repo/src/telemetry/race_log.hpp \
  /root/repo/src/telemetry/record.hpp /root/repo/src/util/csv.hpp \
- /root/repo/src/nn/adam.hpp /root/repo/src/nn/param.hpp \
- /root/repo/src/tensor/matrix.hpp /root/repo/src/util/rng.hpp \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/util/status.hpp /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/nn/adam.hpp \
+ /root/repo/src/nn/param.hpp /root/repo/src/tensor/matrix.hpp \
+ /root/repo/src/util/rng.hpp /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

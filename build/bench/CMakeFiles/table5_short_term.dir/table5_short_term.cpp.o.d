@@ -244,12 +244,15 @@ bench/CMakeFiles/table5_short_term.dir/table5_short_term.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/telemetry/race_log.hpp \
  /root/repo/src/telemetry/record.hpp /root/repo/src/util/csv.hpp \
- /root/repo/src/ml/arima.hpp /root/repo/src/ml/regressor.hpp \
- /root/repo/src/core/metrics.hpp /root/repo/src/core/registry.hpp \
- /root/repo/src/core/pit_model.hpp /root/repo/src/features/scaler.hpp \
- /root/repo/src/nn/dense.hpp /root/repo/src/nn/param.hpp \
- /root/repo/src/nn/gaussian.hpp /root/repo/src/core/ranknet.hpp \
- /root/repo/src/core/ar_model.hpp /root/repo/src/features/window.hpp \
+ /root/repo/src/util/status.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/ml/arima.hpp \
+ /root/repo/src/ml/regressor.hpp /root/repo/src/core/metrics.hpp \
+ /root/repo/src/core/registry.hpp /root/repo/src/core/pit_model.hpp \
+ /root/repo/src/features/scaler.hpp /root/repo/src/nn/dense.hpp \
+ /root/repo/src/nn/param.hpp /root/repo/src/nn/gaussian.hpp \
+ /root/repo/src/core/ranknet.hpp /root/repo/src/core/ar_model.hpp \
+ /root/repo/src/features/window.hpp \
  /root/repo/src/features/transforms.hpp /root/repo/src/nn/adam.hpp \
  /root/repo/src/nn/embedding.hpp /root/repo/src/nn/lstm.hpp \
  /root/repo/src/core/transformer_model.hpp \
@@ -260,7 +263,6 @@ bench/CMakeFiles/table5_short_term.dir/table5_short_term.cpp.o: \
  /root/repo/src/ml/decision_tree.hpp /root/repo/src/ml/svr.hpp \
  /root/repo/src/util/timer.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/ctime /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

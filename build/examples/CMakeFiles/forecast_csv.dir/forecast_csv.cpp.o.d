@@ -167,6 +167,10 @@ examples/CMakeFiles/forecast_csv.dir/forecast_csv.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/telemetry/race_log.hpp \
  /root/repo/src/telemetry/record.hpp /root/repo/src/util/csv.hpp \
+ /root/repo/src/util/status.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/core/registry.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -245,7 +249,6 @@ examples/CMakeFiles/forecast_csv.dir/forecast_csv.cpp.o: \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/features/window.hpp \
  /root/repo/src/features/transforms.hpp /root/repo/src/nn/adam.hpp \

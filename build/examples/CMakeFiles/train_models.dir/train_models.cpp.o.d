@@ -238,12 +238,15 @@ examples/CMakeFiles/train_models.dir/train_models.cpp.o: \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/telemetry/record.hpp \
- /root/repo/src/util/csv.hpp /root/repo/src/core/ranknet.hpp \
+ /root/repo/src/util/csv.hpp /root/repo/src/util/status.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/core/ranknet.hpp \
  /root/repo/src/core/ar_model.hpp /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/features/window.hpp \
  /root/repo/src/features/transforms.hpp /root/repo/src/nn/adam.hpp \
@@ -255,7 +258,6 @@ examples/CMakeFiles/train_models.dir/train_models.cpp.o: \
  /root/repo/src/simulator/race_sim.hpp /root/repo/src/simulator/track.hpp \
  /root/repo/src/util/timer.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/ctime /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

@@ -215,10 +215,13 @@ src/core/CMakeFiles/ranknet_core.dir/ar_model.cpp.o: \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/telemetry/record.hpp /root/repo/src/util/csv.hpp \
- /root/repo/src/nn/adam.hpp /root/repo/src/nn/param.hpp \
- /root/repo/src/tensor/matrix.hpp /usr/include/c++/12/cassert \
- /usr/include/assert.h /root/repo/src/util/rng.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/util/status.hpp /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/nn/adam.hpp \
+ /root/repo/src/nn/param.hpp /root/repo/src/tensor/matrix.hpp \
+ /root/repo/src/util/rng.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \

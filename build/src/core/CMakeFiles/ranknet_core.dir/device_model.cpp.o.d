@@ -244,14 +244,16 @@ src/core/CMakeFiles/ranknet_core.dir/device_model.cpp.o: \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/telemetry/record.hpp /root/repo/src/util/csv.hpp \
- /root/repo/src/nn/adam.hpp /root/repo/src/nn/param.hpp \
- /root/repo/src/tensor/matrix.hpp /usr/include/c++/12/cassert \
- /usr/include/assert.h /root/repo/src/util/rng.hpp \
- /root/repo/src/nn/embedding.hpp /root/repo/src/nn/gaussian.hpp \
- /root/repo/src/nn/dense.hpp /root/repo/src/nn/lstm.hpp \
- /root/repo/src/tensor/kernels.hpp /root/repo/src/util/timer.hpp \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /root/repo/src/util/status.hpp /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/nn/adam.hpp \
+ /root/repo/src/nn/param.hpp /root/repo/src/tensor/matrix.hpp \
+ /root/repo/src/util/rng.hpp /root/repo/src/nn/embedding.hpp \
+ /root/repo/src/nn/gaussian.hpp /root/repo/src/nn/dense.hpp \
+ /root/repo/src/nn/lstm.hpp /root/repo/src/tensor/kernels.hpp \
+ /root/repo/src/util/timer.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

@@ -242,23 +242,23 @@ src/core/CMakeFiles/ranknet_core.dir/evaluation.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/telemetry/race_log.hpp \
  /root/repo/src/telemetry/record.hpp /root/repo/src/util/csv.hpp \
- /root/repo/src/ml/arima.hpp /root/repo/src/ml/regressor.hpp \
- /root/repo/src/core/metrics.hpp /usr/include/c++/12/optional \
- /root/repo/src/core/parallel_engine.hpp /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/util/status.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/ml/arima.hpp \
+ /root/repo/src/ml/regressor.hpp /root/repo/src/core/metrics.hpp \
+ /usr/include/c++/12/optional /root/repo/src/core/parallel_engine.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/util/thread_pool.hpp \
+ /root/repo/src/util/thread_pool.hpp /usr/include/c++/12/atomic \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
- /usr/include/c++/12/thread /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/features/transforms.hpp /root/repo/src/util/stats.hpp \
- /root/repo/src/util/string_util.hpp
+ /usr/include/c++/12/thread /root/repo/src/features/transforms.hpp \
+ /root/repo/src/util/stats.hpp /root/repo/src/util/string_util.hpp

@@ -238,7 +238,11 @@ src/core/CMakeFiles/ranknet_core.dir/pit_model.cpp.o: \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/telemetry/record.hpp \
- /root/repo/src/util/csv.hpp /usr/include/c++/12/numeric \
+ /root/repo/src/util/csv.hpp /root/repo/src/util/status.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/features/transforms.hpp /root/repo/src/nn/adam.hpp \

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simulator/fault_injector.cpp" "src/simulator/CMakeFiles/ranknet_simulator.dir/fault_injector.cpp.o" "gcc" "src/simulator/CMakeFiles/ranknet_simulator.dir/fault_injector.cpp.o.d"
   "/root/repo/src/simulator/race_sim.cpp" "src/simulator/CMakeFiles/ranknet_simulator.dir/race_sim.cpp.o" "gcc" "src/simulator/CMakeFiles/ranknet_simulator.dir/race_sim.cpp.o.d"
   "/root/repo/src/simulator/season.cpp" "src/simulator/CMakeFiles/ranknet_simulator.dir/season.cpp.o" "gcc" "src/simulator/CMakeFiles/ranknet_simulator.dir/season.cpp.o.d"
   "/root/repo/src/simulator/track.cpp" "src/simulator/CMakeFiles/ranknet_simulator.dir/track.cpp.o" "gcc" "src/simulator/CMakeFiles/ranknet_simulator.dir/track.cpp.o.d"

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/ranknet_simulator.dir/fault_injector.cpp.o"
+  "CMakeFiles/ranknet_simulator.dir/fault_injector.cpp.o.d"
   "CMakeFiles/ranknet_simulator.dir/race_sim.cpp.o"
   "CMakeFiles/ranknet_simulator.dir/race_sim.cpp.o.d"
   "CMakeFiles/ranknet_simulator.dir/season.cpp.o"

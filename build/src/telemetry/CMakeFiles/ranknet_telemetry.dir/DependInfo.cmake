@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/telemetry/analysis.cpp" "src/telemetry/CMakeFiles/ranknet_telemetry.dir/analysis.cpp.o" "gcc" "src/telemetry/CMakeFiles/ranknet_telemetry.dir/analysis.cpp.o.d"
   "/root/repo/src/telemetry/race_log.cpp" "src/telemetry/CMakeFiles/ranknet_telemetry.dir/race_log.cpp.o" "gcc" "src/telemetry/CMakeFiles/ranknet_telemetry.dir/race_log.cpp.o.d"
+  "/root/repo/src/telemetry/stream_ingestor.cpp" "src/telemetry/CMakeFiles/ranknet_telemetry.dir/stream_ingestor.cpp.o" "gcc" "src/telemetry/CMakeFiles/ranknet_telemetry.dir/stream_ingestor.cpp.o.d"
   )
 
 # Targets to which this target links.

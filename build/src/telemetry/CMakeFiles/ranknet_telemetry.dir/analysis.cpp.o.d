@@ -133,7 +133,12 @@ src/telemetry/CMakeFiles/ranknet_telemetry.dir/analysis.cpp.o: \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc \
  /root/repo/src/telemetry/record.hpp /root/repo/src/util/csv.hpp \
- /usr/include/c++/12/cstddef /usr/include/c++/12/cmath \
+ /usr/include/c++/12/cstddef /root/repo/src/util/status.hpp \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \

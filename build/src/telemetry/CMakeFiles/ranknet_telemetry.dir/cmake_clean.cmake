@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/ranknet_telemetry.dir/analysis.cpp.o.d"
   "CMakeFiles/ranknet_telemetry.dir/race_log.cpp.o"
   "CMakeFiles/ranknet_telemetry.dir/race_log.cpp.o.d"
+  "CMakeFiles/ranknet_telemetry.dir/stream_ingestor.cpp.o"
+  "CMakeFiles/ranknet_telemetry.dir/stream_ingestor.cpp.o.d"
   "libranknet_telemetry.a"
   "libranknet_telemetry.pdb"
 )

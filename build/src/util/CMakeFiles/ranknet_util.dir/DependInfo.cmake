@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/csv.cpp" "src/util/CMakeFiles/ranknet_util.dir/csv.cpp.o" "gcc" "src/util/CMakeFiles/ranknet_util.dir/csv.cpp.o.d"
   "/root/repo/src/util/logging.cpp" "src/util/CMakeFiles/ranknet_util.dir/logging.cpp.o" "gcc" "src/util/CMakeFiles/ranknet_util.dir/logging.cpp.o.d"
   "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/ranknet_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/ranknet_util.dir/stats.cpp.o.d"
+  "/root/repo/src/util/status.cpp" "src/util/CMakeFiles/ranknet_util.dir/status.cpp.o" "gcc" "src/util/CMakeFiles/ranknet_util.dir/status.cpp.o.d"
   "/root/repo/src/util/string_util.cpp" "src/util/CMakeFiles/ranknet_util.dir/string_util.cpp.o" "gcc" "src/util/CMakeFiles/ranknet_util.dir/string_util.cpp.o.d"
   "/root/repo/src/util/thread_pool.cpp" "src/util/CMakeFiles/ranknet_util.dir/thread_pool.cpp.o" "gcc" "src/util/CMakeFiles/ranknet_util.dir/thread_pool.cpp.o.d"
   )

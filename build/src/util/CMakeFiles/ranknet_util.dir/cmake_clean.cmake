@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/ranknet_util.dir/logging.cpp.o.d"
   "CMakeFiles/ranknet_util.dir/stats.cpp.o"
   "CMakeFiles/ranknet_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ranknet_util.dir/status.cpp.o"
+  "CMakeFiles/ranknet_util.dir/status.cpp.o.d"
   "CMakeFiles/ranknet_util.dir/string_util.cpp.o"
   "CMakeFiles/ranknet_util.dir/string_util.cpp.o.d"
   "CMakeFiles/ranknet_util.dir/thread_pool.cpp.o"

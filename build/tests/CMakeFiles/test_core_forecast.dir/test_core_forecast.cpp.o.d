@@ -323,8 +323,9 @@ tests/CMakeFiles/test_core_forecast.dir/test_core_forecast.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/telemetry/race_log.hpp \
  /root/repo/src/telemetry/record.hpp /root/repo/src/util/csv.hpp \
- /root/repo/src/ml/arima.hpp /root/repo/src/ml/regressor.hpp \
- /root/repo/src/core/evaluation.hpp /root/repo/src/core/metrics.hpp \
- /root/repo/src/ml/random_forest.hpp /root/repo/src/ml/decision_tree.hpp \
- /root/repo/src/ml/svr.hpp /root/repo/src/simulator/season.hpp \
+ /root/repo/src/util/status.hpp /root/repo/src/ml/arima.hpp \
+ /root/repo/src/ml/regressor.hpp /root/repo/src/core/evaluation.hpp \
+ /root/repo/src/core/metrics.hpp /root/repo/src/ml/random_forest.hpp \
+ /root/repo/src/ml/decision_tree.hpp /root/repo/src/ml/svr.hpp \
+ /root/repo/src/simulator/season.hpp \
  /root/repo/src/simulator/race_sim.hpp /root/repo/src/simulator/track.hpp

@@ -320,9 +320,10 @@ tests/CMakeFiles/test_core_models.dir/test_core_models.cpp.o: \
  /root/repo/src/features/transforms.hpp \
  /root/repo/src/telemetry/race_log.hpp \
  /root/repo/src/telemetry/record.hpp /root/repo/src/util/csv.hpp \
- /root/repo/src/nn/adam.hpp /root/repo/src/nn/param.hpp \
- /root/repo/src/tensor/matrix.hpp /root/repo/src/util/rng.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/util/status.hpp /root/repo/src/nn/adam.hpp \
+ /root/repo/src/nn/param.hpp /root/repo/src/tensor/matrix.hpp \
+ /root/repo/src/util/rng.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/nn/embedding.hpp /root/repo/src/nn/gaussian.hpp \

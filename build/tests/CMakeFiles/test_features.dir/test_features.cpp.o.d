@@ -297,7 +297,8 @@ tests/CMakeFiles/test_features.dir/test_features.cpp.o: \
  /root/repo/src/features/transforms.hpp \
  /root/repo/src/telemetry/race_log.hpp \
  /root/repo/src/telemetry/record.hpp /root/repo/src/util/csv.hpp \
- /root/repo/src/features/window.hpp /root/repo/src/simulator/season.hpp \
+ /root/repo/src/util/status.hpp /root/repo/src/features/window.hpp \
+ /root/repo/src/simulator/season.hpp \
  /root/repo/src/simulator/race_sim.hpp /root/repo/src/simulator/track.hpp \
  /root/repo/src/util/rng.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \

@@ -326,12 +326,13 @@ tests/CMakeFiles/test_integration.dir/test_integration.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/telemetry/race_log.hpp \
  /root/repo/src/telemetry/record.hpp /root/repo/src/util/csv.hpp \
- /root/repo/src/ml/arima.hpp /root/repo/src/ml/regressor.hpp \
- /root/repo/src/core/metrics.hpp /root/repo/src/core/registry.hpp \
- /root/repo/src/core/pit_model.hpp /root/repo/src/features/scaler.hpp \
- /root/repo/src/nn/dense.hpp /root/repo/src/nn/param.hpp \
- /root/repo/src/nn/gaussian.hpp /root/repo/src/core/ranknet.hpp \
- /root/repo/src/core/ar_model.hpp /root/repo/src/features/window.hpp \
+ /root/repo/src/util/status.hpp /root/repo/src/ml/arima.hpp \
+ /root/repo/src/ml/regressor.hpp /root/repo/src/core/metrics.hpp \
+ /root/repo/src/core/registry.hpp /root/repo/src/core/pit_model.hpp \
+ /root/repo/src/features/scaler.hpp /root/repo/src/nn/dense.hpp \
+ /root/repo/src/nn/param.hpp /root/repo/src/nn/gaussian.hpp \
+ /root/repo/src/core/ranknet.hpp /root/repo/src/core/ar_model.hpp \
+ /root/repo/src/features/window.hpp \
  /root/repo/src/features/transforms.hpp /root/repo/src/nn/adam.hpp \
  /root/repo/src/nn/embedding.hpp /root/repo/src/nn/lstm.hpp \
  /root/repo/src/core/transformer_model.hpp \

@@ -318,7 +318,10 @@ tests/CMakeFiles/test_nn.dir/test_nn.cpp.o: /root/repo/tests/test_nn.cpp \
  /usr/include/c++/12/bits/fs_fwd.h /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/fs_path.h \
  /usr/include/c++/12/codecvt /usr/include/c++/12/bits/fs_dir.h \
- /usr/include/c++/12/bits/fs_ops.h /root/repo/src/nn/adam.hpp \
+ /usr/include/c++/12/bits/fs_ops.h /usr/include/c++/12/fstream \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/nn/adam.hpp \
  /root/repo/src/nn/param.hpp /root/repo/src/tensor/matrix.hpp \
  /usr/include/c++/12/span /root/repo/src/util/rng.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
@@ -327,4 +330,5 @@ tests/CMakeFiles/test_nn.dir/test_nn.cpp.o: /root/repo/tests/test_nn.cpp \
  /root/repo/src/nn/dense.hpp /root/repo/src/tensor/kernels.hpp \
  /root/repo/src/tensor/opcount.hpp /root/repo/src/nn/gaussian.hpp \
  /root/repo/src/nn/lstm.hpp /root/repo/src/nn/serialize.hpp \
+ /root/repo/src/util/status.hpp /root/repo/src/tensor/serialize.hpp \
  /root/repo/src/util/stats.hpp

@@ -333,8 +333,9 @@ tests/CMakeFiles/test_parallel_engine.dir/test_parallel_engine.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/telemetry/race_log.hpp \
  /root/repo/src/telemetry/record.hpp /root/repo/src/util/csv.hpp \
- /root/repo/src/ml/arima.hpp /root/repo/src/ml/regressor.hpp \
- /root/repo/src/core/device_model.hpp /root/repo/src/tensor/opcount.hpp \
+ /root/repo/src/util/status.hpp /root/repo/src/ml/arima.hpp \
+ /root/repo/src/ml/regressor.hpp /root/repo/src/core/device_model.hpp \
+ /root/repo/src/tensor/opcount.hpp \
  /root/repo/src/core/parallel_engine.hpp \
  /root/repo/src/util/thread_pool.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \

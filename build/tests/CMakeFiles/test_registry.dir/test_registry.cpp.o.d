@@ -327,8 +327,8 @@ tests/CMakeFiles/test_registry.dir/test_registry.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/nn/gaussian.hpp \
  /root/repo/src/telemetry/race_log.hpp \
  /root/repo/src/telemetry/record.hpp /root/repo/src/util/csv.hpp \
- /root/repo/src/core/ranknet.hpp /root/repo/src/core/ar_model.hpp \
- /root/repo/src/features/window.hpp \
+ /root/repo/src/util/status.hpp /root/repo/src/core/ranknet.hpp \
+ /root/repo/src/core/ar_model.hpp /root/repo/src/features/window.hpp \
  /root/repo/src/features/transforms.hpp /root/repo/src/nn/adam.hpp \
  /root/repo/src/nn/embedding.hpp /root/repo/src/nn/lstm.hpp \
  /root/repo/src/core/forecaster.hpp \

@@ -295,4 +295,5 @@ tests/CMakeFiles/test_telemetry.dir/test_telemetry.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/telemetry/analysis.hpp \
  /root/repo/src/telemetry/race_log.hpp \
- /root/repo/src/telemetry/record.hpp /root/repo/src/util/csv.hpp
+ /root/repo/src/telemetry/record.hpp /root/repo/src/util/csv.hpp \
+ /root/repo/src/util/status.hpp

@@ -19,5 +19,8 @@ include("/root/repo/build/tests/test_device_model[1]_include.cmake")
 include("/root/repo/build/tests/test_properties[1]_include.cmake")
 include("/root/repo/build/tests/test_ranknet_forecaster[1]_include.cmake")
 include("/root/repo/build/tests/test_parallel_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_fault_injection[1]_include.cmake")
 include("/root/repo/build/tests/test_golden_regression[1]_include.cmake")
 include("/root/repo/build/tests/test_integration[1]_include.cmake")
+add_test(fault_suite "/root/repo/build/tests/test_fault_injection")
+set_tests_properties(fault_suite PROPERTIES  LABELS "fault" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;40;add_test;/root/repo/tests/CMakeLists.txt;0;")

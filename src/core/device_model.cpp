@@ -22,6 +22,20 @@ void EngineCounters::reset() {
   wall_seconds_.store(0.0, std::memory_order_relaxed);
 }
 
+DegradationCounters& DegradationCounters::instance() {
+  static DegradationCounters counters;
+  return counters;
+}
+
+void DegradationCounters::reset() {
+  full_cars_.store(0, std::memory_order_relaxed);
+  damaged_fallback_cars_.store(0, std::memory_order_relaxed);
+  deadline_fallback_cars_.store(0, std::memory_order_relaxed);
+  error_fallback_cars_.store(0, std::memory_order_relaxed);
+  deadline_hits_.store(0, std::memory_order_relaxed);
+  task_failures_.store(0, std::memory_order_relaxed);
+}
+
 namespace {
 
 using tensor::Kernel;

@@ -67,6 +67,64 @@ class EngineCounters {
   std::atomic<double> task_seconds_{0.0}, wall_seconds_{0.0};
 };
 
+/// Health accounting for the forecast engine's degradation ladder, kept as
+/// a global singleton next to EngineCounters so serving dashboards read
+/// throughput and degradation from one place. Booked by
+/// core::ParallelForecastEngine; see parallel_engine.hpp for the ladder.
+class DegradationCounters {
+ public:
+  static DegradationCounters& instance();
+
+  void reset();
+  void record_full_cars(std::uint64_t n) {
+    full_cars_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void record_damaged_fallback(std::uint64_t n) {
+    damaged_fallback_cars_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void record_deadline_fallback(std::uint64_t n) {
+    deadline_fallback_cars_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void record_error_fallback(std::uint64_t n) {
+    error_fallback_cars_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void record_deadline_hit() {
+    deadline_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_task_failures(std::uint64_t n) {
+    task_failures_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t full_cars() const {
+    return full_cars_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t damaged_fallback_cars() const {
+    return damaged_fallback_cars_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t deadline_fallback_cars() const {
+    return deadline_fallback_cars_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t error_fallback_cars() const {
+    return error_fallback_cars_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t deadline_hits() const {
+    return deadline_hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t task_failures() const {
+    return task_failures_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t fallback_cars() const {
+    return damaged_fallback_cars() + deadline_fallback_cars() +
+           error_fallback_cars();
+  }
+
+ private:
+  DegradationCounters() = default;
+  std::atomic<std::uint64_t> full_cars_{0}, damaged_fallback_cars_{0},
+      deadline_fallback_cars_{0}, error_fallback_cars_{0}, deadline_hits_{0},
+      task_failures_{0};
+};
+
 struct KernelClassStats {
   std::uint64_t calls = 0;
   std::uint64_t flops = 0;

@@ -1,6 +1,9 @@
 #include "core/parallel_engine.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
 #include <future>
 #include <stdexcept>
 #include <utility>
@@ -32,6 +35,21 @@ ParallelForecastEngine::ParallelForecastEngine(
   }
 }
 
+void ParallelForecastEngine::set_degradation_policy(DegradationPolicy policy) {
+  PartitionableForecaster* fallback_part = nullptr;
+  if (policy.fallback) {
+    fallback_part =
+        dynamic_cast<PartitionableForecaster*>(policy.fallback.get());
+    if (fallback_part == nullptr) {
+      throw std::invalid_argument(
+          "ParallelForecastEngine: fallback forecaster must implement "
+          "PartitionableForecaster");
+    }
+  }
+  policy_ = std::move(policy);
+  fallback_part_ = fallback_part;
+}
+
 RaceSamples ParallelForecastEngine::forecast(const telemetry::RaceLog& race,
                                              int origin_lap, int horizon,
                                              int num_samples, util::Rng& rng) {
@@ -54,10 +72,26 @@ RaceSamples ParallelForecastEngine::forecast(const telemetry::RaceLog& race,
 
   // Same rng protocol as the wrapped forecaster's own forecast(): warm the
   // per-race cache, then consume exactly one u64 as the stream base. This is
-  // what makes engine output identical to a direct forecast() call.
+  // what makes engine output identical to a direct forecast() call — and,
+  // because the fallback tiers derive from the same base, what keeps
+  // degraded forecasts deterministic too.
   partitioned_->prepare(race);
   const std::uint64_t base = rng();
-  const std::vector<int> cars = partitioned_->forecast_cars(race, origin_lap);
+  const std::vector<int> all_cars =
+      partitioned_->forecast_cars(race, origin_lap);
+
+  // Tier 1: cars whose telemetry is too damaged for the primary model go
+  // straight to the fallback (only meaningful when a fallback exists).
+  std::vector<int> cars, damaged;
+  cars.reserve(all_cars.size());
+  if (policy_.series_damaged && fallback_part_ != nullptr) {
+    for (int car : all_cars) {
+      (policy_.series_damaged(car, origin_lap) ? damaged : cars)
+          .push_back(car);
+    }
+  } else {
+    cars = all_cars;
+  }
 
   // Chunk cars into contiguous blocks. Block composition cannot affect the
   // result (per-car child streams), only load balance.
@@ -68,26 +102,88 @@ RaceSamples ParallelForecastEngine::forecast(const telemetry::RaceLog& race,
                         std::min(begin + max_cars_per_task_, cars.size()));
   }
 
-  std::vector<std::future<std::pair<RaceSamples, double>>> futures;
+  // Tier 2 plumbing: tasks observe `expired` cooperatively — a task that
+  // starts after the deadline returns unfinished immediately instead of
+  // wedging the forecast behind a slow queue.
+  auto expired = std::make_shared<std::atomic<bool>>(false);
+  struct TaskResult {
+    RaceSamples part;
+    double secs = 0.0;
+    bool completed = false;
+  };
+  std::vector<std::future<TaskResult>> futures;
   futures.reserve(blocks.size());
   for (const auto& [begin, end] : blocks) {
-    futures.push_back(pool_.submit([&, begin = begin, end = end] {
+    futures.push_back(pool_.submit([&, expired, begin = begin, end = end] {
+      TaskResult result;
+      if (expired->load(std::memory_order_relaxed)) return result;
       util::Timer task_timer;
-      auto part = partitioned_->forecast_partition(
+      result.part = partitioned_->forecast_partition(
           race, origin_lap, horizon, num_samples, base,
           std::span<const int>(cars.data() + begin, end - begin));
-      const double secs = task_timer.seconds();
-      EngineCounters::instance().record_task(secs);
-      return std::make_pair(std::move(part), secs);
+      result.secs = task_timer.seconds();
+      result.completed = true;
+      EngineCounters::instance().record_task(result.secs);
+      return result;
     }));
   }
 
+  // Collect. Every future is drained even on error/deadline — tasks capture
+  // the stack-local `cars` by reference, so abandoning a future here would
+  // leave a worker reading freed stack memory.
   RaceSamples out;
+  Degradation deg;
+  std::vector<int> rescue = damaged;  // cars the fallback must serve
+  std::exception_ptr first_error;
   double task_seconds = 0.0;
-  for (auto& f : futures) {
-    auto [part, secs] = f.get();
-    task_seconds += secs;
-    for (auto& [car_id, samples] : part) {
+  const double deadline = policy_.deadline_seconds;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    auto& f = futures[i];
+    if (deadline > 0.0 && !expired->load(std::memory_order_relaxed)) {
+      const double remaining = deadline - wall.seconds();
+      if (remaining <= 0.0 ||
+          f.wait_for(std::chrono::duration<double>(remaining)) ==
+              std::future_status::timeout) {
+        expired->store(true, std::memory_order_relaxed);
+        ++deg.deadline_hits;
+      }
+    }
+    const auto& [begin, end] = blocks[i];
+    TaskResult result;
+    try {
+      result = f.get();
+    } catch (...) {
+      ++deg.task_failures;
+      deg.error_fallback_cars += end - begin;
+      if (!first_error) first_error = std::current_exception();
+      rescue.insert(rescue.end(), cars.begin() + begin, cars.begin() + end);
+      continue;
+    }
+    task_seconds += result.secs;
+    if (result.completed) {
+      deg.full_cars += end - begin;
+      for (auto& [car_id, samples] : result.part) {
+        out.insert_or_assign(car_id, std::move(samples));
+      }
+    } else {
+      deg.deadline_fallback_cars += end - begin;
+      rescue.insert(rescue.end(), cars.begin() + begin, cars.begin() + end);
+    }
+  }
+  deg.damaged_fallback_cars = damaged.size();
+
+  if (first_error && fallback_part_ == nullptr) {
+    // No fallback tier configured: propagate the primary model's failure
+    // (all futures are drained above, so no task still references `cars`).
+    std::rethrow_exception(first_error);
+  }
+
+  if (!rescue.empty() && fallback_part_ != nullptr) {
+    std::sort(rescue.begin(), rescue.end());
+    fallback_part_->prepare(race);
+    auto fb = fallback_part_->forecast_partition(race, origin_lap, horizon,
+                                                 num_samples, base, rescue);
+    for (auto& [car_id, samples] : fb) {
       out.insert_or_assign(car_id, std::move(samples));
     }
   }
@@ -99,7 +195,28 @@ RaceSamples ParallelForecastEngine::forecast(const telemetry::RaceLog& race,
     stats_.tasks += futures.size();
     stats_.task_seconds += task_seconds;
     stats_.wall_seconds += wall_seconds;
+    degradation_.full_cars += deg.full_cars;
+    degradation_.damaged_fallback_cars += deg.damaged_fallback_cars;
+    degradation_.deadline_fallback_cars += deg.deadline_fallback_cars;
+    degradation_.error_fallback_cars += deg.error_fallback_cars;
+    degradation_.deadline_hits += deg.deadline_hits;
+    degradation_.task_failures += deg.task_failures;
   }
+  auto& global = DegradationCounters::instance();
+  global.record_full_cars(deg.full_cars);
+  if (deg.damaged_fallback_cars > 0) {
+    global.record_damaged_fallback(deg.damaged_fallback_cars);
+  }
+  if (deg.deadline_fallback_cars > 0) {
+    global.record_deadline_fallback(deg.deadline_fallback_cars);
+  }
+  if (deg.error_fallback_cars > 0) {
+    global.record_error_fallback(deg.error_fallback_cars);
+  }
+  for (std::uint64_t h = 0; h < deg.deadline_hits; ++h) {
+    global.record_deadline_hit();
+  }
+  if (deg.task_failures > 0) global.record_task_failures(deg.task_failures);
   EngineCounters::instance().record_forecast(wall_seconds);
   return out;
 }
@@ -109,9 +226,16 @@ ParallelForecastEngine::Stats ParallelForecastEngine::stats() const {
   return stats_;
 }
 
+ParallelForecastEngine::Degradation ParallelForecastEngine::degradation()
+    const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return degradation_;
+}
+
 void ParallelForecastEngine::reset_stats() {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   stats_ = Stats{};
+  degradation_ = Degradation{};
 }
 
 }  // namespace ranknet::core

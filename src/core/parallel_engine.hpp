@@ -12,9 +12,25 @@
 //
 // Forecasters that do not implement PartitionableForecaster (e.g. the
 // Transformer) are delegated to unchanged on the calling thread.
+//
+// Degradation ladder (serving robustness): an optional DegradationPolicy
+// arms three graceful-degradation tiers instead of crashing or stalling —
+//   tier 0  full primary model (the wrapped forecaster),
+//   tier 1  per-car fallback when the car's telemetry is too damaged
+//           (policy.series_damaged, fed by telemetry::StreamIngestor),
+//   tier 2  fallback for every car whose task missed the per-forecast
+//           deadline (cooperative cancellation + partial-sample merge:
+//           finished primary partitions are kept) or whose task threw.
+// The fallback must itself be a PartitionableForecaster (CurRank is the
+// canonical choice) and is driven from the same `base` draw, so degraded
+// forecasts stay deterministic. With a default-constructed policy the
+// engine is bit-identical to the pre-ladder behaviour. Health is booked in
+// per-engine Degradation stats and the global core::DegradationCounters,
+// next to EngineCounters.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 
@@ -25,6 +41,30 @@ namespace ranknet::core {
 
 class ParallelForecastEngine : public RaceForecaster {
  public:
+  /// Policy for the degradation ladder; default-constructed = disabled.
+  struct DegradationPolicy {
+    /// Per-forecast wall-clock budget; 0 disables the deadline tier.
+    double deadline_seconds = 0.0;
+    /// Tier-1/2 model (must implement PartitionableForecaster to engage).
+    std::shared_ptr<RaceForecaster> fallback;
+    /// Cars whose series is too damaged for the primary model at this
+    /// origin; null = no damage tier.
+    std::function<bool(int car_id, int origin_lap)> series_damaged;
+  };
+
+  /// Per-engine degradation tallies (mirrored into DegradationCounters).
+  struct Degradation {
+    std::uint64_t full_cars = 0;               // served by the primary
+    std::uint64_t damaged_fallback_cars = 0;   // tier 1
+    std::uint64_t deadline_fallback_cars = 0;  // tier 2 (deadline)
+    std::uint64_t error_fallback_cars = 0;     // tier 2 (task threw)
+    std::uint64_t deadline_hits = 0;           // forecasts that hit deadline
+    std::uint64_t task_failures = 0;           // primary tasks that threw
+    std::uint64_t fallback_cars() const {
+      return damaged_fallback_cars + deadline_fallback_cars +
+             error_fallback_cars;
+    }
+  };
   /// Wall-time bookkeeping (also mirrored into the global
   /// core::EngineCounters, see device_model.hpp).
   struct Stats {
@@ -59,7 +99,13 @@ class ParallelForecastEngine : public RaceForecaster {
   /// True when the wrapped forecaster supports partitioned fan-out.
   bool partitioned() const { return partitioned_ != nullptr; }
 
+  /// Arm (or disarm, with a default-constructed policy) the degradation
+  /// ladder. Throws std::invalid_argument if a fallback is given that is
+  /// not a PartitionableForecaster.
+  void set_degradation_policy(DegradationPolicy policy);
+
   Stats stats() const;
+  Degradation degradation() const;
   void reset_stats();
 
  private:
@@ -68,8 +114,11 @@ class ParallelForecastEngine : public RaceForecaster {
   PartitionableForecaster* partitioned_;  // null -> sequential delegation
   util::ThreadPool pool_;
   std::size_t max_cars_per_task_;
+  DegradationPolicy policy_;
+  PartitionableForecaster* fallback_part_ = nullptr;  // view into policy_
   mutable std::mutex stats_mutex_;
   Stats stats_;
+  Degradation degradation_;
 };
 
 }  // namespace ranknet::core

@@ -2,14 +2,23 @@
 
 #include <cstdint>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "tensor/serialize.hpp"
+#include "util/string_util.hpp"
 
 namespace ranknet::nn {
 
 namespace {
-constexpr std::uint64_t kMagic = 0x524b4e45542d3031ULL;  // "RKNET-01"
+// v1: bare magic, then count + parameters, no integrity check.
+constexpr std::uint64_t kMagicV1 = 0x524b4e45542d3031ULL;  // "RKNET-01"
+// v2: magic + version + payload size + FNV-1a checksum, then the payload.
+constexpr std::uint64_t kMagicV2 = 0x524b4e54763253ULL;  // "RKNTv2S"
+constexpr std::uint32_t kSchemaVersion = 2;
+// A parameter name longer than this means the length field is garbage.
+constexpr std::uint64_t kMaxNameLen = 1 << 16;
 
 void write_string(std::ostream& out, const std::string& s) {
   const std::uint64_t n = s.size();
@@ -17,56 +26,148 @@ void write_string(std::ostream& out, const std::string& s) {
   out.write(s.data(), static_cast<std::streamsize>(n));
 }
 
-std::string read_string(std::istream& in) {
+util::Result<std::string> read_string(std::istream& in) {
   std::uint64_t n = 0;
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!in) return util::Status::corrupt_data("truncated string length");
+  if (n > kMaxNameLen) {
+    return util::Status::corrupt_data(
+        util::format("implausible string length %llu",
+                     static_cast<unsigned long long>(n)));
+  }
   std::string s(n, '\0');
   in.read(s.data(), static_cast<std::streamsize>(n));
+  if (!in) return util::Status::corrupt_data("truncated string payload");
   return s;
+}
+
+/// Payload shared by both versions: count, then named parameter matrices.
+/// Parses into scratch matrices and commits only when everything matched,
+/// so a failed load never leaves a model half-overwritten.
+util::Status load_payload(std::istream& in,
+                          const std::vector<Parameter*>& params,
+                          const std::string& path) {
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in) return util::Status::corrupt_data("truncated header in " + path);
+  if (count != params.size()) {
+    return util::Status::corrupt_data(util::format(
+        "parameter count mismatch in %s: file has %llu, model has %zu",
+        path.c_str(), static_cast<unsigned long long>(count), params.size()));
+  }
+  std::vector<tensor::Matrix> staged;
+  staged.reserve(params.size());
+  for (const auto* p : params) {
+    auto name = read_string(in);
+    if (!name.ok()) return name.status();
+    if (name.value() != p->name) {
+      return util::Status::corrupt_data("expected parameter '" + p->name +
+                                        "', found '" + name.value() + "' in " +
+                                        path);
+    }
+    tensor::Matrix m;
+    try {
+      m = tensor::read_matrix(in);
+    } catch (const std::exception& e) {
+      return util::Status::corrupt_data(std::string(e.what()) + " for " +
+                                        p->name + " in " + path);
+    }
+    if (!m.same_shape(p->value)) {
+      return util::Status::corrupt_data("shape mismatch for " + p->name +
+                                        " in " + path);
+    }
+    staged.push_back(std::move(m));
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = std::move(staged[i]);
+    params[i]->zero_grad();
+  }
+  return {};
 }
 
 }  // namespace
 
 void save_params(const std::string& path,
                  const std::vector<Parameter*>& params) {
+  std::ostringstream payload(std::ios::binary);
+  const std::uint64_t count = params.size();
+  payload.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto* p : params) {
+    write_string(payload, p->name);
+    tensor::write_matrix(payload, p->value);
+  }
+  const std::string bytes = payload.str();
+  const std::uint64_t checksum = util::fnv1a(bytes);
+  const std::uint64_t size = bytes.size();
+
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("save_params: cannot open " + path);
-  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
-  const std::uint64_t count = params.size();
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  for (const auto* p : params) {
-    write_string(out, p->name);
-    tensor::write_matrix(out, p->value);
-  }
+  out.write(reinterpret_cast<const char*>(&kMagicV2), sizeof(kMagicV2));
+  out.write(reinterpret_cast<const char*>(&kSchemaVersion),
+            sizeof(kSchemaVersion));
+  out.write(reinterpret_cast<const char*>(&size), sizeof(size));
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  out.write(bytes.data(), static_cast<std::streamsize>(size));
   if (!out) throw std::runtime_error("save_params: write failed: " + path);
+}
+
+util::Status try_load_params(const std::string& path,
+                             const std::vector<Parameter*>& params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::not_found("cannot open " + path);
+  std::uint64_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in) return util::Status::corrupt_data("truncated header in " + path);
+
+  if (magic == kMagicV1) {
+    // Legacy pre-checksum artifacts stay loadable (backward compat).
+    return load_payload(in, params, path);
+  }
+  if (magic != kMagicV2) {
+    return util::Status::corrupt_data("bad magic in " + path);
+  }
+  std::uint32_t version = 0;
+  std::uint64_t size = 0, checksum = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&size), sizeof(size));
+  in.read(reinterpret_cast<char*>(&checksum), sizeof(checksum));
+  if (!in) return util::Status::corrupt_data("truncated header in " + path);
+  if (version > kSchemaVersion) {
+    return util::Status::corrupt_data(
+        util::format("%s has schema version %u, newer than supported %u",
+                     path.c_str(), version, kSchemaVersion));
+  }
+  // Validate the declared size against what the file actually holds before
+  // trusting it with an allocation — a corrupt size field must not turn
+  // into a multi-gigabyte buffer.
+  const std::istream::pos_type header_end = in.tellg();
+  in.seekg(0, std::ios::end);
+  const std::uint64_t remaining =
+      static_cast<std::uint64_t>(in.tellg() - header_end);
+  in.seekg(header_end);
+  if (size != remaining) {
+    return util::Status::corrupt_data(util::format(
+        "payload size mismatch in %s: header says %llu, file has %llu",
+        path.c_str(), static_cast<unsigned long long>(size),
+        static_cast<unsigned long long>(remaining)));
+  }
+  std::string bytes(size, '\0');
+  in.read(bytes.data(), static_cast<std::streamsize>(size));
+  if (!in || in.gcount() != static_cast<std::streamsize>(size)) {
+    return util::Status::corrupt_data("truncated payload in " + path);
+  }
+  if (util::fnv1a(bytes) != checksum) {
+    return util::Status::corrupt_data("checksum mismatch in " + path +
+                                      " (artifact is corrupt)");
+  }
+  std::istringstream payload(bytes, std::ios::binary);
+  return load_payload(payload, params, path);
 }
 
 void load_params(const std::string& path,
                  const std::vector<Parameter*>& params) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("load_params: cannot open " + path);
-  std::uint64_t magic = 0, count = 0;
-  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in || magic != kMagic) {
-    throw std::runtime_error("load_params: bad header in " + path);
-  }
-  if (count != params.size()) {
-    throw std::runtime_error("load_params: parameter count mismatch in " +
-                             path);
-  }
-  for (auto* p : params) {
-    const std::string name = read_string(in);
-    if (name != p->name) {
-      throw std::runtime_error("load_params: expected parameter '" + p->name +
-                               "', found '" + name + "' in " + path);
-    }
-    auto m = tensor::read_matrix(in);
-    if (!m.same_shape(p->value)) {
-      throw std::runtime_error("load_params: shape mismatch for " + p->name);
-    }
-    p->value = std::move(m);
-    p->zero_grad();
+  if (util::Status s = try_load_params(path, params); !s.ok()) {
+    throw std::runtime_error("load_params: " + s.to_string());
   }
 }
 

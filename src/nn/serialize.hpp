@@ -1,12 +1,19 @@
 // Save / load all parameters of a model to a binary file (model cache).
-// Format: magic, count, then per parameter: name, rows, cols, payload.
-// Loading checks names and shapes so a stale cache fails loudly.
+//
+// v2 format (written by save_params):
+//   magic "RKNT" + u32 schema version, u64 payload size, u64 FNV-1a payload
+//   checksum, then the payload: count, then per parameter: name, rows, cols,
+//   data. The checksum makes a bit-flipped or truncated artifact fail loudly
+//   at load instead of poisoning a serving model.
+// v1 files (the pre-checksum format: bare magic + count + parameters) are
+// still readable so existing artifacts/*.bin caches keep working.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "nn/param.hpp"
+#include "util/status.hpp"
 
 namespace ranknet::nn {
 
@@ -17,5 +24,11 @@ void save_params(const std::string& path,
 /// std::runtime_error on any mismatch or I/O failure.
 void load_params(const std::string& path,
                  const std::vector<Parameter*>& params);
+
+/// Non-throwing load for untrusted artifact bytes: validates magic, schema
+/// version, payload size and checksum (v2) before touching any parameter.
+/// On error no parameter is modified.
+util::Status try_load_params(const std::string& path,
+                             const std::vector<Parameter*>& params);
 
 }  // namespace ranknet::nn

@@ -1,0 +1,91 @@
+#include "simulator/fault_injector.hpp"
+
+#include <limits>
+#include <utility>
+
+namespace ranknet::sim {
+
+using telemetry::LapRecord;
+
+FaultInjector::FaultInjector(std::vector<LapRecord> clean,
+                             FaultProfile profile, std::uint64_t seed)
+    : clean_(std::move(clean)), profile_(profile), rng_(seed) {}
+
+LapRecord FaultInjector::corrupt(LapRecord rec) {
+  // One field mangled per corruption, the way a torn packet or a flaky
+  // scoring terminal does it. Every variant is invalid under the ingestor's
+  // schema/range checks — corruption should be caught, not absorbed.
+  switch (rng_.uniform_int(0, 5)) {
+    case 0: rec.rank = 0; break;
+    case 1: rec.rank = 9999; break;
+    case 2: rec.lap_time = std::numeric_limits<double>::quiet_NaN(); break;
+    case 3: rec.lap_time = -rec.lap_time; break;
+    case 4: rec.time_behind_leader = -1.0; break;
+    default: rec.lap = rec.lap + 4000; break;
+  }
+  return rec;
+}
+
+std::optional<LapRecord> FaultInjector::next() {
+  if (stalling_ > 0) {
+    --stalling_;
+    ++counters_.stall_ticks;
+    return std::nullopt;
+  }
+  // Admit input into the in-flight buffer until it is deep enough to emit:
+  // reorder_depth + 1 in-flight records bound any record's displacement to
+  // reorder_depth positions.
+  const std::size_t depth =
+      static_cast<std::size_t>(profile_.reorder_depth < 0
+                                   ? 0
+                                   : profile_.reorder_depth) + 1;
+  while (buffer_.size() < depth && pos_ < clean_.size()) {
+    LapRecord rec = clean_[pos_++];
+    if (profile_.drop_rate > 0.0 && rng_.bernoulli(profile_.drop_rate)) {
+      ++counters_.dropped;
+      continue;
+    }
+    if (profile_.corrupt_rate > 0.0 && rng_.bernoulli(profile_.corrupt_rate)) {
+      rec = corrupt(rec);
+      ++counters_.corrupted;
+    }
+    buffer_.push_back({rec, 0});
+    if (profile_.duplicate_rate > 0.0 &&
+        rng_.bernoulli(profile_.duplicate_rate)) {
+      buffer_.push_back({rec, 0});  // replay rides the same reorder window
+      ++counters_.duplicated;
+    }
+  }
+  if (buffer_.empty()) return std::nullopt;  // exhausted
+
+  std::size_t idx = 0;
+  if (profile_.reorder_depth > 0 && buffer_.size() > 1 &&
+      buffer_.front().skips < profile_.reorder_depth) {
+    // The front entry is the oldest and always the most-skipped; once its
+    // skip count hits reorder_depth it is emitted unconditionally, which
+    // caps every record's displacement (early OR late) at reorder_depth.
+    idx = static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(buffer_.size()) - 1));
+  }
+  LapRecord out = buffer_[idx].rec;
+  for (std::size_t i = 0; i < idx; ++i) ++buffer_[i].skips;
+  buffer_.erase(buffer_.begin() + static_cast<std::ptrdiff_t>(idx));
+  if (idx != 0) ++counters_.reordered;
+  ++counters_.delivered;
+
+  if (profile_.stall_rate > 0.0 && rng_.bernoulli(profile_.stall_rate)) {
+    stalling_ = profile_.stall_length;
+  }
+  return out;
+}
+
+std::vector<LapRecord> FaultInjector::drain() {
+  std::vector<LapRecord> out;
+  out.reserve(clean_.size());
+  while (!done()) {
+    if (auto rec = next()) out.push_back(*rec);
+  }
+  return out;
+}
+
+}  // namespace ranknet::sim

@@ -1,0 +1,77 @@
+// FaultInjector: wraps a clean timing-and-scoring record stream with the
+// failure modes a live feed actually exhibits — drops, duplicates, bounded
+// reordering, field corruption, and feed stalls — under a seeded RNG, so
+// every failure scenario is exactly reproducible. This is the adversary the
+// telemetry::StreamIngestor is tested and demoed against
+// (examples/live_forecast, tests/test_fault_injection).
+//
+// Contract: with an all-zero FaultProfile the injected stream is
+// byte-identical to the clean stream, in the same order (property-tested).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "telemetry/record.hpp"
+#include "util/rng.hpp"
+
+namespace ranknet::sim {
+
+struct FaultProfile {
+  double drop_rate = 0.0;       // P(record silently lost)
+  double duplicate_rate = 0.0;  // P(record delivered twice)
+  double corrupt_rate = 0.0;    // P(one field mangled in transit)
+  int reorder_depth = 0;        // max positions a record may be displaced
+  double stall_rate = 0.0;      // P(feed goes quiet after a delivery)
+  int stall_length = 3;         // quiet ticks per stall
+};
+
+struct FaultCounters {
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t reordered = 0;  // emitted out of arrival order
+  std::uint64_t stall_ticks = 0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(std::vector<telemetry::LapRecord> clean, FaultProfile profile,
+                std::uint64_t seed);
+
+  /// One feed tick: the next (possibly faulty) record, or nullopt when the
+  /// feed is stalling this tick or exhausted — check done() to tell apart.
+  std::optional<telemetry::LapRecord> next();
+
+  /// True once every record has been delivered, dropped, or drained.
+  bool done() const { return pos_ >= clean_.size() && buffer_.empty(); }
+
+  /// Convenience: run the feed to exhaustion, stall ticks elided.
+  std::vector<telemetry::LapRecord> drain();
+
+  const FaultCounters& counters() const { return counters_; }
+  const FaultProfile& profile() const { return profile_; }
+
+ private:
+  telemetry::LapRecord corrupt(telemetry::LapRecord rec);
+
+  std::vector<telemetry::LapRecord> clean_;
+  FaultProfile profile_;
+  util::Rng rng_;
+  FaultCounters counters_;
+  // In-flight records: index i entered before index i+1. Reordering picks a
+  // random element; `skips` counts how many younger records were emitted
+  // ahead of this one, and a record whose skips reach reorder_depth is
+  // force-emitted — so displacement is bounded in BOTH directions.
+  struct InFlight {
+    telemetry::LapRecord rec;
+    int skips = 0;
+  };
+  std::vector<InFlight> buffer_;
+  std::size_t pos_ = 0;
+  int stalling_ = 0;
+};
+
+}  // namespace ranknet::sim

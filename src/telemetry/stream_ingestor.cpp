@@ -1,0 +1,193 @@
+#include "telemetry/stream_ingestor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/string_util.hpp"
+
+namespace ranknet::telemetry {
+
+StreamIngestor::StreamIngestor(IngestConfig config) : cfg_(config) {}
+
+util::Status StreamIngestor::validate(const LapRecord& rec) const {
+  if (!std::isfinite(rec.lap_time) || !std::isfinite(rec.time_behind_leader)) {
+    return util::Status::corrupt_data(
+        util::format("car %d lap %d: non-finite field", rec.car_id, rec.lap));
+  }
+  const int lap_bound = cfg_.expected_total_laps > 0
+                            ? cfg_.expected_total_laps
+                            : cfg_.max_lap;
+  if (rec.car_id < 0 || rec.car_id > cfg_.max_car_id) {
+    return util::Status::out_of_range(
+        util::format("car id %d outside [0, %d]", rec.car_id, cfg_.max_car_id));
+  }
+  if (rec.lap < 1 || rec.lap > lap_bound) {
+    return util::Status::out_of_range(
+        util::format("car %d: lap %d outside [1, %d]", rec.car_id, rec.lap,
+                     lap_bound));
+  }
+  if (rec.rank < 1 || rec.rank > cfg_.max_rank) {
+    return util::Status::out_of_range(
+        util::format("car %d lap %d: rank %d outside [1, %d]", rec.car_id,
+                     rec.lap, rec.rank, cfg_.max_rank));
+  }
+  if (rec.lap_time < cfg_.min_lap_time || rec.lap_time > cfg_.max_lap_time) {
+    return util::Status::out_of_range(
+        util::format("car %d lap %d: lap time %.3f outside [%.1f, %.1f]",
+                     rec.car_id, rec.lap, rec.lap_time, cfg_.min_lap_time,
+                     cfg_.max_lap_time));
+  }
+  if (rec.time_behind_leader < 0.0 ||
+      rec.time_behind_leader > cfg_.max_time_behind) {
+    return util::Status::out_of_range(
+        util::format("car %d lap %d: time behind leader %.3f outside "
+                     "[0, %.1f]",
+                     rec.car_id, rec.lap, rec.time_behind_leader,
+                     cfg_.max_time_behind));
+  }
+  return {};
+}
+
+util::Status StreamIngestor::push(const LapRecord& rec) {
+  if (finalized_) {
+    return util::Status::failed_precondition(
+        "StreamIngestor: push after finalize");
+  }
+  if (util::Status s = validate(rec); !s.ok()) {
+    if (s.code() == util::StatusCode::kCorruptData) {
+      ++counters_.quarantined_schema;
+    } else {
+      ++counters_.quarantined_range;
+    }
+    return s;
+  }
+
+  CarBuffer& car = cars_[rec.car_id];
+  if (car.frontier == 0 && rec.lap > 1 + cfg_.max_lap_jump) {
+    // A car's first record at an implausibly late lap is a corrupt lap
+    // number; accepting it would poison the frontier and get every genuine
+    // record for the car rejected as "too late".
+    ++counters_.quarantined_monotonic;
+    return util::Status::out_of_range(
+        util::format("car %d: first record at implausible lap %d", rec.car_id,
+                     rec.lap));
+  }
+  if (car.frontier > 0 && rec.lap < car.frontier - cfg_.reorder_window) {
+    ++counters_.quarantined_monotonic;
+    return util::Status::out_of_range(
+        util::format("car %d: lap %d arrived %d laps behind frontier %d "
+                     "(reorder window %d)",
+                     rec.car_id, rec.lap, car.frontier - rec.lap, car.frontier,
+                     cfg_.reorder_window));
+  }
+  if (car.frontier > 0 && rec.lap > car.frontier + cfg_.max_lap_jump) {
+    // A far-forward jump is a corrupt lap number, not real progress; letting
+    // it advance the frontier would make every genuine record "too late".
+    ++counters_.quarantined_monotonic;
+    return util::Status::out_of_range(
+        util::format("car %d: lap %d jumps %d laps ahead of frontier %d",
+                     rec.car_id, rec.lap, rec.lap - car.frontier,
+                     car.frontier));
+  }
+  if (!car.laps.emplace(rec.lap, rec).second) {
+    ++counters_.duplicates;  // idempotent: first accepted record wins
+    return {};
+  }
+  if (rec.lap < car.frontier) ++counters_.reordered;
+  car.frontier = std::max(car.frontier, rec.lap);
+  ++counters_.accepted;
+  return {};
+}
+
+util::Result<RaceLog> StreamIngestor::finalize(const EventInfo& info) {
+  if (finalized_) {
+    return util::Status::failed_precondition(
+        "StreamIngestor: finalize called twice");
+  }
+  finalized_ = true;
+
+  std::vector<LapRecord> records;
+  for (auto& [car_id, car] : cars_) {
+    if (car.laps.empty()) continue;
+
+    // Leading gap: back-fill a short one from the first real record (the
+    // rank at lap 1 is unknown but close); a long one means we never saw
+    // the car's early race and cannot anchor anything — drop the car.
+    const int first_lap = car.laps.begin()->first;
+    if (first_lap > 1 + cfg_.max_gap_laps) {
+      ++counters_.trimmed_cars;
+      counters_.quarantined_gap += car.laps.size();
+      continue;
+    }
+
+    std::vector<LapRecord> series;
+    series.reserve(car.laps.size() + static_cast<std::size_t>(first_lap));
+    int imputed = 0;
+    for (int lap = 1; lap < first_lap; ++lap) {
+      LapRecord fill = car.laps.begin()->second;
+      fill.lap = lap;
+      series.push_back(fill);
+      ++imputed;
+    }
+
+    const LapRecord* prev = nullptr;
+    for (auto it = car.laps.begin(); it != car.laps.end(); ++it) {
+      const LapRecord& cur = it->second;
+      if (prev != nullptr) {
+        const int gap = cur.lap - prev->lap - 1;
+        if (gap > cfg_.max_gap_laps) {
+          // Unbridgeable: quarantine everything after the gap rather than
+          // invent several laps of racing.
+          counters_.quarantined_gap +=
+              static_cast<std::uint64_t>(std::distance(it, car.laps.end()));
+          break;
+        }
+        for (int k = 1; k <= gap; ++k) {
+          const double t = static_cast<double>(k) / (gap + 1);
+          LapRecord fill = *prev;
+          fill.lap = prev->lap + k;
+          fill.rank = std::clamp(
+              static_cast<int>(std::lround(
+                  prev->rank + t * (cur.rank - prev->rank))),
+              1, cfg_.max_rank);
+          fill.lap_time =
+              prev->lap_time + t * (cur.lap_time - prev->lap_time);
+          fill.time_behind_leader =
+              prev->time_behind_leader +
+              t * (cur.time_behind_leader - prev->time_behind_leader);
+          series.push_back(fill);
+          ++imputed;
+        }
+      }
+      series.push_back(cur);
+      prev = &it->second;
+    }
+
+    counters_.imputed += static_cast<std::uint64_t>(imputed);
+    damage_[car_id] =
+        series.empty() ? 1.0
+                       : static_cast<double>(imputed) /
+                             static_cast<double>(series.size());
+    last_observed_[car_id] = series.empty() ? 0 : series.back().lap;
+    records.insert(records.end(), series.begin(), series.end());
+  }
+
+  if (records.empty()) {
+    return util::Status::unavailable(
+        "StreamIngestor: no usable records survived ingestion");
+  }
+  return RaceLog(info, std::move(records));
+}
+
+double StreamIngestor::damage_fraction(int car_id) const {
+  const auto it = damage_.find(car_id);
+  return it == damage_.end() ? 0.0 : it->second;
+}
+
+int StreamIngestor::last_observed_lap(int car_id) const {
+  const auto it = last_observed_.find(car_id);
+  return it == last_observed_.end() ? 0 : it->second;
+}
+
+}  // namespace ranknet::telemetry

@@ -1,0 +1,109 @@
+// StreamIngestor: the fault-tolerant front door for live timing-and-scoring
+// records (paper Fig. 1(a) — records arrive lap by lap over the wire).
+//
+// Real feeds drop, duplicate, reorder and corrupt records. The ingestor
+// consumes records incrementally and guarantees that whatever survives is a
+// well-formed RaceLog the forecasting stack can trust:
+//
+//   * schema validation  — non-finite numeric fields are quarantined,
+//   * range validation   — fields outside the configured bounds (rank, lap,
+//                          lap time, time behind leader) are quarantined,
+//   * monotonicity       — per-car records may arrive out of order within a
+//                          bounded reorder window behind the car's newest
+//                          lap (frontier); older stragglers and implausible
+//                          forward jumps are quarantined,
+//   * deduplication      — a (car, lap) pair is accepted once; replays are
+//                          counted and dropped, so ingestion is idempotent,
+//   * gap imputation     — missing runs of at most `max_gap_laps` laps are
+//                          filled by linear interpolation between the
+//                          neighbouring real records at finalize; longer
+//                          gaps truncate the car's series at the gap (the
+//                          tail is quarantined rather than invented).
+//
+// Every rejection is tallied in per-category IngestCounters, and per-car
+// damage metadata (imputed-lap fraction, last observed lap) feeds the
+// forecast engine's degradation ladder (core/parallel_engine.hpp).
+//
+// Determinism: ingestion is a pure function of the record sequence — no
+// clocks, no randomness — so a replayed faulty stream reproduces the same
+// log, counters and damage report bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "telemetry/race_log.hpp"
+#include "util/status.hpp"
+
+namespace ranknet::telemetry {
+
+struct IngestConfig {
+  int reorder_window = 8;   // laps a record may trail the car's frontier
+  int max_lap_jump = 32;    // laps a record may lead the car's frontier
+  int max_gap_laps = 3;     // longest missing run imputation will bridge
+  int expected_total_laps = 0;  // 0 = unknown; tightens the lap bound when set
+  int max_rank = 128;
+  int max_car_id = 10000;
+  int max_lap = 5000;
+  double min_lap_time = 1.0;       // seconds; a 0/negative lap time is noise
+  double max_lap_time = 3600.0;
+  double max_time_behind = 36000.0;
+};
+
+struct IngestCounters {
+  std::uint64_t accepted = 0;
+  std::uint64_t duplicates = 0;             // replayed (car, lap) records
+  std::uint64_t reordered = 0;              // accepted behind the frontier
+  std::uint64_t imputed = 0;                // synthetic gap-filling records
+  std::uint64_t quarantined_schema = 0;     // non-finite fields
+  std::uint64_t quarantined_range = 0;      // out-of-bounds fields
+  std::uint64_t quarantined_monotonic = 0;  // outside the reorder window
+  std::uint64_t quarantined_gap = 0;        // records behind unbridgeable gaps
+  std::uint64_t trimmed_cars = 0;           // cars dropped whole at finalize
+
+  std::uint64_t quarantined() const {
+    return quarantined_schema + quarantined_range + quarantined_monotonic +
+           quarantined_gap;
+  }
+};
+
+class StreamIngestor {
+ public:
+  explicit StreamIngestor(IngestConfig config = {});
+
+  /// Validate and buffer one record. A non-OK status means the record was
+  /// quarantined (already counted); pushing a duplicate returns OK and is
+  /// dropped. Returns FAILED_PRECONDITION after finalize().
+  util::Status push(const LapRecord& rec);
+
+  /// Close the stream: impute short gaps, trim cars that cannot be
+  /// repaired, and build the RaceLog. Fails if no usable records survived.
+  util::Result<RaceLog> finalize(const EventInfo& info);
+
+  const IngestCounters& counters() const { return counters_; }
+
+  // Damage metadata for the degradation ladder (valid after finalize) -----
+  /// Fraction of the car's final series that had to be imputed (0 for an
+  /// unknown car).
+  double damage_fraction(int car_id) const;
+  /// Last lap backed by a real record (0 for an unknown/trimmed car).
+  int last_observed_lap(int car_id) const;
+
+ private:
+  struct CarBuffer {
+    std::map<int, LapRecord> laps;  // lap -> first accepted record
+    int frontier = 0;               // newest accepted lap
+  };
+
+  util::Status validate(const LapRecord& rec) const;
+
+  IngestConfig cfg_;
+  IngestCounters counters_;
+  std::map<int, CarBuffer> cars_;
+  std::map<int, double> damage_;         // car -> imputed fraction
+  std::map<int, int> last_observed_;     // car -> newest real lap kept
+  bool finalized_ = false;
+};
+
+}  // namespace ranknet::telemetry

@@ -21,6 +21,13 @@ Matrix read_matrix(std::istream& in) {
   in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
   in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
   if (!in) throw std::runtime_error("read_matrix: truncated header");
+  // A corrupt header must not turn into a multi-gigabyte allocation (or a
+  // rows*cols overflow) before the payload read catches the truncation.
+  constexpr std::uint64_t kMaxElements = 1ULL << 26;  // 512 MB of doubles
+  if (rows > kMaxElements || cols > kMaxElements ||
+      (rows != 0 && cols > kMaxElements / rows)) {
+    throw std::runtime_error("read_matrix: implausible shape (corrupt data)");
+  }
   Matrix m(rows, cols);
   in.read(reinterpret_cast<char*>(m.data()),
           static_cast<std::streamsize>(sizeof(double) * m.size()));

@@ -31,20 +31,58 @@ const std::string& CsvTable::cell(std::size_t r,
 }
 
 double CsvTable::cell_double(std::size_t r, const std::string& name) const {
-  return std::stod(cell(r, name));
+  auto res = try_cell_double(r, name);
+  if (!res.ok()) throw std::runtime_error("CsvTable: " + res.status().to_string());
+  return res.value();
 }
 
 long CsvTable::cell_long(std::size_t r, const std::string& name) const {
-  return std::stol(cell(r, name));
+  auto res = try_cell_long(r, name);
+  if (!res.ok()) throw std::runtime_error("CsvTable: " + res.status().to_string());
+  return res.value();
+}
+
+Result<double> CsvTable::try_cell_double(std::size_t r,
+                                         const std::string& name) const {
+  if (!has_col(name)) return Status::not_found("no column named '" + name + "'");
+  if (r >= rows_.size()) {
+    return Status::out_of_range(format("row %zu of %zu", r, rows_.size()));
+  }
+  auto res = parse_finite_double(rows_[r][index_.at(name)]);
+  if (!res.ok()) {
+    return Status(res.status().code(),
+                  "column '" + name + "': " + res.status().message());
+  }
+  return res;
+}
+
+Result<long> CsvTable::try_cell_long(std::size_t r,
+                                     const std::string& name) const {
+  if (!has_col(name)) return Status::not_found("no column named '" + name + "'");
+  if (r >= rows_.size()) {
+    return Status::out_of_range(format("row %zu of %zu", r, rows_.size()));
+  }
+  auto res = parse_long(rows_[r][index_.at(name)]);
+  if (!res.ok()) {
+    return Status(res.status().code(),
+                  "column '" + name + "': " + res.status().message());
+  }
+  return res;
 }
 
 void CsvTable::add_row(std::vector<std::string> row) {
+  if (Status s = try_add_row(std::move(row)); !s.ok()) {
+    throw std::invalid_argument("CsvTable: " + s.to_string());
+  }
+}
+
+Status CsvTable::try_add_row(std::vector<std::string> row) {
   if (row.size() != header_.size()) {
-    throw std::invalid_argument(
-        format("CsvTable: row with %zu cells, expected %zu", row.size(),
-               header_.size()));
+    return Status::corrupt_data(format("row with %zu cells, expected %zu",
+                                       row.size(), header_.size()));
   }
   rows_.push_back(std::move(row));
+  return {};
 }
 
 std::string CsvTable::to_string() const {
@@ -61,30 +99,46 @@ void CsvTable::save(const std::string& path) const {
 }
 
 CsvTable CsvTable::parse(const std::string& text) {
+  auto res = try_parse(text);
+  if (!res.ok()) throw std::runtime_error("CsvTable: " + res.status().to_string());
+  return std::move(res).value();
+}
+
+CsvTable CsvTable::load(const std::string& path) {
+  auto res = try_load(path);
+  if (!res.ok()) throw std::runtime_error("CsvTable: " + res.status().to_string());
+  return std::move(res).value();
+}
+
+Result<CsvTable> CsvTable::try_parse(const std::string& text) {
   std::istringstream in(text);
   std::string line;
-  if (!std::getline(in, line)) throw std::runtime_error("CsvTable: empty input");
+  if (!std::getline(in, line)) return Status::corrupt_data("empty input");
   std::vector<std::string> header;
   for (auto& cellv : split(trim(line), ',')) {
     header.emplace_back(trim(cellv));
   }
   CsvTable table(std::move(header));
+  std::size_t lineno = 1;
   while (std::getline(in, line)) {
+    ++lineno;
     const auto trimmed = trim(line);
     if (trimmed.empty()) continue;
     std::vector<std::string> row;
     for (auto& cellv : split(trimmed, ',')) row.emplace_back(trim(cellv));
-    table.add_row(std::move(row));
+    if (Status s = table.try_add_row(std::move(row)); !s.ok()) {
+      return Status(s.code(), format("line %zu: ", lineno) + s.message());
+    }
   }
   return table;
 }
 
-CsvTable CsvTable::load(const std::string& path) {
+Result<CsvTable> CsvTable::try_load(const std::string& path) {
   std::ifstream f(path);
-  if (!f) throw std::runtime_error("CsvTable: cannot open " + path);
+  if (!f) return Status::not_found("cannot open " + path);
   std::ostringstream buf;
   buf << f.rdbuf();
-  return parse(buf.str());
+  return try_parse(buf.str());
 }
 
 }  // namespace ranknet::util

@@ -1,12 +1,20 @@
 // Tiny CSV reader/writer used by the telemetry round-trip and by benches
 // that dump series for external plotting. Handles plain (unquoted) CSV,
 // which is all the timing-and-scoring schema needs.
+//
+// Two access tiers: the try_* functions return util::Status/Result and are
+// the required path for untrusted input (live feeds, user files) — they
+// reject truncated rows, non-numeric bytes, and NaN/Inf numerics. The
+// throwing accessors delegate to them and remain for trusted internal data
+// (simulator output, our own benches).
 #pragma once
 
 #include <cstddef>
 #include <map>
 #include <string>
 #include <vector>
+
+#include "util/status.hpp"
 
 namespace ranknet::util {
 
@@ -29,13 +37,24 @@ class CsvTable {
   double cell_double(std::size_t r, const std::string& name) const;
   long cell_long(std::size_t r, const std::string& name) const;
 
+  /// Strict numeric access: full-match parse, finite-only doubles.
+  Result<double> try_cell_double(std::size_t r, const std::string& name) const;
+  Result<long> try_cell_long(std::size_t r, const std::string& name) const;
+
   void add_row(std::vector<std::string> row);
+  /// Non-throwing add: rejects rows whose cell count mismatches the header
+  /// (a truncated or over-long line in a damaged file).
+  Status try_add_row(std::vector<std::string> row);
 
   std::string to_string() const;
   void save(const std::string& path) const;
 
   static CsvTable parse(const std::string& text);
   static CsvTable load(const std::string& path);
+
+  /// Non-throwing parse/load for untrusted bytes.
+  static Result<CsvTable> try_parse(const std::string& text);
+  static Result<CsvTable> try_load(const std::string& path);
 
  private:
   std::vector<std::string> header_;

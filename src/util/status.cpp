@@ -1,0 +1,66 @@
+#include "util/status.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace ranknet::util {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kParseError: return "PARSE_ERROR";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kCorruptData: return "CORRUPT_DATA";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "OK";
+  std::string out = status_code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Result<double> parse_finite_double(std::string_view text) {
+  // strtod needs a NUL-terminated buffer; fields are short, so copy.
+  const std::string buf(text);
+  if (buf.empty()) return Status::parse_error("empty numeric field");
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) {
+    return Status::parse_error("'" + buf + "' is not a number");
+  }
+  if (errno == ERANGE || !std::isfinite(v)) {
+    return Status::out_of_range("'" + buf + "' is not a finite double");
+  }
+  return v;
+}
+
+Result<long> parse_long(std::string_view text) {
+  const std::string buf(text);
+  if (buf.empty()) return Status::parse_error("empty integer field");
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(buf.c_str(), &end, 10);
+  if (end != buf.c_str() + buf.size()) {
+    return Status::parse_error("'" + buf + "' is not an integer");
+  }
+  if (errno == ERANGE) {
+    return Status::out_of_range("'" + buf + "' overflows long");
+  }
+  return v;
+}
+
+}  // namespace ranknet::util

@@ -1,0 +1,124 @@
+// Status / Result<T>: the error taxonomy for every untrusted-input path
+// (CSV feeds, model artifacts, live telemetry). Trusted internal invariants
+// keep using exceptions/asserts; anything that parses bytes a remote feed or
+// the filesystem could have mangled returns a Status instead of throwing, so
+// the serving path can quarantine bad input and keep running.
+//
+// Modeled on the absl::Status idiom, sized to this library: a code, a
+// human-readable message, and a small Result<T> carrying either a value or
+// the Status explaining why there is none.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace ranknet::util {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,     // caller-supplied value violates the contract
+  kParseError,          // bytes do not parse as the expected type
+  kOutOfRange,          // parsed fine but outside the schema's bounds
+  kCorruptData,         // structural damage: bad magic, checksum, truncation
+  kNotFound,            // named thing (file, column, car) does not exist
+  kFailedPrecondition,  // operation ordering violated (e.g. finalize twice)
+  kDeadlineExceeded,    // time budget exhausted
+  kUnavailable,         // transient: feed stalled, resource busy
+};
+
+const char* status_code_name(StatusCode code);
+
+class Status {
+ public:
+  /// Default is OK — `return {};` from a Status function means success.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status invalid_argument(std::string m) {
+    return {StatusCode::kInvalidArgument, std::move(m)};
+  }
+  static Status parse_error(std::string m) {
+    return {StatusCode::kParseError, std::move(m)};
+  }
+  static Status out_of_range(std::string m) {
+    return {StatusCode::kOutOfRange, std::move(m)};
+  }
+  static Status corrupt_data(std::string m) {
+    return {StatusCode::kCorruptData, std::move(m)};
+  }
+  static Status not_found(std::string m) {
+    return {StatusCode::kNotFound, std::move(m)};
+  }
+  static Status failed_precondition(std::string m) {
+    return {StatusCode::kFailedPrecondition, std::move(m)};
+  }
+  static Status deadline_exceeded(std::string m) {
+    return {StatusCode::kDeadlineExceeded, std::move(m)};
+  }
+  static Status unavailable(std::string m) {
+    return {StatusCode::kUnavailable, std::move(m)};
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "PARSE_ERROR: lap_time 'abc' is not a number".
+  std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a T or the Status explaining its absence. Accessing value() on an
+/// error is a programming bug and asserts.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(data_).ok() &&
+           "Result constructed from an OK status carries no value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    return ok() ? kOkStatus : std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    assert(ok() && "Result::value() on an error result");
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok() && "Result::value() on an error result");
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok() && "Result::value() on an error result");
+    return std::get<T>(std::move(data_));
+  }
+
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Strict full-match numeric parsing for untrusted text fields. Unlike
+/// std::stod/stol these reject trailing garbage ("12abc"), empty strings,
+/// and — for the double variant — NaN/Inf spellings and overflow, which a
+/// corrupted feed can otherwise smuggle into every downstream computation.
+Result<double> parse_finite_double(std::string_view text);
+Result<long> parse_long(std::string_view text);
+
+}  // namespace ranknet::util

@@ -37,7 +37,14 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    // submit() routes exceptions into the task's future; this guard only
+    // fires for a raw callable that leaks one. Letting it escape here would
+    // std::terminate the process — count it and keep the worker alive.
+    try {
+      task();
+    } catch (...) {
+      escaped_exceptions_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
 

@@ -11,7 +11,9 @@
 // code path.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -34,14 +36,24 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Exceptions that escaped a raw queued callable (not routed through a
+  /// future). submit() can never trigger this — packaged_task captures the
+  /// exception into the future — so a nonzero count flags a misuse bug
+  /// without taking the whole process down via std::terminate.
+  std::uint64_t escaped_exceptions() const {
+    return escaped_exceptions_.load(std::memory_order_relaxed);
+  }
+
   /// Number of concurrent hardware threads (>= 1).
   static std::size_t hardware_threads() {
     const unsigned n = std::thread::hardware_concurrency();
     return n == 0 ? 1 : static_cast<std::size_t>(n);
   }
 
-  /// Enqueue a task and get a future for its result. Exceptions thrown by
-  /// the task are delivered through the future.
+  /// Enqueue a task and get a future for its result. A task that throws
+  /// does not kill the worker or wedge the queue: the exception is captured
+  /// by the packaged_task and rethrown from future::get() on the caller's
+  /// thread (regression-tested in test_util.cpp).
   template <typename Fn>
   auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn&>> {
     using Result = std::invoke_result_t<Fn&>;
@@ -67,6 +79,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
+  std::atomic<std::uint64_t> escaped_exceptions_{0};
   bool stop_ = false;
 };
 

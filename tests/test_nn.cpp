@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "nn/adam.hpp"
 #include "nn/dense.hpp"
@@ -12,6 +15,7 @@
 #include "nn/gaussian.hpp"
 #include "nn/lstm.hpp"
 #include "nn/serialize.hpp"
+#include "tensor/serialize.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -177,6 +181,119 @@ TEST(Serialize, RejectsMissingFile) {
   EXPECT_THROW(nn::load_params("/tmp/definitely_missing_file.bin",
                                a.params()),
                std::runtime_error);
+  const auto s =
+      nn::try_load_params("/tmp/definitely_missing_file.bin", a.params());
+  EXPECT_EQ(s.code(), ranknet::util::StatusCode::kNotFound);
+}
+
+TEST(Serialize, BitFlipAnywhereIsRejectedAndLeavesParamsUntouched) {
+  Rng rng(9);
+  Dense a(4, 3, rng), b(4, 3, rng);
+  const std::string path = "/tmp/ranknet_test_bitflip.bin";
+  nn::save_params(path, a.params());
+
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    bytes = ss.str();
+  }
+  // Flip one bit in several positions across the file: header fields and
+  // deep payload alike must fail checksum/structure validation.
+  for (const std::size_t pos :
+       {std::size_t{3}, std::size_t{9}, std::size_t{30},
+        bytes.size() / 2, bytes.size() - 1}) {
+    std::string damaged = bytes;
+    damaged[pos] = static_cast<char>(damaged[pos] ^ 0x10);
+    {
+      std::ofstream out(path, std::ios::binary);
+      out.write(damaged.data(),
+                static_cast<std::streamsize>(damaged.size()));
+    }
+    // Snapshot b, attempt the load, verify rejection and no mutation.
+    const auto before = b.params()[0]->value;
+    const auto s = nn::try_load_params(path, b.params());
+    EXPECT_FALSE(s.ok()) << "bit flip at " << pos << " was accepted";
+    EXPECT_TRUE(b.params()[0]->value == before)
+        << "failed load mutated parameters (flip at " << pos << ")";
+    EXPECT_THROW(nn::load_params(path, b.params()), std::runtime_error);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, TruncatedArtifactIsRejected) {
+  Rng rng(10);
+  Dense a(4, 3, rng);
+  const std::string path = "/tmp/ranknet_test_truncated.bin";
+  nn::save_params(path, a.params());
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    bytes = ss.str();
+  }
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  const auto s = nn::try_load_params(path, a.params());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ranknet::util::StatusCode::kCorruptData);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, LegacyV1ArtifactStillLoads) {
+  // Hand-build a v1 file (bare magic, no version/size/checksum) the way the
+  // pre-v2 writer did: count, then name-length/name/matrix per parameter.
+  Rng rng(11);
+  Dense a(3, 2, rng), b(3, 2, rng);
+  const std::string path = "/tmp/ranknet_test_v1.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    const std::uint64_t magic_v1 = 0x524b4e45542d3031ULL;  // "RKNET-01"
+    out.write(reinterpret_cast<const char*>(&magic_v1), sizeof(magic_v1));
+    const std::uint64_t count = a.params().size();
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    for (const auto* p : a.params()) {
+      const std::uint64_t n = p->name.size();
+      out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+      out.write(p->name.data(), static_cast<std::streamsize>(n));
+      tensor::write_matrix(out, p->value);
+    }
+  }
+  nn::load_params(path, b.params());
+  for (std::size_t i = 0; i < a.params().size(); ++i) {
+    EXPECT_TRUE(a.params()[i]->value == b.params()[i]->value);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, SavedArtifactsUseTheV2ChecksummedFormat) {
+  Rng rng(12);
+  Dense a(2, 2, rng);
+  const std::string path = "/tmp/ranknet_test_v2magic.bin";
+  nn::save_params(path, a.params());
+  std::ifstream in(path, std::ios::binary);
+  std::uint64_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  EXPECT_EQ(magic, 0x524b4e54763253ULL);  // v2 magic
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, GarbageFileIsStatusNotCrash) {
+  const std::string path = "/tmp/ranknet_test_garbage.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a model artifact at all";
+  }
+  Rng rng(13);
+  Dense a(2, 2, rng);
+  const auto s = nn::try_load_params(path, a.params());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ranknet::util::StatusCode::kCorruptData);
+  std::filesystem::remove(path);
 }
 
 }  // namespace

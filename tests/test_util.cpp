@@ -1,12 +1,17 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <future>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
 #include "util/csv.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
+#include "util/status.hpp"
 #include "util/string_util.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -197,6 +202,106 @@ TEST(Csv, ErrorsOnBadShapeAndMissingColumn) {
   EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
   t.add_row({"1", "2"});
   EXPECT_THROW(t.col("C"), std::out_of_range);
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.code(), StatusCode::kOk);
+
+  const Status s = Status::corrupt_data("bad bytes");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruptData);
+  EXPECT_NE(s.to_string().find("bad bytes"), std::string::npos);
+  EXPECT_NE(s.to_string().find("CORRUPT_DATA"), std::string::npos);
+}
+
+TEST(Status, ResultHoldsValueOrStatus) {
+  Result<int> good(5);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 5);
+  EXPECT_EQ(good.value_or(9), 5);
+
+  Result<int> bad(Status::not_found("nope"));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(bad.value_or(9), 9);
+}
+
+TEST(Status, StrictDoubleParserRejectsGarbage) {
+  EXPECT_DOUBLE_EQ(parse_finite_double("3.25").value(), 3.25);
+  EXPECT_DOUBLE_EQ(parse_finite_double("-1e3").value(), -1000.0);
+  for (const char* bad :
+       {"", "  ", "abc", "1.5x", "nan", "NaN", "inf", "-inf", "1e999"}) {
+    EXPECT_FALSE(parse_finite_double(bad).ok()) << "'" << bad << "'";
+  }
+}
+
+TEST(Status, StrictLongParserRejectsGarbage) {
+  EXPECT_EQ(parse_long("42").value(), 42);
+  EXPECT_EQ(parse_long("-7").value(), -7);
+  for (const char* bad : {"", "4.5", "9x", "99999999999999999999"}) {
+    EXPECT_FALSE(parse_long(bad).ok()) << "'" << bad << "'";
+  }
+}
+
+TEST(Csv, TryParseRejectsMalformedInput) {
+  // Truncated row (2 cells under a 3-column header).
+  auto truncated = CsvTable::try_parse("A,B,C\n1,2\n");
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.status().code(), StatusCode::kCorruptData);
+
+  // Over-long row.
+  EXPECT_FALSE(CsvTable::try_parse("A,B\n1,2,3\n").ok());
+
+  // Well-formed text parses.
+  auto good = CsvTable::try_parse("A,B\n1,2\n3,4\n");
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value().num_rows(), 2u);
+}
+
+TEST(Csv, TryCellRejectsNonFiniteAndNonNumeric) {
+  CsvTable t({"A"});
+  for (const char* cell : {"nan", "inf", "1.5x", ""}) {
+    t = CsvTable({"A"});
+    t.add_row({cell});
+    EXPECT_FALSE(t.try_cell_double(0, "A").ok()) << "'" << cell << "'";
+  }
+  t = CsvTable({"A"});
+  t.add_row({"2.5"});
+  EXPECT_TRUE(t.try_cell_double(0, "A").ok());
+  EXPECT_FALSE(t.try_cell_long(0, "A").ok());  // 2.5 is not an integer
+  // The throwing accessors keep their legacy exception type.
+  EXPECT_THROW((void)t.cell_long(0, "A"), std::runtime_error);
+}
+
+TEST(Csv, TryLoadMissingFileIsStatusNotException) {
+  auto r = CsvTable::try_load("/nonexistent/definitely/missing.csv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_FALSE(r.status().to_string().empty());
+}
+
+TEST(ThreadPool, ThrowingTaskPropagatesThroughFutureWithoutDeadlock) {
+  ThreadPool pool(2);
+  auto bad = pool.submit([]() -> int { throw std::runtime_error("task"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+
+  // The worker survives the exception: the pool still runs new tasks and
+  // its destructor joins cleanly (this test returning proves no deadlock).
+  auto good = pool.submit([] { return 17; });
+  EXPECT_EQ(good.get(), 17);
+  EXPECT_EQ(pool.escaped_exceptions(), 0u);  // captured, not escaped
+}
+
+TEST(ThreadPool, ManyThrowingTasksDoNotWedgeTheQueue) {
+  ThreadPool pool(2);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.submit([] { throw 42; }));
+  }
+  for (auto& f : futures) EXPECT_THROW(f.get(), int);
+  auto alive = pool.submit([] { return true; });
+  EXPECT_TRUE(alive.get());
 }
 
 }  // namespace
