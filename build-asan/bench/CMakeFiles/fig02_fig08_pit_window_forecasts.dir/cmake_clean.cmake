@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_fig08_pit_window_forecasts.dir/fig02_fig08_pit_window_forecasts.cpp.o"
+  "CMakeFiles/fig02_fig08_pit_window_forecasts.dir/fig02_fig08_pit_window_forecasts.cpp.o.d"
+  "fig02_fig08_pit_window_forecasts"
+  "fig02_fig08_pit_window_forecasts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_fig08_pit_window_forecasts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

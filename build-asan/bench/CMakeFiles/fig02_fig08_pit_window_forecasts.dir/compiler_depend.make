@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig02_fig08_pit_window_forecasts.
+# This may be replaced when dependencies are built.

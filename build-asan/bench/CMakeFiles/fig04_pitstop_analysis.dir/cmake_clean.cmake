@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_pitstop_analysis.dir/fig04_pitstop_analysis.cpp.o"
+  "CMakeFiles/fig04_pitstop_analysis.dir/fig04_pitstop_analysis.cpp.o.d"
+  "fig04_pitstop_analysis"
+  "fig04_pitstop_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_pitstop_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

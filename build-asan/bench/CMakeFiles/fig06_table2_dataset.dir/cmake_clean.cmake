@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_table2_dataset.dir/fig06_table2_dataset.cpp.o"
+  "CMakeFiles/fig06_table2_dataset.dir/fig06_table2_dataset.cpp.o.d"
+  "fig06_table2_dataset"
+  "fig06_table2_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_table2_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

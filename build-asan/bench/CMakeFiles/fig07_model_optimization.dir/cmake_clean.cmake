@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_model_optimization.dir/fig07_model_optimization.cpp.o"
+  "CMakeFiles/fig07_model_optimization.dir/fig07_model_optimization.cpp.o.d"
+  "fig07_model_optimization"
+  "fig07_model_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_model_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

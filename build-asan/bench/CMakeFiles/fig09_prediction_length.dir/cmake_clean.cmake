@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_prediction_length.dir/fig09_prediction_length.cpp.o"
+  "CMakeFiles/fig09_prediction_length.dir/fig09_prediction_length.cpp.o.d"
+  "fig09_prediction_length"
+  "fig09_prediction_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_prediction_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_roofline.dir/fig11_roofline.cpp.o"
+  "CMakeFiles/fig11_roofline.dir/fig11_roofline.cpp.o.d"
+  "fig11_roofline"
+  "fig11_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

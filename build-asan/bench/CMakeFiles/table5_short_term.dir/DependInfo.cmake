@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table5_short_term.cpp" "bench/CMakeFiles/table5_short_term.dir/table5_short_term.cpp.o" "gcc" "bench/CMakeFiles/table5_short_term.dir/table5_short_term.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/ranknet_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/features/CMakeFiles/ranknet_features.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/nn/CMakeFiles/ranknet_nn.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ml/CMakeFiles/ranknet_ml.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/simulator/CMakeFiles/ranknet_simulator.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/telemetry/CMakeFiles/ranknet_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/tensor/CMakeFiles/ranknet_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/ranknet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_short_term.dir/table5_short_term.cpp.o"
+  "CMakeFiles/table5_short_term.dir/table5_short_term.cpp.o.d"
+  "table5_short_term"
+  "table5_short_term.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_short_term.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

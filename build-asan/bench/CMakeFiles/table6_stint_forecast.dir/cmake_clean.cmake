@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_stint_forecast.dir/table6_stint_forecast.cpp.o"
+  "CMakeFiles/table6_stint_forecast.dir/table6_stint_forecast.cpp.o.d"
+  "table6_stint_forecast"
+  "table6_stint_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_stint_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

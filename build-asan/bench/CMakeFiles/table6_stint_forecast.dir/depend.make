@@ -1,0 +1,2 @@
+# Empty dependencies file for table6_stint_forecast.
+# This may be replaced when dependencies are built.

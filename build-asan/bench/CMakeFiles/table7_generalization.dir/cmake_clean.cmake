@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_generalization.dir/table7_generalization.cpp.o"
+  "CMakeFiles/table7_generalization.dir/table7_generalization.cpp.o.d"
+  "table7_generalization"
+  "table7_generalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

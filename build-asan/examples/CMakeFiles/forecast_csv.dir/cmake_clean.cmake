@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forecast_csv.dir/forecast_csv.cpp.o"
+  "CMakeFiles/forecast_csv.dir/forecast_csv.cpp.o.d"
+  "forecast_csv"
+  "forecast_csv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forecast_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

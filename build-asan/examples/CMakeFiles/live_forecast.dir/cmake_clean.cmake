@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_forecast.dir/live_forecast.cpp.o"
+  "CMakeFiles/live_forecast.dir/live_forecast.cpp.o.d"
+  "live_forecast"
+  "live_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pit_strategy.dir/pit_strategy.cpp.o"
+  "CMakeFiles/pit_strategy.dir/pit_strategy.cpp.o.d"
+  "pit_strategy"
+  "pit_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pit_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ar_model.cpp" "src/core/CMakeFiles/ranknet_core.dir/ar_model.cpp.o" "gcc" "src/core/CMakeFiles/ranknet_core.dir/ar_model.cpp.o.d"
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/ranknet_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/ranknet_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/device_model.cpp" "src/core/CMakeFiles/ranknet_core.dir/device_model.cpp.o" "gcc" "src/core/CMakeFiles/ranknet_core.dir/device_model.cpp.o.d"
+  "/root/repo/src/core/evaluation.cpp" "src/core/CMakeFiles/ranknet_core.dir/evaluation.cpp.o" "gcc" "src/core/CMakeFiles/ranknet_core.dir/evaluation.cpp.o.d"
+  "/root/repo/src/core/forecaster.cpp" "src/core/CMakeFiles/ranknet_core.dir/forecaster.cpp.o" "gcc" "src/core/CMakeFiles/ranknet_core.dir/forecaster.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/ranknet_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/ranknet_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/parallel_engine.cpp" "src/core/CMakeFiles/ranknet_core.dir/parallel_engine.cpp.o" "gcc" "src/core/CMakeFiles/ranknet_core.dir/parallel_engine.cpp.o.d"
+  "/root/repo/src/core/pit_model.cpp" "src/core/CMakeFiles/ranknet_core.dir/pit_model.cpp.o" "gcc" "src/core/CMakeFiles/ranknet_core.dir/pit_model.cpp.o.d"
+  "/root/repo/src/core/ranknet.cpp" "src/core/CMakeFiles/ranknet_core.dir/ranknet.cpp.o" "gcc" "src/core/CMakeFiles/ranknet_core.dir/ranknet.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/ranknet_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/ranknet_core.dir/registry.cpp.o.d"
+  "/root/repo/src/core/status_forecast.cpp" "src/core/CMakeFiles/ranknet_core.dir/status_forecast.cpp.o" "gcc" "src/core/CMakeFiles/ranknet_core.dir/status_forecast.cpp.o.d"
+  "/root/repo/src/core/training.cpp" "src/core/CMakeFiles/ranknet_core.dir/training.cpp.o" "gcc" "src/core/CMakeFiles/ranknet_core.dir/training.cpp.o.d"
+  "/root/repo/src/core/transformer_model.cpp" "src/core/CMakeFiles/ranknet_core.dir/transformer_model.cpp.o" "gcc" "src/core/CMakeFiles/ranknet_core.dir/transformer_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/features/CMakeFiles/ranknet_features.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/nn/CMakeFiles/ranknet_nn.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ml/CMakeFiles/ranknet_ml.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/simulator/CMakeFiles/ranknet_simulator.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/telemetry/CMakeFiles/ranknet_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/tensor/CMakeFiles/ranknet_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/ranknet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

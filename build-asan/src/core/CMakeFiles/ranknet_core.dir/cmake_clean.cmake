@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranknet_core.dir/ar_model.cpp.o"
+  "CMakeFiles/ranknet_core.dir/ar_model.cpp.o.d"
+  "CMakeFiles/ranknet_core.dir/baselines.cpp.o"
+  "CMakeFiles/ranknet_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/ranknet_core.dir/device_model.cpp.o"
+  "CMakeFiles/ranknet_core.dir/device_model.cpp.o.d"
+  "CMakeFiles/ranknet_core.dir/evaluation.cpp.o"
+  "CMakeFiles/ranknet_core.dir/evaluation.cpp.o.d"
+  "CMakeFiles/ranknet_core.dir/forecaster.cpp.o"
+  "CMakeFiles/ranknet_core.dir/forecaster.cpp.o.d"
+  "CMakeFiles/ranknet_core.dir/metrics.cpp.o"
+  "CMakeFiles/ranknet_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/ranknet_core.dir/parallel_engine.cpp.o"
+  "CMakeFiles/ranknet_core.dir/parallel_engine.cpp.o.d"
+  "CMakeFiles/ranknet_core.dir/pit_model.cpp.o"
+  "CMakeFiles/ranknet_core.dir/pit_model.cpp.o.d"
+  "CMakeFiles/ranknet_core.dir/ranknet.cpp.o"
+  "CMakeFiles/ranknet_core.dir/ranknet.cpp.o.d"
+  "CMakeFiles/ranknet_core.dir/registry.cpp.o"
+  "CMakeFiles/ranknet_core.dir/registry.cpp.o.d"
+  "CMakeFiles/ranknet_core.dir/status_forecast.cpp.o"
+  "CMakeFiles/ranknet_core.dir/status_forecast.cpp.o.d"
+  "CMakeFiles/ranknet_core.dir/training.cpp.o"
+  "CMakeFiles/ranknet_core.dir/training.cpp.o.d"
+  "CMakeFiles/ranknet_core.dir/transformer_model.cpp.o"
+  "CMakeFiles/ranknet_core.dir/transformer_model.cpp.o.d"
+  "libranknet_core.a"
+  "libranknet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranknet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

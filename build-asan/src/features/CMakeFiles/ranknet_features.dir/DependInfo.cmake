@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/scaler.cpp" "src/features/CMakeFiles/ranknet_features.dir/scaler.cpp.o" "gcc" "src/features/CMakeFiles/ranknet_features.dir/scaler.cpp.o.d"
+  "/root/repo/src/features/transforms.cpp" "src/features/CMakeFiles/ranknet_features.dir/transforms.cpp.o" "gcc" "src/features/CMakeFiles/ranknet_features.dir/transforms.cpp.o.d"
+  "/root/repo/src/features/window.cpp" "src/features/CMakeFiles/ranknet_features.dir/window.cpp.o" "gcc" "src/features/CMakeFiles/ranknet_features.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/telemetry/CMakeFiles/ranknet_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/tensor/CMakeFiles/ranknet_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/ranknet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranknet_features.dir/scaler.cpp.o"
+  "CMakeFiles/ranknet_features.dir/scaler.cpp.o.d"
+  "CMakeFiles/ranknet_features.dir/transforms.cpp.o"
+  "CMakeFiles/ranknet_features.dir/transforms.cpp.o.d"
+  "CMakeFiles/ranknet_features.dir/window.cpp.o"
+  "CMakeFiles/ranknet_features.dir/window.cpp.o.d"
+  "libranknet_features.a"
+  "libranknet_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranknet_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/arima.cpp" "src/ml/CMakeFiles/ranknet_ml.dir/arima.cpp.o" "gcc" "src/ml/CMakeFiles/ranknet_ml.dir/arima.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/ml/CMakeFiles/ranknet_ml.dir/decision_tree.cpp.o" "gcc" "src/ml/CMakeFiles/ranknet_ml.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/gbdt.cpp" "src/ml/CMakeFiles/ranknet_ml.dir/gbdt.cpp.o" "gcc" "src/ml/CMakeFiles/ranknet_ml.dir/gbdt.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/ml/CMakeFiles/ranknet_ml.dir/random_forest.cpp.o" "gcc" "src/ml/CMakeFiles/ranknet_ml.dir/random_forest.cpp.o.d"
+  "/root/repo/src/ml/svr.cpp" "src/ml/CMakeFiles/ranknet_ml.dir/svr.cpp.o" "gcc" "src/ml/CMakeFiles/ranknet_ml.dir/svr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/ranknet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranknet_ml.dir/arima.cpp.o"
+  "CMakeFiles/ranknet_ml.dir/arima.cpp.o.d"
+  "CMakeFiles/ranknet_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/ranknet_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/ranknet_ml.dir/gbdt.cpp.o"
+  "CMakeFiles/ranknet_ml.dir/gbdt.cpp.o.d"
+  "CMakeFiles/ranknet_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/ranknet_ml.dir/random_forest.cpp.o.d"
+  "CMakeFiles/ranknet_ml.dir/svr.cpp.o"
+  "CMakeFiles/ranknet_ml.dir/svr.cpp.o.d"
+  "libranknet_ml.a"
+  "libranknet_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranknet_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/adam.cpp" "src/nn/CMakeFiles/ranknet_nn.dir/adam.cpp.o" "gcc" "src/nn/CMakeFiles/ranknet_nn.dir/adam.cpp.o.d"
+  "/root/repo/src/nn/attention.cpp" "src/nn/CMakeFiles/ranknet_nn.dir/attention.cpp.o" "gcc" "src/nn/CMakeFiles/ranknet_nn.dir/attention.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/ranknet_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/ranknet_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/embedding.cpp" "src/nn/CMakeFiles/ranknet_nn.dir/embedding.cpp.o" "gcc" "src/nn/CMakeFiles/ranknet_nn.dir/embedding.cpp.o.d"
+  "/root/repo/src/nn/gaussian.cpp" "src/nn/CMakeFiles/ranknet_nn.dir/gaussian.cpp.o" "gcc" "src/nn/CMakeFiles/ranknet_nn.dir/gaussian.cpp.o.d"
+  "/root/repo/src/nn/layer_norm.cpp" "src/nn/CMakeFiles/ranknet_nn.dir/layer_norm.cpp.o" "gcc" "src/nn/CMakeFiles/ranknet_nn.dir/layer_norm.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/nn/CMakeFiles/ranknet_nn.dir/lstm.cpp.o" "gcc" "src/nn/CMakeFiles/ranknet_nn.dir/lstm.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/ranknet_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/ranknet_nn.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/tensor/CMakeFiles/ranknet_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/ranknet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranknet_nn.dir/adam.cpp.o"
+  "CMakeFiles/ranknet_nn.dir/adam.cpp.o.d"
+  "CMakeFiles/ranknet_nn.dir/attention.cpp.o"
+  "CMakeFiles/ranknet_nn.dir/attention.cpp.o.d"
+  "CMakeFiles/ranknet_nn.dir/dense.cpp.o"
+  "CMakeFiles/ranknet_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/ranknet_nn.dir/embedding.cpp.o"
+  "CMakeFiles/ranknet_nn.dir/embedding.cpp.o.d"
+  "CMakeFiles/ranknet_nn.dir/gaussian.cpp.o"
+  "CMakeFiles/ranknet_nn.dir/gaussian.cpp.o.d"
+  "CMakeFiles/ranknet_nn.dir/layer_norm.cpp.o"
+  "CMakeFiles/ranknet_nn.dir/layer_norm.cpp.o.d"
+  "CMakeFiles/ranknet_nn.dir/lstm.cpp.o"
+  "CMakeFiles/ranknet_nn.dir/lstm.cpp.o.d"
+  "CMakeFiles/ranknet_nn.dir/serialize.cpp.o"
+  "CMakeFiles/ranknet_nn.dir/serialize.cpp.o.d"
+  "libranknet_nn.a"
+  "libranknet_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranknet_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simulator/fault_injector.cpp" "src/simulator/CMakeFiles/ranknet_simulator.dir/fault_injector.cpp.o" "gcc" "src/simulator/CMakeFiles/ranknet_simulator.dir/fault_injector.cpp.o.d"
+  "/root/repo/src/simulator/race_sim.cpp" "src/simulator/CMakeFiles/ranknet_simulator.dir/race_sim.cpp.o" "gcc" "src/simulator/CMakeFiles/ranknet_simulator.dir/race_sim.cpp.o.d"
+  "/root/repo/src/simulator/season.cpp" "src/simulator/CMakeFiles/ranknet_simulator.dir/season.cpp.o" "gcc" "src/simulator/CMakeFiles/ranknet_simulator.dir/season.cpp.o.d"
+  "/root/repo/src/simulator/track.cpp" "src/simulator/CMakeFiles/ranknet_simulator.dir/track.cpp.o" "gcc" "src/simulator/CMakeFiles/ranknet_simulator.dir/track.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/telemetry/CMakeFiles/ranknet_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/ranknet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranknet_simulator.dir/fault_injector.cpp.o"
+  "CMakeFiles/ranknet_simulator.dir/fault_injector.cpp.o.d"
+  "CMakeFiles/ranknet_simulator.dir/race_sim.cpp.o"
+  "CMakeFiles/ranknet_simulator.dir/race_sim.cpp.o.d"
+  "CMakeFiles/ranknet_simulator.dir/season.cpp.o"
+  "CMakeFiles/ranknet_simulator.dir/season.cpp.o.d"
+  "CMakeFiles/ranknet_simulator.dir/track.cpp.o"
+  "CMakeFiles/ranknet_simulator.dir/track.cpp.o.d"
+  "libranknet_simulator.a"
+  "libranknet_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranknet_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

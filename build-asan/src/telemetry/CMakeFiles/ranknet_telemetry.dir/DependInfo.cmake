@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/analysis.cpp" "src/telemetry/CMakeFiles/ranknet_telemetry.dir/analysis.cpp.o" "gcc" "src/telemetry/CMakeFiles/ranknet_telemetry.dir/analysis.cpp.o.d"
+  "/root/repo/src/telemetry/race_log.cpp" "src/telemetry/CMakeFiles/ranknet_telemetry.dir/race_log.cpp.o" "gcc" "src/telemetry/CMakeFiles/ranknet_telemetry.dir/race_log.cpp.o.d"
+  "/root/repo/src/telemetry/stream_ingestor.cpp" "src/telemetry/CMakeFiles/ranknet_telemetry.dir/stream_ingestor.cpp.o" "gcc" "src/telemetry/CMakeFiles/ranknet_telemetry.dir/stream_ingestor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/ranknet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

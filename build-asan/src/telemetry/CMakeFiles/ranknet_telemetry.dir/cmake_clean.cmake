@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranknet_telemetry.dir/analysis.cpp.o"
+  "CMakeFiles/ranknet_telemetry.dir/analysis.cpp.o.d"
+  "CMakeFiles/ranknet_telemetry.dir/race_log.cpp.o"
+  "CMakeFiles/ranknet_telemetry.dir/race_log.cpp.o.d"
+  "CMakeFiles/ranknet_telemetry.dir/stream_ingestor.cpp.o"
+  "CMakeFiles/ranknet_telemetry.dir/stream_ingestor.cpp.o.d"
+  "libranknet_telemetry.a"
+  "libranknet_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranknet_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

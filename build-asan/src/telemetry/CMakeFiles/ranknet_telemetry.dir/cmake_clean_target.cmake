@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libranknet_telemetry.a"
+)

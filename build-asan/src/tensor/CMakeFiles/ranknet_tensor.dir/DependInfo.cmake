@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/kernels.cpp" "src/tensor/CMakeFiles/ranknet_tensor.dir/kernels.cpp.o" "gcc" "src/tensor/CMakeFiles/ranknet_tensor.dir/kernels.cpp.o.d"
+  "/root/repo/src/tensor/matrix.cpp" "src/tensor/CMakeFiles/ranknet_tensor.dir/matrix.cpp.o" "gcc" "src/tensor/CMakeFiles/ranknet_tensor.dir/matrix.cpp.o.d"
+  "/root/repo/src/tensor/opcount.cpp" "src/tensor/CMakeFiles/ranknet_tensor.dir/opcount.cpp.o" "gcc" "src/tensor/CMakeFiles/ranknet_tensor.dir/opcount.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/ranknet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranknet_tensor.dir/kernels.cpp.o"
+  "CMakeFiles/ranknet_tensor.dir/kernels.cpp.o.d"
+  "CMakeFiles/ranknet_tensor.dir/matrix.cpp.o"
+  "CMakeFiles/ranknet_tensor.dir/matrix.cpp.o.d"
+  "CMakeFiles/ranknet_tensor.dir/opcount.cpp.o"
+  "CMakeFiles/ranknet_tensor.dir/opcount.cpp.o.d"
+  "libranknet_tensor.a"
+  "libranknet_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranknet_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

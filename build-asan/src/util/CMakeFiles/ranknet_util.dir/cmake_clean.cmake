@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranknet_util.dir/csv.cpp.o"
+  "CMakeFiles/ranknet_util.dir/csv.cpp.o.d"
+  "CMakeFiles/ranknet_util.dir/logging.cpp.o"
+  "CMakeFiles/ranknet_util.dir/logging.cpp.o.d"
+  "CMakeFiles/ranknet_util.dir/stats.cpp.o"
+  "CMakeFiles/ranknet_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ranknet_util.dir/status.cpp.o"
+  "CMakeFiles/ranknet_util.dir/status.cpp.o.d"
+  "CMakeFiles/ranknet_util.dir/string_util.cpp.o"
+  "CMakeFiles/ranknet_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/ranknet_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/ranknet_util.dir/thread_pool.cpp.o.d"
+  "libranknet_util.a"
+  "libranknet_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranknet_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

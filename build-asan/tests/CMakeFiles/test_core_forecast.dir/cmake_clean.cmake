@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_forecast.dir/test_core_forecast.cpp.o"
+  "CMakeFiles/test_core_forecast.dir/test_core_forecast.cpp.o.d"
+  "test_core_forecast"
+  "test_core_forecast.pdb"
+  "test_core_forecast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

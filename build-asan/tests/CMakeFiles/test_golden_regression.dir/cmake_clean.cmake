@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_golden_regression.dir/test_golden_regression.cpp.o"
+  "CMakeFiles/test_golden_regression.dir/test_golden_regression.cpp.o.d"
+  "test_golden_regression"
+  "test_golden_regression.pdb"
+  "test_golden_regression[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_golden_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ranknet_forecaster.dir/test_ranknet_forecaster.cpp.o"
+  "CMakeFiles/test_ranknet_forecaster.dir/test_ranknet_forecaster.cpp.o.d"
+  "test_ranknet_forecaster"
+  "test_ranknet_forecaster.pdb"
+  "test_ranknet_forecaster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ranknet_forecaster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ranknet_forecaster.
+# This may be replaced when dependencies are built.

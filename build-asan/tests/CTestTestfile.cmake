@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/test_util[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_telemetry[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_simulator[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_features[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_nn_gradcheck[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_nn[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_ml[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_core_models[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_core_forecast[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_registry[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_device_model[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_properties[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_ranknet_forecaster[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_parallel_engine[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_fault_injection[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_golden_regression[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_integration[1]_include.cmake")
+add_test(fault_suite "/root/repo/build-asan/tests/test_fault_injection")
+set_tests_properties(fault_suite PROPERTIES  LABELS "fault" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;40;add_test;/root/repo/tests/CMakeLists.txt;0;")
