@@ -1,18 +1,60 @@
 // Micro-benchmarks (google-benchmark) for the compute kernels underneath
 // RankNet training: GEMM at LSTM-relevant shapes, the pointwise gate
-// kernels, a full LSTM cell step, one training step, and the Algorithm-2
-// sampling rollout. Useful for tracking kernel-level regressions; the
-// paper-level numbers come from the fig10-12 benches.
+// kernels, a full LSTM cell step (training path and fused inference
+// session), one training step, and the Algorithm-2 sampling rollout.
+// Useful for tracking kernel-level regressions; the paper-level numbers
+// come from the fig10-12 benches.
+//
+// Output: besides the console table, every run writes machine-readable
+// results to BENCH_kernels.json (google-benchmark JSON; pass your own
+// --benchmark_out to override). Each benchmark attaches flops/step,
+// kernel_calls/step and ws_allocs/step counters so the JSON captures op
+// counts and allocation behaviour next to ns/step.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "core/ar_model.hpp"
+#include "nn/inference.hpp"
 #include "nn/lstm.hpp"
 #include "tensor/kernels.hpp"
+#include "tensor/opcount.hpp"
+#include "tensor/workspace.hpp"
 
 namespace {
 
 using namespace ranknet;
 using tensor::Matrix;
+
+/// Snapshot global op/workspace counters around the timed loop and attach
+/// per-iteration deltas as custom counters (flows into the JSON output).
+class StepAccounting {
+ public:
+  StepAccounting()
+      : ops_before_(tensor::OpCounters::instance().total()),
+        ws_before_(tensor::WorkspaceCounters::instance().snapshot()) {}
+
+  void finish(benchmark::State& state) const {
+    const auto ops = tensor::OpCounters::instance().total();
+    const auto ws = tensor::WorkspaceCounters::instance().snapshot();
+    const double steps =
+        std::max<double>(1.0, static_cast<double>(state.iterations()));
+    state.counters["flops/step"] =
+        static_cast<double>(ops.flops - ops_before_.flops) / steps;
+    state.counters["kernel_calls/step"] =
+        static_cast<double>(ops.calls - ops_before_.calls) / steps;
+    state.counters["ws_allocs/step"] =
+        static_cast<double>(ws.block_allocs - ws_before_.block_allocs) /
+        steps;
+  }
+
+ private:
+  tensor::KernelStats ops_before_;
+  tensor::WorkspaceCounters::Snapshot ws_before_;
+};
 
 void BM_GemmLstmGates(benchmark::State& state) {
   const auto batch = static_cast<std::size_t>(state.range(0));
@@ -50,13 +92,37 @@ void BM_LstmCellStep(benchmark::State& state) {
   nn::LstmLayer lstm(53, 40, rng);
   const Matrix x = Matrix::randn(batch, 53, rng);
   nn::LstmState lstm_state(batch, 40);
+  StepAccounting acct;
   for (auto _ : state) {
     auto h = lstm.step(x, lstm_state);
     benchmark::DoNotOptimize(h.data());
   }
+  acct.finish(state);
   state.SetItemsProcessed(state.iterations() * static_cast<long>(batch));
 }
 BENCHMARK(BM_LstmCellStep)->Arg(32)->Arg(256)->Arg(3200);
+
+void BM_FusedLstmCellStep(benchmark::State& state) {
+  // Inference-session counterpart of BM_LstmCellStep: one packed GEMM per
+  // step over arena storage, zero heap allocations once warm.
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(3);
+  nn::LstmLayer lstm(53, 40, rng);
+  const Matrix x = Matrix::randn(batch, 53, rng);
+  tensor::Workspace ws;
+  ws.begin();
+  nn::LstmInferenceSession session(lstm, batch, ws);
+  session.reset_state();
+  session.set_input(x);
+  StepAccounting acct;
+  for (auto _ : state) {
+    session.step();
+    benchmark::DoNotOptimize(session.h().data());
+  }
+  acct.finish(state);
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(batch));
+}
+BENCHMARK(BM_FusedLstmCellStep)->Arg(32)->Arg(256)->Arg(3200);
 
 core::SeqModelConfig bench_model_config() {
   core::SeqModelConfig cfg;
@@ -109,11 +175,13 @@ void BM_SamplingRollout(benchmark::State& state) {
   const std::vector<std::vector<std::vector<double>>> covs(
       rows, std::vector<std::vector<double>>(2, std::vector<double>(9, 0.0)));
   const std::vector<int> idx(rows, 0);
+  StepAccounting acct;
   for (auto _ : state) {
     auto s = start;
     auto out = model.sample_forward(s, z, covs, idx, 2, rng);
     benchmark::DoNotOptimize(out.data());
   }
+  acct.finish(state);
   state.SetItemsProcessed(state.iterations() * static_cast<long>(rows) * 2);
 }
 BENCHMARK(BM_SamplingRollout)->Arg(330)->Arg(3300)
@@ -121,4 +189,24 @@ BENCHMARK(BM_SamplingRollout)->Arg(330)->Arg(3300)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: default --benchmark_out to BENCH_kernels.json so every run
+// leaves a machine-readable record, while explicit flags still win.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  static std::string out_flag = "--benchmark_out=BENCH_kernels.json";
+  static std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "nn/inference.hpp"
+#include "tensor/workspace.hpp"
 #include "util/string_util.hpp"
 
 namespace ranknet::core {
@@ -12,6 +14,27 @@ namespace {
 /// clamping keeps a rare extreme draw from destabilizing the rollout.
 constexpr double kMinRankFeedback = 1.0;
 constexpr double kMaxRankFeedback = 45.0;
+
+/// One inference session per LSTM layer, all scratch from `ws`.
+std::vector<nn::LstmInferenceSession> make_stack_sessions(
+    const std::vector<std::unique_ptr<nn::LstmLayer>>& layers,
+    std::size_t rows, tensor::Workspace& ws) {
+  std::vector<nn::LstmInferenceSession> out;
+  out.reserve(layers.size());
+  for (const auto& layer : layers) out.emplace_back(*layer, rows, ws);
+  return out;
+}
+
+/// Advance the whole stack one decode step; layer l > 0 consumes layer
+/// l-1's fresh hidden state.
+void run_stack_step(std::vector<nn::LstmInferenceSession>& stack) {
+  stack[0].step();
+  for (std::size_t l = 1; l < stack.size(); ++l) {
+    stack[l].set_input(stack[l - 1].h());
+    stack[l].step();
+  }
+}
+
 }  // namespace
 
 std::string SeqModelConfig::cache_key() const {
@@ -213,26 +236,6 @@ double LstmSeqModel::evaluate(const Batch& batch) {
   return nn::GaussianHead::nll(out, batch.z_dec, batch.weights);
 }
 
-tensor::Matrix LstmSeqModel::assemble_step(
-    const std::vector<std::vector<double>>& z_prev_scaled,
-    const std::vector<std::vector<double>>& cov_rows,
-    const tensor::Matrix& embed_rows) const {
-  const std::size_t rows = z_prev_scaled.size();
-  tensor::Matrix x(rows, config_.input_dim());
-  for (std::size_t r = 0; r < rows; ++r) {
-    for (std::size_t j = 0; j < config_.target_dim; ++j) {
-      x(r, j) = z_prev_scaled[r][j];
-    }
-    for (std::size_t c = 0; c < config_.cov_dim; ++c) {
-      x(r, config_.target_dim + c) = cov_rows[r][c];
-    }
-    for (std::size_t c = 0; c < config_.embed_dim; ++c) {
-      x(r, config_.target_dim + config_.cov_dim + c) = embed_rows(r, c);
-    }
-  }
-  return x;
-}
-
 std::vector<LstmSeqModel::StackState> LstmSeqModel::trace(
     const std::vector<std::vector<double>>& history,
     const std::vector<std::vector<std::vector<double>>>& covs,
@@ -245,35 +248,43 @@ std::vector<LstmSeqModel::StackState> LstmSeqModel::trace(
       throw std::invalid_argument("trace: ragged history");
     }
   }
-  tensor::Matrix embed(rows, config_.embed_dim);
-  if (embedding_ != nullptr) {
-    embed = embedding_->forward_inference(car_index);
-  }
-
   std::vector<StackState> out;
   if (laps < 2) return out;
   out.reserve(laps - 1);
-  StackState state(layers_.size());
-  std::vector<std::vector<double>> z_prev(rows);
-  std::vector<std::vector<double>> cov_rows(rows);
+
+  auto& ws = tensor::Workspace::thread_local_instance();
+  ws.begin();
+  auto stack = make_stack_sessions(layers_, rows, ws);
+  tensor::MatrixView embed;
+  if (config_.embed_dim > 0) {
+    embed = ws.take_zeroed(rows, config_.embed_dim);
+    if (embedding_ != nullptr) {
+      nn::EmbeddingInferenceSession(*embedding_).gather(car_index, embed);
+    }
+  }
+
+  const std::size_t td = config_.target_dim;
+  StackState cur(layers_.size());
   for (std::size_t t = 0; t + 1 < laps; ++t) {
     for (std::size_t r = 0; r < rows; ++r) {
       // Multivariate targets carry their aux dims in leading covariates
       // (same convention as make_batch); univariate is just the rank.
-      z_prev[r].assign(config_.target_dim, 0.0);
-      z_prev[r][0] = scaler_.transform(history[r][t]);
-      for (std::size_t j = 1; j < config_.target_dim; ++j) {
-        z_prev[r][j] = covs[r][t][j - 1];
+      auto row = stack[0].x_row(r);
+      row[0] = scaler_.transform(history[r][t]);
+      for (std::size_t j = 1; j < td; ++j) row[j] = covs[r][t][j - 1];
+      const auto& cov = covs[r][t + 1];
+      for (std::size_t c = 0; c < config_.cov_dim; ++c) {
+        row[td + c] = c < cov.size() ? cov[c] : 0.0;
       }
-      cov_rows[r] = std::vector<double>(covs[r][t + 1].begin(),
-                                        covs[r][t + 1].end());
-      cov_rows[r].resize(config_.cov_dim);
+      for (std::size_t c = 0; c < config_.embed_dim; ++c) {
+        row[td + config_.cov_dim + c] = embed(r, c);
+      }
     }
-    tensor::Matrix x = assemble_step(z_prev, cov_rows, embed);
-    for (std::size_t l = 0; l < layers_.size(); ++l) {
-      x = layers_[l]->step(x, state[l]);
+    run_stack_step(stack);
+    for (std::size_t l = 0; l < stack.size(); ++l) {
+      stack[l].store_state(cur[l]);
     }
-    out.push_back(state);
+    out.push_back(cur);
   }
   return out;
 }
@@ -323,73 +334,103 @@ void LstmSeqModel::advance(StackState& state,
                            const std::vector<std::vector<double>>& covs,
                            const std::vector<int>& car_index) const {
   const std::size_t rows = z_prev.size();
-  tensor::Matrix embed(rows, config_.embed_dim);
-  if (embedding_ != nullptr) {
-    embed = embedding_->forward_inference(car_index);
-  }
-  std::vector<std::vector<double>> z_scaled(rows);
-  std::vector<std::vector<double>> cov_rows(rows);
-  for (std::size_t r = 0; r < rows; ++r) {
-    z_scaled[r].assign(config_.target_dim, 0.0);
-    z_scaled[r][0] = scaler_.transform(z_prev[r][0]);
-    for (std::size_t j = 1; j < config_.target_dim; ++j) {
-      z_scaled[r][j] = z_prev[r][j];
+  auto& ws = tensor::Workspace::thread_local_instance();
+  ws.begin();
+  auto stack = make_stack_sessions(layers_, rows, ws);
+  tensor::MatrixView embed;
+  if (config_.embed_dim > 0) {
+    embed = ws.take_zeroed(rows, config_.embed_dim);
+    if (embedding_ != nullptr) {
+      nn::EmbeddingInferenceSession(*embedding_).gather(car_index, embed);
     }
-    cov_rows[r] = covs[r];
-    cov_rows[r].resize(config_.cov_dim);
   }
-  tensor::Matrix x = assemble_step(z_scaled, cov_rows, embed);
-  for (std::size_t l = 0; l < layers_.size(); ++l) {
-    x = layers_[l]->step(x, state[l]);
+  const std::size_t td = config_.target_dim;
+  for (std::size_t l = 0; l < stack.size(); ++l) stack[l].load_state(state[l]);
+  for (std::size_t r = 0; r < rows; ++r) {
+    auto row = stack[0].x_row(r);
+    row[0] = scaler_.transform(z_prev[r][0]);
+    for (std::size_t j = 1; j < td; ++j) row[j] = z_prev[r][j];
+    const auto& cov = covs[r];
+    for (std::size_t c = 0; c < config_.cov_dim; ++c) {
+      row[td + c] = c < cov.size() ? cov[c] : 0.0;
+    }
+    for (std::size_t c = 0; c < config_.embed_dim; ++c) {
+      row[td + config_.cov_dim + c] = embed(r, c);
+    }
   }
+  run_stack_step(stack);
+  for (std::size_t l = 0; l < stack.size(); ++l) stack[l].store_state(state[l]);
 }
 
 tensor::Matrix LstmSeqModel::sample_forward_impl(
     StackState& state, std::vector<std::vector<double>>& z_prev,
     const std::vector<std::vector<std::vector<double>>>& future_covs,
-    const std::vector<int>& car_index, int horizon,
-    const std::function<tensor::Matrix(const nn::GaussianHead::Output&)>&
-        sampler,
+    const std::vector<int>& car_index, int horizon, util::Rng* rng,
+    std::span<util::Rng> row_rngs,
     std::vector<tensor::Matrix>* all_dims) const {
   const std::size_t rows = z_prev.size();
-  tensor::Matrix embed(rows, config_.embed_dim);
-  if (embedding_ != nullptr) {
-    embed = embedding_->forward_inference(car_index);
+  const std::size_t td = config_.target_dim;
+
+  // The decode loop is the serving hot path: all per-step storage comes
+  // from the thread-local workspace, so after the first call on a thread
+  // (and absent batch-shape growth) steps perform zero heap allocations.
+  auto& ws = tensor::Workspace::thread_local_instance();
+  ws.begin();
+  auto stack = make_stack_sessions(layers_, rows, ws);
+  tensor::MatrixView embed;
+  if (config_.embed_dim > 0) {
+    embed = ws.take_zeroed(rows, config_.embed_dim);
+    if (embedding_ != nullptr) {
+      nn::EmbeddingInferenceSession(*embedding_).gather(car_index, embed);
+    }
   }
+  nn::GaussianInferenceSession head(*head_);
+  tensor::MatrixView mu = ws.take(rows, td);
+  tensor::MatrixView sigma = ws.take(rows, td);
+  tensor::MatrixView sample = ws.take(rows, td);
+
+  for (std::size_t l = 0; l < stack.size(); ++l) stack[l].load_state(state[l]);
+
   tensor::Matrix out(rows, static_cast<std::size_t>(horizon));
   if (all_dims != nullptr) all_dims->clear();
 
-  std::vector<std::vector<double>> z_scaled(rows);
-  std::vector<std::vector<double>> cov_rows(rows);
   for (int h = 0; h < horizon; ++h) {
     for (std::size_t r = 0; r < rows; ++r) {
-      z_scaled[r].assign(config_.target_dim, 0.0);
-      z_scaled[r][0] = scaler_.transform(z_prev[r][0]);
-      for (std::size_t j = 1; j < config_.target_dim; ++j) {
-        z_scaled[r][j] = z_prev[r][j];
+      auto row = stack[0].x_row(r);
+      row[0] = scaler_.transform(z_prev[r][0]);
+      for (std::size_t j = 1; j < td; ++j) row[j] = z_prev[r][j];
+      const auto& cov = future_covs[r][static_cast<std::size_t>(h)];
+      for (std::size_t c = 0; c < config_.cov_dim; ++c) {
+        row[td + c] = c < cov.size() ? cov[c] : 0.0;
       }
-      cov_rows[r] = future_covs[r][static_cast<std::size_t>(h)];
-      cov_rows[r].resize(config_.cov_dim);
+      for (std::size_t c = 0; c < config_.embed_dim; ++c) {
+        row[td + config_.cov_dim + c] = embed(r, c);
+      }
     }
-    tensor::Matrix x = assemble_step(z_scaled, cov_rows, embed);
-    for (std::size_t l = 0; l < layers_.size(); ++l) {
-      x = layers_[l]->step(x, state[l]);
+    run_stack_step(stack);
+    head.forward(stack.back().h(), mu, sigma);
+    if (rng != nullptr) {
+      nn::GaussianInferenceSession::sample(mu, sigma, *rng, sample);
+    } else {
+      nn::GaussianInferenceSession::sample(mu, sigma, row_rngs, sample);
     }
-    const auto dist = head_->forward_inference(x);
-    const auto sample = sampler(dist);
-    tensor::Matrix raw(rows, config_.target_dim);
+    tensor::Matrix raw;
+    if (all_dims != nullptr) raw = tensor::Matrix(rows, td);
     for (std::size_t r = 0; r < rows; ++r) {
       const double rank = std::clamp(scaler_.inverse(sample(r, 0)),
                                      kMinRankFeedback, kMaxRankFeedback);
-      raw(r, 0) = rank;
       out(r, static_cast<std::size_t>(h)) = rank;
       z_prev[r][0] = rank;
-      for (std::size_t j = 1; j < config_.target_dim; ++j) {
-        raw(r, j) = sample(r, j);
+      if (all_dims != nullptr) raw(r, 0) = rank;
+      for (std::size_t j = 1; j < td; ++j) {
         z_prev[r][j] = sample(r, j);
+        if (all_dims != nullptr) raw(r, j) = sample(r, j);
       }
     }
     if (all_dims != nullptr) all_dims->push_back(std::move(raw));
+  }
+  for (std::size_t l = 0; l < stack.size(); ++l) {
+    stack[l].store_state(state[l]);
   }
   return out;
 }
@@ -399,12 +440,8 @@ tensor::Matrix LstmSeqModel::sample_forward(
     const std::vector<std::vector<std::vector<double>>>& future_covs,
     const std::vector<int>& car_index, int horizon, util::Rng& rng,
     std::vector<tensor::Matrix>* all_dims) const {
-  return sample_forward_impl(
-      state, z_prev, future_covs, car_index, horizon,
-      [&rng](const nn::GaussianHead::Output& dist) {
-        return nn::GaussianHead::sample(dist, rng);
-      },
-      all_dims);
+  return sample_forward_impl(state, z_prev, future_covs, car_index, horizon,
+                             &rng, {}, all_dims);
 }
 
 tensor::Matrix LstmSeqModel::sample_forward(
@@ -416,12 +453,8 @@ tensor::Matrix LstmSeqModel::sample_forward(
   if (row_rngs.size() != z_prev.size()) {
     throw std::invalid_argument("sample_forward: one rng stream per row");
   }
-  return sample_forward_impl(
-      state, z_prev, future_covs, car_index, horizon,
-      [row_rngs](const nn::GaussianHead::Output& dist) {
-        return nn::GaussianHead::sample(dist, row_rngs);
-      },
-      all_dims);
+  return sample_forward_impl(state, z_prev, future_covs, car_index, horizon,
+                             nullptr, row_rngs, all_dims);
 }
 
 }  // namespace ranknet::core

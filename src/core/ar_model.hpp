@@ -10,7 +10,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -146,21 +145,16 @@ class LstmSeqModel : public nn::Layer {
   std::vector<nn::Parameter*> params() override;
 
  private:
-  /// Shared decode loop; `sampler` draws one row-wise sample matrix from a
-  /// head output (the two public overloads differ only in how noise is
-  /// drawn).
+  /// Shared decode loop over the zero-allocation inference runtime. Exactly
+  /// one of (rng, row_rngs) supplies the Gaussian noise: rng != nullptr
+  /// draws row-major from the single stream, otherwise row r draws from
+  /// row_rngs[r].
   tensor::Matrix sample_forward_impl(
       StackState& state, std::vector<std::vector<double>>& z_prev,
       const std::vector<std::vector<std::vector<double>>>& future_covs,
-      const std::vector<int>& car_index, int horizon,
-      const std::function<tensor::Matrix(const nn::GaussianHead::Output&)>&
-          sampler,
+      const std::vector<int>& car_index, int horizon, util::Rng* rng,
+      std::span<util::Rng> row_rngs,
       std::vector<tensor::Matrix>* all_dims) const;
-
-  tensor::Matrix assemble_step(
-      const std::vector<std::vector<double>>& z_prev_scaled,
-      const std::vector<std::vector<double>>& cov_rows,
-      const tensor::Matrix& embed_rows) const;
 
   SeqModelConfig config_;
   features::StandardScaler scaler_{0.0, 1.0};

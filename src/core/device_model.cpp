@@ -34,6 +34,9 @@ void DegradationCounters::reset() {
   error_fallback_cars_.store(0, std::memory_order_relaxed);
   deadline_hits_.store(0, std::memory_order_relaxed);
   task_failures_.store(0, std::memory_order_relaxed);
+  workspace_epochs_.store(0, std::memory_order_relaxed);
+  workspace_reused_epochs_.store(0, std::memory_order_relaxed);
+  workspace_block_allocs_.store(0, std::memory_order_relaxed);
 }
 
 namespace {

@@ -94,6 +94,20 @@ class DegradationCounters {
   void record_task_failures(std::uint64_t n) {
     task_failures_.fetch_add(n, std::memory_order_relaxed);
   }
+  /// Inference-runtime memory health, mirrored by the engine from
+  /// tensor::WorkspaceCounters deltas after each forecast: arena epochs
+  /// begun, epochs fully served from warm blocks (no growth), and raw
+  /// block allocations. In steady state reused == epochs and block
+  /// allocations stay flat — any sustained growth is an allocation
+  /// regression on the serving hot path.
+  void record_workspace(std::uint64_t epochs, std::uint64_t reused_epochs,
+                        std::uint64_t block_allocs) {
+    workspace_epochs_.fetch_add(epochs, std::memory_order_relaxed);
+    workspace_reused_epochs_.fetch_add(reused_epochs,
+                                       std::memory_order_relaxed);
+    workspace_block_allocs_.fetch_add(block_allocs,
+                                      std::memory_order_relaxed);
+  }
 
   std::uint64_t full_cars() const {
     return full_cars_.load(std::memory_order_relaxed);
@@ -117,12 +131,23 @@ class DegradationCounters {
     return damaged_fallback_cars() + deadline_fallback_cars() +
            error_fallback_cars();
   }
+  std::uint64_t workspace_epochs() const {
+    return workspace_epochs_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t workspace_reused_epochs() const {
+    return workspace_reused_epochs_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t workspace_block_allocs() const {
+    return workspace_block_allocs_.load(std::memory_order_relaxed);
+  }
 
  private:
   DegradationCounters() = default;
   std::atomic<std::uint64_t> full_cars_{0}, damaged_fallback_cars_{0},
       deadline_fallback_cars_{0}, error_fallback_cars_{0}, deadline_hits_{0},
       task_failures_{0};
+  std::atomic<std::uint64_t> workspace_epochs_{0},
+      workspace_reused_epochs_{0}, workspace_block_allocs_{0};
 };
 
 struct KernelClassStats {

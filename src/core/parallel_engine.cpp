@@ -10,9 +10,27 @@
 #include <vector>
 
 #include "core/device_model.hpp"
+#include "tensor/workspace.hpp"
 #include "util/timer.hpp"
 
 namespace ranknet::core {
+
+namespace {
+
+/// Mirror the inference-runtime arena activity of one forecast into the
+/// global degradation counters. WorkspaceCounters is process-global, so the
+/// delta covers the calling thread and every pool worker that served this
+/// forecast (concurrent engines blend together, which is fine for a health
+/// signal: steady state is still reused == epochs, block_allocs flat).
+void record_workspace_delta(const tensor::WorkspaceCounters::Snapshot& before) {
+  const auto after = tensor::WorkspaceCounters::instance().snapshot();
+  DegradationCounters::instance().record_workspace(
+      after.epochs - before.epochs,
+      after.reused_epochs - before.reused_epochs,
+      after.block_allocs - before.block_allocs);
+}
+
+}  // namespace
 
 ParallelForecastEngine::ParallelForecastEngine(RaceForecaster& wrapped,
                                                std::size_t threads,
@@ -54,6 +72,7 @@ RaceSamples ParallelForecastEngine::forecast(const telemetry::RaceLog& race,
                                              int origin_lap, int horizon,
                                              int num_samples, util::Rng& rng) {
   util::Timer wall;
+  const auto ws_before = tensor::WorkspaceCounters::instance().snapshot();
   if (partitioned_ == nullptr) {
     // Not partitionable: plain delegation on the calling thread.
     auto out = wrapped_.forecast(race, origin_lap, horizon, num_samples, rng);
@@ -67,6 +86,7 @@ RaceSamples ParallelForecastEngine::forecast(const telemetry::RaceLog& race,
     }
     EngineCounters::instance().record_task(secs);
     EngineCounters::instance().record_forecast(secs);
+    record_workspace_delta(ws_before);
     return out;
   }
 
@@ -218,6 +238,7 @@ RaceSamples ParallelForecastEngine::forecast(const telemetry::RaceLog& race,
   }
   if (deg.task_failures > 0) global.record_task_failures(deg.task_failures);
   EngineCounters::instance().record_forecast(wall_seconds);
+  record_workspace_delta(ws_before);
   return out;
 }
 

@@ -150,4 +150,54 @@ std::vector<double> PitModel::sample_future_lap_status(const PitFeatures& now,
   return lap_status;
 }
 
+PitModel::InferenceSession::InferenceSession(const PitModel& model,
+                                             tensor::Workspace& ws)
+    : model_(&model),
+      fc1_(*model.fc1_),
+      fc2_(*model.fc2_),
+      head_(*model.head_) {
+  x_ = ws.take(1, 2);
+  h1_ = ws.take(1, model.config_.hidden1);
+  h2_ = ws.take(1, model.config_.hidden2);
+  mu_ = ws.take(1, 1);
+  sigma_ = ws.take(1, 1);
+}
+
+PitModel::Prediction PitModel::InferenceSession::predict(
+    const PitFeatures& f) const {
+  x_(0, 0) = f.caution_laps / kCautionScale;
+  x_(0, 1) = f.pit_age / kAgeScale;
+  fc1_.apply(x_, h1_);
+  fc2_.apply(h1_, h2_);
+  head_.forward(h2_, mu_, sigma_);
+  Prediction p;
+  p.mean = model_->scaler_.inverse(mu_(0, 0));
+  p.stddev = model_->scaler_.inverse_scale(sigma_(0, 0));
+  return p;
+}
+
+int PitModel::InferenceSession::sample(const PitFeatures& f,
+                                       util::Rng& rng) const {
+  const auto p = predict(f);
+  const double draw = rng.normal(p.mean, p.stddev);
+  return std::max(1, static_cast<int>(std::lround(draw)));
+}
+
+void PitModel::InferenceSession::sample_future_into(
+    const PitFeatures& now, std::span<double> lap_status,
+    util::Rng& rng) const {
+  const int horizon = static_cast<int>(lap_status.size());
+  for (auto& v : lap_status) v = 0.0;
+  PitFeatures f = now;
+  int lap = 0;
+  while (lap < horizon) {
+    const int to_pit = std::max(1, sample(f, rng));
+    const int pit_offset = lap + to_pit;
+    if (pit_offset > horizon) break;
+    lap_status[static_cast<std::size_t>(pit_offset - 1)] = 1.0;
+    lap = pit_offset;
+    f = PitFeatures{};
+  }
+}
+
 }  // namespace ranknet::core

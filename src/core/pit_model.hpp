@@ -14,7 +14,9 @@
 #include "features/scaler.hpp"
 #include "nn/dense.hpp"
 #include "nn/gaussian.hpp"
+#include "nn/inference.hpp"
 #include "telemetry/race_log.hpp"
+#include "tensor/workspace.hpp"
 #include "util/rng.hpp"
 
 namespace ranknet::core {
@@ -79,6 +81,30 @@ class PitModel : public nn::Layer {
 
   void set_scaler(const features::StandardScaler& s) { scaler_ = s; }
   const features::StandardScaler& scaler() const { return scaler_; }
+
+  /// Zero-allocation serving face of the MLP: all scratch comes from `ws`
+  /// at construction, so predict()/sample() allocate nothing. Bit-identical
+  /// to PitModel::predict/sample (same kernels, same draw order). Views
+  /// live until the next ws.begin(); the stint-loop draws are sequential
+  /// and data-dependent, so they are never batched or reordered.
+  class InferenceSession {
+   public:
+    InferenceSession(const PitModel& model, tensor::Workspace& ws);
+
+    Prediction predict(const PitFeatures& f) const;
+    int sample(const PitFeatures& f, util::Rng& rng) const;
+    /// Writes 0/1 pit flags for the next lap_status.size() laps (the span
+    /// is zeroed first); same draws as sample_future_lap_status.
+    void sample_future_into(const PitFeatures& now,
+                            std::span<double> lap_status,
+                            util::Rng& rng) const;
+
+   private:
+    const PitModel* model_;
+    nn::DenseInferenceSession fc1_, fc2_;
+    nn::GaussianInferenceSession head_;
+    tensor::MatrixView x_, h1_, h2_, mu_, sigma_;
+  };
 
  private:
   tensor::Matrix normalize(const PitFeatures& f) const;

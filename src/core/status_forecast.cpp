@@ -1,5 +1,7 @@
 #include "core/status_forecast.hpp"
 
+#include "tensor/workspace.hpp"
+
 namespace ranknet::core {
 
 PitFeatures current_pit_features(const features::StatusStreams& streams,
@@ -27,11 +29,17 @@ std::map<int, std::vector<std::vector<double>>> sample_status_realization(
     const features::CovariateConfig& config, std::size_t origin,
     std::size_t future_len, util::Rng& rng) {
   // Sample every car's future pit laps first (they couple through the
-  // race-context features).
+  // race-context features). One zero-allocation MLP session serves every
+  // car; the sequential draw order matches PitModel::sample_future_lap_status
+  // exactly.
+  auto& ws = tensor::Workspace::thread_local_instance();
+  ws.begin();
+  const PitModel::InferenceSession pit(pit_model, ws);
   std::map<int, std::vector<double>> predicted;
   for (const auto& [car_id, s] : streams) {
-    predicted[car_id] = pit_model.sample_future_lap_status(
-        current_pit_features(*s, origin), static_cast<int>(future_len), rng);
+    auto& dst = predicted[car_id];
+    dst.assign(future_len, 0.0);
+    pit.sample_future_into(current_pit_features(*s, origin), dst, rng);
   }
   std::vector<double> future_total(future_len, 0.0);
   for (const auto& [_, status] : predicted) {

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "nn/inference.hpp"
 #include "tensor/kernels.hpp"
+#include "tensor/workspace.hpp"
 #include "util/string_util.hpp"
 
 namespace ranknet::core {
@@ -206,12 +208,26 @@ tensor::Matrix TransformerSeqModel::sample_forecast(
   for (std::size_t r = 0; r < rows; ++r) z[r] = history[r];
 
   tensor::Matrix out(rows, h_count);
-  auto* self = const_cast<TransformerSeqModel*>(this);
+
+  // Positional encoding cache (deterministic values, same as run_stack's).
+  static thread_local tensor::Matrix pe;
+  if (pe.rows() < kMaxPositions || pe.cols() != config_.model_dim) {
+    pe = nn::positional_encoding(kMaxPositions, config_.model_dim);
+  }
+
+  // Each horizon step re-runs the causal stack over a one-lap-longer
+  // context, so session shapes change per step: one workspace epoch per
+  // step keeps the arena reused while the views are re-derived.
+  auto& ws = tensor::Workspace::thread_local_instance();
+  nn::DenseInferenceSession in_proj(*input_proj_);
+  nn::GaussianInferenceSession head(*head_);
   for (std::size_t h = 1; h <= h_count; ++h) {
     // Inputs for positions t = 1 .. ctx-1+h: step t consumes
     // [z_{t-1}, cov_t]; the final position's hidden predicts the new lap.
     const std::size_t steps = ctx - 1 + h;
-    tensor::Matrix packed(rows * steps, config_.input_dim());
+    const std::size_t n = rows * steps;
+    ws.begin();
+    tensor::MatrixView packed = ws.take(n, config_.input_dim());
     const std::size_t base_dim = config_.target_dim + config_.cov_dim;
     for (std::size_t r = 0; r < rows; ++r) {
       for (std::size_t t = 0; t < steps; ++t) {
@@ -225,15 +241,35 @@ tensor::Matrix TransformerSeqModel::sample_forecast(
         }
       }
     }
-    const auto hidden = self->run_stack(packed, steps, /*training=*/false);
-    tensor::Matrix h_last(rows, config_.model_dim);
-    for (std::size_t r = 0; r < rows; ++r) {
+
+    tensor::MatrixView ha = ws.take(n, config_.model_dim);
+    tensor::MatrixView hb = ws.take(n, config_.model_dim);
+    in_proj.apply(packed, ha);
+    for (std::size_t row = 0; row < n; ++row) {
+      const std::size_t t = row % steps;
       for (std::size_t c = 0; c < config_.model_dim; ++c) {
-        h_last(r, c) = hidden(r * steps + steps - 1, c);
+        ha(row, c) += pe(std::min(t, kMaxPositions - 1), c);
       }
     }
-    const auto dist = head_->forward_inference(h_last);
-    const auto sample = nn::GaussianHead::sample(dist, rng);
+    tensor::MatrixView cur = ha, nxt = hb;
+    for (const auto& block : blocks_) {
+      nn::TransformerBlockSession session(*block, n, steps, ws);
+      session.forward(cur, nxt);
+      std::swap(cur, nxt);
+    }
+    final_ln_->apply_view(cur, cur);
+
+    tensor::MatrixView h_last = ws.take(rows, config_.model_dim);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < config_.model_dim; ++c) {
+        h_last(r, c) = cur(r * steps + steps - 1, c);
+      }
+    }
+    tensor::MatrixView mu = ws.take(rows, config_.target_dim);
+    tensor::MatrixView sigma = ws.take(rows, config_.target_dim);
+    tensor::MatrixView sample = ws.take(rows, config_.target_dim);
+    head.forward(h_last, mu, sigma);
+    nn::GaussianInferenceSession::sample(mu, sigma, rng, sample);
     for (std::size_t r = 0; r < rows; ++r) {
       const double rank = std::clamp(scaler_.inverse(sample(r, 0)),
                                      kMinRankFeedback, kMaxRankFeedback);

@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "nn/inference.hpp"
 #include "tensor/kernels.hpp"
 
 namespace ranknet::nn {
@@ -11,20 +12,27 @@ namespace ranknet::nn {
 namespace {
 
 /// Copy head columns [h*dh, (h+1)*dh) of packed rows [row0, row0+T) into a
-/// (T x dh) matrix.
-tensor::Matrix slice_head(const tensor::Matrix& packed, std::size_t row0,
-                          std::size_t seq_len, std::size_t head,
-                          std::size_t head_dim) {
-  tensor::Matrix out(seq_len, head_dim);
+/// pre-shaped (T x dh) view. Shared by the training path and the inference
+/// sessions so both run the same compiled loop.
+void slice_head_into(tensor::ConstMatrixView packed, std::size_t row0,
+                     std::size_t seq_len, std::size_t head,
+                     std::size_t head_dim, tensor::MatrixView out) {
   for (std::size_t t = 0; t < seq_len; ++t) {
     for (std::size_t c = 0; c < head_dim; ++c) {
       out(t, c) = packed(row0 + t, head * head_dim + c);
     }
   }
+}
+
+tensor::Matrix slice_head(const tensor::Matrix& packed, std::size_t row0,
+                          std::size_t seq_len, std::size_t head,
+                          std::size_t head_dim) {
+  tensor::Matrix out(seq_len, head_dim);
+  slice_head_into(packed, row0, seq_len, head, head_dim, out);
   return out;
 }
 
-void add_head_slice(tensor::Matrix& packed, const tensor::Matrix& part,
+void add_head_slice(tensor::MatrixView packed, tensor::ConstMatrixView part,
                     std::size_t row0, std::size_t head,
                     std::size_t head_dim) {
   for (std::size_t t = 0; t < part.rows(); ++t) {
@@ -35,7 +43,7 @@ void add_head_slice(tensor::Matrix& packed, const tensor::Matrix& part,
 }
 
 /// Row-wise causal softmax of scores (T x T): entries j > i are masked out.
-void causal_softmax(tensor::Matrix& scores) {
+void causal_softmax(tensor::MatrixView scores) {
   const std::size_t n = scores.rows();
   for (std::size_t i = 0; i < n; ++i) {
     double mx = -std::numeric_limits<double>::infinity();
@@ -254,6 +262,88 @@ tensor::Matrix TransformerBlock::backward(const tensor::Matrix& dy) {
   tensor::Matrix dx = dh;
   tensor::add_inplace(dx, ln1_.backward(attn_.backward(dh)));
   return dx;
+}
+
+AttentionInferenceSession::AttentionInferenceSession(
+    const MultiHeadSelfAttention& layer, std::size_t rows,
+    std::size_t seq_len, tensor::Workspace& ws)
+    : layer_(&layer), seq_len_(seq_len) {
+  if (rows % seq_len != 0) {
+    throw std::invalid_argument(
+        "AttentionInferenceSession: rows not a multiple of seq_len");
+  }
+  const std::size_t d = layer.dim();
+  const std::size_t head_dim = d / layer.heads();
+  q_ = ws.take(rows, d);
+  k_ = ws.take(rows, d);
+  v_ = ws.take(rows, d);
+  concat_ = ws.take(rows, d);
+  qh_ = ws.take(seq_len, head_dim);
+  kh_ = ws.take(seq_len, head_dim);
+  vh_ = ws.take(seq_len, head_dim);
+  outh_ = ws.take(seq_len, head_dim);
+  scores_ = ws.take(seq_len, seq_len);
+}
+
+void AttentionInferenceSession::forward(tensor::ConstMatrixView x,
+                                        tensor::MatrixView y) const {
+  // Same math as forward_inference over caller-owned storage; the per-head
+  // slice/softmax/GEMM loop reuses one set of scratch views instead of
+  // allocating per head.
+  const std::size_t batch = x.rows() / seq_len_;
+  const std::size_t d = layer_->dim();
+  const std::size_t head_dim = d / layer_->heads();
+  const double scale = 1.0 / std::sqrt(static_cast<double>(head_dim));
+  tensor::gemm(1.0, x, false, layer_->wq(), false, 0.0, q_);
+  tensor::gemm(1.0, x, false, layer_->wk(), false, 0.0, k_);
+  tensor::gemm(1.0, x, false, layer_->wv(), false, 0.0, v_);
+  concat_.set_zero();
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::size_t row0 = b * seq_len_;
+    for (std::size_t h = 0; h < layer_->heads(); ++h) {
+      slice_head_into(q_, row0, seq_len_, h, head_dim, qh_);
+      slice_head_into(k_, row0, seq_len_, h, head_dim, kh_);
+      slice_head_into(v_, row0, seq_len_, h, head_dim, vh_);
+      tensor::gemm(scale, qh_, false, kh_, true, 0.0, scores_);
+      causal_softmax(scores_);
+      tensor::gemm(1.0, scores_, false, vh_, false, 0.0, outh_);
+      add_head_slice(concat_, outh_, row0, h, head_dim);
+    }
+  }
+  tensor::gemm(1.0, concat_, false, layer_->wo(), false, 0.0, y);
+}
+
+TransformerBlockSession::TransformerBlockSession(const TransformerBlock& block,
+                                                 std::size_t rows,
+                                                 std::size_t seq_len,
+                                                 tensor::Workspace& ws)
+    : block_(&block),
+      attn_(block.attn(), rows, seq_len, ws),
+      ffn1_(block.ffn1()),
+      ffn2_(block.ffn2()) {
+  const std::size_t d = block.attn().dim();
+  ln_out_ = ws.take(rows, d);
+  attn_y_ = ws.take(rows, d);
+  hmid_ = ws.take(rows, d);
+  ffn_h_ = ws.take(rows, ffn1_.output_dim());
+  ffn_y_ = ws.take(rows, d);
+}
+
+void TransformerBlockSession::forward(tensor::ConstMatrixView x,
+                                      tensor::MatrixView out) const {
+  // h = x + MHA(LN1(x)); out = h + FFN(LN2(h)). The residual copies mirror
+  // the training path's unbooked `Matrix h = x` assignments.
+  block_->ln1().apply_view(x, ln_out_);
+  attn_.forward(ln_out_, attn_y_);
+  for (std::size_t i = 0; i < x.size(); ++i) hmid_.data()[i] = x.data()[i];
+  tensor::add_inplace(hmid_, attn_y_);
+  block_->ln2().apply_view(hmid_, ln_out_);
+  ffn1_.apply(ln_out_, ffn_h_);
+  ffn2_.apply(ffn_h_, ffn_y_);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = hmid_.data()[i];
+  }
+  tensor::add_inplace(out, ffn_y_);
 }
 
 tensor::Matrix positional_encoding(std::size_t seq_len, std::size_t dim) {

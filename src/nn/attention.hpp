@@ -34,6 +34,12 @@ class MultiHeadSelfAttention : public Layer {
   std::size_t dim() const { return wq_.value.rows(); }
   std::size_t heads() const { return heads_; }
 
+  /// Read access for the inference runtime (borrowed, never copied).
+  const tensor::Matrix& wq() const { return wq_.value; }
+  const tensor::Matrix& wk() const { return wk_.value; }
+  const tensor::Matrix& wv() const { return wv_.value; }
+  const tensor::Matrix& wo() const { return wo_.value; }
+
  private:
   Parameter wq_, wk_, wv_, wo_;  // each (d x d)
   std::size_t heads_;
@@ -57,6 +63,13 @@ class TransformerBlock : public Layer {
   tensor::Matrix backward(const tensor::Matrix& dy);
 
   std::vector<Parameter*> params() override;
+
+  /// Read access for the inference runtime (TransformerBlockSession).
+  const LayerNorm& ln1() const { return ln1_; }
+  const LayerNorm& ln2() const { return ln2_; }
+  const MultiHeadSelfAttention& attn() const { return attn_; }
+  const Dense& ffn1() const { return ffn1_; }
+  const Dense& ffn2() const { return ffn2_; }
 
  private:
   LayerNorm ln1_, ln2_;

@@ -29,6 +29,11 @@ class Dense : public Layer {
   std::size_t input_dim() const { return weight_.value.rows(); }
   std::size_t output_dim() const { return weight_.value.cols(); }
 
+  /// Read access for the inference runtime (borrowed, never copied).
+  const tensor::Matrix& weight() const { return weight_.value; }
+  const tensor::Matrix& bias() const { return bias_.value; }
+  Activation activation() const { return activation_; }
+
  private:
   tensor::Matrix apply(const tensor::Matrix& x, tensor::Matrix* pre) const;
 

@@ -24,6 +24,9 @@ class Embedding : public Layer {
   std::size_t dim() const { return table_.value.cols(); }
   std::size_t vocab() const { return table_.value.rows(); }
 
+  /// Read access for the inference runtime (borrowed, never copied).
+  const tensor::Matrix& table() const { return table_.value; }
+
  private:
   Parameter table_;  // (vocab x dim)
   std::vector<int> cached_indices_;

@@ -9,8 +9,6 @@
 namespace ranknet::nn {
 
 namespace {
-/// Floor on sigma for numerical stability of the likelihood.
-constexpr double kSigmaFloor = 1e-3;
 constexpr double kHalfLog2Pi = 0.9189385332046727;  // 0.5*log(2*pi)
 }  // namespace
 

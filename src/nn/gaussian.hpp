@@ -52,6 +52,14 @@ class GaussianHead : public Layer {
 
   std::size_t target_dim() const { return mu_.output_dim(); }
 
+  /// Floor added to softplus(σ_raw) for likelihood stability; the inference
+  /// runtime must apply the same floor to stay bit-identical.
+  static constexpr double kSigmaFloor = 1e-3;
+
+  /// Read access for the inference runtime (borrowed, never copied).
+  const Dense& mu_dense() const { return mu_; }
+  const Dense& sigma_dense() const { return sigma_raw_; }
+
  private:
   Dense mu_;
   Dense sigma_raw_;

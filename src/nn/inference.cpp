@@ -1,0 +1,161 @@
+#include "nn/inference.hpp"
+
+#include <stdexcept>
+
+namespace ranknet::nn {
+
+void DenseInferenceSession::apply(tensor::ConstMatrixView x,
+                                  tensor::MatrixView y) const {
+  tensor::gemm(1.0, x, false, layer_->weight(), false, 0.0, y);
+  tensor::add_bias_rows(y, tensor::ConstMatrixView(layer_->bias()).row(0));
+  switch (layer_->activation()) {
+    case Activation::kNone:
+      break;
+    case Activation::kRelu:
+      for (auto& v : y.flat()) v = v > 0.0 ? v : 0.0;
+      break;
+    case Activation::kTanh:
+      tensor::tanh_inplace(y);
+      break;
+    case Activation::kSigmoid:
+      tensor::sigmoid_inplace(y);
+      break;
+  }
+}
+
+void EmbeddingInferenceSession::gather(std::span<const int> indices,
+                                       tensor::MatrixView out) const {
+  const tensor::Matrix& table = layer_->table();
+  for (std::size_t r = 0; r < indices.size(); ++r) {
+    const int idx = indices[r];
+    if (idx < 0 || static_cast<std::size_t>(idx) >= layer_->vocab()) {
+      throw std::out_of_range("Embedding: index out of range");
+    }
+    for (std::size_t c = 0; c < table.cols(); ++c) {
+      out(r, c) = table(static_cast<std::size_t>(idx), c);
+    }
+  }
+}
+
+void GaussianInferenceSession::forward(tensor::ConstMatrixView h,
+                                       tensor::MatrixView mu,
+                                       tensor::MatrixView sigma) const {
+  mu_.apply(h, mu);
+  sigma_.apply(h, sigma);
+  tensor::softplus_inplace(sigma);
+  for (auto& s : sigma.flat()) s += GaussianHead::kSigmaFloor;
+}
+
+void GaussianInferenceSession::sample(tensor::ConstMatrixView mu,
+                                      tensor::ConstMatrixView sigma,
+                                      util::Rng& rng, tensor::MatrixView out) {
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    for (std::size_t c = 0; c < out.cols(); ++c) {
+      out(r, c) = rng.normal(mu(r, c), sigma(r, c));
+    }
+  }
+}
+
+void GaussianInferenceSession::sample(tensor::ConstMatrixView mu,
+                                      tensor::ConstMatrixView sigma,
+                                      std::span<util::Rng> row_rngs,
+                                      tensor::MatrixView out) {
+  if (row_rngs.size() != out.rows()) {
+    throw std::invalid_argument(
+        "GaussianInferenceSession::sample: one rng per row");
+  }
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    for (std::size_t c = 0; c < out.cols(); ++c) {
+      out(r, c) = row_rngs[r].normal(mu(r, c), sigma(r, c));
+    }
+  }
+}
+
+LstmInferenceSession::LstmInferenceSession(const LstmLayer& layer,
+                                           std::size_t batch,
+                                           tensor::Workspace& ws)
+    : layer_(&layer),
+      batch_(batch),
+      in_(layer.input_dim()),
+      hidden_(layer.hidden_dim()) {
+  bias_ = tensor::ConstMatrixView(layer.bias()).row(0);
+
+  // Pack [wx ; wh] row-concatenated: rows [0, in) are wx, rows [in, in+H)
+  // are wh. One GEMM over [x | h] then walks exactly the same per-element
+  // accumulation order as the training cell's wx-then-wh GEMM pair.
+  w_packed_ = ws.take(in_ + hidden_, 4 * hidden_);
+  const tensor::Matrix& wx = layer.wx();
+  const tensor::Matrix& wh = layer.wh();
+  for (std::size_t r = 0; r < in_; ++r) {
+    for (std::size_t c = 0; c < 4 * hidden_; ++c) w_packed_(r, c) = wx(r, c);
+  }
+  for (std::size_t r = 0; r < hidden_; ++r) {
+    for (std::size_t c = 0; c < 4 * hidden_; ++c) {
+      w_packed_(in_ + r, c) = wh(r, c);
+    }
+  }
+
+  xh_ = ws.take_zeroed(batch_, in_ + hidden_);
+  h_ = ws.take_zeroed(batch_, hidden_);
+  c_ = ws.take_zeroed(batch_, hidden_);
+  scratch_.gates = ws.take(batch_, 4 * hidden_);
+  scratch_.sig = ws.take(batch_, 3 * hidden_);
+  scratch_.tg = ws.take(batch_, hidden_);
+  scratch_.fgate = ws.take(batch_, hidden_);
+  scratch_.igate = ws.take(batch_, hidden_);
+  scratch_.ggate = ws.take(batch_, hidden_);
+  scratch_.ogate = ws.take(batch_, hidden_);
+  scratch_.tanh_c = ws.take(batch_, hidden_);
+}
+
+void LstmInferenceSession::reset_state() {
+  h_.set_zero();
+  c_.set_zero();
+}
+
+void LstmInferenceSession::load_state(const LstmState& state) {
+  if (state.h.empty()) {
+    reset_state();
+    return;
+  }
+  if (state.h.rows() != batch_ || state.h.cols() != hidden_) {
+    throw std::invalid_argument("LstmInferenceSession: state shape mismatch");
+  }
+  for (std::size_t i = 0; i < batch_ * hidden_; ++i) {
+    h_.data()[i] = state.h.data()[i];
+    c_.data()[i] = state.c.data()[i];
+  }
+}
+
+void LstmInferenceSession::store_state(LstmState& state) const {
+  if (state.h.rows() != batch_ || state.h.cols() != hidden_) {
+    state = LstmState(batch_, hidden_);
+  }
+  for (std::size_t i = 0; i < batch_ * hidden_; ++i) {
+    state.h.data()[i] = h_.data()[i];
+    state.c.data()[i] = c_.data()[i];
+  }
+}
+
+void LstmInferenceSession::set_input(tensor::ConstMatrixView x) {
+  if (x.rows() != batch_ || x.cols() != in_) {
+    throw std::invalid_argument("LstmInferenceSession: input shape mismatch");
+  }
+  for (std::size_t r = 0; r < batch_; ++r) {
+    const auto src = x.row(r);
+    auto dst = x_row(r);
+    for (std::size_t c = 0; c < in_; ++c) dst[c] = src[c];
+  }
+}
+
+void LstmInferenceSession::step() {
+  // Pack the recurrent state into the tail columns of [x | h].
+  for (std::size_t r = 0; r < batch_; ++r) {
+    double* dst = xh_.data() + r * xh_.cols() + in_;
+    const double* src = h_.data() + r * hidden_;
+    for (std::size_t j = 0; j < hidden_; ++j) dst[j] = src[j];
+  }
+  tensor::lstm_cell_step(xh_, w_packed_, bias_, c_, h_, scratch_);
+}
+
+}  // namespace ranknet::nn

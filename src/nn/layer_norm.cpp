@@ -6,19 +6,15 @@ namespace ranknet::nn {
 
 namespace {
 constexpr double kEps = 1e-5;
-}
 
-LayerNorm::LayerNorm(std::size_t dim, std::string name)
-    : gamma_(name + ".gamma", tensor::Matrix(1, dim, 1.0)),
-      beta_(name + ".beta", tensor::Matrix(1, dim, 0.0)) {}
-
-tensor::Matrix LayerNorm::apply(const tensor::Matrix& x,
-                                tensor::Matrix* x_hat) const {
-  const std::size_t d = x.cols();
-  tensor::Matrix y(x.rows(), d);
-  if (x_hat != nullptr) *x_hat = tensor::Matrix(x.rows(), d);
-  for (std::size_t r = 0; r < x.rows(); ++r) {
-    const double* xr = x.data() + r * d;
+/// Shared row loop for every LayerNorm face (training apply, inference
+/// apply, view apply) — one compilation, bit-identical results. x_hat is
+/// optional (training cache); y may exactly alias x.
+void layer_norm_rows(const double* x, std::size_t rows, std::size_t d,
+                     const double* gamma, const double* beta, double* y,
+                     double* x_hat) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* xr = x + r * d;
     double mean = 0.0;
     for (std::size_t c = 0; c < d; ++c) mean += xr[c];
     mean /= static_cast<double>(d);
@@ -30,11 +26,33 @@ tensor::Matrix LayerNorm::apply(const tensor::Matrix& x,
     const double inv_std = 1.0 / std::sqrt(var + kEps);
     for (std::size_t c = 0; c < d; ++c) {
       const double xh = (xr[c] - mean) * inv_std;
-      if (x_hat != nullptr) (*x_hat)(r, c) = xh;
-      y(r, c) = xh * gamma_.value(0, c) + beta_.value(0, c);
+      if (x_hat != nullptr) x_hat[r * d + c] = xh;
+      y[r * d + c] = xh * gamma[c] + beta[c];
     }
   }
+}
+
+}  // namespace
+
+LayerNorm::LayerNorm(std::size_t dim, std::string name)
+    : gamma_(name + ".gamma", tensor::Matrix(1, dim, 1.0)),
+      beta_(name + ".beta", tensor::Matrix(1, dim, 0.0)) {}
+
+tensor::Matrix LayerNorm::apply(const tensor::Matrix& x,
+                                tensor::Matrix* x_hat) const {
+  const std::size_t d = x.cols();
+  tensor::Matrix y(x.rows(), d);
+  if (x_hat != nullptr) *x_hat = tensor::Matrix(x.rows(), d);
+  layer_norm_rows(x.data(), x.rows(), d, gamma_.value.data(),
+                  beta_.value.data(), y.data(),
+                  x_hat != nullptr ? x_hat->data() : nullptr);
   return y;
+}
+
+void LayerNorm::apply_view(tensor::ConstMatrixView x,
+                           tensor::MatrixView y) const {
+  layer_norm_rows(x.data(), x.rows(), x.cols(), gamma_.value.data(),
+                  beta_.value.data(), y.data(), nullptr);
 }
 
 tensor::Matrix LayerNorm::forward(const tensor::Matrix& x) {

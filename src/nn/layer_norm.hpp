@@ -3,6 +3,7 @@
 
 #include "nn/param.hpp"
 #include "tensor/matrix.hpp"
+#include "tensor/view.hpp"
 
 namespace ranknet::nn {
 
@@ -13,6 +14,11 @@ class LayerNorm : public Layer {
   tensor::Matrix forward(const tensor::Matrix& x);
   tensor::Matrix forward_inference(const tensor::Matrix& x) const;
   tensor::Matrix backward(const tensor::Matrix& dy);
+
+  /// Inference-runtime apply over caller-owned storage; shares the same
+  /// compiled row loop as forward_inference, so it is bit-identical. y may
+  /// alias x (exact alias only).
+  void apply_view(tensor::ConstMatrixView x, tensor::MatrixView y) const;
 
   std::vector<Parameter*> params() override { return {&gamma_, &beta_}; }
 

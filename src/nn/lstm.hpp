@@ -48,6 +48,12 @@ class LstmLayer : public Layer {
   std::size_t input_dim() const { return wx_.value.rows(); }
   std::size_t hidden_dim() const { return wh_.value.rows(); }
 
+  /// Read access for the inference runtime (LstmInferenceSession packs
+  /// [wx ; wh] from these on construction).
+  const tensor::Matrix& wx() const { return wx_.value; }
+  const tensor::Matrix& wh() const { return wh_.value; }
+  const tensor::Matrix& bias() const { return b_.value; }
+
  private:
   // Computes gates for one step; writes post-activation gates (batch x 4h)
   // and the new (h, c, tanh_c).

@@ -1,7 +1,9 @@
 #include "tensor/kernels.hpp"
 
+#include <bit>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 
 #include "util/timer.hpp"
@@ -9,6 +11,41 @@
 namespace ranknet::tensor {
 
 namespace {
+
+/// Branch-free double-precision exp, accurate to ~2 ulp over the clamped
+/// domain [-708, 708]. The point is auto-vectorization: libm's exp is a
+/// scalar call the compiler cannot vectorize, and the gate nonlinearities
+/// (sigmoid/tanh over rows x 4H elements per LSTM step) are the dominant
+/// non-GEMM cost of the MC decode path. Cephes-style: split x = n*ln2 + r,
+/// evaluate a Pade approximant of exp(r) on [-ln2/2, ln2/2], scale by 2^n
+/// through the exponent bits. Callers clamp the argument so n stays inside
+/// the normal-exponent range.
+inline double vec_exp(double x) {
+  constexpr double kLog2e = 1.44269504088896340736;
+  constexpr double kLn2Hi = 6.93145751953125e-1;
+  constexpr double kLn2Lo = 1.42860682030941723212e-6;
+  const double n = std::nearbyint(x * kLog2e);
+  const double r = (x - n * kLn2Hi) - n * kLn2Lo;
+  const double z = r * r;
+  const double px =
+      r * (9.99999999999999999910e-1 +
+           z * (3.02994407707441961300e-2 + z * 1.26177193074810590878e-4));
+  const double qx =
+      2.00000000000000000005e0 +
+      z * (2.27265548208155028766e-1 +
+           z * (2.52448340349684104192e-3 + z * 3.00198505138664455042e-6));
+  const double e = 1.0 + 2.0 * px / (qx - px);
+  const auto biased = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(n) + 1023);
+  return e * std::bit_cast<double>(biased << 52);
+}
+
+/// Clamp that keeps vec_exp's 2^n scale inside normal doubles; at the
+/// boundary exp is already ~1e-308 / ~1e308, far past every activation's
+/// saturation point.
+inline double exp_clamp(double x) {
+  return x < -708.0 ? -708.0 : (x > 708.0 ? 708.0 : x);
+}
 
 /// Books a kernel invocation; times it only when profiling is enabled.
 template <typename Fn>
@@ -24,60 +61,87 @@ void run_kernel(Kernel k, std::uint64_t flops, std::uint64_t bytes, Fn&& fn) {
   }
 }
 
+// The gemm inner loops below run over raw pointers so the Matrix (training)
+// and view (inference) faces execute the same compiled code — that shared
+// compilation is what guarantees both paths round identically.
+
 // C = alpha*A*B + beta*C with A (m x k), B (k x n): ikj loop, contiguous
-// inner access on both B and C rows so the compiler vectorizes it.
-void gemm_nn(double alpha, const Matrix& a, const Matrix& b, double beta,
-             Matrix& c) {
-  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+// inner access on both B and C rows so the compiler vectorizes it. The
+// p-loop is unrolled by four with the partial sum chained through a
+// register, which removes three of every four load/store round-trips on
+// the C row — the bottleneck of the plain axpy form. Each `t += a*b` stays
+// its own mul-add (one rounding), so the per-element accumulation sequence
+// over p is unchanged: results are bit-identical to the unrolled-by-one
+// loop, and in particular one packed [x|h]*[wx;wh] GEMM matches the
+// beta=0/beta=1 pair it fuses (the chunk boundary only moves values
+// through memory, which does not re-round doubles).
+void gemm_nn(double alpha, const double* a, const double* b, double beta,
+             double* c, std::size_t m, std::size_t k, std::size_t n) {
 #pragma omp parallel for schedule(static)
   for (std::size_t i = 0; i < m; ++i) {
-    double* ci = c.data() + i * n;
+    double* ci = c + i * n;
     if (beta == 0.0) {
       for (std::size_t j = 0; j < n; ++j) ci[j] = 0.0;
     } else if (beta != 1.0) {
       for (std::size_t j = 0; j < n; ++j) ci[j] *= beta;
     }
-    const double* ai = a.data() + i * k;
-    for (std::size_t p = 0; p < k; ++p) {
+    const double* ai = a + i * k;
+    std::size_t p = 0;
+    for (; p + 4 <= k; p += 4) {
+      const double a0 = alpha * ai[p];
+      const double a1 = alpha * ai[p + 1];
+      const double a2 = alpha * ai[p + 2];
+      const double a3 = alpha * ai[p + 3];
+      const double* b0 = b + p * n;
+      const double* b1 = b0 + n;
+      const double* b2 = b1 + n;
+      const double* b3 = b2 + n;
+      for (std::size_t j = 0; j < n; ++j) {
+        double t = ci[j];
+        t += a0 * b0[j];
+        t += a1 * b1[j];
+        t += a2 * b2[j];
+        t += a3 * b3[j];
+        ci[j] = t;
+      }
+    }
+    for (; p < k; ++p) {
       const double aip = alpha * ai[p];
-      if (aip == 0.0) continue;
-      const double* bp = b.data() + p * n;
+      const double* bp = b + p * n;
       for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
     }
   }
 }
 
 // C = alpha*A^T*B + beta*C with A (k x m), B (k x n).
-void gemm_tn(double alpha, const Matrix& a, const Matrix& b, double beta,
-             Matrix& c) {
-  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+void gemm_tn(double alpha, const double* a, const double* b, double beta,
+             double* c, std::size_t m, std::size_t k, std::size_t n) {
 #pragma omp parallel for schedule(static)
   for (std::size_t i = 0; i < m; ++i) {
-    double* ci = c.data() + i * n;
+    double* ci = c + i * n;
     if (beta == 0.0) {
       for (std::size_t j = 0; j < n; ++j) ci[j] = 0.0;
     } else if (beta != 1.0) {
       for (std::size_t j = 0; j < n; ++j) ci[j] *= beta;
     }
     for (std::size_t p = 0; p < k; ++p) {
-      const double aip = alpha * a(p, i);
+      const double aip = alpha * a[p * m + i];
       if (aip == 0.0) continue;
-      const double* bp = b.data() + p * n;
+      const double* bp = b + p * n;
       for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
     }
   }
 }
 
 // C = alpha*A*B^T + beta*C with A (m x k), B (n x k): dot products of rows.
-void gemm_nt(double alpha, const Matrix& a, const Matrix& b, double beta,
-             Matrix& c) {
-  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+void gemm_nt(double alpha, const double* a, const double* b, double beta,
+             double* c, std::size_t m, std::size_t k, std::size_t n) {
 #pragma omp parallel for schedule(static)
   for (std::size_t i = 0; i < m; ++i) {
-    const double* ai = a.data() + i * k;
-    double* ci = c.data() + i * n;
+    const double* ai = a + i * k;
+    double* ci = c + i * n;
     for (std::size_t j = 0; j < n; ++j) {
-      const double* bj = b.data() + j * k;
+      const double* bj = b + j * k;
       double acc = 0.0;
       for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
       ci[j] = alpha * acc + (beta == 0.0 ? 0.0 : beta * ci[j]);
@@ -86,15 +150,14 @@ void gemm_nt(double alpha, const Matrix& a, const Matrix& b, double beta,
 }
 
 // C = alpha*A^T*B^T + beta*C with A (k x m), B (n x k). Rare; simple loops.
-void gemm_tt(double alpha, const Matrix& a, const Matrix& b, double beta,
-             Matrix& c) {
-  const std::size_t k = a.rows(), m = a.cols(), n = b.rows();
+void gemm_tt(double alpha, const double* a, const double* b, double beta,
+             double* c, std::size_t m, std::size_t k, std::size_t n) {
 #pragma omp parallel for schedule(static)
   for (std::size_t i = 0; i < m; ++i) {
-    double* ci = c.data() + i * n;
+    double* ci = c + i * n;
     for (std::size_t j = 0; j < n; ++j) {
       double acc = 0.0;
-      for (std::size_t p = 0; p < k; ++p) acc += a(p, i) * b(j, p);
+      for (std::size_t p = 0; p < k; ++p) acc += a[p * m + i] * b[j * k + p];
       ci[j] = alpha * acc + (beta == 0.0 ? 0.0 : beta * ci[j]);
     }
   }
@@ -102,8 +165,8 @@ void gemm_tt(double alpha, const Matrix& a, const Matrix& b, double beta,
 
 }  // namespace
 
-void gemm(double alpha, const Matrix& a, bool trans_a, const Matrix& b,
-          bool trans_b, double beta, Matrix& c) {
+void gemm(double alpha, ConstMatrixView a, bool trans_a, ConstMatrixView b,
+          bool trans_b, double beta, MatrixView c) {
   const std::size_t m = trans_a ? a.cols() : a.rows();
   const std::size_t k = trans_a ? a.rows() : a.cols();
   const std::size_t kb = trans_b ? b.cols() : b.rows();
@@ -115,11 +178,22 @@ void gemm(double alpha, const Matrix& a, bool trans_a, const Matrix& b,
   const std::uint64_t bytes =
       8ULL * (m * k + k * n + (beta == 0.0 ? 1ULL : 2ULL) * m * n);
   run_kernel(Kernel::kMatMul, flops, bytes, [&] {
-    if (!trans_a && !trans_b) gemm_nn(alpha, a, b, beta, c);
-    else if (trans_a && !trans_b) gemm_tn(alpha, a, b, beta, c);
-    else if (!trans_a && trans_b) gemm_nt(alpha, a, b, beta, c);
-    else gemm_tt(alpha, a, b, beta, c);
+    if (!trans_a && !trans_b) {
+      gemm_nn(alpha, a.data(), b.data(), beta, c.data(), m, k, n);
+    } else if (trans_a && !trans_b) {
+      gemm_tn(alpha, a.data(), b.data(), beta, c.data(), m, k, n);
+    } else if (!trans_a && trans_b) {
+      gemm_nt(alpha, a.data(), b.data(), beta, c.data(), m, k, n);
+    } else {
+      gemm_tt(alpha, a.data(), b.data(), beta, c.data(), m, k, n);
+    }
   });
+}
+
+void gemm(double alpha, const Matrix& a, bool trans_a, const Matrix& b,
+          bool trans_b, double beta, Matrix& c) {
+  gemm(alpha, ConstMatrixView(a), trans_a, ConstMatrixView(b), trans_b, beta,
+       MatrixView(c));
 }
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
@@ -128,8 +202,8 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
   return c;
 }
 
-void add_inplace(Matrix& out, const Matrix& a) {
-  assert(out.same_shape(a));
+void add_inplace(MatrixView out, ConstMatrixView a) {
+  assert(same_shape(out, a));
   const std::size_t n = out.size();
   run_kernel(Kernel::kAdd, n, 8ULL * 3 * n, [&] {
     double* o = out.data();
@@ -138,8 +212,12 @@ void add_inplace(Matrix& out, const Matrix& a) {
   });
 }
 
-void axpy(double alpha, const Matrix& a, Matrix& out) {
-  assert(out.same_shape(a));
+void add_inplace(Matrix& out, const Matrix& a) {
+  add_inplace(MatrixView(out), ConstMatrixView(a));
+}
+
+void axpy(double alpha, ConstMatrixView a, MatrixView out) {
+  assert(same_shape(out, a));
   const std::size_t n = out.size();
   run_kernel(Kernel::kAdd, 2ULL * n, 8ULL * 3 * n, [&] {
     double* o = out.data();
@@ -148,7 +226,11 @@ void axpy(double alpha, const Matrix& a, Matrix& out) {
   });
 }
 
-void scale_inplace(Matrix& out, double s) {
+void axpy(double alpha, const Matrix& a, Matrix& out) {
+  axpy(alpha, ConstMatrixView(a), MatrixView(out));
+}
+
+void scale_inplace(MatrixView out, double s) {
   const std::size_t n = out.size();
   run_kernel(Kernel::kMul, n, 8ULL * 2 * n, [&] {
     double* o = out.data();
@@ -156,9 +238,12 @@ void scale_inplace(Matrix& out, double s) {
   });
 }
 
-void hadamard(const Matrix& a, const Matrix& b, Matrix& out) {
-  assert(a.same_shape(b));
-  if (!out.same_shape(a)) out = Matrix(a.rows(), a.cols());
+void scale_inplace(Matrix& out, double s) {
+  scale_inplace(MatrixView(out), s);
+}
+
+void hadamard(ConstMatrixView a, ConstMatrixView b, MatrixView out) {
+  assert(same_shape(a, b) && same_shape(out, a));
   const std::size_t n = out.size();
   run_kernel(Kernel::kMul, n, 8ULL * 3 * n, [&] {
     const double* x = a.data();
@@ -168,8 +253,14 @@ void hadamard(const Matrix& a, const Matrix& b, Matrix& out) {
   });
 }
 
-void hadamard_add(const Matrix& a, const Matrix& b, Matrix& out) {
-  assert(a.same_shape(b) && out.same_shape(a));
+void hadamard(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.same_shape(b));
+  if (!out.same_shape(a)) out = Matrix(a.rows(), a.cols());
+  hadamard(ConstMatrixView(a), ConstMatrixView(b), MatrixView(out));
+}
+
+void hadamard_add(ConstMatrixView a, ConstMatrixView b, MatrixView out) {
+  assert(same_shape(a, b) && same_shape(out, a));
   const std::size_t n = out.size();
   run_kernel(Kernel::kMul, 2ULL * n, 8ULL * 4 * n, [&] {
     const double* x = a.data();
@@ -179,7 +270,11 @@ void hadamard_add(const Matrix& a, const Matrix& b, Matrix& out) {
   });
 }
 
-void add_bias_rows(Matrix& m, std::span<const double> bias) {
+void hadamard_add(const Matrix& a, const Matrix& b, Matrix& out) {
+  hadamard_add(ConstMatrixView(a), ConstMatrixView(b), MatrixView(out));
+}
+
+void add_bias_rows(MatrixView m, std::span<const double> bias) {
   assert(bias.size() == m.cols());
   const std::size_t n = m.size();
   run_kernel(Kernel::kAdd, n, 8ULL * (2 * n + bias.size()), [&] {
@@ -188,6 +283,10 @@ void add_bias_rows(Matrix& m, std::span<const double> bias) {
       for (std::size_t c = 0; c < m.cols(); ++c) row[c] += bias[c];
     }
   });
+}
+
+void add_bias_rows(Matrix& m, std::span<const double> bias) {
+  add_bias_rows(MatrixView(m), bias);
 }
 
 void sum_rows(const Matrix& m, std::span<double> bias_grad) {
@@ -201,24 +300,37 @@ void sum_rows(const Matrix& m, std::span<double> bias_grad) {
   });
 }
 
-void sigmoid_inplace(Matrix& m) {
+void sigmoid_inplace(MatrixView m) {
   const std::size_t n = m.size();
   // ~4 flops per element (exp approximated as one op plus add/div).
   run_kernel(Kernel::kSigmoid, 4ULL * n, 8ULL * 2 * n, [&] {
     double* x = m.data();
-    for (std::size_t i = 0; i < n; ++i) x[i] = 1.0 / (1.0 + std::exp(-x[i]));
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = 1.0 / (1.0 + vec_exp(exp_clamp(-x[i])));
+    }
   });
 }
 
-void tanh_inplace(Matrix& m) {
+void sigmoid_inplace(Matrix& m) { sigmoid_inplace(MatrixView(m)); }
+
+void tanh_inplace(MatrixView m) {
   const std::size_t n = m.size();
   run_kernel(Kernel::kTanh, 4ULL * n, 8ULL * 2 * n, [&] {
     double* x = m.data();
-    for (std::size_t i = 0; i < n; ++i) x[i] = std::tanh(x[i]);
+    // tanh(x) = sign(x) * (1 - 2/(exp(2|x|)+1)); using |x| keeps the exp
+    // argument non-negative so the quotient stays in (0, 1] and the final
+    // subtraction is exact (Sterbenz) — absolute error stays ~1 ulp of 1.
+    for (std::size_t i = 0; i < n; ++i) {
+      const double a = std::abs(x[i]);
+      const double t = 1.0 - 2.0 / (vec_exp(exp_clamp(2.0 * a)) + 1.0);
+      x[i] = std::copysign(t, x[i]);
+    }
   });
 }
 
-void softplus_inplace(Matrix& m) {
+void tanh_inplace(Matrix& m) { tanh_inplace(MatrixView(m)); }
+
+void softplus_inplace(MatrixView m) {
   const std::size_t n = m.size();
   run_kernel(Kernel::kSigmoid, 4ULL * n, 8ULL * 2 * n, [&] {
     double* x = m.data();
@@ -229,7 +341,9 @@ void softplus_inplace(Matrix& m) {
   });
 }
 
-void softmax_rows(Matrix& m) {
+void softplus_inplace(Matrix& m) { softplus_inplace(MatrixView(m)); }
+
+void softmax_rows(MatrixView m) {
   const std::size_t n = m.size();
   run_kernel(Kernel::kSoftmax, 5ULL * n, 8ULL * 2 * n, [&] {
     for (std::size_t r = 0; r < m.rows(); ++r) {
@@ -247,6 +361,17 @@ void softmax_rows(Matrix& m) {
   });
 }
 
+void softmax_rows(Matrix& m) { softmax_rows(MatrixView(m)); }
+
+void copy(ConstMatrixView src, MatrixView dst) {
+  assert(same_shape(src, dst));
+  run_kernel(Kernel::kDataMove, 0, 8ULL * 2 * src.size(), [&] {
+    const double* s = src.data();
+    double* d = dst.data();
+    for (std::size_t i = 0; i < src.size(); ++i) d[i] = s[i];
+  });
+}
+
 void copy(const Matrix& src, Matrix& dst) {
   run_kernel(Kernel::kDataMove, 0, 8ULL * 2 * src.size(), [&] { dst = src; });
 }
@@ -256,6 +381,77 @@ double squared_norm(const Matrix& m) {
   const double* x = m.data();
   for (std::size_t i = 0; i < m.size(); ++i) s += x[i] * x[i];
   return s;
+}
+
+void lstm_cell_step(ConstMatrixView xh, ConstMatrixView w,
+                    std::span<const double> bias, MatrixView c, MatrixView h,
+                    const LstmStepScratch& scratch) {
+  const std::size_t batch = xh.rows();
+  const std::size_t hidden = c.cols();
+  assert(w.rows() == xh.cols() && w.cols() == 4 * hidden);
+  assert(bias.size() == 4 * hidden);
+  assert(h.rows() == batch && h.cols() == hidden && c.rows() == batch);
+  assert(scratch.gates.rows() == batch && scratch.gates.cols() == 4 * hidden);
+  assert(scratch.sig.rows() == batch && scratch.sig.cols() == 3 * hidden);
+  assert(scratch.tg.rows() == batch && scratch.tg.cols() == hidden);
+  assert(scratch.tanh_c.rows() == batch && scratch.tanh_c.cols() == hidden);
+
+  MatrixView gates = scratch.gates;
+  gemm(1.0, xh, false, w, false, 0.0, gates);
+  add_bias_rows(gates, bias);
+
+  // Split activation: sigmoid on [i f o], tanh on [g], via contiguous
+  // gather/scatter — the same staging (and therefore the same kernel
+  // bookings) as the training-path cell. Gate layout: [i (h), f, g, o].
+  MatrixView sig = scratch.sig;
+  MatrixView tg = scratch.tg;
+  for (std::size_t r = 0; r < batch; ++r) {
+    const double* g = gates.data() + r * 4 * hidden;
+    double* s = sig.data() + r * 3 * hidden;
+    double* t = tg.data() + r * hidden;
+    for (std::size_t j = 0; j < hidden; ++j) {
+      s[j] = g[j];                            // i
+      s[hidden + j] = g[hidden + j];          // f
+      s[2 * hidden + j] = g[3 * hidden + j];  // o
+      t[j] = g[2 * hidden + j];               // g
+    }
+  }
+  sigmoid_inplace(sig);
+  tanh_inplace(tg);
+  for (std::size_t r = 0; r < batch; ++r) {
+    double* g = gates.data() + r * 4 * hidden;
+    const double* s = sig.data() + r * 3 * hidden;
+    const double* t = tg.data() + r * hidden;
+    for (std::size_t j = 0; j < hidden; ++j) {
+      g[j] = s[j];
+      g[hidden + j] = s[hidden + j];
+      g[3 * hidden + j] = s[2 * hidden + j];
+      g[2 * hidden + j] = t[j];
+    }
+  }
+
+  // c = f ⊙ c_prev + i ⊙ g, with c_prev living in (and overwritten by) c.
+  MatrixView fgate = scratch.fgate, igate = scratch.igate,
+             ggate = scratch.ggate, ogate = scratch.ogate;
+  for (std::size_t r = 0; r < batch; ++r) {
+    const double* g = gates.data() + r * 4 * hidden;
+    for (std::size_t j = 0; j < hidden; ++j) {
+      igate(r, j) = g[j];
+      fgate(r, j) = g[hidden + j];
+      ggate(r, j) = g[2 * hidden + j];
+      ogate(r, j) = g[3 * hidden + j];
+    }
+  }
+  hadamard(fgate, c, c);
+  hadamard_add(igate, ggate, c);
+  {
+    // Unbooked copy, mirroring the training cell's tanh_c = c assignment.
+    const double* s = c.data();
+    double* d = scratch.tanh_c.data();
+    for (std::size_t i = 0; i < batch * hidden; ++i) d[i] = s[i];
+  }
+  tanh_inplace(scratch.tanh_c);
+  hadamard(ogate, scratch.tanh_c, h);
 }
 
 }  // namespace ranknet::tensor

@@ -1,0 +1,105 @@
+// Non-owning, contiguous row-major matrix views.
+//
+// The inference runtime runs every kernel over caller-owned storage (a
+// Workspace arena, a Parameter's weight matrix, a Matrix) so the decode
+// loop performs no heap allocation. A view is (pointer, rows, cols) with
+// stride == cols; the compute kernels in tensor/kernels.hpp accept views
+// and Matrix interchangeably — both paths dispatch into the same inner
+// loops, which is what makes the inference runtime bit-identical to the
+// training-path math.
+//
+// Aliasing contract: where a kernel documents that its output "may alias"
+// an input, the alias must be exact (same pointer, same shape). Partially
+// overlapping views are undefined behaviour.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+
+#include "tensor/matrix.hpp"
+
+namespace ranknet::tensor {
+
+class ConstMatrixView {
+ public:
+  ConstMatrixView() = default;
+  ConstMatrixView(const double* data, std::size_t rows, std::size_t cols)
+      : data_(data), rows_(rows), cols_(cols) {}
+  // Implicit: any Matrix is viewable.
+  ConstMatrixView(const Matrix& m)  // NOLINT(google-explicit-constructor)
+      : data_(m.data()), rows_(m.rows()), cols_(m.cols()) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+  const double* data() const { return data_; }
+
+  double operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  std::span<const double> row(std::size_t r) const {
+    assert(r < rows_);
+    return {data_ + r * cols_, cols_};
+  }
+  std::span<const double> flat() const { return {data_, size()}; }
+
+ private:
+  const double* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+};
+
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(double* data, std::size_t rows, std::size_t cols)
+      : data_(data), rows_(rows), cols_(cols) {}
+  MatrixView(Matrix& m)  // NOLINT(google-explicit-constructor)
+      : data_(m.data()), rows_(m.rows()), cols_(m.cols()) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+  double* data() const { return data_; }
+
+  double& operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  std::span<double> row(std::size_t r) const {
+    assert(r < rows_);
+    return {data_ + r * cols_, cols_};
+  }
+  std::span<double> flat() const { return {data_, size()}; }
+
+  void fill(double v) const {
+    for (std::size_t i = 0; i < size(); ++i) data_[i] = v;
+  }
+  void set_zero() const { fill(0.0); }
+
+  /// Copy all elements out into an owning Matrix.
+  Matrix to_matrix() const {
+    Matrix m(rows_, cols_);
+    for (std::size_t i = 0; i < size(); ++i) m.data()[i] = data_[i];
+    return m;
+  }
+
+  operator ConstMatrixView() const {  // NOLINT(google-explicit-constructor)
+    return {data_, rows_, cols_};
+  }
+
+ private:
+  double* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+};
+
+inline bool same_shape(ConstMatrixView a, ConstMatrixView b) {
+  return a.rows() == b.rows() && a.cols() == b.cols();
+}
+
+}  // namespace ranknet::tensor

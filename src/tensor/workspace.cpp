@@ -1,0 +1,95 @@
+#include "tensor/workspace.hpp"
+
+#include <algorithm>
+
+namespace ranknet::tensor {
+
+namespace {
+/// Smallest block the arena will allocate, in doubles (128 KiB). Keeps the
+/// warm-up phase from fragmenting into many tiny blocks.
+constexpr std::size_t kMinBlockDoubles = 16384;
+}  // namespace
+
+WorkspaceCounters& WorkspaceCounters::instance() {
+  static WorkspaceCounters counters;
+  return counters;
+}
+
+void WorkspaceCounters::reset() {
+  epochs_.store(0, std::memory_order_relaxed);
+  reused_epochs_.store(0, std::memory_order_relaxed);
+  takes_.store(0, std::memory_order_relaxed);
+  block_allocs_.store(0, std::memory_order_relaxed);
+  bytes_reserved_.store(0, std::memory_order_relaxed);
+  high_water_bytes_.store(0, std::memory_order_relaxed);
+}
+
+Workspace::Workspace(std::size_t initial_doubles) {
+  if (initial_doubles > 0) {
+    blocks_.push_back(Block{std::vector<double>(initial_doubles), 0});
+    ++block_allocs_;
+    WorkspaceCounters::instance().record_block_alloc(8 * initial_doubles);
+  }
+}
+
+void Workspace::begin() {
+  WorkspaceCounters::instance().record_high_water(8 * in_use_);
+  WorkspaceCounters::instance().record_epoch(/*reused=*/!grew_this_epoch_);
+  for (auto& b : blocks_) b.used = 0;
+  cur_ = 0;
+  in_use_ = 0;
+  grew_this_epoch_ = false;
+}
+
+double* Workspace::bump(std::size_t n) {
+  WorkspaceCounters::instance().record_take();
+  // Advance through existing blocks until one fits; partial blocks are
+  // simply skipped (their tail stays unused this epoch).
+  while (cur_ < blocks_.size()) {
+    Block& b = blocks_[cur_];
+    if (b.data.size() - b.used >= n) {
+      double* p = b.data.data() + b.used;
+      b.used += n;
+      in_use_ += n;
+      return p;
+    }
+    ++cur_;
+  }
+  // Grow: a fresh block, never touching existing ones, so views handed out
+  // earlier in this epoch remain valid.
+  const std::size_t last = blocks_.empty() ? 0 : blocks_.back().data.size();
+  const std::size_t size = std::max({n, 2 * last, kMinBlockDoubles});
+  blocks_.push_back(Block{std::vector<double>(size), n});
+  ++block_allocs_;
+  grew_this_epoch_ = true;
+  WorkspaceCounters::instance().record_block_alloc(8 * size);
+  in_use_ += n;
+  return blocks_.back().data.data();
+}
+
+MatrixView Workspace::take(std::size_t rows, std::size_t cols) {
+  return {bump(rows * cols), rows, cols};
+}
+
+MatrixView Workspace::take_zeroed(std::size_t rows, std::size_t cols) {
+  MatrixView v = take(rows, cols);
+  v.set_zero();
+  return v;
+}
+
+std::span<double> Workspace::take_span(std::size_t n) {
+  return {bump(n), n};
+}
+
+std::size_t Workspace::capacity() const {
+  std::size_t total = 0;
+  for (const auto& b : blocks_) total += b.data.size();
+  return total;
+}
+
+Workspace& Workspace::thread_local_instance() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+}  // namespace ranknet::tensor

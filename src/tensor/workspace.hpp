@@ -1,0 +1,131 @@
+// Per-thread bump-allocated scratch memory for the inference runtime.
+//
+// A Workspace is a chunked arena of doubles. take() bump-allocates a
+// MatrixView; begin() starts a new epoch, rewinding the cursor so the same
+// blocks are reused. Exhausting the current blocks allocates a fresh block
+// (never reallocating existing ones, so outstanding views stay valid within
+// an epoch); after the first few epochs at a given problem size the arena
+// reaches steady state and take() costs a pointer bump — zero heap
+// allocations per decode step.
+//
+// Lifetime rules:
+//   * Views returned by take() are valid until the next begin() on the same
+//     workspace. begin() invalidates every outstanding view.
+//   * Exactly one function owns an epoch at a time: a function that calls
+//     begin() must not call another begin()-owning function while it still
+//     holds views (sessions therefore never call begin(); only top-level
+//     entry points such as sample_forward do).
+//   * Workspaces are not thread-safe; use thread_local_instance() so every
+//     worker thread of the parallel engine owns its own arena.
+//
+// All workspaces book into the global WorkspaceCounters (relaxed atomics,
+// same pattern as OpCounters) so tests and benches can assert the
+// steady-state zero-allocation property and the engine can export
+// allocation/reuse health next to its degradation counters.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/view.hpp"
+
+namespace ranknet::tensor {
+
+class WorkspaceCounters {
+ public:
+  static WorkspaceCounters& instance();
+
+  struct Snapshot {
+    std::uint64_t epochs = 0;        // begin() calls
+    std::uint64_t reused_epochs = 0; // epochs served without a block alloc
+    std::uint64_t takes = 0;         // take() calls
+    std::uint64_t block_allocs = 0;  // heap blocks ever allocated
+    std::uint64_t bytes_reserved = 0;   // heap bytes ever allocated
+    std::uint64_t high_water_bytes = 0; // max bytes in use in any epoch
+  };
+
+  void record_epoch(bool reused) {
+    epochs_.fetch_add(1, std::memory_order_relaxed);
+    if (reused) reused_epochs_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_take() { takes_.fetch_add(1, std::memory_order_relaxed); }
+  void record_block_alloc(std::uint64_t bytes) {
+    block_allocs_.fetch_add(1, std::memory_order_relaxed);
+    bytes_reserved_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void record_high_water(std::uint64_t bytes) {
+    std::uint64_t cur = high_water_bytes_.load(std::memory_order_relaxed);
+    while (cur < bytes && !high_water_bytes_.compare_exchange_weak(
+                              cur, bytes, std::memory_order_relaxed)) {
+    }
+  }
+
+  Snapshot snapshot() const {
+    Snapshot s;
+    s.epochs = epochs_.load(std::memory_order_relaxed);
+    s.reused_epochs = reused_epochs_.load(std::memory_order_relaxed);
+    s.takes = takes_.load(std::memory_order_relaxed);
+    s.block_allocs = block_allocs_.load(std::memory_order_relaxed);
+    s.bytes_reserved = bytes_reserved_.load(std::memory_order_relaxed);
+    s.high_water_bytes = high_water_bytes_.load(std::memory_order_relaxed);
+    return s;
+  }
+  void reset();
+
+ private:
+  WorkspaceCounters() = default;
+  std::atomic<std::uint64_t> epochs_{0}, reused_epochs_{0}, takes_{0},
+      block_allocs_{0}, bytes_reserved_{0}, high_water_bytes_{0};
+};
+
+class Workspace {
+ public:
+  /// `initial_doubles` pre-reserves one block (0 = allocate lazily).
+  explicit Workspace(std::size_t initial_doubles = 0);
+
+  /// Start a new epoch: rewind the bump cursor over the existing blocks.
+  /// Invalidates every view handed out since the previous begin().
+  void begin();
+
+  /// Bump-allocate an uninitialized (rows x cols) view. The kernels the
+  /// runtime feeds these into fully overwrite their output (gemm beta=0,
+  /// copies) before any element is read.
+  MatrixView take(std::size_t rows, std::size_t cols);
+  /// As take(), but zero-filled (for accumulation targets).
+  MatrixView take_zeroed(std::size_t rows, std::size_t cols);
+  /// Bump-allocate a raw span of n doubles (uninitialized).
+  std::span<double> take_span(std::size_t n);
+
+  /// Doubles handed out since the last begin().
+  std::size_t doubles_in_use() const { return in_use_; }
+  /// Heap blocks this workspace has allocated over its lifetime.
+  std::size_t block_allocs() const { return block_allocs_; }
+  /// Total capacity in doubles across all blocks.
+  std::size_t capacity() const;
+
+  /// One workspace per thread: the parallel engine's workers each get their
+  /// own arena, preserving the partition-independence of results (scratch
+  /// memory never crosses threads).
+  static Workspace& thread_local_instance();
+
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+ private:
+  struct Block {
+    std::vector<double> data;
+    std::size_t used = 0;
+  };
+
+  double* bump(std::size_t n);
+
+  std::vector<Block> blocks_;
+  std::size_t cur_ = 0;        // block currently bumping
+  std::size_t in_use_ = 0;     // doubles handed out this epoch
+  std::size_t block_allocs_ = 0;
+  bool grew_this_epoch_ = false;
+};
+
+}  // namespace ranknet::tensor

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Repo-hygiene gate: fail if build output is tracked by git.
+#
+# The build tree (build*/), object files, and CMake cache/Testing state must
+# never be committed — they bloat the history and break out-of-tree builds.
+# Run from anywhere; the repo root is resolved from this script's location.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root" || exit 1
+
+if ! git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  echo "SKIP: not a git checkout (source tarball?)"
+  exit 0
+fi
+
+bad=$(git ls-files | grep -E \
+  '^build[^/]*/|(^|/)CMakeCache\.txt$|(^|/)CMakeFiles/|(^|/)Testing/|\.o$|\.a$' )
+
+if [ -n "$bad" ]; then
+  echo "FAIL: build artifacts are tracked by git:"
+  echo "$bad" | head -20
+  echo "Remove them with: git rm -r --cached <path> (see .gitignore)"
+  exit 1
+fi
+
+echo "OK: no tracked build artifacts"
+exit 0

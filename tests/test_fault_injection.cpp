@@ -575,4 +575,18 @@ TEST_F(DegradationTest, GlobalCountersMirrorEngineTallies) {
   EXPECT_EQ(global.task_failures(), 0u);
 }
 
+TEST(DegradationCountersTest, WorkspaceRecordsAccumulateAndReset) {
+  auto& c = core::DegradationCounters::instance();
+  c.reset();
+  c.record_workspace(5, 4, 2);
+  c.record_workspace(1, 1, 0);
+  EXPECT_EQ(c.workspace_epochs(), 6u);
+  EXPECT_EQ(c.workspace_reused_epochs(), 5u);
+  EXPECT_EQ(c.workspace_block_allocs(), 2u);
+  c.reset();
+  EXPECT_EQ(c.workspace_epochs(), 0u);
+  EXPECT_EQ(c.workspace_reused_epochs(), 0u);
+  EXPECT_EQ(c.workspace_block_allocs(), 0u);
+}
+
 }  // namespace

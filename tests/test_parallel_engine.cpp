@@ -200,6 +200,43 @@ TEST_F(ParallelEngineTest, NonPartitionableFallsBackToDelegation) {
   EXPECT_TRUE(SamplesIdentical(direct, wrapped));
 }
 
+TEST_F(ParallelEngineTest, WorkspaceHealthMirroredIntoDegradationCounters) {
+  core::RankNetForecaster f(model_, nullptr, *vocab_,
+                            features::CovariateConfig{},
+                            core::StatusSource::kOracle, "oracle");
+  auto& global = core::DegradationCounters::instance();
+
+  // threads=0 runs every task inline on the calling thread, so arena reuse
+  // is deterministic (one thread_local workspace serves every epoch).
+  core::ParallelForecastEngine engine(f, 0);
+  global.reset();
+  util::Rng warm_rng(31);
+  (void)engine.forecast(*race_, 50, 3, 6, warm_rng);   // grows the arena
+  EXPECT_GT(global.workspace_epochs(), 0u);
+  util::Rng warm2_rng(31);
+  (void)engine.forecast(*race_, 50, 3, 6, warm2_rng);  // closes warm epochs
+
+  const auto epochs_before = global.workspace_epochs();
+  const auto reused_before = global.workspace_reused_epochs();
+  const auto allocs_before = global.workspace_block_allocs();
+  util::Rng rng(31);
+  (void)engine.forecast(*race_, 50, 3, 6, rng);
+  EXPECT_GT(global.workspace_epochs(), epochs_before);
+  EXPECT_EQ(global.workspace_block_allocs(), allocs_before)
+      << "steady-state forecast allocated arena blocks";
+  EXPECT_EQ(global.workspace_epochs() - epochs_before,
+            global.workspace_reused_epochs() - reused_before)
+      << "steady-state forecast had a non-reused workspace epoch";
+
+  // Worker threads book into the same global mirror.
+  core::ParallelForecastEngine threaded(f, 2);
+  global.reset();
+  util::Rng trng(31);
+  (void)threaded.forecast(*race_, 50, 3, 6, trng);
+  EXPECT_GT(global.workspace_epochs(), 0u);
+  EXPECT_GE(global.workspace_epochs(), global.workspace_reused_epochs());
+}
+
 TEST_F(ParallelEngineTest, OwningConstructorAndStats) {
   auto f = std::make_shared<core::CurRankForecaster>();
   core::ParallelForecastEngine engine(f, 2);

@@ -7,6 +7,8 @@
 #include "tensor/matrix.hpp"
 #include "tensor/opcount.hpp"
 #include "tensor/serialize.hpp"
+#include "tensor/view.hpp"
+#include "tensor/workspace.hpp"
 
 #include <sstream>
 
@@ -192,6 +194,124 @@ TEST(Matrix, ReshapeAndRowSpan) {
   EXPECT_EQ(row.size(), 4u);
   row[0] = 7.0;
   EXPECT_DOUBLE_EQ(m(2, 0), 7.0);
+}
+
+// ---- aliasing contract (view kernels) -----------------------------------
+// The inference runtime feeds arena views back into kernels as both input
+// and output (e.g. c = f.c + i.g updates c in place), so the documented
+// "exact alias" cases must produce the same values as the unaliased call.
+
+TEST(KernelAliasing, HadamardOutAliasesEitherInput) {
+  Rng rng(11);
+  const Matrix a0 = Matrix::randn(3, 5, rng);
+  const Matrix b0 = Matrix::randn(3, 5, rng);
+  Matrix expected(3, 5);
+  ranknet::tensor::hadamard(a0, b0, expected);
+
+  Matrix a = a0;  // out == a
+  ranknet::tensor::hadamard(ranknet::tensor::ConstMatrixView(a), b0,
+                            ranknet::tensor::MatrixView(a));
+  EXPECT_TRUE(a == expected);
+
+  Matrix b = b0;  // out == b
+  ranknet::tensor::hadamard(a0, ranknet::tensor::ConstMatrixView(b),
+                            ranknet::tensor::MatrixView(b));
+  EXPECT_TRUE(b == expected);
+
+  Matrix s = a0;  // out == a == b (squaring in place)
+  ranknet::tensor::hadamard(ranknet::tensor::ConstMatrixView(s),
+                            ranknet::tensor::ConstMatrixView(s),
+                            ranknet::tensor::MatrixView(s));
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_DOUBLE_EQ(s.flat()[i], a0.flat()[i] * a0.flat()[i]);
+  }
+}
+
+TEST(KernelAliasing, HadamardAddOutAliasesEitherInput) {
+  Rng rng(12);
+  const Matrix a0 = Matrix::randn(4, 3, rng);
+  const Matrix b0 = Matrix::randn(4, 3, rng);
+
+  Matrix expected = a0;  // out == a: a += a .* b
+  ranknet::tensor::hadamard_add(a0, b0, expected);
+  Matrix a = a0;
+  ranknet::tensor::hadamard_add(ranknet::tensor::ConstMatrixView(a), b0,
+                                ranknet::tensor::MatrixView(a));
+  EXPECT_TRUE(a == expected);
+
+  Matrix expected_b = b0;  // out == b: b += a .* b
+  ranknet::tensor::hadamard_add(a0, b0, expected_b);
+  Matrix b = b0;
+  ranknet::tensor::hadamard_add(a0, ranknet::tensor::ConstMatrixView(b),
+                                ranknet::tensor::MatrixView(b));
+  EXPECT_TRUE(b == expected_b);
+}
+
+TEST(KernelAliasing, SoftmaxRowsViewMatchesMatrixOverload) {
+  Rng rng(13);
+  Matrix m = Matrix::randn(3, 6, rng);
+  Matrix expected = m;
+  ranknet::tensor::softmax_rows(expected);
+  // View overload over the same storage (in place by design).
+  ranknet::tensor::softmax_rows(ranknet::tensor::MatrixView(m));
+  EXPECT_TRUE(m == expected);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    double total = 0.0;
+    for (std::size_t c = 0; c < m.cols(); ++c) total += m(r, c);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+// ---- workspace arena ----------------------------------------------------
+
+TEST(Workspace, SteadyStateReusesBlocksWithoutAllocating) {
+  ranknet::tensor::Workspace ws;
+  ws.begin();
+  auto v1 = ws.take(8, 16);
+  auto v2 = ws.take_zeroed(4, 4);
+  for (double x : v2.flat()) EXPECT_DOUBLE_EQ(x, 0.0);
+  const std::size_t allocs_warm = ws.block_allocs();
+  EXPECT_GE(allocs_warm, 1u);
+  const double* p1 = v1.data();
+
+  // Same shapes next epoch: same storage, no new blocks.
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    ws.begin();
+    auto w1 = ws.take(8, 16);
+    auto w2 = ws.take(4, 4);
+    EXPECT_EQ(w1.data(), p1);
+    EXPECT_EQ(w2.rows(), 4u);
+    EXPECT_EQ(ws.block_allocs(), allocs_warm);
+  }
+}
+
+TEST(Workspace, GrowthKeepsOutstandingViewsValid) {
+  ranknet::tensor::Workspace ws;
+  ws.begin();
+  auto small = ws.take(2, 2);
+  small.fill(3.5);
+  // Force growth past the first block; `small` must still read 3.5
+  // (blocks never reallocate within an epoch).
+  auto big = ws.take(512, 512);
+  big.set_zero();
+  for (double x : small.flat()) EXPECT_DOUBLE_EQ(x, 3.5);
+  EXPECT_GE(ws.capacity(), small.size() + big.size());
+}
+
+TEST(Workspace, CountersBookEpochsTakesAndReuse) {
+  auto& counters = ranknet::tensor::WorkspaceCounters::instance();
+  const auto before = counters.snapshot();
+  ranknet::tensor::Workspace ws;
+  ws.begin();
+  (void)ws.take(16, 16);
+  ws.begin();  // warm epoch: no growth
+  (void)ws.take(16, 16);
+  const auto after = counters.snapshot();
+  EXPECT_EQ(after.epochs - before.epochs, 2u);
+  EXPECT_EQ(after.takes - before.takes, 2u);
+  EXPECT_GE(after.block_allocs - before.block_allocs, 1u);
+  EXPECT_GE(after.reused_epochs - before.reused_epochs, 1u);
+  EXPECT_GT(after.high_water_bytes, 0u);
 }
 
 }  // namespace
