@@ -20,6 +20,7 @@
 #include "core/device_model.hpp"
 #include "core/parallel_engine.hpp"
 #include "core/ranknet.hpp"
+#include "obs/trace.hpp"
 #include "simulator/season.hpp"
 #include "tensor/workspace.hpp"
 #include "util/thread_pool.hpp"
@@ -110,6 +111,13 @@ void inference_thread_scaling(RankNetFixture& fix, BenchResults& results) {
     util::Rng warm(7);
     (void)engine.forecast(fix.race, origins[0], horizon, samples, warm);
     engine.reset_stats();
+    // Fresh span histograms so the per-stage line below covers only this
+    // thread count's timed origins.
+    for (std::size_t s = 0;
+         s < static_cast<std::size_t>(obs::Stage::kCount); ++s) {
+      obs::stage_histogram(static_cast<obs::Stage>(s)).reset();
+      obs::stage_seconds_total(static_cast<obs::Stage>(s)).reset();
+    }
 
     util::Rng rng(7);
     std::size_t rows = 0;
@@ -124,13 +132,26 @@ void inference_thread_scaling(RankNetFixture& fix, BenchResults& results) {
     const auto stats = engine.stats();
     std::printf("%10zu %14.2f %9.2fx %12.2f\n", t, us,
                 base_us > 0.0 ? base_us / us : 0.0, stats.concurrency());
+    if (obs::spans_enabled()) {
+      std::printf("%10s", "stages:");
+      for (std::size_t s = 0;
+           s < static_cast<std::size_t>(obs::Stage::kCount); ++s) {
+        const auto stage = static_cast<obs::Stage>(s);
+        const auto& h = obs::stage_histogram(stage);
+        if (h.count() == 0) continue;
+        std::printf(" %s n=%llu mean=%.3fms", obs::stage_name(stage),
+                    (unsigned long long)h.count(), h.mean() * 1e3);
+      }
+      std::printf("\n");
+    }
     std::fflush(stdout);
     results.threads[results.thread_rows++] =
         ThreadRow{t, us, base_us > 0.0 ? base_us / us : 0.0,
                   stats.concurrency()};
   }
   std::printf("(speedup tracks physical cores; concurrency = summed task "
-              "time / wall time)\n");
+              "time / wall time; set RANKNET_OBS_SPANS=0 to A/B the span "
+              "overhead)\n");
 }
 
 // MC-decode scaling: direct (single-thread) RankNet forecasts at growing

@@ -21,6 +21,8 @@
 #include "core/forecaster.hpp"
 #include "core/parallel_engine.hpp"
 #include "core/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "simulator/fault_injector.hpp"
 #include "telemetry/stream_ingestor.hpp"
 #include "util/thread_pool.hpp"
@@ -176,6 +178,25 @@ TierReport run_tier(const char* label, const telemetry::RaceLog& truth,
   return report;
 }
 
+/// Per-tier observability snapshot: one line per pipeline stage that fired,
+/// read straight from the obs registry's span histograms.
+void print_span_snapshot() {
+  std::printf("spans:");
+  bool any = false;
+  for (std::size_t s = 0;
+       s < static_cast<std::size_t>(obs::Stage::kCount); ++s) {
+    const auto stage = static_cast<obs::Stage>(s);
+    const auto& h = obs::stage_histogram(stage);
+    if (h.count() == 0) continue;
+    std::printf(" %s(n=%llu mean=%.2fms p95=%.2fms)",
+                obs::stage_name(stage),
+                (unsigned long long)h.count(), h.mean() * 1e3,
+                h.approx_quantile(0.95) * 1e3);
+    any = true;
+  }
+  std::printf(any ? "\n" : " (disabled)\n");
+}
+
 }  // namespace
 
 int main() {
@@ -206,8 +227,12 @@ int main() {
     if (i > 0) {
       std::printf("\n=== fault tier %zu: %s ===\n", i, tiers[i].label);
     }
+    // Fresh metrics per tier so the snapshot below covers this tier only
+    // (registrations and handles survive a reset; only values zero).
+    obs::Registry::instance().reset();
     reports.push_back(run_tier(tiers[i].label, race, *ranknet,
                                tiers[i].profile, /*verbose=*/i == 0));
+    print_span_snapshot();
     const auto& r = reports.back();
     if (i > 0) {
       std::printf("feed: %llu delivered, %llu dropped, %llu duplicated, "
@@ -257,5 +282,10 @@ int main() {
   std::printf("winner truth: car %d | predicted per tier:", race.winner());
   for (const auto& r : reports) std::printf(" %d", r.predicted_winner);
   std::printf("\n");
+
+  // Full registry snapshot for the last tier — the same JSON a serving
+  // process would expose on its health endpoint.
+  std::printf("\n=== metrics snapshot (last tier) ===\n%s",
+              obs::Registry::instance().to_json().c_str());
   return 0;
 }

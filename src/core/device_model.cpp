@@ -15,11 +15,19 @@ EngineCounters& EngineCounters::instance() {
   return counters;
 }
 
+EngineCounters::EngineCounters() {
+  auto& reg = obs::Registry::instance();
+  tasks_ = &reg.counter("engine.tasks");
+  forecasts_ = &reg.counter("engine.forecasts");
+  task_seconds_ = &reg.gauge("engine.task_seconds");
+  wall_seconds_ = &reg.gauge("engine.wall_seconds");
+}
+
 void EngineCounters::reset() {
-  tasks_.store(0, std::memory_order_relaxed);
-  forecasts_.store(0, std::memory_order_relaxed);
-  task_seconds_.store(0.0, std::memory_order_relaxed);
-  wall_seconds_.store(0.0, std::memory_order_relaxed);
+  tasks_->reset();
+  forecasts_->reset();
+  task_seconds_->reset();
+  wall_seconds_->reset();
 }
 
 DegradationCounters& DegradationCounters::instance() {
@@ -27,16 +35,32 @@ DegradationCounters& DegradationCounters::instance() {
   return counters;
 }
 
+DegradationCounters::DegradationCounters() {
+  auto& reg = obs::Registry::instance();
+  full_cars_ = &reg.counter("degradation.full_cars");
+  damaged_fallback_cars_ = &reg.counter("degradation.damaged_fallback_cars");
+  deadline_fallback_cars_ =
+      &reg.counter("degradation.deadline_fallback_cars");
+  error_fallback_cars_ = &reg.counter("degradation.error_fallback_cars");
+  deadline_hits_ = &reg.counter("degradation.deadline_hits");
+  task_failures_ = &reg.counter("degradation.task_failures");
+  workspace_epochs_ = &reg.counter("degradation.workspace_epochs");
+  workspace_reused_epochs_ =
+      &reg.counter("degradation.workspace_reused_epochs");
+  workspace_block_allocs_ =
+      &reg.counter("degradation.workspace_block_allocs");
+}
+
 void DegradationCounters::reset() {
-  full_cars_.store(0, std::memory_order_relaxed);
-  damaged_fallback_cars_.store(0, std::memory_order_relaxed);
-  deadline_fallback_cars_.store(0, std::memory_order_relaxed);
-  error_fallback_cars_.store(0, std::memory_order_relaxed);
-  deadline_hits_.store(0, std::memory_order_relaxed);
-  task_failures_.store(0, std::memory_order_relaxed);
-  workspace_epochs_.store(0, std::memory_order_relaxed);
-  workspace_reused_epochs_.store(0, std::memory_order_relaxed);
-  workspace_block_allocs_.store(0, std::memory_order_relaxed);
+  full_cars_->reset();
+  damaged_fallback_cars_->reset();
+  deadline_fallback_cars_->reset();
+  error_fallback_cars_->reset();
+  deadline_hits_->reset();
+  task_failures_->reset();
+  workspace_epochs_->reset();
+  workspace_reused_epochs_->reset();
+  workspace_block_allocs_->reset();
 }
 
 namespace {

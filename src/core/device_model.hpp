@@ -14,10 +14,10 @@
 #pragma once
 
 #include <array>
-#include <atomic>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "tensor/opcount.hpp"
 
 namespace ranknet::core {
@@ -26,74 +26,60 @@ namespace ranknet::core {
 /// to the kernel counters so the efficiency benches can report CPU-seconds
 /// (summed per-task wall time across workers) against elapsed wall time —
 /// without this split a parallel run would look like a flop-rate miracle on
-/// the roofline. Booked by core::ParallelForecastEngine.
+/// the roofline. Booked by core::ParallelForecastEngine; storage lives in
+/// the obs::Registry ("engine.*") and this class is a shim over resolved
+/// handles.
 class EngineCounters {
  public:
   static EngineCounters& instance();
 
+  /// Zeroes this subsystem's metrics only.
   void reset();
   void record_task(double seconds) {
-    tasks_.fetch_add(1, std::memory_order_relaxed);
-    add_double(task_seconds_, seconds);
+    tasks_->add(1);
+    task_seconds_->add(seconds);
   }
   void record_forecast(double wall_seconds) {
-    forecasts_.fetch_add(1, std::memory_order_relaxed);
-    add_double(wall_seconds_, wall_seconds);
+    forecasts_->add(1);
+    wall_seconds_->add(wall_seconds);
   }
 
-  std::uint64_t tasks() const {
-    return tasks_.load(std::memory_order_relaxed);
-  }
-  std::uint64_t forecasts() const {
-    return forecasts_.load(std::memory_order_relaxed);
-  }
-  double task_seconds() const {
-    return task_seconds_.load(std::memory_order_relaxed);
-  }
-  double wall_seconds() const {
-    return wall_seconds_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t tasks() const { return tasks_->value(); }
+  std::uint64_t forecasts() const { return forecasts_->value(); }
+  double task_seconds() const { return task_seconds_->value(); }
+  double wall_seconds() const { return wall_seconds_->value(); }
 
  private:
-  static void add_double(std::atomic<double>& a, double v) {
-    double cur = a.load(std::memory_order_relaxed);
-    while (!a.compare_exchange_weak(cur, cur + v,
-                                    std::memory_order_relaxed)) {
-    }
-  }
-
-  EngineCounters() = default;
-  std::atomic<std::uint64_t> tasks_{0}, forecasts_{0};
-  std::atomic<double> task_seconds_{0.0}, wall_seconds_{0.0};
+  EngineCounters();
+  obs::Counter* tasks_;
+  obs::Counter* forecasts_;
+  obs::Gauge* task_seconds_;
+  obs::Gauge* wall_seconds_;
 };
 
-/// Health accounting for the forecast engine's degradation ladder, kept as
-/// a global singleton next to EngineCounters so serving dashboards read
-/// throughput and degradation from one place. Booked by
-/// core::ParallelForecastEngine; see parallel_engine.hpp for the ladder.
+/// Health accounting for the forecast engine's degradation ladder, kept
+/// next to EngineCounters so serving dashboards read throughput and
+/// degradation from one place. Booked by core::ParallelForecastEngine; see
+/// parallel_engine.hpp for the ladder. Storage lives in the obs::Registry
+/// ("degradation.*"); this class is a shim over resolved handles.
 class DegradationCounters {
  public:
   static DegradationCounters& instance();
 
+  /// Zeroes this subsystem's metrics only.
   void reset();
-  void record_full_cars(std::uint64_t n) {
-    full_cars_.fetch_add(n, std::memory_order_relaxed);
-  }
+  void record_full_cars(std::uint64_t n) { full_cars_->add(n); }
   void record_damaged_fallback(std::uint64_t n) {
-    damaged_fallback_cars_.fetch_add(n, std::memory_order_relaxed);
+    damaged_fallback_cars_->add(n);
   }
   void record_deadline_fallback(std::uint64_t n) {
-    deadline_fallback_cars_.fetch_add(n, std::memory_order_relaxed);
+    deadline_fallback_cars_->add(n);
   }
   void record_error_fallback(std::uint64_t n) {
-    error_fallback_cars_.fetch_add(n, std::memory_order_relaxed);
+    error_fallback_cars_->add(n);
   }
-  void record_deadline_hit() {
-    deadline_hits_.fetch_add(1, std::memory_order_relaxed);
-  }
-  void record_task_failures(std::uint64_t n) {
-    task_failures_.fetch_add(n, std::memory_order_relaxed);
-  }
+  void record_deadline_hit() { deadline_hits_->add(1); }
+  void record_task_failures(std::uint64_t n) { task_failures_->add(n); }
   /// Inference-runtime memory health, mirrored by the engine from
   /// tensor::WorkspaceCounters deltas after each forecast: arena epochs
   /// begun, epochs fully served from warm blocks (no growth), and raw
@@ -102,52 +88,48 @@ class DegradationCounters {
   /// regression on the serving hot path.
   void record_workspace(std::uint64_t epochs, std::uint64_t reused_epochs,
                         std::uint64_t block_allocs) {
-    workspace_epochs_.fetch_add(epochs, std::memory_order_relaxed);
-    workspace_reused_epochs_.fetch_add(reused_epochs,
-                                       std::memory_order_relaxed);
-    workspace_block_allocs_.fetch_add(block_allocs,
-                                      std::memory_order_relaxed);
+    workspace_epochs_->add(epochs);
+    workspace_reused_epochs_->add(reused_epochs);
+    workspace_block_allocs_->add(block_allocs);
   }
 
-  std::uint64_t full_cars() const {
-    return full_cars_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t full_cars() const { return full_cars_->value(); }
   std::uint64_t damaged_fallback_cars() const {
-    return damaged_fallback_cars_.load(std::memory_order_relaxed);
+    return damaged_fallback_cars_->value();
   }
   std::uint64_t deadline_fallback_cars() const {
-    return deadline_fallback_cars_.load(std::memory_order_relaxed);
+    return deadline_fallback_cars_->value();
   }
   std::uint64_t error_fallback_cars() const {
-    return error_fallback_cars_.load(std::memory_order_relaxed);
+    return error_fallback_cars_->value();
   }
-  std::uint64_t deadline_hits() const {
-    return deadline_hits_.load(std::memory_order_relaxed);
-  }
-  std::uint64_t task_failures() const {
-    return task_failures_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t deadline_hits() const { return deadline_hits_->value(); }
+  std::uint64_t task_failures() const { return task_failures_->value(); }
   std::uint64_t fallback_cars() const {
     return damaged_fallback_cars() + deadline_fallback_cars() +
            error_fallback_cars();
   }
   std::uint64_t workspace_epochs() const {
-    return workspace_epochs_.load(std::memory_order_relaxed);
+    return workspace_epochs_->value();
   }
   std::uint64_t workspace_reused_epochs() const {
-    return workspace_reused_epochs_.load(std::memory_order_relaxed);
+    return workspace_reused_epochs_->value();
   }
   std::uint64_t workspace_block_allocs() const {
-    return workspace_block_allocs_.load(std::memory_order_relaxed);
+    return workspace_block_allocs_->value();
   }
 
  private:
-  DegradationCounters() = default;
-  std::atomic<std::uint64_t> full_cars_{0}, damaged_fallback_cars_{0},
-      deadline_fallback_cars_{0}, error_fallback_cars_{0}, deadline_hits_{0},
-      task_failures_{0};
-  std::atomic<std::uint64_t> workspace_epochs_{0},
-      workspace_reused_epochs_{0}, workspace_block_allocs_{0};
+  DegradationCounters();
+  obs::Counter* full_cars_;
+  obs::Counter* damaged_fallback_cars_;
+  obs::Counter* deadline_fallback_cars_;
+  obs::Counter* error_fallback_cars_;
+  obs::Counter* deadline_hits_;
+  obs::Counter* task_failures_;
+  obs::Counter* workspace_epochs_;
+  obs::Counter* workspace_reused_epochs_;
+  obs::Counter* workspace_block_allocs_;
 };
 
 struct KernelClassStats {

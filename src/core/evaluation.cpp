@@ -6,6 +6,7 @@
 
 #include "core/parallel_engine.hpp"
 #include "features/transforms.hpp"
+#include "obs/trace.hpp"
 #include "util/stats.hpp"
 #include "util/string_util.hpp"
 
@@ -34,6 +35,7 @@ struct Accumulator {
 TaskAResult evaluate_task_a(RaceForecaster& forecaster,
                             const telemetry::RaceLog& race,
                             const TaskAConfig& config) {
+  obs::SpanScope evaluate_span(obs::Stage::kEvaluate);
   util::Rng rng(config.seed);
   Accumulator all, normal, pit;
 

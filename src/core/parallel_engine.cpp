@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/device_model.hpp"
+#include "obs/trace.hpp"
 #include "tensor/workspace.hpp"
 #include "util/timer.hpp"
 
@@ -95,6 +96,7 @@ RaceSamples ParallelForecastEngine::forecast(const telemetry::RaceLog& race,
   // what makes engine output identical to a direct forecast() call — and,
   // because the fallback tiers derive from the same base, what keeps
   // degraded forecasts deterministic too.
+  obs::SpanScope prepare_span(obs::Stage::kPrepare);
   partitioned_->prepare(race);
   const std::uint64_t base = rng();
   const std::vector<int> all_cars =
@@ -121,6 +123,7 @@ RaceSamples ParallelForecastEngine::forecast(const telemetry::RaceLog& race,
     blocks.emplace_back(begin,
                         std::min(begin + max_cars_per_task_, cars.size()));
   }
+  prepare_span.stop();
 
   // Tier 2 plumbing: tasks observe `expired` cooperatively — a task that
   // starts after the deadline returns unfinished immediately instead of
@@ -131,6 +134,7 @@ RaceSamples ParallelForecastEngine::forecast(const telemetry::RaceLog& race,
     double secs = 0.0;
     bool completed = false;
   };
+  obs::SpanScope partition_span(obs::Stage::kPartition);
   std::vector<std::future<TaskResult>> futures;
   futures.reserve(blocks.size());
   for (const auto& [begin, end] : blocks) {
@@ -151,14 +155,20 @@ RaceSamples ParallelForecastEngine::forecast(const telemetry::RaceLog& race,
   // Collect. Every future is drained even on error/deadline — tasks capture
   // the stack-local `cars` by reference, so abandoning a future here would
   // leave a worker reading freed stack memory.
-  RaceSamples out;
   Degradation deg;
+  std::vector<TaskResult> finished(futures.size());  // kept primary parts
   std::vector<int> rescue = damaged;  // cars the fallback must serve
   std::exception_ptr first_error;
   double task_seconds = 0.0;
   const double deadline = policy_.deadline_seconds;
   for (std::size_t i = 0; i < futures.size(); ++i) {
     auto& f = futures[i];
+    // A block whose wait times out is abandoned: even though the blocking
+    // get() below may let it run to completion (the future must be drained
+    // for `cars` lifetime), its result is discarded and its cars go to the
+    // rescue tier. Counting a late-but-finished block as `full_cars` would
+    // let a forecast report deadline_hits with zero deadline_fallback_cars.
+    bool timed_out = false;
     if (deadline > 0.0 && !expired->load(std::memory_order_relaxed)) {
       const double remaining = deadline - wall.seconds();
       if (remaining <= 0.0 ||
@@ -166,6 +176,7 @@ RaceSamples ParallelForecastEngine::forecast(const telemetry::RaceLog& race,
               std::future_status::timeout) {
         expired->store(true, std::memory_order_relaxed);
         ++deg.deadline_hits;
+        timed_out = true;
       }
     }
     const auto& [begin, end] = blocks[i];
@@ -180,17 +191,16 @@ RaceSamples ParallelForecastEngine::forecast(const telemetry::RaceLog& race,
       continue;
     }
     task_seconds += result.secs;
-    if (result.completed) {
+    if (result.completed && !timed_out) {
       deg.full_cars += end - begin;
-      for (auto& [car_id, samples] : result.part) {
-        out.insert_or_assign(car_id, std::move(samples));
-      }
+      finished[i] = std::move(result);
     } else {
       deg.deadline_fallback_cars += end - begin;
       rescue.insert(rescue.end(), cars.begin() + begin, cars.begin() + end);
     }
   }
   deg.damaged_fallback_cars = damaged.size();
+  partition_span.stop();
 
   if (first_error && fallback_part_ == nullptr) {
     // No fallback tier configured: propagate the primary model's failure
@@ -198,7 +208,18 @@ RaceSamples ParallelForecastEngine::forecast(const telemetry::RaceLog& race,
     std::rethrow_exception(first_error);
   }
 
+  RaceSamples out;
+  {
+    obs::SpanScope merge_span(obs::Stage::kMerge);
+    for (auto& result : finished) {
+      for (auto& [car_id, samples] : result.part) {
+        out.insert_or_assign(car_id, std::move(samples));
+      }
+    }
+  }
+
   if (!rescue.empty() && fallback_part_ != nullptr) {
+    obs::SpanScope fallback_span(obs::Stage::kFallback);
     std::sort(rescue.begin(), rescue.end());
     fallback_part_->prepare(race);
     auto fb = fallback_part_->forecast_partition(race, origin_lap, horizon,

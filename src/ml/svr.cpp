@@ -49,7 +49,9 @@ void Svr::fit(const tensor::Matrix& x, std::span<const double> y) {
   } else {
     util::RunningStats st;
     for (double v : support_x_.flat()) st.add(v);
-    const double var = std::max(st.variance(), 1e-9);
+    // variance() is NaN for n < 2; a degenerate fit falls back to the floor.
+    const double raw = st.variance();
+    const double var = std::isfinite(raw) ? std::max(raw, 1e-9) : 1e-9;
     gamma_ = 1.0 / (static_cast<double>(x.cols()) * var);
   }
 

@@ -1,0 +1,200 @@
+#include "obs/metrics.hpp"
+
+#include <array>
+#include <cmath>
+#include <sstream>
+
+#include "util/string_util.hpp"
+
+namespace ranknet::obs {
+
+namespace {
+
+/// Shortest-round-trip-ish formatting that is stable across runs: %.9g
+/// prints integers without a trailing ".0" and keeps sums readable.
+std::string fmt_double(double v) { return util::format("%.9g", v); }
+
+/// "engine.task_seconds" -> "ranknet_engine_task_seconds".
+std::string prom_name(const std::string& name) {
+  std::string out = "ranknet_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) out.push_back(c == '.' || c == '-' ? '_' : c);
+  return out;
+}
+
+std::string prom_le(double bound) {
+  return std::isinf(bound) ? "+Inf" : fmt_double(bound);
+}
+
+}  // namespace
+
+Histogram::Histogram(std::span<const double> upper_bounds)
+    : bounds_(upper_bounds.begin(), upper_bounds.end()),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size()]) {
+  for (std::size_t i = 0; i < bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  out[bounds_.size()] = overflow_.load(std::memory_order_relaxed);
+  return out;
+}
+
+double Histogram::approx_quantile(double q) const {
+  const auto counts = bucket_counts();
+  const auto total = count();
+  if (total == 0 || bounds_.empty()) return 0.0;
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts[i]);
+    if (next >= target && counts[i] > 0) {
+      // Interpolate inside [lower, bounds_[i]]; latencies are non-negative
+      // so the first bucket's lower edge is 0.
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double frac = (target - cum) / static_cast<double>(counts[i]);
+      return lower + frac * (bounds_[i] - lower);
+    }
+    cum = next;
+  }
+  return bounds_.back();  // rank fell into the +Inf bucket
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  overflow_.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::span<const double> latency_buckets() {
+  static const std::array<double, 14> kBounds = {
+      1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3,
+      1e-2, 5e-2, 1e-1, 5e-1, 1.0,  10.0};
+  return kBounds;
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::span<const double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(upper_bounds))
+             .first;
+  }
+  return *it->second;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::string Registry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out << (first ? "" : ",") << "\n    \"" << name
+        << "\": " << c->value();
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out << (first ? "" : ",") << "\n    \"" << name
+        << "\": " << fmt_double(g->value());
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out << (first ? "" : ",") << "\n    \"" << name << "\": {\"count\": "
+        << h->count() << ", \"sum\": " << fmt_double(h->sum())
+        << ", \"buckets\": [";
+    const auto counts = h->bucket_counts();
+    const auto& bounds = h->bounds();
+    bool bfirst = true;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      // Skip empty buckets to keep snapshots readable; the +Inf bucket is
+      // index bounds.size().
+      if (counts[i] == 0) continue;
+      const std::string le = i < bounds.size() ? fmt_double(bounds[i])
+                                               : std::string("\"+Inf\"");
+      out << (bfirst ? "" : ", ") << "{\"le\": " << le
+          << ", \"count\": " << counts[i] << "}";
+      bfirst = false;
+    }
+    out << "]}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+std::string Registry::to_prometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_) {
+    const auto pn = prom_name(name);
+    out << "# TYPE " << pn << " counter\n" << pn << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const auto pn = prom_name(name);
+    out << "# TYPE " << pn << " gauge\n"
+        << pn << " " << fmt_double(g->value()) << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const auto pn = prom_name(name);
+    out << "# TYPE " << pn << " histogram\n";
+    const auto counts = h->bucket_counts();
+    const auto& bounds = h->bounds();
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      cum += counts[i];
+      out << pn << "_bucket{le=\"" << prom_le(bounds[i]) << "\"} " << cum
+          << "\n";
+    }
+    cum += counts[bounds.size()];
+    out << pn << "_bucket{le=\"+Inf\"} " << cum << "\n";
+    out << pn << "_sum " << fmt_double(h->sum()) << "\n";
+    out << pn << "_count " << h->count() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace ranknet::obs

@@ -1,0 +1,84 @@
+#include "obs/trace.hpp"
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/string_util.hpp"
+
+namespace ranknet::obs {
+
+namespace {
+
+std::atomic<bool>& spans_flag() {
+  static std::atomic<bool> flag = [] {
+    const char* env = std::getenv("RANKNET_OBS_SPANS");
+    const bool off = env != nullptr && (std::strcmp(env, "0") == 0 ||
+                                        std::strcmp(env, "off") == 0);
+    return !off;
+  }();
+  return flag;
+}
+
+struct StageMetrics {
+  Histogram* seconds = nullptr;
+  Gauge* seconds_total = nullptr;
+};
+
+/// One-time name resolution per stage; handles stay valid for the process.
+StageMetrics& metrics_for(Stage s) {
+  static std::array<StageMetrics, static_cast<std::size_t>(Stage::kCount)>
+      cache = [] {
+        std::array<StageMetrics, static_cast<std::size_t>(Stage::kCount)> m;
+        auto& reg = Registry::instance();
+        for (std::size_t i = 0; i < m.size(); ++i) {
+          const char* name = stage_name(static_cast<Stage>(i));
+          m[i].seconds = &reg.latency_histogram(
+              util::format("span.%s.seconds", name));
+          m[i].seconds_total =
+              &reg.gauge(util::format("span.%s.seconds_total", name));
+        }
+        return m;
+      }();
+  return cache[static_cast<std::size_t>(s)];
+}
+
+}  // namespace
+
+const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::kIngest: return "ingest";
+    case Stage::kPrepare: return "prepare";
+    case Stage::kPartition: return "partition";
+    case Stage::kMerge: return "merge";
+    case Stage::kFallback: return "fallback";
+    case Stage::kEvaluate: return "evaluate";
+    case Stage::kCount: break;
+  }
+  return "?";
+}
+
+bool spans_enabled() {
+  return spans_flag().load(std::memory_order_relaxed);
+}
+
+void set_spans_enabled(bool on) {
+  spans_flag().store(on, std::memory_order_relaxed);
+}
+
+Histogram& stage_histogram(Stage s) { return *metrics_for(s).seconds; }
+
+Gauge& stage_seconds_total(Stage s) {
+  return *metrics_for(s).seconds_total;
+}
+
+double SpanScope::record() {
+  const double secs = timer_.seconds();
+  auto& m = metrics_for(stage_);
+  m.seconds->observe(secs);
+  m.seconds_total->add(secs);
+  return secs;
+}
+
+}  // namespace ranknet::obs

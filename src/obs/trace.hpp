@@ -1,0 +1,77 @@
+// Scoped trace spans for the forecast pipeline.
+//
+// A SpanScope times one stage of the serving path and books the latency
+// into a registry histogram ("span.<stage>.seconds") plus an accumulated
+// gauge ("span.<stage>.seconds_total"); the histogram's count doubles as
+// the span counter. Stage taxonomy (DESIGN.md "Observability"):
+//
+//   ingest     telemetry::StreamIngestor::finalize (validate+impute+build)
+//   prepare    per-race feature-cache warm-up + car partitioning
+//   partition  primary-model partition tasks (fan-out + drain)
+//   merge      merging finished partitions into the result map
+//   fallback   degradation-ladder rescue forecasts (tiers 1/2)
+//   evaluate   one full evaluation pass over a race (core/evaluation)
+//
+// Spans are on by default and cost two steady_clock reads plus one
+// histogram observe per stage — they sit around whole pipeline stages, not
+// kernels, so the overhead is well under the 2% budget (measured in the
+// fig10 bench; see DESIGN.md). Set the environment variable
+// RANKNET_OBS_SPANS=0 (or call set_spans_enabled(false)) to drop the clock
+// reads entirely, e.g. for an A/B overhead measurement.
+#pragma once
+
+#include <cstddef>
+
+#include "obs/metrics.hpp"
+#include "util/timer.hpp"
+
+namespace ranknet::obs {
+
+enum class Stage : std::size_t {
+  kIngest = 0,
+  kPrepare,
+  kPartition,
+  kMerge,
+  kFallback,
+  kEvaluate,
+  kCount,
+};
+
+const char* stage_name(Stage s);
+
+/// Global span switch (default: on, unless RANKNET_OBS_SPANS=0/off in the
+/// environment at process start).
+bool spans_enabled();
+void set_spans_enabled(bool on);
+
+/// Registry histogram a stage books into (resolved once per process).
+Histogram& stage_histogram(Stage s);
+Gauge& stage_seconds_total(Stage s);
+
+/// RAII stage timer. Books on destruction unless stop() already did.
+class SpanScope {
+ public:
+  explicit SpanScope(Stage stage) : stage_(stage), armed_(spans_enabled()) {}
+  ~SpanScope() {
+    if (armed_) record();
+  }
+
+  /// End the span early; returns the elapsed seconds (0 when disabled).
+  double stop() {
+    if (!armed_) return 0.0;
+    armed_ = false;
+    return record();
+  }
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  double record();
+
+  Stage stage_;
+  bool armed_;
+  util::Timer timer_;
+};
+
+}  // namespace ranknet::obs

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/string_util.hpp"
 
 namespace ranknet::telemetry {
@@ -106,6 +107,7 @@ util::Result<RaceLog> StreamIngestor::finalize(const EventInfo& info) {
         "StreamIngestor: finalize called twice");
   }
   finalized_ = true;
+  obs::SpanScope ingest_span(obs::Stage::kIngest);
 
   std::vector<LapRecord> records;
   for (auto& [car_id, car] : cars_) {
@@ -132,15 +134,20 @@ util::Result<RaceLog> StreamIngestor::finalize(const EventInfo& info) {
     }
 
     const LapRecord* prev = nullptr;
+    int truncated = 0;  // laps lost to an unbridgeable tail gap
     for (auto it = car.laps.begin(); it != car.laps.end(); ++it) {
       const LapRecord& cur = it->second;
       if (prev != nullptr) {
         const int gap = cur.lap - prev->lap - 1;
         if (gap > cfg_.max_gap_laps) {
           // Unbridgeable: quarantine everything after the gap rather than
-          // invent several laps of racing.
+          // invent several laps of racing. The laps from the break point to
+          // the car's last observed lap are still missing data — they must
+          // count toward the damage fraction, or a car that lost its whole
+          // tail reads as pristine.
           counters_.quarantined_gap +=
               static_cast<std::uint64_t>(std::distance(it, car.laps.end()));
+          truncated = car.laps.rbegin()->first - prev->lap;
           break;
         }
         for (int k = 1; k <= gap; ++k) {
@@ -165,10 +172,11 @@ util::Result<RaceLog> StreamIngestor::finalize(const EventInfo& info) {
     }
 
     counters_.imputed += static_cast<std::uint64_t>(imputed);
-    damage_[car_id] =
-        series.empty() ? 1.0
-                       : static_cast<double>(imputed) /
-                             static_cast<double>(series.size());
+    const double span_laps = static_cast<double>(series.size()) + truncated;
+    damage_[car_id] = span_laps == 0.0
+                          ? 1.0
+                          : static_cast<double>(imputed + truncated) /
+                                span_laps;
     last_observed_[car_id] = series.empty() ? 0 : series.back().lap;
     records.insert(records.end(), series.begin(), series.end());
   }

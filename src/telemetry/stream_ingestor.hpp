@@ -84,8 +84,10 @@ class StreamIngestor {
   const IngestCounters& counters() const { return counters_; }
 
   // Damage metadata for the degradation ladder (valid after finalize) -----
-  /// Fraction of the car's final series that had to be imputed (0 for an
-  /// unknown car).
+  /// Fraction of the car's observed lap span that is not real telemetry:
+  /// imputed laps plus any tail quarantined behind an unbridgeable gap,
+  /// over the span through the car's last observed lap (0 for an unknown
+  /// car).
   double damage_fraction(int car_id) const;
   /// Last lap backed by a real record (0 for an unknown/trimmed car).
   int last_observed_lap(int car_id) const;

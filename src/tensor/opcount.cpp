@@ -26,12 +26,26 @@ OpCounters& OpCounters::instance() {
   return counters;
 }
 
+OpCounters::OpCounters() {
+  auto& reg = obs::Registry::instance();
+  for (std::size_t k = 0; k < handles_.size(); ++k) {
+    // Registry names are lowercase dotted: "tensor.op.matmul.calls".
+    std::string base = util::lower(
+        util::format("tensor.op.%s", kernel_name(static_cast<Kernel>(k))));
+    auto& h = handles_[k];
+    h.calls = &reg.counter(base + ".calls");
+    h.flops = &reg.counter(base + ".flops");
+    h.bytes = &reg.counter(base + ".bytes");
+    h.seconds = &reg.gauge(base + ".seconds");
+  }
+}
+
 void OpCounters::reset() {
-  for (auto& s : stats_) {
-    s.calls.store(0, std::memory_order_relaxed);
-    s.flops.store(0, std::memory_order_relaxed);
-    s.bytes.store(0, std::memory_order_relaxed);
-    s.seconds.store(0.0, std::memory_order_relaxed);
+  for (auto& h : handles_) {
+    h.calls->reset();
+    h.flops->reset();
+    h.bytes->reset();
+    h.seconds->reset();
   }
 }
 

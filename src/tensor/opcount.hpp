@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.hpp"
+
 namespace ranknet::tensor {
 
 enum class Kernel : std::size_t {
@@ -48,15 +50,23 @@ struct KernelStats {
   }
 };
 
-/// Global accounting registry. Counting of flops/bytes is always on (cheap
+/// Kernel accounting API. Counting of flops/bytes is always on (cheap
 /// relaxed atomic adds — kernels are booked concurrently by the parallel
 /// forecast engine's worker threads); per-call timing is gated behind
 /// set_profiling(true) because clock reads around microsecond kernels would
 /// distort the measurement.
+///
+/// Storage lives in the obs::Registry ("tensor.op.<kernel>.{calls,flops,
+/// bytes,seconds}") so kernel counts appear in every metrics snapshot; this
+/// class is a shim that resolves the registry handles once and keeps the
+/// historical accessor API. record() costs the same three relaxed adds it
+/// always did.
 class OpCounters {
  public:
   static OpCounters& instance();
 
+  /// Zeroes this subsystem's metrics only (other registry metrics keep
+  /// their values).
   void reset();
   void set_profiling(bool on) {
     profiling_.store(on, std::memory_order_relaxed);
@@ -67,22 +77,22 @@ class OpCounters {
 
   void record(Kernel k, std::uint64_t flops, std::uint64_t bytes,
               double seconds = 0.0) {
-    auto& s = stats_[static_cast<std::size_t>(k)];
-    s.calls.fetch_add(1, std::memory_order_relaxed);
-    s.flops.fetch_add(flops, std::memory_order_relaxed);
-    s.bytes.fetch_add(bytes, std::memory_order_relaxed);
-    if (seconds != 0.0) add_double(s.seconds, seconds);
+    auto& h = handles_[static_cast<std::size_t>(k)];
+    h.calls->add(1);
+    h.flops->add(flops);
+    h.bytes->add(bytes);
+    if (seconds != 0.0) h.seconds->add(seconds);
   }
 
   /// Snapshot of one kernel class (values may lag in-flight records by a
   /// relaxed-ordering window; exact once concurrent kernels have finished).
   KernelStats stats(Kernel k) const {
-    const auto& s = stats_[static_cast<std::size_t>(k)];
+    const auto& h = handles_[static_cast<std::size_t>(k)];
     KernelStats out;
-    out.calls = s.calls.load(std::memory_order_relaxed);
-    out.flops = s.flops.load(std::memory_order_relaxed);
-    out.bytes = s.bytes.load(std::memory_order_relaxed);
-    out.seconds = s.seconds.load(std::memory_order_relaxed);
+    out.calls = h.calls->value();
+    out.flops = h.flops->value();
+    out.bytes = h.bytes->value();
+    out.seconds = h.seconds->value();
     return out;
   }
 
@@ -91,24 +101,16 @@ class OpCounters {
   std::string report() const;
 
  private:
-  struct AtomicKernelStats {
-    std::atomic<std::uint64_t> calls{0}, flops{0}, bytes{0};
-    std::atomic<double> seconds{0.0};
+  struct KernelHandles {
+    obs::Counter* calls = nullptr;
+    obs::Counter* flops = nullptr;
+    obs::Counter* bytes = nullptr;
+    obs::Gauge* seconds = nullptr;
   };
 
-  /// CAS add (atomic<double>::fetch_add is C++20 but not universally
-  /// lock-free across toolchains; the loop is contention-rare anyway since
-  /// timing is only on while profiling).
-  static void add_double(std::atomic<double>& a, double v) {
-    double cur = a.load(std::memory_order_relaxed);
-    while (!a.compare_exchange_weak(cur, cur + v,
-                                    std::memory_order_relaxed)) {
-    }
-  }
-
-  OpCounters() = default;
-  std::array<AtomicKernelStats, static_cast<std::size_t>(Kernel::kCount)>
-      stats_{};
+  OpCounters();
+  std::array<KernelHandles, static_cast<std::size_t>(Kernel::kCount)>
+      handles_{};
   std::atomic<bool> profiling_{false};
 };
 

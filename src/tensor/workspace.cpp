@@ -15,13 +15,23 @@ WorkspaceCounters& WorkspaceCounters::instance() {
   return counters;
 }
 
+WorkspaceCounters::WorkspaceCounters() {
+  auto& reg = obs::Registry::instance();
+  epochs_ = &reg.counter("workspace.epochs");
+  reused_epochs_ = &reg.counter("workspace.reused_epochs");
+  takes_ = &reg.counter("workspace.takes");
+  block_allocs_ = &reg.counter("workspace.block_allocs");
+  bytes_reserved_ = &reg.counter("workspace.bytes_reserved");
+  high_water_bytes_ = &reg.gauge("workspace.high_water_bytes");
+}
+
 void WorkspaceCounters::reset() {
-  epochs_.store(0, std::memory_order_relaxed);
-  reused_epochs_.store(0, std::memory_order_relaxed);
-  takes_.store(0, std::memory_order_relaxed);
-  block_allocs_.store(0, std::memory_order_relaxed);
-  bytes_reserved_.store(0, std::memory_order_relaxed);
-  high_water_bytes_.store(0, std::memory_order_relaxed);
+  epochs_->reset();
+  reused_epochs_->reset();
+  takes_->reset();
+  block_allocs_->reset();
+  bytes_reserved_->reset();
+  high_water_bytes_->reset();
 }
 
 Workspace::Workspace(std::size_t initial_doubles) {

@@ -24,15 +24,19 @@
 // allocation/reuse health next to its degradation counters.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "tensor/view.hpp"
 
 namespace ranknet::tensor {
 
+/// Arena-health accounting. Storage lives in the obs::Registry
+/// ("workspace.*") so a metrics snapshot covers allocator behaviour next to
+/// the kernel and engine counters; this class is a shim holding resolved
+/// handles, and record_take() — the hottest call — is still one relaxed add.
 class WorkspaceCounters {
  public:
   static WorkspaceCounters& instance();
@@ -47,37 +51,40 @@ class WorkspaceCounters {
   };
 
   void record_epoch(bool reused) {
-    epochs_.fetch_add(1, std::memory_order_relaxed);
-    if (reused) reused_epochs_.fetch_add(1, std::memory_order_relaxed);
+    epochs_->add(1);
+    if (reused) reused_epochs_->add(1);
   }
-  void record_take() { takes_.fetch_add(1, std::memory_order_relaxed); }
+  void record_take() { takes_->add(1); }
   void record_block_alloc(std::uint64_t bytes) {
-    block_allocs_.fetch_add(1, std::memory_order_relaxed);
-    bytes_reserved_.fetch_add(bytes, std::memory_order_relaxed);
+    block_allocs_->add(1);
+    bytes_reserved_->add(bytes);
   }
   void record_high_water(std::uint64_t bytes) {
-    std::uint64_t cur = high_water_bytes_.load(std::memory_order_relaxed);
-    while (cur < bytes && !high_water_bytes_.compare_exchange_weak(
-                              cur, bytes, std::memory_order_relaxed)) {
-    }
+    high_water_bytes_->record_max(static_cast<double>(bytes));
   }
 
   Snapshot snapshot() const {
     Snapshot s;
-    s.epochs = epochs_.load(std::memory_order_relaxed);
-    s.reused_epochs = reused_epochs_.load(std::memory_order_relaxed);
-    s.takes = takes_.load(std::memory_order_relaxed);
-    s.block_allocs = block_allocs_.load(std::memory_order_relaxed);
-    s.bytes_reserved = bytes_reserved_.load(std::memory_order_relaxed);
-    s.high_water_bytes = high_water_bytes_.load(std::memory_order_relaxed);
+    s.epochs = epochs_->value();
+    s.reused_epochs = reused_epochs_->value();
+    s.takes = takes_->value();
+    s.block_allocs = block_allocs_->value();
+    s.bytes_reserved = bytes_reserved_->value();
+    s.high_water_bytes =
+        static_cast<std::uint64_t>(high_water_bytes_->value());
     return s;
   }
+  /// Zeroes this subsystem's metrics only.
   void reset();
 
  private:
-  WorkspaceCounters() = default;
-  std::atomic<std::uint64_t> epochs_{0}, reused_epochs_{0}, takes_{0},
-      block_allocs_{0}, bytes_reserved_{0}, high_water_bytes_{0};
+  WorkspaceCounters();
+  obs::Counter* epochs_;
+  obs::Counter* reused_epochs_;
+  obs::Counter* takes_;
+  obs::Counter* block_allocs_;
+  obs::Counter* bytes_reserved_;
+  obs::Gauge* high_water_bytes_;  // max, not sum
 };
 
 class Workspace {

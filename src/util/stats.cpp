@@ -98,10 +98,17 @@ Histogram histogram(std::span<const double> xs, double lo, double hi,
   if (bins == 0 || hi <= lo) return h;
   const double w = (hi - lo) / static_cast<double>(bins);
   for (double x : xs) {
-    auto idx = static_cast<std::ptrdiff_t>((x - lo) / w);
-    idx = std::clamp<std::ptrdiff_t>(idx, 0,
-                                     static_cast<std::ptrdiff_t>(bins) - 1);
-    ++h.counts[static_cast<std::size_t>(idx)];
+    if (x < lo) {
+      ++h.underflow;
+      continue;
+    }
+    if (!(x < hi)) {  // >= hi, and NaN
+      ++h.overflow;
+      continue;
+    }
+    auto idx = static_cast<std::size_t>((x - lo) / w);
+    if (idx >= bins) idx = bins - 1;  // fp rounding at the upper edge
+    ++h.counts[idx];
   }
   return h;
 }
@@ -137,7 +144,8 @@ void RunningStats::add(double x) {
 }
 
 double RunningStats::variance() const {
-  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  return n_ < 2 ? std::numeric_limits<double>::quiet_NaN()
+                : m2_ / static_cast<double>(n_ - 1);
 }
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }

@@ -25,14 +25,19 @@ double median(std::span<const double> xs);
 double pearson(std::span<const double> xs, std::span<const double> ys);
 
 /// Fixed-width histogram over [lo, hi) with `bins` buckets.
-/// Values outside the range are clamped into the edge buckets.
+/// Out-of-range samples are tallied in `underflow` / `overflow` and
+/// excluded from `counts`, so edge-bin frequencies reflect only in-range
+/// mass (NaN samples land in `overflow`).
 struct Histogram {
   double lo = 0.0;
   double hi = 1.0;
   std::vector<std::size_t> counts;
+  std::size_t underflow = 0;  // samples < lo
+  std::size_t overflow = 0;   // samples >= hi (and NaN)
 
   double bin_width() const;
   double bin_center(std::size_t i) const;
+  /// In-range samples only (excludes underflow/overflow).
   std::size_t total() const;
   /// Normalized frequency of bucket i (counts[i] / total).
   double frequency(std::size_t i) const;
@@ -58,7 +63,10 @@ class RunningStats {
   void add(double x);
   std::size_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
-  double variance() const;  // sample variance (n-1)
+  /// Sample variance (n-1). NaN when n < 2 — same degenerate sentinel as
+  /// the batch `util::variance()`, so one sample never reads as "zero
+  /// spread measured".
+  double variance() const;
   double stddev() const;
   double min() const { return min_; }
   double max() const { return max_; }

@@ -227,6 +227,29 @@ TEST(StreamIngestor, ShortGapIsInterpolatedLongGapTruncates) {
   EXPECT_EQ(ing.counters().quarantined_gap, 3u);  // car 2 laps 8..10
 }
 
+// Regression: damage_fraction() used to count only imputed laps, so a car
+// whose tail was quarantined behind an unbridgeable gap read as pristine
+// (0.0) and sailed past the degradation ladder's damage threshold.
+TEST(StreamIngestor, TruncatedTailCountsTowardDamageFraction) {
+  telemetry::IngestConfig cfg;
+  cfg.max_gap_laps = 3;
+  telemetry::StreamIngestor ing(cfg);
+  // Laps 1..10 arrive clean, then the feed blacks out for 10 laps (inside
+  // the forward-jump plausibility bound) and resumes for 21..30.
+  for (int lap = 1; lap <= 10; ++lap) {
+    ASSERT_TRUE(ing.push(MakeRecord(4, lap)).ok());
+  }
+  for (int lap = 21; lap <= 30; ++lap) {
+    ASSERT_TRUE(ing.push(MakeRecord(4, lap)).ok());
+  }
+  auto out = ing.finalize(telemetry::EventInfo{"Tail", 2019});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().car(4).laps(), 10u);  // truncated at the gap
+  EXPECT_EQ(ing.counters().quarantined_gap, 10u);
+  // 20 of the car's 30 observed-span laps (11..30) are not real telemetry.
+  EXPECT_NEAR(ing.damage_fraction(4), 20.0 / 30.0, 1e-12);
+}
+
 TEST(StreamIngestor, LongLeadingGapDropsCar) {
   telemetry::StreamIngestor ing;
   for (int lap = 20; lap <= 25; ++lap) {
@@ -507,6 +530,38 @@ TEST_F(DegradationTest, DeadlineOverrunFallsBackAndStillServesEveryCar) {
   EXPECT_GE(deg.deadline_hits, 1u);
   EXPECT_GT(deg.deadline_fallback_cars, 0u);
   EXPECT_EQ(deg.full_cars + deg.fallback_cars(), expected.size());
+}
+
+// Regression: a block whose wait timed out used to be counted as full_cars
+// when the blocking future drain let it finish anyway — a forecast could
+// report deadline_hits > 0 with zero deadline_fallback_cars, and serve the
+// late primary result past its deadline. One worker and one block make the
+// race deterministic: the wait must time out (the only task is still
+// sleeping), yet the drain always sees a completed result.
+TEST_F(DegradationTest, TimedOutBlockIsNotCountedAsFullEvenIfItFinishes) {
+  ConstForecaster primary(42.0, /*sleep_ms=*/50);
+  core::ParallelForecastEngine engine(primary, /*threads=*/1,
+                                      /*max_cars_per_task=*/1024);
+  core::ParallelForecastEngine::DegradationPolicy policy;
+  policy.deadline_seconds = 1e-4;  // far below the single block's sleep
+  policy.fallback = std::make_shared<ConstForecaster>(7.0);
+  engine.set_degradation_policy(std::move(policy));
+
+  util::Rng rng(5);
+  const auto out = engine.forecast(*race_, 30, 5, 4, rng);
+
+  ConstForecaster probe(0.0);
+  const auto expected = probe.forecast_cars(*race_, 30);
+  ASSERT_EQ(out.size(), expected.size());
+  // Every car must carry the fallback's value: the timed-out primary
+  // result is discarded even though it completed during the drain.
+  for (int car : expected) {
+    EXPECT_EQ(CarValue(out, car), 7.0) << "car " << car;
+  }
+  const auto deg = engine.degradation();
+  EXPECT_EQ(deg.deadline_hits, 1u);
+  EXPECT_EQ(deg.full_cars, 0u);
+  EXPECT_EQ(deg.deadline_fallback_cars, expected.size());
 }
 
 TEST_F(DegradationTest, TaskExceptionFallsBackWhenConfigured) {

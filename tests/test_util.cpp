@@ -127,14 +127,30 @@ TEST(Stats, EmptyInputsGiveNan) {
   EXPECT_TRUE(std::isnan(quantile(empty, 0.5)));
 }
 
-TEST(Stats, HistogramCountsAndClamping) {
-  const std::vector<double> xs{-1.0, 0.1, 0.2, 0.55, 0.9, 2.0};
+TEST(Stats, HistogramCountsInRangeSamples) {
+  const std::vector<double> xs{0.1, 0.2, 0.55, 0.9};
   const auto h = histogram(xs, 0.0, 1.0, 2);
   ASSERT_EQ(h.counts.size(), 2u);
-  EXPECT_EQ(h.total(), 6u);
-  EXPECT_EQ(h.counts[0], 3u);  // -1 clamps into the first bucket
-  EXPECT_EQ(h.counts[1], 3u);  // 2.0 clamps into the last
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.counts[0], 2u);
+  EXPECT_EQ(h.counts[1], 2u);
   EXPECT_NEAR(h.frequency(0), 0.5, 1e-12);
+}
+
+// Regression: out-of-range samples used to be clamped into the edge bins,
+// inflating edge-bin frequencies; they must be tallied separately instead.
+TEST(Stats, HistogramOutOfRangeSamplesAreNotClamped) {
+  const std::vector<double> xs{-1.0, -0.5, 0.1, 0.2, 0.55, 0.9,
+                               1.0,  2.0,  std::nan("")};
+  const auto h = histogram(xs, 0.0, 1.0, 2);
+  ASSERT_EQ(h.counts.size(), 2u);
+  EXPECT_EQ(h.counts[0], 2u);     // only 0.1, 0.2 — no clamped -1/-0.5
+  EXPECT_EQ(h.counts[1], 2u);     // only 0.55, 0.9 — hi is exclusive
+  EXPECT_EQ(h.underflow, 2u);     // -1.0, -0.5
+  EXPECT_EQ(h.overflow, 3u);      // 1.0, 2.0, NaN
+  EXPECT_EQ(h.total(), 4u);       // in-range mass only
+  EXPECT_NEAR(h.frequency(0), 0.5, 1e-12);
+  EXPECT_NEAR(h.frequency(1), 0.5, 1e-12);
 }
 
 TEST(Stats, EcdfStepFunction) {
@@ -165,6 +181,27 @@ TEST(Stats, RunningStatsMatchesBatch) {
   EXPECT_NEAR(st.mean(), mean(xs), 1e-9);
   EXPECT_NEAR(st.min(), ranknet::util::min(xs), 1e-12);
   EXPECT_NEAR(st.max(), ranknet::util::max(xs), 1e-12);
+}
+
+// Regression: RunningStats::variance() used to report 0.0 for n < 2, so a
+// single-sample latency series read as "zero spread measured" while the
+// batch util::variance() reported NaN. Both must use the NaN sentinel.
+TEST(Stats, DegenerateVarianceIsNanForBothAccumulators) {
+  const std::vector<double> empty;
+  EXPECT_TRUE(std::isnan(variance(empty)));
+
+  RunningStats none;
+  EXPECT_TRUE(std::isnan(none.variance()));
+  EXPECT_TRUE(std::isnan(none.stddev()));
+
+  RunningStats one;
+  one.add(3.5);
+  EXPECT_TRUE(std::isnan(one.variance()));
+
+  RunningStats two;
+  two.add(1.0);
+  two.add(3.0);
+  EXPECT_DOUBLE_EQ(two.variance(), 2.0);  // n >= 2 unaffected
 }
 
 TEST(StringUtil, SplitTrimLower) {
