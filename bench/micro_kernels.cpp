@@ -1,9 +1,14 @@
 // Micro-benchmarks (google-benchmark) for the compute kernels underneath
-// RankNet training: GEMM at LSTM-relevant shapes, the pointwise gate
-// kernels, a full LSTM cell step (training path and fused inference
-// session), one training step, and the Algorithm-2 sampling rollout.
-// Useful for tracking kernel-level regressions; the paper-level numbers
-// come from the fig10-12 benches.
+// RankNet training and inference: GEMM at LSTM-relevant shapes, the
+// pointwise gate kernels, a full LSTM cell step (training path and fused
+// inference session), the dense/Gaussian head, one training step, and the
+// Algorithm-2 sampling rollout.
+//
+// Every kernel-level benchmark runs once per CPU-supported dispatch variant
+// (tensor/simd_kernels.hpp) under names like `BM_GemmLstmGates<avx2>/256`,
+// so the JSON output captures ns/op per kernel x variant x shape. The
+// scalar rows double as the regression baseline for
+// tests/check_bench_regression.py.
 //
 // Output: besides the console table, every run writes machine-readable
 // results to BENCH_kernels.json (google-benchmark JSON; pass your own
@@ -22,12 +27,14 @@
 #include "nn/lstm.hpp"
 #include "tensor/kernels.hpp"
 #include "tensor/opcount.hpp"
+#include "tensor/simd_kernels.hpp"
 #include "tensor/workspace.hpp"
 
 namespace {
 
 using namespace ranknet;
 using tensor::Matrix;
+namespace tk = tensor::kernels;
 
 /// Snapshot global op/workspace counters around the timed loop and attach
 /// per-iteration deltas as custom counters (flows into the JSON output).
@@ -56,7 +63,14 @@ class StepAccounting {
   tensor::WorkspaceCounters::Snapshot ws_before_;
 };
 
-void BM_GemmLstmGates(benchmark::State& state) {
+/// Pin a dispatch variant for the duration of one benchmark run.
+void use_variant(tk::Variant v) {
+  const auto st = tk::set_variant(v);
+  if (!st.ok()) throw std::runtime_error(st.to_string());
+}
+
+void BM_GemmLstmGates(benchmark::State& state, tk::Variant variant) {
+  use_variant(variant);
   const auto batch = static_cast<std::size_t>(state.range(0));
   util::Rng rng(1);
   const Matrix x = Matrix::randn(batch, 53, rng);
@@ -71,9 +85,25 @@ void BM_GemmLstmGates(benchmark::State& state) {
       static_cast<double>(state.iterations()) * 2.0 * batch * 53 * 160,
       benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
 }
-BENCHMARK(BM_GemmLstmGates)->Arg(32)->Arg(256)->Arg(3200);
 
-void BM_SigmoidKernel(benchmark::State& state) {
+void BM_Gemv(benchmark::State& state, tk::Variant variant) {
+  // n == 1 GEMM — the Gaussian-head projection shape, routed to the
+  // dedicated GEMV path under avx2.
+  use_variant(variant);
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(6);
+  const Matrix x = Matrix::randn(rows, 40, rng);
+  const Matrix w = Matrix::randn(40, 1, rng);
+  Matrix out(rows, 1);
+  for (auto _ : state) {
+    tensor::gemm(1.0, x, false, w, false, 0.0, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(rows));
+}
+
+void BM_SigmoidKernel(benchmark::State& state, tk::Variant variant) {
+  use_variant(variant);
   const auto n = static_cast<std::size_t>(state.range(0));
   util::Rng rng(2);
   Matrix m = Matrix::randn(n, 160, rng);
@@ -84,9 +114,9 @@ void BM_SigmoidKernel(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * static_cast<long>(n * 160));
 }
-BENCHMARK(BM_SigmoidKernel)->Arg(32)->Arg(3200);
 
-void BM_LstmCellStep(benchmark::State& state) {
+void BM_LstmCellStep(benchmark::State& state, tk::Variant variant) {
+  use_variant(variant);
   const auto batch = static_cast<std::size_t>(state.range(0));
   util::Rng rng(3);
   nn::LstmLayer lstm(53, 40, rng);
@@ -100,11 +130,12 @@ void BM_LstmCellStep(benchmark::State& state) {
   acct.finish(state);
   state.SetItemsProcessed(state.iterations() * static_cast<long>(batch));
 }
-BENCHMARK(BM_LstmCellStep)->Arg(32)->Arg(256)->Arg(3200);
 
-void BM_FusedLstmCellStep(benchmark::State& state) {
+void BM_FusedLstmCellStep(benchmark::State& state, tk::Variant variant) {
   // Inference-session counterpart of BM_LstmCellStep: one packed GEMM per
-  // step over arena storage, zero heap allocations once warm.
+  // step over arena storage plus the fused gate epilogue (avx2), zero heap
+  // allocations once warm.
+  use_variant(variant);
   const auto batch = static_cast<std::size_t>(state.range(0));
   util::Rng rng(3);
   nn::LstmLayer lstm(53, 40, rng);
@@ -122,7 +153,33 @@ void BM_FusedLstmCellStep(benchmark::State& state) {
   acct.finish(state);
   state.SetItemsProcessed(state.iterations() * static_cast<long>(batch));
 }
-BENCHMARK(BM_FusedLstmCellStep)->Arg(32)->Arg(256)->Arg(3200);
+
+void BM_DenseForward(benchmark::State& state, tk::Variant variant) {
+  use_variant(variant);
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(8);
+  nn::Dense dense(40, 40, rng, nn::Activation::kTanh, "bench");
+  const Matrix x = Matrix::randn(rows, 40, rng);
+  for (auto _ : state) {
+    auto y = dense.forward_inference(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(rows));
+}
+
+void BM_GaussianHead(benchmark::State& state, tk::Variant variant) {
+  use_variant(variant);
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(9);
+  nn::GaussianHead head(40, 1, rng, "bench");
+  const Matrix h = Matrix::randn(rows, 40, rng);
+  for (auto _ : state) {
+    auto out = head.forward_inference(h);
+    benchmark::DoNotOptimize(out.mu.data());
+    benchmark::DoNotOptimize(out.sigma.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(rows));
+}
 
 core::SeqModelConfig bench_model_config() {
   core::SeqModelConfig cfg;
@@ -165,7 +222,13 @@ void BM_TrainStep(benchmark::State& state) {
 }
 BENCHMARK(BM_TrainStep)->Arg(32)->Arg(256)->Unit(benchmark::kMillisecond);
 
-void BM_SamplingRollout(benchmark::State& state) {
+void BM_SamplingRollout(benchmark::State& state, tk::Variant variant) {
+  // The fig10 forecast hot path: K samples advanced in lockstep through
+  // the stacked LSTM decode + Gaussian head (Algorithm 2). us/sample in
+  // the JSON is the single-thread per-sample cost the fig10 bench scales
+  // over batch sizes; the scalar-vs-avx2 ratio of this row is the
+  // tentpole's headline speedup.
+  use_variant(variant);
   const auto rows = static_cast<std::size_t>(state.range(0));
   core::LstmSeqModel model(bench_model_config());
   model.set_scaler(features::StandardScaler(17.0, 9.0));
@@ -182,10 +245,45 @@ void BM_SamplingRollout(benchmark::State& state) {
     benchmark::DoNotOptimize(out.data());
   }
   acct.finish(state);
-  state.SetItemsProcessed(state.iterations() * static_cast<long>(rows) * 2);
+  const double samples =
+      static_cast<double>(state.iterations()) * static_cast<double>(rows) * 2;
+  state.SetItemsProcessed(static_cast<long>(samples));
+  state.counters["us/sample"] = benchmark::Counter(
+      samples, benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
 }
-BENCHMARK(BM_SamplingRollout)->Arg(330)->Arg(3300)
-    ->Unit(benchmark::kMillisecond);
+
+/// Register each kernel benchmark once per CPU-supported variant, with the
+/// variant baked into the name (`BM_Foo<scalar>/32`). Registration order
+/// puts the variant sweeps after the macro-registered training benchmarks.
+void register_variant_benchmarks() {
+  for (const auto v : {tk::Variant::kScalar, tk::Variant::kAvx2}) {
+    if (!tk::cpu_supports(v)) continue;
+    const std::string tag = std::string("<") + tk::variant_name(v) + ">";
+    benchmark::RegisterBenchmark(("BM_GemmLstmGates" + tag).c_str(),
+                                 BM_GemmLstmGates, v)
+        ->Arg(32)->Arg(256)->Arg(3200);
+    benchmark::RegisterBenchmark(("BM_Gemv" + tag).c_str(), BM_Gemv, v)
+        ->Arg(32)->Arg(3200);
+    benchmark::RegisterBenchmark(("BM_SigmoidKernel" + tag).c_str(),
+                                 BM_SigmoidKernel, v)
+        ->Arg(32)->Arg(3200);
+    benchmark::RegisterBenchmark(("BM_LstmCellStep" + tag).c_str(),
+                                 BM_LstmCellStep, v)
+        ->Arg(32)->Arg(256)->Arg(3200);
+    benchmark::RegisterBenchmark(("BM_FusedLstmCellStep" + tag).c_str(),
+                                 BM_FusedLstmCellStep, v)
+        ->Arg(32)->Arg(256)->Arg(3200);
+    benchmark::RegisterBenchmark(("BM_DenseForward" + tag).c_str(),
+                                 BM_DenseForward, v)
+        ->Arg(32)->Arg(3200);
+    benchmark::RegisterBenchmark(("BM_GaussianHead" + tag).c_str(),
+                                 BM_GaussianHead, v)
+        ->Arg(32)->Arg(3300);
+    benchmark::RegisterBenchmark(("BM_SamplingRollout" + tag).c_str(),
+                                 BM_SamplingRollout, v)
+        ->Arg(330)->Arg(3300)->Unit(benchmark::kMillisecond);
+  }
+}
 
 }  // namespace
 
@@ -203,6 +301,7 @@ int main(int argc, char** argv) {
     args.push_back(out_flag.data());
     args.push_back(fmt_flag.data());
   }
+  register_variant_benchmarks();
   int n = static_cast<int>(args.size());
   benchmark::Initialize(&n, args.data());
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;

@@ -374,6 +374,11 @@ tensor::Matrix LstmSeqModel::sample_forward_impl(
   // The decode loop is the serving hot path: all per-step storage comes
   // from the thread-local workspace, so after the first call on a thread
   // (and absent batch-shape growth) steps perform zero heap allocations.
+  // The `rows` MC samples advance lockstep through each timestep as one
+  // [rows x hidden] batch, so every LSTM/dense/head call below lands in
+  // the dispatched microkernels (tensor::kernels) at full batch width —
+  // and because those kernels are row-independent, the sampled bits are
+  // invariant to how rows are batched or partitioned across engine tasks.
   auto& ws = tensor::Workspace::thread_local_instance();
   ws.begin();
   auto stack = make_stack_sessions(layers_, rows, ws);

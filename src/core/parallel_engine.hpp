@@ -10,6 +10,13 @@
 // tasks ran. Results are therefore bit-identical for any thread count,
 // including 1, and identical to calling the wrapped forecaster directly.
 //
+// This holds under SIMD kernel dispatch (tensor::kernels) because
+// partitioning stays per-car: a car's K-sample lockstep batch is decoded
+// whole inside one task, and every dispatched kernel is row-independent
+// with a fixed per-element operation order, so batch width and task
+// grouping never change any sample's bits (tests/test_kernel_equivalence
+// re-proves engine output at threads {1,2,8} under the avx2 variant).
+//
 // Forecasters that do not implement PartitionableForecaster (e.g. the
 // Transformer) are delegated to unchanged on the calling thread.
 //

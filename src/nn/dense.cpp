@@ -14,24 +14,27 @@ Dense::Dense(std::size_t input_dim, std::size_t output_dim, util::Rng& rng,
       bias_(name + ".bias", tensor::Matrix(1, output_dim)),
       activation_(activation) {}
 
+tensor::kernels::DenseAct to_dense_act(Activation a) {
+  switch (a) {
+    case Activation::kRelu:
+      return tensor::kernels::DenseAct::kRelu;
+    case Activation::kTanh:
+      return tensor::kernels::DenseAct::kTanh;
+    case Activation::kSigmoid:
+      return tensor::kernels::DenseAct::kSigmoid;
+    case Activation::kNone:
+      break;
+  }
+  return tensor::kernels::DenseAct::kNone;
+}
+
 tensor::Matrix Dense::apply(const tensor::Matrix& x,
                             tensor::Matrix* post) const {
   tensor::Matrix y(x.rows(), weight_.value.cols());
-  tensor::gemm(1.0, x, false, weight_.value, false, 0.0, y);
-  tensor::add_bias_rows(y, bias_.value.row(0));
-  switch (activation_) {
-    case Activation::kNone:
-      break;
-    case Activation::kRelu:
-      for (auto& v : y.flat()) v = v > 0.0 ? v : 0.0;
-      break;
-    case Activation::kTanh:
-      tensor::tanh_inplace(y);
-      break;
-    case Activation::kSigmoid:
-      tensor::sigmoid_inplace(y);
-      break;
-  }
+  tensor::dense_forward(tensor::ConstMatrixView(x),
+                        tensor::ConstMatrixView(weight_.value),
+                        tensor::ConstMatrixView(bias_.value).row(0),
+                        to_dense_act(activation_), tensor::MatrixView(y));
   if (post != nullptr) *post = y;
   return y;
 }

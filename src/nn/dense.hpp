@@ -3,11 +3,15 @@
 
 #include "nn/param.hpp"
 #include "tensor/matrix.hpp"
+#include "tensor/simd_kernels.hpp"
 #include "util/rng.hpp"
 
 namespace ranknet::nn {
 
 enum class Activation { kNone, kRelu, kTanh, kSigmoid };
+
+/// nn::Activation → the tensor layer's dispatched activation code.
+tensor::kernels::DenseAct to_dense_act(Activation a);
 
 class Dense : public Layer {
  public:

@@ -30,11 +30,19 @@ GaussianHead::Output GaussianHead::forward(const tensor::Matrix& h) {
 
 GaussianHead::Output GaussianHead::forward_inference(
     const tensor::Matrix& h) const {
+  // One fused tensor op shared with GaussianInferenceSession::forward, so
+  // the serving path is bit-identical to this one under either kernel
+  // variant. The sequence it runs (two kNone dense projections, stable
+  // softplus, floor add) is exactly what the pre-dispatch code ran here.
   Output out;
-  out.mu = mu_.forward_inference(h);
-  out.sigma = sigma_raw_.forward_inference(h);
-  tensor::softplus_inplace(out.sigma);
-  for (auto& s : out.sigma.flat()) s += kSigmaFloor;
+  out.mu = tensor::Matrix(h.rows(), mu_.output_dim());
+  out.sigma = tensor::Matrix(h.rows(), sigma_raw_.output_dim());
+  tensor::gaussian_head_forward(
+      tensor::ConstMatrixView(h), tensor::ConstMatrixView(mu_.weight()),
+      tensor::ConstMatrixView(mu_.bias()).row(0),
+      tensor::ConstMatrixView(sigma_raw_.weight()),
+      tensor::ConstMatrixView(sigma_raw_.bias()).row(0), kSigmaFloor,
+      tensor::MatrixView(out.mu), tensor::MatrixView(out.sigma));
   return out;
 }
 

@@ -6,21 +6,11 @@ namespace ranknet::nn {
 
 void DenseInferenceSession::apply(tensor::ConstMatrixView x,
                                   tensor::MatrixView y) const {
-  tensor::gemm(1.0, x, false, layer_->weight(), false, 0.0, y);
-  tensor::add_bias_rows(y, tensor::ConstMatrixView(layer_->bias()).row(0));
-  switch (layer_->activation()) {
-    case Activation::kNone:
-      break;
-    case Activation::kRelu:
-      for (auto& v : y.flat()) v = v > 0.0 ? v : 0.0;
-      break;
-    case Activation::kTanh:
-      tensor::tanh_inplace(y);
-      break;
-    case Activation::kSigmoid:
-      tensor::sigmoid_inplace(y);
-      break;
-  }
+  // Same dispatched op as Dense::apply — layer and session share one
+  // compiled path per variant, so their outputs are bit-identical.
+  tensor::dense_forward(x, tensor::ConstMatrixView(layer_->weight()),
+                        tensor::ConstMatrixView(layer_->bias()).row(0),
+                        to_dense_act(layer_->activation()), y);
 }
 
 void EmbeddingInferenceSession::gather(std::span<const int> indices,
@@ -40,10 +30,12 @@ void EmbeddingInferenceSession::gather(std::span<const int> indices,
 void GaussianInferenceSession::forward(tensor::ConstMatrixView h,
                                        tensor::MatrixView mu,
                                        tensor::MatrixView sigma) const {
-  mu_.apply(h, mu);
-  sigma_.apply(h, sigma);
-  tensor::softplus_inplace(sigma);
-  for (auto& s : sigma.flat()) s += GaussianHead::kSigmaFloor;
+  tensor::gaussian_head_forward(
+      h, tensor::ConstMatrixView(mu_.layer().weight()),
+      tensor::ConstMatrixView(mu_.layer().bias()).row(0),
+      tensor::ConstMatrixView(sigma_.layer().weight()),
+      tensor::ConstMatrixView(sigma_.layer().bias()).row(0),
+      GaussianHead::kSigmaFloor, mu, sigma);
 }
 
 void GaussianInferenceSession::sample(tensor::ConstMatrixView mu,

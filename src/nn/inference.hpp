@@ -46,6 +46,7 @@ class DenseInferenceSession {
 
   std::size_t input_dim() const { return layer_->input_dim(); }
   std::size_t output_dim() const { return layer_->output_dim(); }
+  const Dense& layer() const { return *layer_; }
 
  private:
   const Dense* layer_ = nullptr;

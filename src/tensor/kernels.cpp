@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "tensor/simd_kernels_detail.hpp"
 #include "util/timer.hpp"
 
 namespace ranknet::tensor {
@@ -61,9 +62,15 @@ void run_kernel(Kernel k, std::uint64_t flops, std::uint64_t bytes, Fn&& fn) {
   }
 }
 
+}  // namespace
+
 // The gemm inner loops below run over raw pointers so the Matrix (training)
 // and view (inference) faces execute the same compiled code — that shared
-// compilation is what guarantees both paths round identically.
+// compilation is what guarantees both paths round identically. The loops
+// that sit on the MC decode path live in tensor::detail (declared in
+// simd_kernels_detail.hpp) so the dispatch layer can install them as the
+// scalar reference variant; the rest stay file-local.
+namespace detail {
 
 // C = alpha*A*B + beta*C with A (m x k), B (k x n): ikj loop, contiguous
 // inner access on both B and C rows so the compiler vectorizes it. The
@@ -75,8 +82,9 @@ void run_kernel(Kernel k, std::uint64_t flops, std::uint64_t bytes, Fn&& fn) {
 // loop, and in particular one packed [x|h]*[wx;wh] GEMM matches the
 // beta=0/beta=1 pair it fuses (the chunk boundary only moves values
 // through memory, which does not re-round doubles).
-void gemm_nn(double alpha, const double* a, const double* b, double beta,
-             double* c, std::size_t m, std::size_t k, std::size_t n) {
+void gemm_nn_scalar(double alpha, const double* a, const double* b,
+                    double beta, double* c, std::size_t m, std::size_t k,
+                    std::size_t n) {
 #pragma omp parallel for schedule(static)
   for (std::size_t i = 0; i < m; ++i) {
     double* ci = c + i * n;
@@ -112,6 +120,45 @@ void gemm_nn(double alpha, const double* a, const double* b, double beta,
     }
   }
 }
+
+void sigmoid_scalar(double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = 1.0 / (1.0 + vec_exp(exp_clamp(-x[i])));
+  }
+}
+
+void tanh_scalar(double* x, std::size_t n) {
+  // tanh(x) = sign(x) * (1 - 2/(exp(2|x|)+1)); using |x| keeps the exp
+  // argument non-negative so the quotient stays in (0, 1] and the final
+  // subtraction is exact (Sterbenz) — absolute error stays ~1 ulp of 1.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = std::abs(x[i]);
+    const double t = 1.0 - 2.0 / (vec_exp(exp_clamp(2.0 * a)) + 1.0);
+    x[i] = std::copysign(t, x[i]);
+  }
+}
+
+void hadamard_scalar(const double* x, const double* y, double* o,
+                     std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) o[i] = x[i] * y[i];
+}
+
+void hadamard_add_scalar(const double* x, const double* y, double* o,
+                         std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) o[i] += x[i] * y[i];
+}
+
+void add_bias_rows_scalar(double* m, const double* bias, std::size_t rows,
+                          std::size_t cols) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    double* row = m + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) row[c] += bias[c];
+  }
+}
+
+}  // namespace detail
+
+namespace {
 
 // C = alpha*A^T*B + beta*C with A (k x m), B (k x n).
 void gemm_tn(double alpha, const double* a, const double* b, double beta,
@@ -179,7 +226,12 @@ void gemm(double alpha, ConstMatrixView a, bool trans_a, ConstMatrixView b,
       8ULL * (m * k + k * n + (beta == 0.0 ? 1ULL : 2ULL) * m * n);
   run_kernel(Kernel::kMatMul, flops, bytes, [&] {
     if (!trans_a && !trans_b) {
-      gemm_nn(alpha, a.data(), b.data(), beta, c.data(), m, k, n);
+      // The only gemm shape on the MC decode path — runtime-dispatched.
+      // The transposed forms below are training-only (gradients) and stay
+      // on the scalar reference loops.
+      const auto& d = kernels::dispatch();
+      kernels::note_call(d.variant);
+      d.gemm_nn(alpha, a.data(), b.data(), beta, c.data(), m, k, n);
     } else if (trans_a && !trans_b) {
       gemm_tn(alpha, a.data(), b.data(), beta, c.data(), m, k, n);
     } else if (!trans_a && trans_b) {
@@ -245,12 +297,10 @@ void scale_inplace(Matrix& out, double s) {
 void hadamard(ConstMatrixView a, ConstMatrixView b, MatrixView out) {
   assert(same_shape(a, b) && same_shape(out, a));
   const std::size_t n = out.size();
-  run_kernel(Kernel::kMul, n, 8ULL * 3 * n, [&] {
-    const double* x = a.data();
-    const double* y = b.data();
-    double* o = out.data();
-    for (std::size_t i = 0; i < n; ++i) o[i] = x[i] * y[i];
-  });
+  const auto& d = kernels::dispatch();
+  kernels::note_call(d.variant);
+  run_kernel(Kernel::kMul, n, 8ULL * 3 * n,
+             [&] { d.hadamard(a.data(), b.data(), out.data(), n); });
 }
 
 void hadamard(const Matrix& a, const Matrix& b, Matrix& out) {
@@ -262,12 +312,10 @@ void hadamard(const Matrix& a, const Matrix& b, Matrix& out) {
 void hadamard_add(ConstMatrixView a, ConstMatrixView b, MatrixView out) {
   assert(same_shape(a, b) && same_shape(out, a));
   const std::size_t n = out.size();
-  run_kernel(Kernel::kMul, 2ULL * n, 8ULL * 4 * n, [&] {
-    const double* x = a.data();
-    const double* y = b.data();
-    double* o = out.data();
-    for (std::size_t i = 0; i < n; ++i) o[i] += x[i] * y[i];
-  });
+  const auto& d = kernels::dispatch();
+  kernels::note_call(d.variant);
+  run_kernel(Kernel::kMul, 2ULL * n, 8ULL * 4 * n,
+             [&] { d.hadamard_add(a.data(), b.data(), out.data(), n); });
 }
 
 void hadamard_add(const Matrix& a, const Matrix& b, Matrix& out) {
@@ -277,11 +325,10 @@ void hadamard_add(const Matrix& a, const Matrix& b, Matrix& out) {
 void add_bias_rows(MatrixView m, std::span<const double> bias) {
   assert(bias.size() == m.cols());
   const std::size_t n = m.size();
+  const auto& d = kernels::dispatch();
+  kernels::note_call(d.variant);
   run_kernel(Kernel::kAdd, n, 8ULL * (2 * n + bias.size()), [&] {
-    for (std::size_t r = 0; r < m.rows(); ++r) {
-      double* row = m.data() + r * m.cols();
-      for (std::size_t c = 0; c < m.cols(); ++c) row[c] += bias[c];
-    }
+    d.add_bias_rows(m.data(), bias.data(), m.rows(), m.cols());
   });
 }
 
@@ -303,29 +350,20 @@ void sum_rows(const Matrix& m, std::span<double> bias_grad) {
 void sigmoid_inplace(MatrixView m) {
   const std::size_t n = m.size();
   // ~4 flops per element (exp approximated as one op plus add/div).
-  run_kernel(Kernel::kSigmoid, 4ULL * n, 8ULL * 2 * n, [&] {
-    double* x = m.data();
-    for (std::size_t i = 0; i < n; ++i) {
-      x[i] = 1.0 / (1.0 + vec_exp(exp_clamp(-x[i])));
-    }
-  });
+  const auto& d = kernels::dispatch();
+  kernels::note_call(d.variant);
+  run_kernel(Kernel::kSigmoid, 4ULL * n, 8ULL * 2 * n,
+             [&] { d.sigmoid(m.data(), n); });
 }
 
 void sigmoid_inplace(Matrix& m) { sigmoid_inplace(MatrixView(m)); }
 
 void tanh_inplace(MatrixView m) {
   const std::size_t n = m.size();
-  run_kernel(Kernel::kTanh, 4ULL * n, 8ULL * 2 * n, [&] {
-    double* x = m.data();
-    // tanh(x) = sign(x) * (1 - 2/(exp(2|x|)+1)); using |x| keeps the exp
-    // argument non-negative so the quotient stays in (0, 1] and the final
-    // subtraction is exact (Sterbenz) — absolute error stays ~1 ulp of 1.
-    for (std::size_t i = 0; i < n; ++i) {
-      const double a = std::abs(x[i]);
-      const double t = 1.0 - 2.0 / (vec_exp(exp_clamp(2.0 * a)) + 1.0);
-      x[i] = std::copysign(t, x[i]);
-    }
-  });
+  const auto& d = kernels::dispatch();
+  kernels::note_call(d.variant);
+  run_kernel(Kernel::kTanh, 4ULL * n, 8ULL * 2 * n,
+             [&] { d.tanh(m.data(), n); });
 }
 
 void tanh_inplace(Matrix& m) { tanh_inplace(MatrixView(m)); }
@@ -398,6 +436,47 @@ void lstm_cell_step(ConstMatrixView xh, ConstMatrixView w,
 
   MatrixView gates = scratch.gates;
   gemm(1.0, xh, false, w, false, 0.0, gates);
+
+  const auto& disp = kernels::dispatch();
+  if (disp.lstm_gates != nullptr) {
+    // Fused gate epilogue (avx2): bias + activations + state update in one
+    // pass over the gate matrix. Bit-identical to the staged sequence below
+    // under the same variant, because the staged kernels' avx2 lane math
+    // (add, sigmoid/tanh, multiply, FMA) is exactly what the fused kernel
+    // runs per element. Books the same seven records the staged sequence
+    // would (fig11/fig12 breakdowns stay variant-invariant); when profiling,
+    // the fused walltime is split across them in proportion to flops.
+    kernels::note_call(disp.variant);
+    auto& counters = OpCounters::instance();
+    double secs = 0.0;
+    if (counters.profiling()) {
+      util::Timer t;
+      disp.lstm_gates(gates.data(), bias.data(), c.data(), h.data(), batch,
+                      hidden);
+      secs = t.seconds();
+    } else {
+      disp.lstm_gates(gates.data(), bias.data(), c.data(), h.data(), batch,
+                      hidden);
+    }
+    const std::uint64_t hb = batch * hidden;
+    const std::uint64_t n4 = 4 * hb, n3 = 3 * hb;
+    const Kernel kinds[7] = {Kernel::kAdd,  Kernel::kSigmoid, Kernel::kTanh,
+                             Kernel::kMul,  Kernel::kMul,     Kernel::kTanh,
+                             Kernel::kMul};
+    const std::uint64_t flops[7] = {n4, 4 * n3, 4 * hb, hb, 2 * hb,
+                                    4 * hb, hb};
+    const std::uint64_t bytes[7] = {
+        8 * (2 * n4 + 4 * hidden), 8 * 2 * n3, 8 * 2 * hb, 8 * 3 * hb,
+        8 * 4 * hb,                8 * 2 * hb, 8 * 3 * hb};
+    const double total = 28.0 * static_cast<double>(hb);
+    for (int i = 0; i < 7; ++i) {
+      const double share =
+          total > 0.0 ? secs * static_cast<double>(flops[i]) / total : 0.0;
+      counters.record(kinds[i], flops[i], bytes[i], share);
+    }
+    return;
+  }
+
   add_bias_rows(gates, bias);
 
   // Split activation: sigmoid on [i f o], tanh on [g], via contiguous
@@ -452,6 +531,72 @@ void lstm_cell_step(ConstMatrixView xh, ConstMatrixView w,
   }
   tanh_inplace(scratch.tanh_c);
   hadamard(ogate, scratch.tanh_c, h);
+}
+
+void dense_forward(ConstMatrixView x, ConstMatrixView w,
+                   std::span<const double> bias, kernels::DenseAct act,
+                   MatrixView y) {
+  assert(y.rows() == x.rows() && y.cols() == w.cols());
+  assert(bias.size() == w.cols());
+  gemm(1.0, x, false, w, false, 0.0, y);
+
+  const auto& d = kernels::dispatch();
+  if (d.dense_epilogue != nullptr) {
+    // Fused bias + activation in one pass over y; per-element math matches
+    // the staged add_bias_rows + activation sequence under the same
+    // variant. Books the staged path's records (fused time, when profiling,
+    // is attributed to the bias add).
+    kernels::note_call(d.variant);
+    auto& counters = OpCounters::instance();
+    const std::size_t n = y.size();
+    double secs = 0.0;
+    if (counters.profiling()) {
+      util::Timer t;
+      d.dense_epilogue(y.data(), bias.data(), y.rows(), y.cols(), act);
+      secs = t.seconds();
+    } else {
+      d.dense_epilogue(y.data(), bias.data(), y.rows(), y.cols(), act);
+    }
+    counters.record(Kernel::kAdd, n, 8ULL * (2 * n + bias.size()), secs);
+    if (act == kernels::DenseAct::kTanh) {
+      counters.record(Kernel::kTanh, 4ULL * n, 8ULL * 2 * n);
+    } else if (act == kernels::DenseAct::kSigmoid) {
+      counters.record(Kernel::kSigmoid, 4ULL * n, 8ULL * 2 * n);
+    }
+    return;
+  }
+
+  add_bias_rows(y, bias);
+  switch (act) {
+    case kernels::DenseAct::kNone:
+      break;
+    case kernels::DenseAct::kRelu:
+      for (auto& v : y.flat()) v = v > 0.0 ? v : 0.0;
+      break;
+    case kernels::DenseAct::kTanh:
+      tanh_inplace(y);
+      break;
+    case kernels::DenseAct::kSigmoid:
+      sigmoid_inplace(y);
+      break;
+  }
+}
+
+void gaussian_head_forward(ConstMatrixView h, ConstMatrixView w_mu,
+                           std::span<const double> b_mu,
+                           ConstMatrixView w_sigma,
+                           std::span<const double> b_sigma,
+                           double sigma_floor, MatrixView mu,
+                           MatrixView sigma) {
+  // Two dispatched dense projections (n == 1 routes to the GEMV fast path
+  // under avx2) plus the stable softplus and the floor add. The sequence is
+  // exactly what GaussianHead::forward_inference runs, so head and session
+  // stay bit-identical under either variant.
+  dense_forward(h, w_mu, b_mu, kernels::DenseAct::kNone, mu);
+  dense_forward(h, w_sigma, b_sigma, kernels::DenseAct::kNone, sigma);
+  softplus_inplace(sigma);
+  double* s = sigma.data();
+  for (std::size_t i = 0; i < sigma.size(); ++i) s[i] += sigma_floor;
 }
 
 }  // namespace ranknet::tensor

@@ -11,12 +11,20 @@
 // storage from a Workspace). The Matrix overloads forward into the view
 // overloads, so both paths execute the same compiled inner loops and their
 // floating-point results are bit-identical by construction.
+//
+// Runtime dispatch: the kernels on the Monte-Carlo decode path (gemm_nn,
+// sigmoid/tanh, hadamard(+), add_bias_rows, and the fused LSTM/dense
+// epilogues) execute through tensor::kernels::dispatch()
+// (simd_kernels.hpp) — scalar reference loops or AVX2+FMA microkernels,
+// chosen per process via CPU detection or the RANKNET_KERNEL override.
+// Kernel bookings (flops/bytes/calls) are variant-invariant by design.
 #pragma once
 
 #include <span>
 
 #include "tensor/matrix.hpp"
 #include "tensor/opcount.hpp"
+#include "tensor/simd_kernels.hpp"
 #include "tensor/view.hpp"
 
 namespace ranknet::tensor {
@@ -109,5 +117,27 @@ struct LstmStepScratch {
 void lstm_cell_step(ConstMatrixView xh, ConstMatrixView w,
                     std::span<const double> bias, MatrixView c, MatrixView h,
                     const LstmStepScratch& scratch);
+
+// ---- fused dense / Gaussian-head forward --------------------------------
+
+/// y = act(x * W + b) as one dispatched op. Under the scalar variant this
+/// runs the exact staged gemm → add_bias_rows → activation sequence the
+/// Dense layer always ran; under avx2 the bias and activation fuse into a
+/// single pass over y. Both Dense::apply (training/forward_inference) and
+/// DenseInferenceSession::apply route here, which is what keeps layer and
+/// session bit-identical per variant.
+void dense_forward(ConstMatrixView x, ConstMatrixView w,
+                   std::span<const double> bias, kernels::DenseAct act,
+                   MatrixView y);
+
+/// Gaussian head: mu = h*Wmu + bmu; sigma = softplus(h*Ws + bs) + floor.
+/// Shared by GaussianHead::forward_inference and the inference session; the
+/// target_dim == 1 projections hit the dispatched GEMV fast path.
+void gaussian_head_forward(ConstMatrixView h, ConstMatrixView w_mu,
+                           std::span<const double> b_mu,
+                           ConstMatrixView w_sigma,
+                           std::span<const double> b_sigma,
+                           double sigma_floor, MatrixView mu,
+                           MatrixView sigma);
 
 }  // namespace ranknet::tensor

@@ -8,6 +8,16 @@ namespace {
 /// Smallest block the arena will allocate, in doubles (128 KiB). Keeps the
 /// warm-up phase from fragmenting into many tiny blocks.
 constexpr std::size_t kMinBlockDoubles = 16384;
+
+/// Every take() starts on a 64-byte (cache-line / ymm-friendly) boundary.
+constexpr std::size_t kAlignBytes = 64;
+constexpr std::size_t kAlignDoubles = kAlignBytes / sizeof(double);
+
+/// Doubles of padding needed to bring `p` up to a 64-byte boundary.
+std::size_t align_pad(const double* p) {
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  return (kAlignBytes - addr % kAlignBytes) % kAlignBytes / sizeof(double);
+}
 }  // namespace
 
 WorkspaceCounters& WorkspaceCounters::instance() {
@@ -57,24 +67,30 @@ double* Workspace::bump(std::size_t n) {
   // simply skipped (their tail stays unused this epoch).
   while (cur_ < blocks_.size()) {
     Block& b = blocks_[cur_];
-    if (b.data.size() - b.used >= n) {
-      double* p = b.data.data() + b.used;
-      b.used += n;
-      in_use_ += n;
+    const std::size_t pad = align_pad(b.data.data() + b.used);
+    if (b.data.size() - b.used >= n + pad) {
+      double* p = b.data.data() + b.used + pad;
+      b.used += n + pad;
+      in_use_ += n + pad;
       return p;
     }
     ++cur_;
   }
   // Grow: a fresh block, never touching existing ones, so views handed out
-  // earlier in this epoch remain valid.
+  // earlier in this epoch remain valid. Over-reserve by one alignment unit
+  // so the aligned start always fits.
   const std::size_t last = blocks_.empty() ? 0 : blocks_.back().data.size();
-  const std::size_t size = std::max({n, 2 * last, kMinBlockDoubles});
-  blocks_.push_back(Block{std::vector<double>(size), n});
+  const std::size_t size =
+      std::max({n + kAlignDoubles - 1, 2 * last, kMinBlockDoubles});
+  blocks_.push_back(Block{std::vector<double>(size), 0});
   ++block_allocs_;
   grew_this_epoch_ = true;
   WorkspaceCounters::instance().record_block_alloc(8 * size);
-  in_use_ += n;
-  return blocks_.back().data.data();
+  Block& nb = blocks_.back();
+  const std::size_t pad = align_pad(nb.data.data());
+  nb.used = pad + n;
+  in_use_ += pad + n;
+  return nb.data.data() + pad;
 }
 
 MatrixView Workspace::take(std::size_t rows, std::size_t cols) {

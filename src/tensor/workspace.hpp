@@ -96,9 +96,10 @@ class Workspace {
   /// Invalidates every view handed out since the previous begin().
   void begin();
 
-  /// Bump-allocate an uninitialized (rows x cols) view. The kernels the
-  /// runtime feeds these into fully overwrite their output (gemm beta=0,
-  /// copies) before any element is read.
+  /// Bump-allocate an uninitialized (rows x cols) view whose storage starts
+  /// on a 64-byte boundary (cache-line aligned, friendly to the vectorized
+  /// kernels). The kernels the runtime feeds these into fully overwrite
+  /// their output (gemm beta=0, copies) before any element is read.
   MatrixView take(std::size_t rows, std::size_t cols);
   /// As take(), but zero-filled (for accumulation targets).
   MatrixView take_zeroed(std::size_t rows, std::size_t cols);

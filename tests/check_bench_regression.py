@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Gate BENCH_kernels.json against the committed per-kernel baseline.
+
+Usage:
+  # after: ./build/bench/micro_kernels --benchmark_out=BENCH_kernels.json
+  tests/check_bench_regression.py BENCH_kernels.json            # check
+  tests/check_bench_regression.py BENCH_kernels.json --update   # rebaseline
+
+Compares cpu_time per benchmark entry (name is kernel<variant>/shape, e.g.
+"BM_GemmLstmGates<avx2>/256") against tests/bench_baseline.json and fails —
+exit code 1 — when any entry is more than --tolerance (default 15%) slower.
+Entries present in only one file are reported but never fail the run, so
+adding or retiring a benchmark doesn't require a lockstep baseline edit.
+
+This is a manually-run tool, not a ctest entry: the box that grows this
+repo is a single shared core where scalar GEMM timing swings tens of
+percent with heap-allocation layout alone (see DESIGN.md, "Kernel dispatch
+& batched sampling"). Run it on a quiet machine before and after touching
+src/tensor, and rebaseline with --update in the same commit as an
+intentional perf change.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BASELINE = Path(__file__).resolve().parent / "bench_baseline.json"
+
+
+def load_times(path):
+    """name -> cpu_time (ns) for real benchmark entries (not aggregates)."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        out[b["name"]] = float(b["cpu_time"])
+    if not out:
+        sys.exit(f"error: no benchmark entries in {path}")
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("results", help="BENCH_kernels.json from micro_kernels")
+    ap.add_argument("--baseline", default=str(BASELINE),
+                    help=f"baseline file (default: {BASELINE})")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed slowdown fraction (default 0.15 = 15%%)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from these results and exit")
+    args = ap.parse_args()
+
+    current = load_times(args.results)
+
+    if args.update:
+        with open(args.baseline, "w") as f:
+            json.dump({"cpu_time_ns": dict(sorted(current.items()))}, f,
+                      indent=2)
+            f.write("\n")
+        print(f"baseline rewritten: {args.baseline} "
+              f"({len(current)} entries)")
+        return 0
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)["cpu_time_ns"]
+    except FileNotFoundError:
+        sys.exit(f"error: {args.baseline} missing — generate it with "
+                 f"--update")
+
+    failures = []
+    print(f"{'benchmark':44s} {'baseline':>12s} {'current':>12s} "
+          f"{'ratio':>7s}")
+    for name in sorted(set(baseline) | set(current)):
+        if name not in current:
+            print(f"{name:44s} {baseline[name]:12.0f} {'(gone)':>12s}")
+            continue
+        if name not in baseline:
+            print(f"{name:44s} {'(new)':>12s} {current[name]:12.0f}")
+            continue
+        ratio = current[name] / baseline[name]
+        flag = ""
+        if ratio > 1.0 + args.tolerance:
+            failures.append((name, ratio))
+            flag = "  REGRESSION"
+        print(f"{name:44s} {baseline[name]:12.0f} {current[name]:12.0f} "
+              f"{ratio:6.2f}x{flag}")
+
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed more than "
+              f"{args.tolerance:.0%}:")
+        for name, ratio in failures:
+            print(f"  {name}: {ratio:.2f}x baseline")
+        return 1
+    print(f"\nok: no entry slower than {1 + args.tolerance:.2f}x baseline "
+          f"({len(current)} checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,7 @@
 #include "core/baselines.hpp"
 #include "core/ranknet.hpp"
 #include "simulator/season.hpp"
+#include "tensor/simd_kernels.hpp"
 
 namespace {
 
@@ -142,6 +143,20 @@ class GoldenRegression : public ::testing::Test {
     delete vocab_;
     delete race_;
   }
+  // Goldens are pinned to the scalar reference variant (see DESIGN.md,
+  // "Golden-file policy"): the scalar kernels are byte-frozen, so these
+  // CSVs stay valid no matter which SIMD variant the host CPU or a
+  // RANKNET_KERNEL override would otherwise select. Regenerate with the
+  // same pin in place.
+  void SetUp() override {
+    saved_ = tensor::kernels::active_variant();
+    ASSERT_TRUE(
+        tensor::kernels::set_variant(tensor::kernels::Variant::kScalar).ok());
+  }
+  void TearDown() override {
+    ASSERT_TRUE(tensor::kernels::set_variant(saved_).ok());
+  }
+  tensor::kernels::Variant saved_ = tensor::kernels::Variant::kScalar;
   static telemetry::RaceLog* race_;
   static features::CarVocab* vocab_;
 };

@@ -80,6 +80,127 @@ TEST(Gemm, BetaZeroOverwritesGarbage) {
   for (double v : c.flat()) EXPECT_TRUE(std::isfinite(v));
 }
 
+/// Runs `body` once per CPU-supported kernel variant, restoring the entry
+/// variant afterwards. The remainder tests below must hold for every
+/// variant, not just whichever one dispatch picked at startup.
+template <typename Fn>
+void for_each_variant(Fn body) {
+  namespace tk = ranknet::tensor::kernels;
+  const tk::Variant saved = tk::active_variant();
+  for (const auto v : {tk::Variant::kScalar, tk::Variant::kAvx2}) {
+    if (!tk::cpu_supports(v)) continue;
+    ASSERT_TRUE(tk::set_variant(v).ok());
+    body(tk::variant_name(v));
+  }
+  ASSERT_TRUE(tk::set_variant(saved).ok());
+}
+
+TEST(Gemm, RemainderShapesMatchNaiveUnderEachVariant) {
+  // Shapes straddling every vector-width boundary: partial 4-row blocks,
+  // 8/4/masked column tails, odd k, and the n == 1 GEMV route. A bug in
+  // the remainder handling of a blocked kernel shows up exactly here.
+  const struct {
+    int m, k, n;
+  } shapes[] = {{1, 7, 1},  {2, 3, 33}, {5, 13, 9},
+                {6, 20, 1}, {7, 37, 12}, {13, 9, 5}};
+  for_each_variant([&](const char* variant) {
+    for (const auto& s : shapes) {
+      Rng rng(static_cast<std::uint64_t>(s.m * 1000 + s.k * 10 + s.n));
+      const Matrix a = Matrix::randn(s.m, s.k, rng);
+      const Matrix b = Matrix::randn(s.k, s.n, rng);
+      Matrix c = Matrix::randn(s.m, s.n, rng);
+      const Matrix expected = naive_gemm(0.7, a, false, b, false, 1.3, c);
+      ranknet::tensor::gemm(0.7, a, false, b, false, 1.3, c);
+      for (std::size_t i = 0; i < c.size(); ++i) {
+        EXPECT_NEAR(c.flat()[i], expected.flat()[i], 1e-10)
+            << variant << " " << s.m << "x" << s.k << "x" << s.n;
+      }
+    }
+  });
+}
+
+TEST(Gemm, ZeroRowBatchIsANoOpUnderEachVariant) {
+  // A K=0 sample batch degenerates to an (0 x k) GEMM: nothing to compute,
+  // nothing to touch, no crash — under either variant.
+  for_each_variant([&](const char* variant) {
+    const Matrix a(0, 5);
+    const Matrix b(5, 9);
+    Matrix c(0, 9);
+    ranknet::tensor::gemm(1.0, a, false, b, false, 0.0, c);
+    EXPECT_TRUE(c.empty()) << variant;
+  });
+}
+
+TEST(Kernels, LstmCellStepMatchesNaiveOnOddHiddenSizes) {
+  // Full packed cell against a from-scratch std::exp reference, at hidden
+  // sizes that are not multiples of the 4-lane width, batches including the
+  // K=1 degenerate. Catches tail overruns/underruns that cross-variant
+  // diffing alone could miss (both variants sharing the same wrong tail).
+  namespace t = ranknet::tensor;
+  for_each_variant([&](const char* variant) {
+    for (const std::size_t hidden : {std::size_t{5}, std::size_t{13}}) {
+      for (const std::size_t batch : {std::size_t{1}, std::size_t{3}}) {
+        const std::size_t in = 7;
+        Rng rng(17 + hidden + batch);
+        const Matrix xh = Matrix::randn(batch, in + hidden, rng);
+        const Matrix w = Matrix::randn(in + hidden, 4 * hidden, rng);
+        const Matrix bias_m = Matrix::randn(1, 4 * hidden, rng);
+        const Matrix c0 = Matrix::randn(batch, hidden, rng);
+
+        t::Workspace ws;
+        ws.begin();
+        auto c = ws.take(batch, hidden);
+        auto h = ws.take(batch, hidden);
+        for (std::size_t i = 0; i < batch * hidden; ++i) {
+          c.data()[i] = c0.flat()[i];
+        }
+        t::LstmStepScratch scratch{
+            ws.take(batch, 4 * hidden), ws.take(batch, 3 * hidden),
+            ws.take(batch, hidden),     ws.take(batch, hidden),
+            ws.take(batch, hidden),     ws.take(batch, hidden),
+            ws.take(batch, hidden),     ws.take(batch, hidden)};
+        t::lstm_cell_step(t::ConstMatrixView(xh), t::ConstMatrixView(w),
+                          t::ConstMatrixView(bias_m).row(0), c, h, scratch);
+
+        const auto sigmoid = [](double x) { return 1.0 / (1.0 + std::exp(-x)); };
+        for (std::size_t r = 0; r < batch; ++r) {
+          for (std::size_t j = 0; j < hidden; ++j) {
+            double g[4];
+            for (int gate = 0; gate < 4; ++gate) {
+              double acc = 0.0;
+              for (std::size_t p = 0; p < in + hidden; ++p) {
+                acc += xh(r, p) * w(p, gate * hidden + j);
+              }
+              g[gate] = acc + bias_m(0, gate * hidden + j);
+            }
+            const double iv = sigmoid(g[0]), fv = sigmoid(g[1]);
+            const double gv = std::tanh(g[2]), ov = sigmoid(g[3]);
+            const double cv = fv * c0(r, j) + iv * gv;
+            EXPECT_NEAR(c(r, j), cv, 1e-9)
+                << variant << " c H=" << hidden << " B=" << batch;
+            EXPECT_NEAR(h(r, j), ov * std::tanh(cv), 1e-9)
+                << variant << " h H=" << hidden << " B=" << batch;
+          }
+        }
+      }
+    }
+  });
+}
+
+TEST(Kernels, ZeroLengthPointwiseIsANoOp) {
+  namespace tk = ranknet::tensor::kernels;
+  for_each_variant([&](const char* variant) {
+    const auto& d = tk::dispatch();
+    double sentinel = 42.0;
+    d.sigmoid(&sentinel, 0);
+    d.tanh(&sentinel, 0);
+    d.hadamard(&sentinel, &sentinel, &sentinel, 0);
+    d.hadamard_add(&sentinel, &sentinel, &sentinel, 0);
+    d.add_bias_rows(&sentinel, &sentinel, 0, 3);
+    EXPECT_DOUBLE_EQ(sentinel, 42.0) << variant;
+  });
+}
+
 TEST(Kernels, HadamardAndAxpy) {
   Matrix a(2, 2), b(2, 2), out(2, 2);
   a(0, 0) = 2;
