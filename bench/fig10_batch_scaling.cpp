@@ -51,6 +51,16 @@ struct DecodeRow {
   double samples_per_second = 0.0;
   double ws_allocs_per_forecast = 0.0;
   double ws_epoch_reuse = 0.0;  // reused epochs / epochs in steady state
+  double branches_per_forecast = 0.0;  // decode-tree branches coalesced
+  double rows_per_branch = 0.0;        // 1.0 = no sharing
+};
+
+struct CacheRow {
+  int num_samples = 0;
+  double cold_us_per_sample = 0.0;  // uncached forecast
+  double hit_us_per_sample = 0.0;   // cache replay of the same request
+  double hit_speedup = 0.0;
+  double hit_rate = 0.0;  // CacheCounters over this row's requests
 };
 
 struct BenchResults {
@@ -60,6 +70,8 @@ struct BenchResults {
   std::size_t thread_rows = 0;
   DecodeRow decode[8];
   std::size_t decode_rows = 0;
+  CacheRow cache[8];
+  std::size_t cache_rows = 0;
 };
 
 struct RankNetFixture {
@@ -166,8 +178,9 @@ void mc_decode_scaling(RankNetFixture& fix, BenchResults& results) {
   std::printf("\nInference — MC decode throughput vs samples/car "
               "(horizon %d, origin %d, single thread)\n",
               horizon, origin);
-  std::printf("%10s %10s %14s %14s %16s %12s\n", "Samples", "rows",
-              "us/sample", "ns/step", "allocs/forecast", "reuse");
+  std::printf("%10s %10s %14s %14s %16s %12s %10s %12s\n", "Samples", "rows",
+              "us/sample", "ns/step", "allocs/forecast", "reuse", "branches",
+              "rows/branch");
 
   for (const int samples : sample_counts) {
     // Two warm-up forecasts: the first grows the thread-local arena to this
@@ -178,6 +191,9 @@ void mc_decode_scaling(RankNetFixture& fix, BenchResults& results) {
     (void)fix.forecaster.forecast(fix.race, origin, horizon, samples, warm2);
 
     const auto ws_before = tensor::WorkspaceCounters::instance().snapshot();
+    auto& tree = core::DecodeTreeCounters::instance();
+    const auto tree_rows0 = tree.rows();
+    const auto tree_branches0 = tree.branches();
     const int reps = 3;
     std::size_t rows = 0;
     util::Timer timer;
@@ -189,6 +205,8 @@ void mc_decode_scaling(RankNetFixture& fix, BenchResults& results) {
     }
     const double seconds = timer.seconds();
     const auto ws_after = tensor::WorkspaceCounters::instance().snapshot();
+    const auto tree_rows = tree.rows() - tree_rows0;
+    const auto tree_branches = tree.branches() - tree_branches0;
 
     DecodeRow row;
     row.num_samples = samples;
@@ -206,14 +224,94 @@ void mc_decode_scaling(RankNetFixture& fix, BenchResults& results) {
                     : static_cast<double>(ws_after.reused_epochs -
                                           ws_before.reused_epochs) /
                           static_cast<double>(epochs);
+    row.branches_per_forecast =
+        static_cast<double>(tree_branches) / reps;
+    row.rows_per_branch =
+        tree_branches == 0 ? 0.0
+                           : static_cast<double>(tree_rows) /
+                                 static_cast<double>(tree_branches);
     results.decode[results.decode_rows++] = row;
-    std::printf("%10d %10zu %14.2f %14.1f %16.2f %11.0f%%\n", samples,
-                row.rows, row.us_per_sample, row.ns_per_step,
-                row.ws_allocs_per_forecast, 100.0 * row.ws_epoch_reuse);
+    std::printf("%10d %10zu %14.2f %14.1f %16.2f %11.0f%% %10.0f %12.1f\n",
+                samples, row.rows, row.us_per_sample, row.ns_per_step,
+                row.ws_allocs_per_forecast, 100.0 * row.ws_epoch_reuse,
+                row.branches_per_forecast, row.rows_per_branch);
     std::fflush(stdout);
   }
   std::printf("(us/sample amortizes with samples/car — all of a car's "
-              "samples share one batched GEMM per decode step)\n");
+              "samples share one batched GEMM per decode step; rows/branch "
+              "is the decode tree's prefix sharing, 1.0 = none)\n");
+}
+
+// Forecast-cache replay: the serving cadence loop asks for the same
+// (race, origin) forecast over and over — a hit must be orders of magnitude
+// cheaper than the cold compute it replays, at identical bytes.
+void forecast_cache_replay(RankNetFixture& fix, BenchResults& results) {
+  const int horizon = 5;
+  const int origin = 80;
+  const std::vector<int> sample_counts{8, 32, 96};
+
+  std::printf("\nInference — forecast cache replay (horizon %d, origin %d, "
+              "single thread)\n",
+              horizon, origin);
+  std::printf("%10s %14s %14s %10s %10s\n", "Samples", "cold us/sm",
+              "hit us/sm", "speedup", "hit rate");
+
+  for (const int samples : sample_counts) {
+    core::ParallelForecastEngine engine(fix.forecaster, 0);
+    auto cache = std::make_shared<core::ForecastCache>(8);
+    engine.set_forecast_cache(cache);
+    // Warm model-side caches (race features, workspace arena) but not the
+    // forecast cache: a different seed keys a different entry.
+    util::Rng warm(23);
+    (void)engine.forecast(fix.race, origin, horizon, samples, warm);
+    cache->clear();
+
+    auto& ctr = core::CacheCounters::instance();
+    const auto hits0 = ctr.hits();
+    const auto misses0 = ctr.misses();
+
+    std::size_t rows = 0;
+    util::Timer cold_timer;
+    {
+      util::Rng rng(29);
+      const auto out =
+          engine.forecast(fix.race, origin, horizon, samples, rng);
+      for (const auto& [car_id, m] : out) rows += m.rows();
+    }
+    const double cold_seconds = cold_timer.seconds();
+
+    const int reps = 50;
+    util::Timer hit_timer;
+    for (int r = 0; r < reps; ++r) {
+      util::Rng rng(29);
+      (void)engine.forecast(fix.race, origin, horizon, samples, rng);
+    }
+    const double hit_seconds = hit_timer.seconds();
+
+    CacheRow row;
+    row.num_samples = samples;
+    row.cold_us_per_sample =
+        cold_seconds * 1e6 / static_cast<double>(rows);
+    row.hit_us_per_sample =
+        hit_seconds * 1e6 / static_cast<double>(rows * reps);
+    row.hit_speedup = row.hit_us_per_sample > 0.0
+                          ? row.cold_us_per_sample / row.hit_us_per_sample
+                          : 0.0;
+    const auto hits = ctr.hits() - hits0;
+    const auto misses = ctr.misses() - misses0;
+    row.hit_rate = hits + misses == 0
+                       ? 0.0
+                       : static_cast<double>(hits) /
+                             static_cast<double>(hits + misses);
+    results.cache[results.cache_rows++] = row;
+    std::printf("%10d %14.2f %14.3f %9.0fx %9.0f%%\n", samples,
+                row.cold_us_per_sample, row.hit_us_per_sample,
+                row.hit_speedup, 100.0 * row.hit_rate);
+    std::fflush(stdout);
+  }
+  std::printf("(hit cost is one race digest + one map copy — independent "
+              "of model size; hit rate counts this row's %s requests)\n",
+              "1 cold + 50 replay");
 }
 
 void write_json(const BenchResults& r, const char* path) {
@@ -263,10 +361,24 @@ void write_json(const BenchResults& r, const char* path) {
                  "\"us_per_sample\": %.3f, \"ns_per_step\": %.1f, "
                  "\"samples_per_second\": %.1f, "
                  "\"ws_allocs_per_forecast\": %.2f, "
-                 "\"ws_epoch_reuse\": %.4f}%s\n",
+                 "\"ws_epoch_reuse\": %.4f, "
+                 "\"branches_per_forecast\": %.1f, "
+                 "\"rows_per_branch\": %.2f}%s\n",
                  d.num_samples, d.rows, d.us_per_sample, d.ns_per_step,
                  d.samples_per_second, d.ws_allocs_per_forecast,
-                 d.ws_epoch_reuse, i + 1 < r.decode_rows ? "," : "");
+                 d.ws_epoch_reuse, d.branches_per_forecast,
+                 d.rows_per_branch, i + 1 < r.decode_rows ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"forecast_cache\": [\n");
+  for (std::size_t i = 0; i < r.cache_rows; ++i) {
+    const auto& c = r.cache[i];
+    std::fprintf(f,
+                 "    {\"num_samples\": %d, \"cold_us_per_sample\": %.3f, "
+                 "\"hit_us_per_sample\": %.4f, \"hit_speedup\": %.1f, "
+                 "\"hit_rate\": %.4f}%s\n",
+                 c.num_samples, c.cold_us_per_sample, c.hit_us_per_sample,
+                 c.hit_speedup, c.hit_rate,
+                 i + 1 < r.cache_rows ? "," : "");
   }
   std::fprintf(f, "  ]");
   // A/B against the pre-refactor binary: run the old fig10 bench on the
@@ -330,6 +442,7 @@ int main() {
   RankNetFixture fixture;
   inference_thread_scaling(fixture, results);
   mc_decode_scaling(fixture, results);
+  forecast_cache_replay(fixture, results);
   write_json(results, "BENCH_fig10.json");
   return 0;
 }

@@ -271,7 +271,12 @@ std::vector<LstmSeqModel::StackState> LstmSeqModel::trace(
       // (same convention as make_batch); univariate is just the rank.
       auto row = stack[0].x_row(r);
       row[0] = scaler_.transform(history[r][t]);
-      for (std::size_t j = 1; j < td; ++j) row[j] = covs[r][t][j - 1];
+      for (std::size_t j = 1; j < td; ++j) {
+        // Zero-fill short rows, same as the covariate packing below — a
+        // multivariate model over a thin covariate config must not read
+        // past the row.
+        row[j] = j - 1 < covs[r][t].size() ? covs[r][t][j - 1] : 0.0;
+      }
       const auto& cov = covs[r][t + 1];
       for (std::size_t c = 0; c < config_.cov_dim; ++c) {
         row[td + c] = c < cov.size() ? cov[c] : 0.0;
@@ -436,6 +441,140 @@ tensor::Matrix LstmSeqModel::sample_forward_impl(
   }
   for (std::size_t l = 0; l < stack.size(); ++l) {
     stack[l].store_state(state[l]);
+  }
+  return out;
+}
+
+tensor::Matrix LstmSeqModel::sample_forward_tree(
+    StackState& branch_state, std::span<const std::size_t> branch_of_row,
+    std::vector<std::vector<double>> z_prev,
+    const std::vector<std::vector<std::vector<double>>>& future_covs,
+    const std::vector<int>& car_index, int horizon,
+    std::span<util::Rng> row_rngs) const {
+  const std::size_t rows = z_prev.size();
+  const std::size_t td = config_.target_dim;
+  if (branch_of_row.size() != rows || row_rngs.size() != rows) {
+    throw std::invalid_argument(
+        "sample_forward_tree: one branch id and one rng stream per row");
+  }
+  if (rows == 0 || horizon < 1 || branch_state.empty()) {
+    throw std::invalid_argument("sample_forward_tree: empty decode");
+  }
+  const std::size_t branches = branch_state[0].h.rows();
+
+  // Branch b's step-1 inputs come from its first member row; the caller
+  // guarantees all members carry byte-identical copies.
+  std::vector<std::size_t> rep(branches, rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t b = branch_of_row[r];
+    if (b >= branches) {
+      throw std::invalid_argument(
+          "sample_forward_tree: branch id out of range");
+    }
+    if (rep[b] == rows) rep[b] = r;
+  }
+  for (std::size_t b = 0; b < branches; ++b) {
+    if (rep[b] == rows) {
+      throw std::invalid_argument(
+          "sample_forward_tree: branch with no member rows");
+    }
+  }
+
+  // One workspace epoch holds BOTH session sets: the branch-width stack
+  // runs the shared step, the full-width stack the divergent suffix. Views
+  // from the first set stay valid while the second runs (no begin()
+  // between), per the workspace lifetime rules.
+  auto& ws = tensor::Workspace::thread_local_instance();
+  ws.begin();
+  auto bstack = make_stack_sessions(layers_, branches, ws);
+  tensor::MatrixView bembed;
+  std::vector<int> branch_car(branches);
+  for (std::size_t b = 0; b < branches; ++b) branch_car[b] = car_index[rep[b]];
+  if (config_.embed_dim > 0) {
+    bembed = ws.take_zeroed(branches, config_.embed_dim);
+    if (embedding_ != nullptr) {
+      nn::EmbeddingInferenceSession(*embedding_).gather(branch_car, bembed);
+    }
+  }
+  nn::GaussianInferenceSession head(*head_);
+  tensor::MatrixView bmu = ws.take(branches, td);
+  tensor::MatrixView bsigma = ws.take(branches, td);
+
+  // ---- shared prefix: decode step 1 at branch width -------------------
+  for (std::size_t l = 0; l < bstack.size(); ++l) {
+    bstack[l].load_state(branch_state[l]);
+  }
+  for (std::size_t b = 0; b < branches; ++b) {
+    const std::size_t r = rep[b];
+    auto row = bstack[0].x_row(b);
+    row[0] = scaler_.transform(z_prev[r][0]);
+    for (std::size_t j = 1; j < td; ++j) row[j] = z_prev[r][j];
+    const auto& cov = future_covs[r][0];
+    for (std::size_t c = 0; c < config_.cov_dim; ++c) {
+      row[td + c] = c < cov.size() ? cov[c] : 0.0;
+    }
+    for (std::size_t c = 0; c < config_.embed_dim; ++c) {
+      row[td + config_.cov_dim + c] = bembed(b, c);
+    }
+  }
+  run_stack_step(bstack);
+  head.forward(bstack.back().h(), bmu, bsigma);
+
+  // ---- fork: expand branches to member rows ---------------------------
+  auto stack = make_stack_sessions(layers_, rows, ws);
+  tensor::MatrixView embed;
+  if (config_.embed_dim > 0) {
+    embed = ws.take_zeroed(rows, config_.embed_dim);
+    if (embedding_ != nullptr) {
+      nn::EmbeddingInferenceSession(*embedding_).gather(car_index, embed);
+    }
+  }
+  tensor::MatrixView mu = ws.take(rows, td);
+  tensor::MatrixView sigma = ws.take(rows, td);
+  tensor::MatrixView sample = ws.take(rows, td);
+  for (std::size_t l = 0; l < stack.size(); ++l) {
+    stack[l].load_state_rows(bstack[l], branch_of_row);
+  }
+
+  tensor::Matrix out(rows, static_cast<std::size_t>(horizon));
+  // Step-1 sampling: row r draws from its own stream against its branch's
+  // (mu, sigma) — the same values independent decode would have computed
+  // for that row, so the drawn bits coincide.
+  nn::GaussianInferenceSession::sample_rows(bmu, bsigma, branch_of_row,
+                                            row_rngs, sample);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double rank = std::clamp(scaler_.inverse(sample(r, 0)),
+                                   kMinRankFeedback, kMaxRankFeedback);
+    out(r, 0) = rank;
+    z_prev[r][0] = rank;
+    for (std::size_t j = 1; j < td; ++j) z_prev[r][j] = sample(r, j);
+  }
+
+  // ---- divergent suffix: steps 2..horizon at full width ---------------
+  // Identical, statement for statement, to the sample_forward_impl loop.
+  for (int h = 1; h < horizon; ++h) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      auto row = stack[0].x_row(r);
+      row[0] = scaler_.transform(z_prev[r][0]);
+      for (std::size_t j = 1; j < td; ++j) row[j] = z_prev[r][j];
+      const auto& cov = future_covs[r][static_cast<std::size_t>(h)];
+      for (std::size_t c = 0; c < config_.cov_dim; ++c) {
+        row[td + c] = c < cov.size() ? cov[c] : 0.0;
+      }
+      for (std::size_t c = 0; c < config_.embed_dim; ++c) {
+        row[td + config_.cov_dim + c] = embed(r, c);
+      }
+    }
+    run_stack_step(stack);
+    head.forward(stack.back().h(), mu, sigma);
+    nn::GaussianInferenceSession::sample(mu, sigma, row_rngs, sample);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double rank = std::clamp(scaler_.inverse(sample(r, 0)),
+                                     kMinRankFeedback, kMaxRankFeedback);
+      out(r, static_cast<std::size_t>(h)) = rank;
+      z_prev[r][0] = rank;
+      for (std::size_t j = 1; j < td; ++j) z_prev[r][j] = sample(r, j);
+    }
   }
   return out;
 }

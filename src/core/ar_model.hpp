@@ -142,6 +142,28 @@ class LstmSeqModel : public nn::Layer {
       std::span<util::Rng> row_rngs,
       std::vector<tensor::Matrix>* all_dims = nullptr) const;
 
+  /// Shared-prefix decode-tree variant (DESIGN.md "Decode tree & forecast
+  /// cache"). Rows are partitioned into branches: every member of a branch
+  /// must enter the decode with byte-identical state and byte-identical
+  /// step-1 inputs (z_prev, future_covs[r][0], car_index). The first decode
+  /// step then runs once per *branch* over `branch_state` (one state row
+  /// per branch), rows fork by drawing their step-1 noise from their own
+  /// row stream against the branch's (mu, sigma), and steps 2..horizon run
+  /// at full row width exactly like sample_forward. Because the dispatched
+  /// kernels are row-independent and the forked state is a plain row copy,
+  /// the result is bit-identical to independent decode of the same rows —
+  /// tests/test_decode_tree.cpp proves this differentially.
+  ///
+  /// branch_state is consumed (decode advances it; it is not stored back).
+  /// branch_of_row[r] names row r's branch; branch b's step-1 inputs are
+  /// read from its first member row.
+  tensor::Matrix sample_forward_tree(
+      StackState& branch_state, std::span<const std::size_t> branch_of_row,
+      std::vector<std::vector<double>> z_prev,
+      const std::vector<std::vector<std::vector<double>>>& future_covs,
+      const std::vector<int>& car_index, int horizon,
+      std::span<util::Rng> row_rngs) const;
+
   std::vector<nn::Parameter*> params() override;
 
  private:

@@ -63,6 +63,26 @@ void DegradationCounters::reset() {
   workspace_block_allocs_->reset();
 }
 
+DecodeTreeCounters& DecodeTreeCounters::instance() {
+  static DecodeTreeCounters counters;
+  return counters;
+}
+
+DecodeTreeCounters::DecodeTreeCounters() {
+  auto& reg = obs::Registry::instance();
+  decodes_ = &reg.counter("decode_tree.decodes");
+  rows_ = &reg.counter("decode_tree.rows");
+  branches_ = &reg.counter("decode_tree.branches");
+  shared_rows_ = &reg.counter("decode_tree.shared_rows");
+}
+
+void DecodeTreeCounters::reset() {
+  decodes_->reset();
+  rows_->reset();
+  branches_->reset();
+  shared_rows_->reset();
+}
+
 namespace {
 
 using tensor::Kernel;

@@ -132,6 +132,46 @@ class DegradationCounters {
   obs::Counter* workspace_block_allocs_;
 };
 
+/// Branch-reuse accounting for the shared-prefix MC decode tree (see
+/// DESIGN.md "Decode tree & forecast cache"). Booked by RankNetForecaster
+/// when decoding in tree mode; `shared_rows` counts row-steps of LSTM+head
+/// work the tree skipped versus independent decode (rows × shared steps −
+/// branches × shared steps), so branch-reuse health is exportable next to
+/// the cache hit rate. Storage lives in the obs::Registry ("decode_tree.*");
+/// this class is a shim over resolved handles.
+class DecodeTreeCounters {
+ public:
+  static DecodeTreeCounters& instance();
+
+  /// Zeroes this subsystem's metrics only.
+  void reset();
+  void record_decode(std::uint64_t rows, std::uint64_t branches,
+                     std::uint64_t shared_rows) {
+    decodes_->add(1);
+    rows_->add(rows);
+    branches_->add(branches);
+    shared_rows_->add(shared_rows);
+  }
+
+  std::uint64_t decodes() const { return decodes_->value(); }
+  std::uint64_t rows() const { return rows_->value(); }
+  std::uint64_t branches() const { return branches_->value(); }
+  std::uint64_t shared_rows() const { return shared_rows_->value(); }
+  /// Mean rows per branch (1.0 = no sharing); 0 when idle.
+  double rows_per_branch() const {
+    const auto b = branches();
+    return b == 0 ? 0.0
+                  : static_cast<double>(rows()) / static_cast<double>(b);
+  }
+
+ private:
+  DecodeTreeCounters();
+  obs::Counter* decodes_;
+  obs::Counter* rows_;
+  obs::Counter* branches_;
+  obs::Counter* shared_rows_;
+};
+
 struct KernelClassStats {
   std::uint64_t calls = 0;
   std::uint64_t flops = 0;

@@ -1,0 +1,90 @@
+#include "core/forecast_cache.hpp"
+
+#include <string>
+
+namespace ranknet::core {
+
+std::uint64_t race_state_digest(const telemetry::RaceLog& race) {
+  Fnv1a h;
+  const std::string id = race.id();
+  h.update_bytes(id.data(), id.size());
+  h.update_u64(static_cast<std::uint64_t>(race.num_laps()));
+  for (int car_id : race.car_ids()) {
+    const auto& car = race.car(car_id);
+    h.update_u64(static_cast<std::uint64_t>(car_id));
+    h.update_u64(static_cast<std::uint64_t>(car.laps()));
+    for (std::size_t t = 0; t < car.laps(); ++t) {
+      h.update_double(car.rank[t]);
+      h.update_double(car.lap_time[t]);
+      h.update_u64(static_cast<std::uint64_t>(car.lap_status[t]));
+      h.update_u64(static_cast<std::uint64_t>(car.track_status[t]));
+    }
+  }
+  return h.digest();
+}
+
+CacheCounters& CacheCounters::instance() {
+  static CacheCounters inst;
+  return inst;
+}
+
+CacheCounters::CacheCounters() {
+  auto& reg = obs::Registry::instance();
+  hits_ = &reg.counter("forecast_cache.hits");
+  misses_ = &reg.counter("forecast_cache.misses");
+  insertions_ = &reg.counter("forecast_cache.insertions");
+  evictions_ = &reg.counter("forecast_cache.evictions");
+}
+
+void CacheCounters::reset() {
+  hits_->reset();
+  misses_->reset();
+  insertions_->reset();
+  evictions_->reset();
+}
+
+ForecastCache::ForecastCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::optional<RaceSamples> ForecastCache::get(const ForecastCacheKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    CacheCounters::instance().record_miss();
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  CacheCounters::instance().record_hit();
+  return it->second->second;  // deep copy out
+}
+
+void ForecastCache::put(const ForecastCacheKey& key, const RaceSamples& value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = value;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  while (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    CacheCounters::instance().record_evict();
+  }
+  lru_.emplace_front(key, value);
+  index_.emplace(key, lru_.begin());
+  CacheCounters::instance().record_insert();
+}
+
+std::size_t ForecastCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+void ForecastCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace ranknet::core

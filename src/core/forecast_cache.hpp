@@ -1,0 +1,163 @@
+// Bounded LRU cache over complete race forecasts, keyed by a compact
+// race-state digest — the serving-side answer to "the same race state is
+// forecast over and over" (every subscribed user asks for the same
+// (race, origin) forecast within a cadence window; see ROADMAP).
+//
+// Correctness contract: a hit must return bytes identical to the cold
+// compute it replaced. That is only sound because a forecast is a pure
+// function of the cache key's fields:
+//   * race digest   — FNV-1a over the full per-car telemetry series (rank,
+//                     lap/track status, lap times). Covers both the encoder
+//                     prefix and the oracle future covariates, so any
+//                     telemetry change — past or future lap — changes the
+//                     key.
+//   * origin/horizon/num_samples — the forecast request itself.
+//   * base          — the rng stream base the engine drew for this
+//                     forecast; all sample noise is keyed from it.
+//   * model_version — the serving layer's token for "these weights"; the
+//                     engine defaults it to a digest of the forecaster
+//                     name, and callers must bump it when weights change
+//                     under the same name (ParallelForecastEngine::
+//                     set_model_version).
+//   * kernel_variant — tensor::kernels::active_variant(): scalar and avx2
+//                     results differ by reassociation ULPs, so they must
+//                     never share an entry.
+//
+// Thread safety: every method is safe to call concurrently (one mutex; the
+// engine pool's workers and multiple engines may share one cache). Hits,
+// misses, insertions and evictions are booked into the obs::Registry
+// ("forecast_cache.*") via the CacheCounters shim below, same pattern as
+// WorkspaceCounters.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "core/forecaster.hpp"
+#include "obs/metrics.hpp"
+
+namespace ranknet::core {
+
+/// Incremental 64-bit FNV-1a. Small and header-inline so the digest of a
+/// race, a covariate window, or a cache key all share one definition.
+class Fnv1a {
+ public:
+  void update_bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      state_ ^= static_cast<std::uint64_t>(p[i]);
+      state_ *= kPrime;
+    }
+  }
+  void update_u64(std::uint64_t v) { update_bytes(&v, sizeof(v)); }
+  /// Hashes the bit pattern (distinguishes -0.0/0.0 and NaN payloads —
+  /// exactly what byte-identity caching needs).
+  void update_double(double v) { update_bytes(&v, sizeof(v)); }
+  std::uint64_t digest() const { return state_; }
+
+ private:
+  static constexpr std::uint64_t kOffsetBasis = 1469598103934665603ull;
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t state_ = kOffsetBasis;
+};
+
+/// FNV-1a digest of everything a forecast reads from the race: id, lap
+/// count, and every per-car series (rank, statuses, lap times) in ascending
+/// car-id order. O(records); ~50k hash steps for a full 33-car race —
+/// three orders of magnitude below one cold forecast.
+std::uint64_t race_state_digest(const telemetry::RaceLog& race);
+
+struct ForecastCacheKey {
+  std::uint64_t race_digest = 0;
+  std::uint64_t base = 0;           // engine's rng stream base
+  std::uint64_t model_version = 0;  // weights token (see header comment)
+  int origin_lap = 0;
+  int horizon = 0;
+  int num_samples = 0;
+  int kernel_variant = 0;  // tensor::kernels::Variant as int
+
+  bool operator==(const ForecastCacheKey&) const = default;
+  std::uint64_t hash() const {
+    Fnv1a h;
+    h.update_u64(race_digest);
+    h.update_u64(base);
+    h.update_u64(model_version);
+    h.update_u64(static_cast<std::uint64_t>(origin_lap));
+    h.update_u64(static_cast<std::uint64_t>(horizon));
+    h.update_u64(static_cast<std::uint64_t>(num_samples));
+    h.update_u64(static_cast<std::uint64_t>(kernel_variant));
+    return h.digest();
+  }
+};
+
+/// Hit/miss/eviction accounting. Storage lives in the obs::Registry
+/// ("forecast_cache.*"); this class is a shim over resolved handles, one
+/// relaxed atomic per event.
+class CacheCounters {
+ public:
+  static CacheCounters& instance();
+
+  void record_hit() { hits_->add(1); }
+  void record_miss() { misses_->add(1); }
+  void record_insert() { insertions_->add(1); }
+  void record_evict() { evictions_->add(1); }
+
+  std::uint64_t hits() const { return hits_->value(); }
+  std::uint64_t misses() const { return misses_->value(); }
+  std::uint64_t insertions() const { return insertions_->value(); }
+  std::uint64_t evictions() const { return evictions_->value(); }
+  /// hits / (hits + misses); 0 when idle.
+  double hit_rate() const {
+    const auto h = hits(), m = misses();
+    return h + m == 0 ? 0.0
+                      : static_cast<double>(h) / static_cast<double>(h + m);
+  }
+  /// Zeroes this subsystem's metrics only.
+  void reset();
+
+ private:
+  CacheCounters();
+  obs::Counter* hits_;
+  obs::Counter* misses_;
+  obs::Counter* insertions_;
+  obs::Counter* evictions_;
+};
+
+class ForecastCache {
+ public:
+  /// `capacity` bounds the number of cached forecasts (LRU eviction);
+  /// at least 1.
+  explicit ForecastCache(std::size_t capacity = 64);
+
+  /// Deep copy out on hit (the cached bytes stay untouched, so every hit
+  /// returns the exact bytes of the original cold compute); nullopt on
+  /// miss. Refreshes the entry's LRU position.
+  std::optional<RaceSamples> get(const ForecastCacheKey& key);
+
+  /// Insert (or refresh) a forecast; evicts the least-recently-used entry
+  /// when full. Values are deep-copied in.
+  void put(const ForecastCacheKey& key, const RaceSamples& value);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  void clear();
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const ForecastCacheKey& k) const {
+      return static_cast<std::size_t>(k.hash());
+    }
+  };
+  using Entry = std::pair<ForecastCacheKey, RaceSamples>;
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<ForecastCacheKey, std::list<Entry>::iterator, KeyHash>
+      index_;
+};
+
+}  // namespace ranknet::core

@@ -1,6 +1,7 @@
 #include "core/forecaster.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "util/stats.hpp"
 
@@ -12,7 +13,18 @@ RaceSamples sort_to_ranks(const RaceSamples& raw) {
   const std::size_t horizon = raw.begin()->second.cols();
 
   std::vector<int> car_ids;
-  for (const auto& [car, _] : raw) car_ids.push_back(car);
+  for (const auto& [car, m] : raw) {
+    // Cross-car sorting reads every matrix at (s, h): a ragged input would
+    // index past the short matrices — unchecked in release builds, i.e.
+    // silent garbage ranks. Refuse it loudly instead (the engine's
+    // fallback merge broadcasts point forecasts to the full sample count).
+    if (m.rows() != samples || m.cols() != horizon) {
+      throw std::invalid_argument(
+          "sort_to_ranks: all cars must have the same (samples x horizon) "
+          "shape");
+    }
+    car_ids.push_back(car);
+  }
 
   RaceSamples ranks;
   for (int car : car_ids) {

@@ -73,7 +73,9 @@ class PartitionableForecaster {
 };
 
 /// Convert raw sampled values into integer ranks by sorting each
-/// (sample, lap) slice across cars (ties broken by car id order).
+/// (sample, lap) slice across cars (ties broken by car id order). Every
+/// car's matrix must share one (samples x horizon) shape; a ragged input
+/// throws std::invalid_argument.
 RaceSamples sort_to_ranks(const RaceSamples& raw);
 
 /// Per-car median trajectory of a sample matrix (length = horizon).

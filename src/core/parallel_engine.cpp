@@ -11,12 +11,40 @@
 
 #include "core/device_model.hpp"
 #include "obs/trace.hpp"
+#include "tensor/simd_kernels.hpp"
 #include "tensor/workspace.hpp"
 #include "util/timer.hpp"
 
 namespace ranknet::core {
 
 namespace {
+
+/// Default weights token for the forecast-cache key (see
+/// set_model_version): a digest of the wrapped forecaster's name.
+std::uint64_t name_digest(const std::string& name) {
+  Fnv1a h;
+  h.update_bytes(name.data(), name.size());
+  return h.digest();
+}
+
+/// Broadcast a fallback partition's sample matrix to the engine-wide
+/// num_samples row count (rows repeat cyclically; point forecasters like
+/// CurRank return one row per car). Merging a short matrix verbatim next
+/// to num_samples-row primary matrices used to hand sort_to_ranks a ragged
+/// map whose per-sample loop read past the short matrix — unchecked in
+/// release builds, hence the documented armed-active winner-line
+/// nondeterminism. tests/test_fault_injection.cpp
+/// (PartialFallbackOutputHasUniformSampleRows) regresses this.
+tensor::Matrix broadcast_rows(tensor::Matrix m, std::size_t rows) {
+  if (m.rows() == rows || m.rows() == 0) return m;
+  tensor::Matrix out(rows, m.cols());
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      out(r, c) = m(r % m.rows(), c);
+    }
+  }
+  return out;
+}
 
 /// Mirror the inference-runtime arena activity of one forecast into the
 /// global degradation counters. WorkspaceCounters is process-global, so the
@@ -39,7 +67,8 @@ ParallelForecastEngine::ParallelForecastEngine(RaceForecaster& wrapped,
     : wrapped_(wrapped),
       partitioned_(dynamic_cast<PartitionableForecaster*>(&wrapped)),
       pool_(threads),
-      max_cars_per_task_(max_cars_per_task == 0 ? 1 : max_cars_per_task) {}
+      max_cars_per_task_(max_cars_per_task == 0 ? 1 : max_cars_per_task),
+      model_version_(name_digest(wrapped.name())) {}
 
 ParallelForecastEngine::ParallelForecastEngine(
     std::shared_ptr<RaceForecaster> wrapped, std::size_t threads,
@@ -52,6 +81,7 @@ ParallelForecastEngine::ParallelForecastEngine(
   if (!owned_) {
     throw std::invalid_argument("ParallelForecastEngine: null forecaster");
   }
+  model_version_ = name_digest(wrapped_.name());
 }
 
 void ParallelForecastEngine::set_degradation_policy(DegradationPolicy policy) {
@@ -99,6 +129,35 @@ RaceSamples ParallelForecastEngine::forecast(const telemetry::RaceLog& race,
   obs::SpanScope prepare_span(obs::Stage::kPrepare);
   partitioned_->prepare(race);
   const std::uint64_t base = rng();
+
+  // Forecast cache: the key covers every input the computation below is a
+  // pure function of (see forecast_cache.hpp), so a hit can return the
+  // cached bytes verbatim. The base draw above already happened — a hit
+  // consumes exactly the rng state a cold compute would.
+  ForecastCacheKey cache_key;
+  if (cache_ != nullptr) {
+    cache_key = ForecastCacheKey{
+        race_state_digest(race),
+        base,
+        model_version_,
+        origin_lap,
+        horizon,
+        num_samples,
+        static_cast<int>(tensor::kernels::active_variant())};
+    if (auto cached = cache_->get(cache_key)) {
+      prepare_span.stop();
+      const double secs = wall.seconds();
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.forecasts;
+        stats_.wall_seconds += secs;
+      }
+      EngineCounters::instance().record_forecast(secs);
+      record_workspace_delta(ws_before);
+      return *std::move(cached);
+    }
+  }
+
   const std::vector<int> all_cars =
       partitioned_->forecast_cars(race, origin_lap);
 
@@ -225,8 +284,21 @@ RaceSamples ParallelForecastEngine::forecast(const telemetry::RaceLog& race,
     auto fb = fallback_part_->forecast_partition(race, origin_lap, horizon,
                                                  num_samples, base, rescue);
     for (auto& [car_id, samples] : fb) {
-      out.insert_or_assign(car_id, std::move(samples));
+      // Rescue matrices must match the primary sample count: point
+      // forecasters return fewer rows, and a ragged merge is exactly the
+      // old winner-line nondeterminism (see broadcast_rows).
+      out.insert_or_assign(
+          car_id, broadcast_rows(std::move(samples),
+                                 static_cast<std::size_t>(num_samples)));
     }
+  }
+
+  // Only pristine results enter the cache: any fallback, deadline, or error
+  // involvement means these bytes do not equal the healthy-system forecast
+  // for this key, and must not be replayed once the system recovers.
+  if (cache_ != nullptr && deg.fallback_cars() == 0 &&
+      deg.deadline_hits == 0 && !first_error) {
+    cache_->put(cache_key, out);
   }
 
   const double wall_seconds = wall.seconds();

@@ -41,6 +41,7 @@
 #include <memory>
 #include <mutex>
 
+#include "core/forecast_cache.hpp"
 #include "core/forecaster.hpp"
 #include "util/thread_pool.hpp"
 
@@ -111,6 +112,26 @@ class ParallelForecastEngine : public RaceForecaster {
   /// not a PartitionableForecaster.
   void set_degradation_policy(DegradationPolicy policy);
 
+  /// Attach (or detach, with nullptr) a forecast cache. Only fully-primary
+  /// partitioned forecasts are cached (no fallback, deadline, or error
+  /// involvement — degraded results must not be replayed once the system
+  /// recovers; non-partitioned delegation consumes an unknown amount of rng
+  /// state, so it cannot be keyed). A hit consumes the same single base
+  /// draw a cold forecast would, then returns the cached bytes verbatim —
+  /// byte-identical by the purity argument in forecast_cache.hpp. The
+  /// cache may be shared across engines (it is thread-safe).
+  void set_forecast_cache(std::shared_ptr<ForecastCache> cache) {
+    cache_ = std::move(cache);
+  }
+  const std::shared_ptr<ForecastCache>& forecast_cache() const {
+    return cache_;
+  }
+  /// Weights token for the cache key. Defaults to a digest of the wrapped
+  /// forecaster's name; callers MUST bump it when the wrapped model's
+  /// weights change under the same name, or stale forecasts will be served.
+  void set_model_version(std::uint64_t version) { model_version_ = version; }
+  std::uint64_t model_version() const { return model_version_; }
+
   Stats stats() const;
   Degradation degradation() const;
   void reset_stats();
@@ -123,6 +144,8 @@ class ParallelForecastEngine : public RaceForecaster {
   std::size_t max_cars_per_task_;
   DegradationPolicy policy_;
   PartitionableForecaster* fallback_part_ = nullptr;  // view into policy_
+  std::shared_ptr<ForecastCache> cache_;  // null = caching off
+  std::uint64_t model_version_ = 0;
   mutable std::mutex stats_mutex_;
   Stats stats_;
   Degradation degradation_;

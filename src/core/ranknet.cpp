@@ -1,8 +1,12 @@
 #include "core/ranknet.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
+#include <string_view>
 
+#include "core/device_model.hpp"
 #include "core/status_forecast.hpp"
 #include "util/string_util.hpp"
 
@@ -15,6 +19,17 @@ const char* status_source_name(StatusSource s) {
     case StatusSource::kJoint: return "Joint";
   }
   return "?";
+}
+
+DecodeMode default_decode_mode() {
+  static const DecodeMode mode = [] {
+    const char* env = std::getenv("RANKNET_DECODE");
+    if (env != nullptr && std::string_view(env) == "independent") {
+      return DecodeMode::kIndependent;
+    }
+    return DecodeMode::kTree;
+  }();
+  return mode;
 }
 
 RankNetForecaster::RankNetForecaster(
@@ -129,17 +144,7 @@ RaceSamples RankNetForecaster::forecast_partition(
       static_cast<std::size_t>(tail));
   for (auto& step : tail_z) step.resize(rows);
 
-  // Start state per row.
-  std::vector<LstmSeqModel::StackState> per_car_states;
-  per_car_states.reserve(cars.size());
   const auto trace_idx = origin - 2 - static_cast<std::size_t>(tail);
-  for (std::size_t c = 0; c < cars.size(); ++c) {
-    const auto& cc = rc.cars.at(cars[c]);
-    per_car_states.push_back(
-        LstmSeqModel::replicate_state(cc.trace[trace_idx], 0, s_count));
-  }
-  auto state = LstmSeqModel::concat_states(per_car_states);
-  per_car_states.clear();
 
   if (source_ == StatusSource::kPitModel) {
     // Predicted status must cover the horizon plus the shift look-ahead.
@@ -219,12 +224,6 @@ RaceSamples RankNetForecaster::forecast_partition(
     }
   }
 
-  // Teacher-forced tail replay (PitModel mode only; tail == 0 otherwise).
-  for (int t = 0; t < tail; ++t) {
-    model_->advance(state, tail_z[static_cast<std::size_t>(t)],
-                    tail_covs[static_cast<std::size_t>(t)], car_index);
-  }
-
   // One independent noise stream per (car, sample) row, keyed so the draw
   // for a row never depends on which other rows share the batch.
   std::vector<util::Rng> row_rngs;
@@ -235,8 +234,131 @@ RaceSamples RankNetForecaster::forecast_partition(
           base, static_cast<std::uint64_t>(cars[c]), s + 1));
     }
   }
-  const auto out = model_->sample_forward(state, z_prev, future_covs,
-                                          car_index, horizon, row_rngs);
+
+  tensor::Matrix out;
+  if (decode_mode_ == DecodeMode::kTree) {
+    // ---- shared-prefix decode tree ------------------------------------
+    // A branch is a set of same-car rows whose prefix inputs (tail-lap and
+    // first-decode-lap covariates; z_prev and tail targets are per-car by
+    // construction) coincide bit-for-bit. Oracle/Joint/DeepAR rows of a car
+    // always coincide (ground-truth covariates): one branch per car.
+    // PitModel rows fork where their sampled pit/caution realizations
+    // diverge inside the prefix window: grouped by covariate_window_digest,
+    // then confirmed by exact bit comparison (digest collisions must not
+    // merge distinct branches).
+    const auto windows_equal = [&](std::size_t a, std::size_t b) {
+      const auto bits_equal = [](const std::vector<double>& x,
+                                 const std::vector<double>& y) {
+        return x.size() == y.size() &&
+               (x.empty() || std::memcmp(x.data(), y.data(),
+                                         x.size() * sizeof(double)) == 0);
+      };
+      for (int t = 0; t < tail; ++t) {
+        const auto& step = tail_covs[static_cast<std::size_t>(t)];
+        if (!bits_equal(step[a], step[b])) return false;
+      }
+      return bits_equal(future_covs[a][0], future_covs[b][0]);
+    };
+
+    std::vector<std::size_t> branch_of_row(rows);
+    std::vector<std::size_t> branch_rep;  // first member row per branch
+    for (std::size_t c = 0; c < cars.size(); ++c) {
+      if (source_ != StatusSource::kPitModel) {
+        const std::size_t b = branch_rep.size();
+        branch_rep.push_back(c * s_count);
+        for (std::size_t s = 0; s < s_count; ++s) {
+          branch_of_row[c * s_count + s] = b;
+        }
+        continue;
+      }
+      // digest -> branch ids of this car (usually one; more on collision)
+      std::map<std::uint64_t, std::vector<std::size_t>> groups;
+      std::vector<std::span<const double>> window(
+          static_cast<std::size_t>(tail) + 1);
+      for (std::size_t s = 0; s < s_count; ++s) {
+        const std::size_t row = c * s_count + s;
+        for (int t = 0; t < tail; ++t) {
+          window[static_cast<std::size_t>(t)] =
+              tail_covs[static_cast<std::size_t>(t)][row];
+        }
+        window[static_cast<std::size_t>(tail)] = future_covs[row][0];
+        auto& bucket = groups[covariate_window_digest(window)];
+        std::size_t found = rows;
+        for (std::size_t b : bucket) {
+          if (windows_equal(branch_rep[b], row)) {
+            found = b;
+            break;
+          }
+        }
+        if (found == rows) {
+          found = branch_rep.size();
+          branch_rep.push_back(row);
+          bucket.push_back(found);
+        }
+        branch_of_row[row] = found;
+      }
+    }
+
+    // Branch-width start state + teacher-forced tail replay: the whole
+    // shared prefix runs at branch width instead of row width.
+    const std::size_t n_branches = branch_rep.size();
+    std::vector<LstmSeqModel::StackState> per_branch_states;
+    per_branch_states.reserve(n_branches);
+    std::vector<int> branch_car_index(n_branches);
+    std::vector<std::vector<std::vector<double>>> btail_z(
+        static_cast<std::size_t>(tail));
+    std::vector<std::vector<std::vector<double>>> btail_covs(
+        static_cast<std::size_t>(tail));
+    for (auto& step : btail_z) step.resize(n_branches);
+    for (auto& step : btail_covs) step.resize(n_branches);
+    for (std::size_t b = 0; b < n_branches; ++b) {
+      const std::size_t row = branch_rep[b];
+      const auto& cc = rc.cars.at(cars[row / s_count]);
+      per_branch_states.push_back(
+          LstmSeqModel::replicate_state(cc.trace[trace_idx], 0, 1));
+      branch_car_index[b] = car_index[row];
+      for (int t = 0; t < tail; ++t) {
+        btail_z[static_cast<std::size_t>(t)][b] =
+            tail_z[static_cast<std::size_t>(t)][row];
+        btail_covs[static_cast<std::size_t>(t)][b] =
+            tail_covs[static_cast<std::size_t>(t)][row];
+      }
+    }
+    auto branch_state = LstmSeqModel::concat_states(per_branch_states);
+    per_branch_states.clear();
+    for (int t = 0; t < tail; ++t) {
+      model_->advance(branch_state, btail_z[static_cast<std::size_t>(t)],
+                      btail_covs[static_cast<std::size_t>(t)],
+                      branch_car_index);
+    }
+    out = model_->sample_forward_tree(branch_state, branch_of_row, z_prev,
+                                      future_covs, car_index, horizon,
+                                      row_rngs);
+    // shared_rows = row-steps of LSTM+head work skipped vs independent
+    // decode (tail replay + decode step 1 ran at branch width).
+    DecodeTreeCounters::instance().record_decode(
+        rows, n_branches,
+        (rows - n_branches) * (static_cast<std::size_t>(tail) + 1));
+  } else {
+    // ---- independent decode (historical path) -------------------------
+    std::vector<LstmSeqModel::StackState> per_car_states;
+    per_car_states.reserve(cars.size());
+    for (std::size_t c = 0; c < cars.size(); ++c) {
+      const auto& cc = rc.cars.at(cars[c]);
+      per_car_states.push_back(
+          LstmSeqModel::replicate_state(cc.trace[trace_idx], 0, s_count));
+    }
+    auto state = LstmSeqModel::concat_states(per_car_states);
+    per_car_states.clear();
+
+    // Teacher-forced tail replay (PitModel mode only; tail == 0 otherwise).
+    for (int t = 0; t < tail; ++t) {
+      model_->advance(state, tail_z[static_cast<std::size_t>(t)],
+                      tail_covs[static_cast<std::size_t>(t)], car_index);
+    }
+    out = model_->sample_forward(state, z_prev, future_covs, car_index,
+                                 horizon, row_rngs);
+  }
 
   RaceSamples samples;
   for (std::size_t c = 0; c < cars.size(); ++c) {

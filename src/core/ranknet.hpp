@@ -34,6 +34,20 @@ enum class StatusSource { kOracle, kPitModel, kJoint };
 
 const char* status_source_name(StatusSource s);
 
+/// MC decode strategy (DESIGN.md "Decode tree & forecast cache").
+///  kIndependent — every (car, sample) row rolls through the whole decode
+///                 at full row width (the historical path).
+///  kTree        — rows with byte-identical prefix inputs share the
+///                 encoder-tail replay and the first decode step at branch
+///                 width, forking at their first noise draw. Bit-identical
+///                 to kIndependent by construction (proved differentially
+///                 in tests/test_decode_tree.cpp), strictly less work.
+enum class DecodeMode { kIndependent, kTree };
+
+/// Process default: kTree, overridable via RANKNET_DECODE=independent|tree
+/// (read once at first call — same pattern as RANKNET_KERNEL).
+DecodeMode default_decode_mode();
+
 class RankNetForecaster : public RaceForecaster,
                           public PartitionableForecaster {
  public:
@@ -66,6 +80,11 @@ class RankNetForecaster : public RaceForecaster,
   /// Drop cached traces (e.g. between races to bound memory).
   void clear_cache() { cache_.clear(); }
 
+  /// Decode strategy; defaults to default_decode_mode(). The differential
+  /// tests flip this to prove kTree bit-identical to kIndependent.
+  void set_decode_mode(DecodeMode mode) { decode_mode_ = mode; }
+  DecodeMode decode_mode() const { return decode_mode_; }
+
  private:
   struct CarCache {
     std::vector<double> history;  // observed ranks
@@ -88,6 +107,7 @@ class RankNetForecaster : public RaceForecaster,
   features::CovariateConfig cov_config_;
   StatusSource source_;
   std::string name_;
+  DecodeMode decode_mode_ = default_decode_mode();
   std::map<std::string, RaceCache> cache_;
 };
 

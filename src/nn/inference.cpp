@@ -63,6 +63,27 @@ void GaussianInferenceSession::sample(tensor::ConstMatrixView mu,
   }
 }
 
+void GaussianInferenceSession::sample_rows(
+    tensor::ConstMatrixView mu, tensor::ConstMatrixView sigma,
+    std::span<const std::size_t> branch_of_row, std::span<util::Rng> row_rngs,
+    tensor::MatrixView out) {
+  if (row_rngs.size() != out.rows() || branch_of_row.size() != out.rows()) {
+    throw std::invalid_argument(
+        "GaussianInferenceSession::sample_rows: one rng and one branch row "
+        "per output row");
+  }
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    const std::size_t b = branch_of_row[r];
+    if (b >= mu.rows()) {
+      throw std::out_of_range(
+          "GaussianInferenceSession::sample_rows: branch row out of range");
+    }
+    for (std::size_t c = 0; c < out.cols(); ++c) {
+      out(r, c) = row_rngs[r].normal(mu(b, c), sigma(b, c));
+    }
+  }
+}
+
 LstmInferenceSession::LstmInferenceSession(const LstmLayer& layer,
                                            std::size_t batch,
                                            tensor::Workspace& ws)
@@ -116,6 +137,35 @@ void LstmInferenceSession::load_state(const LstmState& state) {
   for (std::size_t i = 0; i < batch_ * hidden_; ++i) {
     h_.data()[i] = state.h.data()[i];
     c_.data()[i] = state.c.data()[i];
+  }
+}
+
+void LstmInferenceSession::load_state_rows(
+    const LstmInferenceSession& src,
+    std::span<const std::size_t> src_row_per_dst) {
+  if (src_row_per_dst.size() != batch_) {
+    throw std::invalid_argument(
+        "LstmInferenceSession::load_state_rows: one source row per state "
+        "row");
+  }
+  if (src.hidden_ != hidden_) {
+    throw std::invalid_argument(
+        "LstmInferenceSession::load_state_rows: hidden dim mismatch");
+  }
+  for (std::size_t r = 0; r < batch_; ++r) {
+    const std::size_t s = src_row_per_dst[r];
+    if (s >= src.batch_) {
+      throw std::out_of_range(
+          "LstmInferenceSession::load_state_rows: source row out of range");
+    }
+    const double* sh = src.h_.data() + s * hidden_;
+    const double* sc = src.c_.data() + s * hidden_;
+    double* dh = h_.data() + r * hidden_;
+    double* dc = c_.data() + r * hidden_;
+    for (std::size_t j = 0; j < hidden_; ++j) {
+      dh[j] = sh[j];
+      dc[j] = sc[j];
+    }
   }
 }
 

@@ -88,6 +88,16 @@ class GaussianInferenceSession {
   /// Row r draws only from row_rngs[r] (partition invariance).
   static void sample(tensor::ConstMatrixView mu, tensor::ConstMatrixView sigma,
                      std::span<util::Rng> row_rngs, tensor::MatrixView out);
+  /// Decode-tree expansion draw: out row r draws from row_rngs[r] over the
+  /// branch-width parameters mu/sigma at row branch_of_row[r]. Because the
+  /// draw still reads only (mu, sigma, row_rngs[r]), a row whose branch row
+  /// holds the same bits as its independent-decode mu/sigma row produces
+  /// bit-identical output to the plain row-stream sample() above.
+  static void sample_rows(tensor::ConstMatrixView mu,
+                          tensor::ConstMatrixView sigma,
+                          std::span<const std::size_t> branch_of_row,
+                          std::span<util::Rng> row_rngs,
+                          tensor::MatrixView out);
 
   std::size_t target_dim() const { return mu_.output_dim(); }
 
@@ -112,6 +122,11 @@ class LstmInferenceSession {
   void reset_state();
   /// Copy a training-path state in (state must be (batch x hidden)).
   void load_state(const LstmState& state);
+  /// Decode-tree expansion: row r of this session's (h, c) becomes a
+  /// byte-for-byte copy of row src_row_per_dst[r] of `src`'s state. Plain
+  /// row copies — no arithmetic — so expansion cannot perturb a single bit.
+  void load_state_rows(const LstmInferenceSession& src,
+                       std::span<const std::size_t> src_row_per_dst);
   /// Copy the session state out into a training-path LstmState.
   void store_state(LstmState& state) const;
 

@@ -107,6 +107,14 @@ std::span<double> Workspace::take_span(std::size_t n) {
   return {bump(n), n};
 }
 
+std::span<std::size_t> Workspace::take_indices(std::size_t n) {
+  static_assert(sizeof(std::size_t) == sizeof(double),
+                "index spans alias double storage 1:1");
+  // bump() returns 64-byte-aligned storage, which satisfies
+  // alignof(std::size_t); the span is fully overwritten before any read.
+  return {reinterpret_cast<std::size_t*>(bump(n)), n};
+}
+
 std::size_t Workspace::capacity() const {
   std::size_t total = 0;
   for (const auto& b : blocks_) total += b.data.size();

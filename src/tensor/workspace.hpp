@@ -105,6 +105,11 @@ class Workspace {
   MatrixView take_zeroed(std::size_t rows, std::size_t cols);
   /// Bump-allocate a raw span of n doubles (uninitialized).
   std::span<double> take_span(std::size_t n);
+  /// Bump-allocate a raw span of n size_t indices (uninitialized), aliased
+  /// over double storage (both 8 bytes, 64-byte-aligned start). Used by the
+  /// decode-tree expansion maps (branch-of-row, state row sources) so the
+  /// per-forecast hot path stays heap-free once the arena is warm.
+  std::span<std::size_t> take_indices(std::size_t n);
 
   /// Doubles handed out since the last begin().
   std::size_t doubles_in_use() const { return in_use_; }

@@ -1,16 +1,25 @@
 #!/usr/bin/env python3
-"""Gate BENCH_kernels.json against the committed per-kernel baseline.
+"""Gate benchmark JSON against the committed baseline.
 
 Usage:
   # after: ./build/bench/micro_kernels --benchmark_out=BENCH_kernels.json
   tests/check_bench_regression.py BENCH_kernels.json            # check
   tests/check_bench_regression.py BENCH_kernels.json --update   # rebaseline
+  # after: ./build/bench/fig10_batch_scaling   (writes BENCH_fig10.json)
+  tests/check_bench_regression.py BENCH_fig10.json
 
-Compares cpu_time per benchmark entry (name is kernel<variant>/shape, e.g.
-"BM_GemmLstmGates<avx2>/256") against tests/bench_baseline.json and fails —
-exit code 1 — when any entry is more than --tolerance (default 15%) slower.
-Entries present in only one file are reported but never fail the run, so
-adding or retiring a benchmark doesn't require a lockstep baseline edit.
+Two input formats are understood:
+  * google-benchmark output ("benchmarks" key): entry name -> cpu_time ns.
+  * the fig10 bench's own JSON ("mc_decode" key): synthesized entries
+    "fig10_rollout_us_per_sample/<S>" (end-to-end MC rollout, ns/sample)
+    and "fig10_cache_hit_us_per_sample/<S>" (forecast-cache replay) so the
+    serving path is gated by the same ratio check as the microkernels.
+
+Compares each entry (e.g. "BM_GemmLstmGates<avx2>/256") against
+tests/bench_baseline.json and fails — exit code 1 — when any entry is more
+than --tolerance (default 15%) slower. Entries present in only one file are
+reported but never fail the run, so adding or retiring a benchmark doesn't
+require a lockstep baseline edit.
 
 This is a manually-run tool, not a ctest entry: the box that grows this
 repo is a single shared core where scalar GEMM timing swings tens of
@@ -29,10 +38,17 @@ BASELINE = Path(__file__).resolve().parent / "bench_baseline.json"
 
 
 def load_times(path):
-    """name -> cpu_time (ns) for real benchmark entries (not aggregates)."""
+    """name -> time (ns) for real benchmark entries (not aggregates)."""
     with open(path) as f:
         doc = json.load(f)
     out = {}
+    if "mc_decode" in doc:  # fig10_batch_scaling output
+        for row in doc["mc_decode"]:
+            name = f"fig10_rollout_us_per_sample/{row['num_samples']}"
+            out[name] = float(row["us_per_sample"]) * 1e3  # us -> ns
+        for row in doc.get("forecast_cache", []):
+            name = f"fig10_cache_hit_us_per_sample/{row['num_samples']}"
+            out[name] = float(row["hit_us_per_sample"]) * 1e3
     for b in doc.get("benchmarks", []):
         if b.get("run_type", "iteration") != "iteration":
             continue
@@ -56,12 +72,22 @@ def main():
     current = load_times(args.results)
 
     if args.update:
+        # Merge, don't replace: kernel and fig10 results live in one
+        # baseline file but come from different binaries, so rebaselining
+        # one must not drop the other's entries.
+        merged = {}
+        try:
+            with open(args.baseline) as f:
+                merged = json.load(f)["cpu_time_ns"]
+        except FileNotFoundError:
+            pass
+        merged.update(current)
         with open(args.baseline, "w") as f:
-            json.dump({"cpu_time_ns": dict(sorted(current.items()))}, f,
+            json.dump({"cpu_time_ns": dict(sorted(merged.items()))}, f,
                       indent=2)
             f.write("\n")
-        print(f"baseline rewritten: {args.baseline} "
-              f"({len(current)} entries)")
+        print(f"baseline updated: {args.baseline} "
+              f"({len(current)} entries merged, {len(merged)} total)")
         return 0
 
     try:

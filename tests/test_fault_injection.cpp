@@ -481,6 +481,58 @@ TEST_F(DegradationTest, DamagedSeriesRouteToFallback) {
   EXPECT_EQ(deg.task_failures, 0u);
 }
 
+// Regression for the documented armed-active winner-line nondeterminism:
+// CurRank (a point forecaster) returns ONE row per rescued car, while
+// primary cars carry num_samples rows. The engine used to merge the 1-row
+// matrices verbatim, and sort_to_ranks — which sizes its sample loop from
+// the first car's matrix — then read past the short matrices: unchecked
+// out-of-bounds heap reads in release builds, so the winner line of
+// examples/live_forecast changed run to run whenever tier 1 was active.
+// The fix broadcasts fallback matrices to num_samples rows in the merge.
+TEST_F(DegradationTest, PartialFallbackOutputHasUniformSampleRows) {
+  ConstForecaster primary(42.0);
+  core::ParallelForecastEngine engine(primary, 2);
+  core::ParallelForecastEngine::DegradationPolicy policy;
+  policy.fallback = std::make_shared<core::CurRankForecaster>();
+  policy.series_damaged = [](int car_id, int) { return car_id % 2 == 1; };
+  engine.set_degradation_policy(std::move(policy));
+
+  util::Rng rng(21);
+  const int kSamples = 6, kHorizon = 5;
+  const auto out = engine.forecast(*race_, 30, kHorizon, kSamples, rng);
+  ASSERT_FALSE(out.empty());
+  bool saw_fallback_car = false;
+  for (const auto& [car, m] : out) {
+    // The mixed-tier merge must hand downstream consumers a shape-uniform
+    // map: every car at (num_samples x horizon), fallback cars included.
+    ASSERT_EQ(m.rows(), static_cast<std::size_t>(kSamples)) << "car " << car;
+    ASSERT_EQ(m.cols(), static_cast<std::size_t>(kHorizon)) << "car " << car;
+    if (car % 2 == 1) {
+      saw_fallback_car = true;
+      // Broadcast rows replicate the point forecast byte-for-byte.
+      for (std::size_t s = 1; s < m.rows(); ++s) {
+        for (std::size_t h = 0; h < m.cols(); ++h) {
+          EXPECT_TRUE(SameBits(m(s, h), m(0, h)))
+              << "car " << car << " sample " << s << " lap " << h;
+        }
+      }
+    }
+  }
+  ASSERT_TRUE(saw_fallback_car);
+
+  // Downstream rank conversion must be well-defined and reproducible on
+  // the mixed-tier output (it crashed-silently before the fix).
+  const auto ranks_a = core::sort_to_ranks(out);
+  const auto ranks_b = core::sort_to_ranks(out);
+  for (const auto& [car, m] : ranks_a) {
+    const auto& n = ranks_b.at(car);
+    ASSERT_EQ(std::memcmp(m.flat().data(), n.flat().data(),
+                          m.flat().size() * sizeof(double)),
+              0)
+        << "car " << car;
+  }
+}
+
 TEST_F(DegradationTest, ArmedButIdlePolicyIsBitIdentical) {
   // With a fallback configured but nothing damaged and no deadline, the
   // ladder must not perturb the engine's output or rng protocol.

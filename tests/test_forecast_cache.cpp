@@ -1,0 +1,272 @@
+// ForecastCache unit & concurrency suite.
+//
+// Unit half: LRU mechanics (eviction order, refresh-on-hit, capacity
+// clamp), key discrimination field by field, digest stability, and counter
+// bookkeeping. Concurrency half: hammer one cache from many threads with
+// mixed get/put/clear traffic so the TSan preset (RANKNET_SANITIZE=thread,
+// ctest label "cache") can prove the single-mutex design race-free; the
+// same test doubles as a value-integrity check in regular builds — a hit
+// must always return the exact bytes that were put.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "core/forecast_cache.hpp"
+#include "simulator/season.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace ranknet;
+
+core::RaceSamples make_samples(double seed, std::size_t cars = 2,
+                               std::size_t rows = 3, std::size_t cols = 4) {
+  core::RaceSamples out;
+  for (std::size_t car = 0; car < cars; ++car) {
+    tensor::Matrix m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        m(r, c) = seed + static_cast<double>(car * 100 + r * 10 + c);
+      }
+    }
+    out[static_cast<int>(car) + 1] = std::move(m);
+  }
+  return out;
+}
+
+bool same_bytes(const core::RaceSamples& a, const core::RaceSamples& b) {
+  if (a.size() != b.size()) return false;
+  for (const auto& [car, m] : a) {
+    const auto it = b.find(car);
+    if (it == b.end()) return false;
+    const auto& n = it->second;
+    if (m.rows() != n.rows() || m.cols() != n.cols()) return false;
+    if (std::memcmp(m.flat().data(), n.flat().data(),
+                    m.flat().size() * sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+core::ForecastCacheKey key(std::uint64_t base) {
+  core::ForecastCacheKey k;
+  k.race_digest = 0xfeedULL;
+  k.base = base;
+  k.model_version = 1;
+  k.origin_lap = 50;
+  k.horizon = 5;
+  k.num_samples = 9;
+  k.kernel_variant = 0;
+  return k;
+}
+
+TEST(ForecastCache, HitReturnsExactBytesAndMissReturnsNullopt) {
+  core::ForecastCache cache(4);
+  EXPECT_EQ(cache.capacity(), 4u);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.get(key(1)).has_value());
+
+  const auto value = make_samples(0.5);
+  cache.put(key(1), value);
+  EXPECT_EQ(cache.size(), 1u);
+  const auto hit = cache.get(key(1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(same_bytes(*hit, value));
+  // The stored copy is independent of the caller's copy-out.
+  const auto hit2 = cache.get(key(1));
+  ASSERT_TRUE(hit2.has_value());
+  EXPECT_TRUE(same_bytes(*hit2, value));
+}
+
+TEST(ForecastCache, KeyDiscriminatesEveryField) {
+  core::ForecastCache cache(32);
+  cache.put(key(1), make_samples(1.0));
+
+  auto probe = [&cache](core::ForecastCacheKey k) {
+    return cache.get(k).has_value();
+  };
+  EXPECT_TRUE(probe(key(1)));
+  {
+    auto k = key(1);
+    k.race_digest ^= 1;
+    EXPECT_FALSE(probe(k));
+  }
+  {
+    auto k = key(1);
+    k.base ^= 1;
+    EXPECT_FALSE(probe(k));
+  }
+  {
+    auto k = key(1);
+    k.model_version ^= 1;
+    EXPECT_FALSE(probe(k));
+  }
+  {
+    auto k = key(1);
+    k.origin_lap += 1;
+    EXPECT_FALSE(probe(k));
+  }
+  {
+    auto k = key(1);
+    k.horizon += 1;
+    EXPECT_FALSE(probe(k));
+  }
+  {
+    auto k = key(1);
+    k.num_samples += 1;
+    EXPECT_FALSE(probe(k));
+  }
+  {
+    auto k = key(1);
+    k.kernel_variant += 1;  // scalar vs avx2 must never share an entry
+    EXPECT_FALSE(probe(k));
+  }
+}
+
+TEST(ForecastCache, EvictsLeastRecentlyUsed) {
+  core::ForecastCache cache(2);
+  cache.put(key(1), make_samples(1.0));
+  cache.put(key(2), make_samples(2.0));
+  // Touch key(1) so key(2) becomes the LRU entry.
+  EXPECT_TRUE(cache.get(key(1)).has_value());
+  cache.put(key(3), make_samples(3.0));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.get(key(1)).has_value());
+  EXPECT_FALSE(cache.get(key(2)).has_value());  // evicted
+  EXPECT_TRUE(cache.get(key(3)).has_value());
+}
+
+TEST(ForecastCache, PutRefreshesExistingEntry) {
+  core::ForecastCache cache(2);
+  cache.put(key(1), make_samples(1.0));
+  cache.put(key(2), make_samples(2.0));
+  // Re-putting key(1) refreshes both its value and its LRU slot without
+  // growing the cache.
+  cache.put(key(1), make_samples(9.0));
+  EXPECT_EQ(cache.size(), 2u);
+  const auto hit = cache.get(key(1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(same_bytes(*hit, make_samples(9.0)));
+  cache.put(key(3), make_samples(3.0));
+  EXPECT_FALSE(cache.get(key(2)).has_value());  // key(2) was the LRU
+  EXPECT_TRUE(cache.get(key(1)).has_value());
+}
+
+TEST(ForecastCache, CapacityClampsToOneAndClearEmpties) {
+  core::ForecastCache cache(0);  // clamped up to 1
+  EXPECT_EQ(cache.capacity(), 1u);
+  cache.put(key(1), make_samples(1.0));
+  cache.put(key(2), make_samples(2.0));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.get(key(1)).has_value());
+  EXPECT_TRUE(cache.get(key(2)).has_value());
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.get(key(2)).has_value());
+}
+
+TEST(ForecastCache, CountersTrackHitsMissesInsertsEvictions) {
+  auto& ctr = core::CacheCounters::instance();
+  ctr.reset();
+  core::ForecastCache cache(1);
+
+  EXPECT_FALSE(cache.get(key(1)).has_value());
+  EXPECT_EQ(ctr.misses(), 1u);
+  cache.put(key(1), make_samples(1.0));
+  EXPECT_EQ(ctr.insertions(), 1u);
+  EXPECT_TRUE(cache.get(key(1)).has_value());
+  EXPECT_EQ(ctr.hits(), 1u);
+  cache.put(key(2), make_samples(2.0));  // evicts key(1)
+  EXPECT_EQ(ctr.evictions(), 1u);
+  EXPECT_EQ(ctr.insertions(), 2u);
+  EXPECT_DOUBLE_EQ(ctr.hit_rate(), 0.5);
+  ctr.reset();
+  EXPECT_EQ(ctr.hits() + ctr.misses() + ctr.insertions() + ctr.evictions(),
+            0u);
+}
+
+TEST(ForecastCacheDigest, RaceStateDigestSeesEveryLap) {
+  const auto race = sim::simulate_race({"Indy500", 2019, 200,
+                                        sim::Usage::kTest});
+  const auto other = sim::simulate_race({"Indy500", 2019, 201,
+                                         sim::Usage::kTest});
+  EXPECT_EQ(core::race_state_digest(race), core::race_state_digest(race));
+  EXPECT_NE(core::race_state_digest(race), core::race_state_digest(other));
+}
+
+TEST(ForecastCacheKeyHash, DistinctFieldsDistinctHashes) {
+  // Not a collision-freedom proof, just a smoke check that hash() mixes
+  // every field (equal hashes for these near-miss keys would be a bug).
+  const auto h0 = key(1).hash();
+  auto k = key(1);
+  k.kernel_variant = 1;
+  EXPECT_NE(h0, k.hash());
+  k = key(1);
+  k.num_samples = 10;
+  EXPECT_NE(h0, k.hash());
+  EXPECT_EQ(h0, key(1).hash());
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency stress: the ctest "cache" label runs this under
+// RANKNET_SANITIZE=thread. Mixed readers/writers over a deliberately tiny
+// cache maximize eviction churn (the most race-prone path: splice + erase
+// while another thread walks the same list).
+
+TEST(ForecastCacheStress, ConcurrentGetPutEvictClear) {
+  core::ForecastCache cache(4);  // small -> constant eviction pressure
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 400;
+  constexpr int kKeySpace = 12;  // 3x capacity
+
+  // Pre-built values, one per key, so integrity is checkable: a hit for
+  // key i must carry value i's bytes.
+  std::vector<core::RaceSamples> values;
+  values.reserve(kKeySpace);
+  for (int i = 0; i < kKeySpace; ++i) {
+    values.push_back(make_samples(static_cast<double>(i)));
+  }
+
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> corruptions{0};
+  util::ThreadPool pool(kThreads);
+  std::vector<std::future<void>> futures;
+  for (int t = 0; t < kThreads; ++t) {
+    futures.push_back(pool.submit([&, t] {
+      util::Rng rng(static_cast<std::uint64_t>(t) + 1);
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        const int i = static_cast<int>(rng() % kKeySpace);
+        const auto k = key(static_cast<std::uint64_t>(i));
+        switch (rng() % 8) {
+          case 0:
+            cache.put(k, values[static_cast<std::size_t>(i)]);
+            break;
+          case 1:
+            if (op % 97 == 0) cache.clear();
+            break;
+          default: {
+            auto hit = cache.get(k);
+            if (hit.has_value()) {
+              hits.fetch_add(1, std::memory_order_relaxed);
+              if (!same_bytes(*hit, values[static_cast<std::size_t>(i)])) {
+                corruptions.fetch_add(1, std::memory_order_relaxed);
+              }
+            }
+            break;
+          }
+        }
+      }
+    }));
+  }
+  for (auto& f : futures) f.get();
+
+  EXPECT_EQ(corruptions.load(), 0u);
+  EXPECT_LE(cache.size(), cache.capacity());
+  // With 8 threads re-reading a 12-key space, some hits must land.
+  EXPECT_GT(hits.load(), 0u);
+}
+
+}  // namespace

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <memory>
 
 #include "core/forecaster.hpp"
 #include "core/metrics.hpp"
@@ -206,6 +208,185 @@ TEST(ParallelEngineProperty, SortedRanksArePermutationsPerSlice) {
     }
   }
 }
+
+// ---------------------------------------------------------------------
+// Decode-tree properties: the tree decode's branch construction must be
+// invisible in the bits. Randomized sweeps (seeded by the test parameter)
+// over sample counts, partition compositions, and cache interleavings.
+
+core::RaceSamples merge(std::initializer_list<core::RaceSamples> parts) {
+  core::RaceSamples out;
+  for (const auto& p : parts) {
+    for (const auto& [car, m] : p) out.emplace(car, m);
+  }
+  return out;
+}
+
+bool bits_equal(const tensor::Matrix& a, const tensor::Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.flat().data(), b.flat().data(),
+                     a.flat().size() * sizeof(double)) == 0;
+}
+
+class DecodeTreeProperty : public ::testing::TestWithParam<int> {
+ protected:
+  static void SetUpTestSuite() {
+    race_ = new telemetry::RaceLog(
+        sim::simulate_race({"Indy500", 2019, 200, sim::Usage::kTest}));
+    vocab_ = new features::CarVocab({*race_});
+    core::SeqModelConfig cfg;
+    cfg.cov_dim = features::CovariateConfig{}.dim();
+    cfg.hidden = 8;
+    cfg.embed_dim = 2;
+    cfg.vocab = vocab_->size();
+    model_ = std::make_shared<core::LstmSeqModel>(cfg);
+    model_->set_scaler(features::StandardScaler(17.0, 9.0));
+    pit_ = std::make_shared<core::PitModel>();
+    pit_->set_scaler(features::StandardScaler(15.0, 6.0));
+  }
+  static void TearDownTestSuite() {
+    model_.reset();
+    pit_.reset();
+    delete vocab_;
+    delete race_;
+  }
+
+  static core::RankNetForecaster make(core::StatusSource source) {
+    return core::RankNetForecaster(
+        model_, source == core::StatusSource::kPitModel ? pit_ : nullptr,
+        *vocab_, features::CovariateConfig{}, source, "prop");
+  }
+
+  static telemetry::RaceLog* race_;
+  static features::CarVocab* vocab_;
+  static std::shared_ptr<core::LstmSeqModel> model_;
+  static std::shared_ptr<core::PitModel> pit_;
+};
+telemetry::RaceLog* DecodeTreeProperty::race_ = nullptr;
+features::CarVocab* DecodeTreeProperty::vocab_ = nullptr;
+std::shared_ptr<core::LstmSeqModel> DecodeTreeProperty::model_;
+std::shared_ptr<core::PitModel> DecodeTreeProperty::pit_;
+
+// Row streams are keyed by (car, sample), never by the batch shape: asking
+// for fewer samples must reproduce a bit-identical prefix of the larger
+// request, with the tree regrouping branches under both shapes.
+TEST_P(DecodeTreeProperty, SampleCountPrefixInvariance) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  for (const auto source :
+       {core::StatusSource::kOracle, core::StatusSource::kPitModel}) {
+    auto f = make(source);
+    f.set_decode_mode(core::DecodeMode::kTree);
+    util::Rng big_rng(seed);
+    const auto big = f.forecast(*race_, 52, 4, 9, big_rng);
+    util::Rng small_rng(seed);
+    const auto small = f.forecast(*race_, 52, 4, 4, small_rng);
+    ASSERT_EQ(big.size(), small.size());
+    for (const auto& [car, bm] : big) {
+      const auto& sm = small.at(car);
+      ASSERT_EQ(sm.rows(), 4u);
+      for (std::size_t s = 0; s < sm.rows(); ++s) {
+        for (std::size_t h = 0; h < sm.cols(); ++h) {
+          ASSERT_EQ(bm(s, h), sm(s, h))
+              << "car " << car << " sample " << s << " lap " << h;
+        }
+      }
+    }
+  }
+}
+
+// Branch discovery happens per partition call: splitting the car set into
+// random pieces (and visiting them in random order) regroups every branch,
+// yet each car's bytes must match the single full-set call.
+TEST_P(DecodeTreeProperty, PartitionCompositionInvariance) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  util::Rng shuffle_rng(seed * 31 + 7);
+  for (const auto source :
+       {core::StatusSource::kOracle, core::StatusSource::kPitModel}) {
+    auto f = make(source);
+    f.set_decode_mode(core::DecodeMode::kTree);
+    f.prepare(*race_);
+    const auto cars = f.forecast_cars(*race_, 55);
+    ASSERT_GT(cars.size(), 3u);
+    const std::uint64_t base = shuffle_rng();
+    const auto full =
+        f.forecast_partition(*race_, 55, 3, 6, base, cars);
+
+    // Random composition: cut the (shuffled) car list into 2-4 pieces.
+    std::vector<int> shuffled = cars;
+    for (std::size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1], shuffled[shuffle_rng() % i]);
+    }
+    const std::size_t pieces = 2 + shuffle_rng() % 3;
+    std::vector<std::vector<int>> parts(pieces);
+    for (std::size_t i = 0; i < shuffled.size(); ++i) {
+      parts[i % pieces].push_back(shuffled[i]);
+    }
+    core::RaceSamples merged;
+    for (const auto& part : parts) {
+      merged = merge({merged, f.forecast_partition(*race_, 55, 3, 6, base,
+                                                   part)});
+    }
+    ASSERT_EQ(merged.size(), full.size());
+    for (const auto& [car, m] : full) {
+      EXPECT_TRUE(bits_equal(m, merged.at(car)))
+          << status_source_name(source) << " car " << car;
+    }
+  }
+}
+
+// Cache hits must replay cold bytes under any interleaving of requests and
+// thread counts: several engines share one cache, requests arrive in a
+// randomized order with repeats, every repeat must equal its first compute.
+TEST_P(DecodeTreeProperty, CacheHitsMatchColdUnderRandomInterleavings) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  auto f = make(core::StatusSource::kOracle);
+  f.set_decode_mode(core::DecodeMode::kTree);
+  auto cache = std::make_shared<core::ForecastCache>(16);
+  std::vector<std::unique_ptr<core::ParallelForecastEngine>> engines;
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    engines.push_back(
+        std::make_unique<core::ParallelForecastEngine>(f, threads));
+    engines.back()->set_forecast_cache(cache);
+  }
+
+  struct Request {
+    int origin;
+    std::uint64_t rng_seed;
+  };
+  const Request kRequests[] = {{50, 1}, {50, 2}, {55, 1}, {60, 3}};
+  // Each request three times, randomly interleaved, on random engines.
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < std::size(kRequests); ++i) {
+    order.insert(order.end(), 3, i);
+  }
+  util::Rng shuffle_rng(seed * 101 + 13);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[shuffle_rng() % i]);
+  }
+
+  std::map<std::size_t, core::RaceSamples> first_seen;
+  for (const std::size_t i : order) {
+    auto& engine = *engines[shuffle_rng() % engines.size()];
+    util::Rng rng(kRequests[i].rng_seed);
+    auto out = engine.forecast(*race_, kRequests[i].origin, 3, 5, rng);
+    const auto it = first_seen.find(i);
+    if (it == first_seen.end()) {
+      first_seen.emplace(i, std::move(out));
+      continue;
+    }
+    ASSERT_EQ(out.size(), it->second.size());
+    for (const auto& [car, m] : it->second) {
+      EXPECT_TRUE(bits_equal(m, out.at(car)))
+          << "request " << i << " car " << car;
+    }
+  }
+  // Every repeat after the first compute of a request must have hit.
+  EXPECT_LE(cache->size(), std::size(kRequests));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecodeTreeProperty,
+                         ::testing::Values(1, 2, 3));
 
 // ---------------------------------------------------------------------
 // Dataset determinism: the same spec and seed always produce the same race.
