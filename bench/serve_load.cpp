@@ -1,0 +1,283 @@
+// Serving-path load bench: drives the real ForecastServer over AF_UNIX
+// sockets and sweeps offered load (pipeline window) x fault profile x
+// per-request deadline, exporting sustained throughput and latency
+// quantiles to BENCH_serve.json.
+//
+// Latency quantiles come *through the obs registry*: the server books every
+// request into the serve.request.latency histogram (admission -> response
+// sent), and this bench reads p50/p99 back out with approx_quantile() after
+// resetting the histogram per configuration — so the numbers gate the same
+// instrumentation the production loop exports.
+//
+// The lossy profile injects drop + payload-corruption faults client-side
+// through sim::WireFaultInjector (truncation is excluded on purpose: it
+// poisons connection framing, and this bench measures steady-state
+// throughput, not reconnect churn — the soak test owns that). Unanswered
+// requests are re-driven until everything is answered, so every
+// configuration reports answered == offered.
+//
+// Gate with tests/check_bench_regression.py BENCH_serve.json (understands
+// the "serve_load" key; see that script's docstring).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/forecast_cache.hpp"
+#include "obs/metrics.hpp"
+#include "serve/affine_model.hpp"
+#include "serve/client.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/server.hpp"
+#include "serve/wire.hpp"
+#include "simulator/fault_injector.hpp"
+#include "simulator/season.hpp"
+#include "util/socket.hpp"
+
+namespace {
+
+using namespace ranknet;
+namespace wire = serve::wire;
+
+constexpr const char* kSocketPath = "/tmp/ranknet_serve_load.sock";
+constexpr const char* kArtifact = "/tmp/ranknet_serve_load_model.bin";
+constexpr int kSeedSpace = 64;
+
+struct SweepResult {
+  std::size_t window;
+  std::string profile;
+  std::uint32_t deadline_us;
+  int requests;
+  int answered;
+  int rejected;
+  double wall_seconds;
+  double forecasts_per_sec;
+  double p50_us;
+  double p99_us;
+};
+
+util::Result<wire::ForecastResponse> read_response(util::UnixStream& stream) {
+  std::uint8_t header_bytes[wire::kHeaderSize];
+  if (auto st = stream.recv_all(header_bytes, sizeof(header_bytes), 10.0);
+      !st.ok()) {
+    return st;
+  }
+  auto header = wire::decode_header(header_bytes);
+  if (!header.ok()) return header.status();
+  std::vector<std::uint8_t> payload(header.value().payload_len);
+  if (auto st = stream.recv_all(payload.data(), payload.size(), 10.0);
+      !st.ok()) {
+    return st;
+  }
+  if (auto st = wire::verify_payload(header.value(), payload); !st.ok()) {
+    return st;
+  }
+  return wire::decode_forecast_response(payload);
+}
+
+wire::ForecastRequest make_request(const std::string& race_id,
+                                   std::uint64_t id, std::uint32_t deadline) {
+  wire::ForecastRequest req;
+  req.request_id = id;
+  req.seed = 1000 + (id % kSeedSpace);
+  req.race_id = race_id;
+  req.origin_lap = 30;
+  req.horizon = 5;
+  req.num_samples = 4;
+  req.deadline_us = deadline;
+  return req;
+}
+
+/// Drive `total` requests through the server with `window` in flight,
+/// optionally mangling frames through `injector`; re-drives unanswered
+/// requests until every one is answered or rejected.
+SweepResult run_config(const std::string& race_id, std::size_t window,
+                       const std::string& profile_name,
+                       sim::WireFaultInjector* injector,
+                       std::uint32_t deadline_us, int total) {
+  auto& latency =
+      obs::Registry::instance().latency_histogram("serve.request.latency");
+  latency.reset();
+
+  std::vector<std::uint64_t> pending(total);
+  for (int i = 0; i < total; ++i) pending[i] = i + 1;
+
+  std::fprintf(stderr, "config: window=%zu profile=%s deadline=%u\n", window,
+               profile_name.c_str(), deadline_us);
+  int answered = 0;
+  int rejected = 0;
+  const auto start = std::chrono::steady_clock::now();
+  auto stream = util::UnixStream::connect(kSocketPath, 1.0);
+  if (!stream.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 stream.status().to_string().c_str());
+    std::exit(1);
+  }
+  while (!pending.empty()) {
+    std::vector<std::uint64_t> next;
+    for (std::size_t base = 0; base < pending.size(); base += window) {
+      const std::size_t n = std::min(window, pending.size() - base);
+      std::vector<std::uint8_t> out;
+      std::set<std::uint64_t> expecting;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t id = pending[base + i];
+        const auto frame = wire::encode_frame(
+            wire::FrameType::kForecastRequest,
+            wire::encode_forecast_request(
+                make_request(race_id, id, deadline_us)));
+        if (injector != nullptr) {
+          auto mutated = injector->apply(frame);
+          if (!mutated.has_value()) {  // dropped: re-drive next round
+            next.push_back(id);
+            continue;
+          }
+          // A flip inside the header would make the server drop the whole
+          // connection (bad magic) — like truncation, that measures
+          // reconnect churn, not throughput, so withhold those frames the
+          // same way a drop would.
+          if (std::memcmp(mutated->data(), frame.data(), wire::kHeaderSize) !=
+              0) {
+            next.push_back(id);
+            continue;
+          }
+          out.insert(out.end(), mutated->begin(), mutated->end());
+          if (!std::equal(mutated->begin(), mutated->end(), frame.begin())) {
+            next.push_back(id);  // corrupted: checksum-skipped, no answer
+            continue;
+          }
+        } else {
+          out.insert(out.end(), frame.begin(), frame.end());
+        }
+        expecting.insert(id);
+      }
+      if (!out.empty() &&
+          !stream.value().send_all(out.data(), out.size(), 10.0).ok()) {
+        std::fprintf(stderr, "send failed mid-bench\n");
+        std::exit(1);
+      }
+      while (!expecting.empty()) {
+        auto response = read_response(stream.value());
+        if (!response.ok()) {
+          std::fprintf(stderr, "response starved: %s\n",
+                       response.status().to_string().c_str());
+          std::exit(1);
+        }
+        expecting.erase(response.value().request_id);
+        if (response.value().tier == wire::Tier::kRejected) {
+          ++rejected;
+        } else {
+          ++answered;
+        }
+      }
+    }
+    pending = std::move(next);
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  SweepResult r;
+  r.window = window;
+  r.profile = profile_name;
+  r.deadline_us = deadline_us;
+  r.requests = total;
+  r.answered = answered;
+  r.rejected = rejected;
+  r.wall_seconds = wall;
+  r.forecasts_per_sec = static_cast<double>(total) / wall;
+  r.p50_us = latency.approx_quantile(0.50) * 1e6;
+  r.p99_us = latency.approx_quantile(0.99) * 1e6;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const auto race =
+      sim::simulate_race({"Indy500", 2019, 60, sim::Usage::kTest});
+  serve::AffineRankModel::save_artifact(kArtifact, 1.0, 0.0);
+
+  serve::RegistryConfig reg_cfg;
+  reg_cfg.gate.probe_origin_lap = 30;
+  reg_cfg.gate.probe_horizon = 5;
+  reg_cfg.gate.probe_num_samples = 4;
+  serve::ModelRegistry registry(
+      [](const std::string& path)
+          -> util::Result<std::shared_ptr<core::RaceForecaster>> {
+        auto model = std::make_shared<serve::AffineRankModel>();
+        if (auto st = model->load_artifact(path); !st.ok()) return st;
+        return std::shared_ptr<core::RaceForecaster>(std::move(model));
+      },
+      reg_cfg);
+  registry.set_probe_race(race);
+  registry.set_forecast_cache(std::make_shared<core::ForecastCache>(256));
+  if (auto st = registry.init(kArtifact); !st.ok()) {
+    std::fprintf(stderr, "registry init failed: %s\n",
+                 st.to_string().c_str());
+    return 1;
+  }
+
+  serve::ServerConfig cfg;
+  cfg.socket_path = kSocketPath;
+  serve::ForecastServer server(registry, cfg);
+  server.add_race(race);
+  if (auto st = server.start(); !st.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 st.to_string().c_str());
+    return 1;
+  }
+
+  const int total = 4000;
+  sim::WireFaultProfile lossy;
+  lossy.drop_rate = 0.01;
+  lossy.corrupt_rate = 0.01;
+
+  std::vector<SweepResult> results;
+  for (const std::size_t window : {std::size_t{8}, std::size_t{32},
+                                   std::size_t{128}}) {
+    for (const std::uint32_t deadline_us : {0u, 2000u}) {
+      results.push_back(run_config(race.id(), window, "clean", nullptr,
+                                   deadline_us, total));
+      sim::WireFaultInjector injector(lossy, 0xbe7c);
+      results.push_back(run_config(race.id(), window, "lossy", &injector,
+                                   deadline_us, total));
+    }
+  }
+  server.stop();
+
+  std::printf("%-7s %-6s %-11s %10s %9s %9s %9s\n", "window", "prof",
+              "deadline_us", "fcst/s", "p50_us", "p99_us", "rejected");
+  for (const auto& r : results) {
+    std::printf("%-7zu %-6s %-11u %10.0f %9.1f %9.1f %9d\n", r.window,
+                r.profile.c_str(), r.deadline_us, r.forecasts_per_sec,
+                r.p50_us, r.p99_us, r.rejected);
+  }
+
+  std::FILE* f = std::fopen("BENCH_serve.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_serve.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"serve_load\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"window\": %zu, \"profile\": \"%s\", \"deadline_us\": %u, "
+        "\"requests\": %d, \"answered\": %d, \"rejected\": %d, "
+        "\"forecasts_per_sec\": %.1f, \"p50_us\": %.2f, \"p99_us\": %.2f}%s\n",
+        r.window, r.profile.c_str(), r.deadline_us, r.requests, r.answered,
+        r.rejected, r.forecasts_per_sec, r.p50_us, r.p99_us,
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_serve.json (%zu configurations)\n",
+              results.size());
+  return 0;
+}

@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 #include <map>
 #include <memory>
 #include <vector>
@@ -79,7 +80,11 @@ TierReport run_tier(const char* label, const telemetry::RaceLog& truth,
   policy.series_damaged = [&ingestor](int car_id, int /*origin_lap*/) {
     return ingestor.damage_fraction(car_id) > 0.05;
   };
-  engine.set_degradation_policy(std::move(policy));
+  if (const auto st = engine.set_degradation_policy(std::move(policy));
+      !st.ok()) {
+    throw std::runtime_error("degradation policy rejected: " +
+                             st.to_string());
+  }
 
   const int horizon = 10, samples = 60, cadence = 25;
   util::Rng rng(11);

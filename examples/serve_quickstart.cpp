@@ -1,0 +1,142 @@
+// Serving quickstart: boots a ForecastServer in-process, then walks the
+// client API end to end — load a race over the wire, request forecasts
+// (watch the second identical request come back from the forecast cache),
+// hot-swap the model with no downtime, and shut the server down.
+//
+//   ./build/examples/serve_quickstart
+//
+// In production the server and client live in different processes; the
+// wire protocol (src/serve/wire.hpp) is the only coupling. Everything the
+// server does is booked into the obs registry under "serve.*" — this
+// example dumps the interesting counters at the end.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/forecast_cache.hpp"
+#include "obs/metrics.hpp"
+#include "serve/affine_model.hpp"
+#include "serve/client.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/server.hpp"
+#include "simulator/season.hpp"
+
+using namespace ranknet;
+
+int main() {
+  // --- server side -------------------------------------------------------
+  // A ModelRegistry owns the versioned models: candidates are staged from
+  // an artifact file, gated against a probe race, and atomically published.
+  const char* artifact_v1 = "/tmp/ranknet_example_model_v1.bin";
+  const char* artifact_v2 = "/tmp/ranknet_example_model_v2.bin";
+  serve::AffineRankModel::save_artifact(artifact_v1, 1.0, 0.0);  // CurRank
+  serve::AffineRankModel::save_artifact(artifact_v2, 1.0, 0.5);
+
+  const auto probe_race =
+      sim::simulate_race({"Indy500", 2019, 60, sim::Usage::kTest});
+
+  serve::ModelRegistry registry(
+      [](const std::string& path)
+          -> util::Result<std::shared_ptr<core::RaceForecaster>> {
+        auto model = std::make_shared<serve::AffineRankModel>();
+        if (auto st = model->load_artifact(path); !st.ok()) return st;
+        return std::shared_ptr<core::RaceForecaster>(std::move(model));
+      },
+      serve::RegistryConfig{});
+  registry.set_probe_race(probe_race);
+  registry.set_forecast_cache(std::make_shared<core::ForecastCache>(256));
+  if (auto st = registry.init(artifact_v1); !st.ok()) {
+    std::fprintf(stderr, "registry init: %s\n", st.to_string().c_str());
+    return 1;
+  }
+
+  serve::ServerConfig server_cfg;
+  server_cfg.socket_path = "/tmp/ranknet_serve_quickstart.sock";
+  serve::ForecastServer server(registry, server_cfg);
+  if (auto st = server.start(); !st.ok()) {
+    std::fprintf(stderr, "server start: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  std::printf("server listening on %s\n", server_cfg.socket_path.c_str());
+
+  // --- client side -------------------------------------------------------
+  serve::ClientConfig client_cfg;
+  client_cfg.socket_path = server_cfg.socket_path;
+  serve::ForecastClient client(client_cfg);
+
+  // Upload the race the forecasts will be about.
+  const auto race =
+      sim::simulate_race({"Indy500", 2019, 120, sim::Usage::kTest});
+  if (auto st = client.load_race(race); !st.ok()) {
+    std::fprintf(stderr, "load_race: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  std::printf("loaded race %s (%d laps)\n", race.id().c_str(),
+              race.num_laps());
+
+  // Forecast: rank trajectories over a 10-lap horizon from lap 60.
+  serve::wire::ForecastRequest req;
+  req.request_id = 1;
+  req.seed = 42;  // the response is a pure function of (race, seed, model)
+  req.race_id = race.id();
+  req.origin_lap = 60;
+  req.horizon = 10;
+  req.num_samples = 16;
+  auto res = client.forecast(req);
+  if (!res.ok() || !res.value().ok()) {
+    std::fprintf(stderr, "forecast failed\n");
+    return 1;
+  }
+  std::printf("forecast: tier=%s model=v%llu cars=%zu\n",
+              serve::wire::tier_name(res.value().tier),
+              static_cast<unsigned long long>(res.value().model_version),
+              res.value().cars.size());
+  for (std::size_t i = 0; i < 3 && i < res.value().cars.size(); ++i) {
+    const auto& car = res.value().cars[i];
+    std::printf("  car %d median ranks:", car.car_id);
+    for (double v : car.median) std::printf(" %.1f", v);
+    std::printf("\n");
+  }
+
+  // The same request again is served from the forecast cache — same bytes,
+  // no recompute (tier says so).
+  req.request_id = 2;
+  auto replay = client.forecast(req);
+  std::printf("replay:   tier=%s (byte-identical by construction)\n",
+              serve::wire::tier_name(replay.value().tier));
+
+  // Zero-downtime hot-swap: stage v2, gate it, publish atomically. Requests
+  // in flight drain on v1; everything after the ack serves v2.
+  auto ack = client.swap_model(artifact_v2);
+  if (!ack.ok()) {
+    std::fprintf(stderr, "swap: %s\n", ack.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("hot-swap: %s -> active v%llu\n",
+              ack.value().action == serve::wire::SwapAction::kPromoted
+                  ? "promoted"
+                  : "rejected",
+              static_cast<unsigned long long>(ack.value().active_version));
+
+  req.request_id = 3;
+  auto after = client.forecast(req);
+  std::printf("post-swap forecast: tier=%s model=v%llu\n",
+              serve::wire::tier_name(after.value().tier),
+              static_cast<unsigned long long>(after.value().model_version));
+
+  // --- observability -----------------------------------------------------
+  auto& reg = obs::Registry::instance();
+  std::printf("\nserve.* counters:\n");
+  for (const char* name :
+       {"serve.requests.received", "serve.tier.full", "serve.tier.cached",
+        "serve.registry.promoted", "serve.registry.rolled_back"}) {
+    std::printf("  %-28s %llu\n", name,
+                static_cast<unsigned long long>(reg.counter(name).value()));
+  }
+
+  if (auto st = client.shutdown_server(); st.ok()) {
+    std::printf("\nserver shut down cleanly\n");
+  }
+  server.stop();
+  return 0;
+}

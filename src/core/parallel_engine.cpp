@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <exception>
 #include <future>
 #include <stdexcept>
@@ -84,19 +85,31 @@ ParallelForecastEngine::ParallelForecastEngine(
   model_version_ = name_digest(wrapped_.name());
 }
 
-void ParallelForecastEngine::set_degradation_policy(DegradationPolicy policy) {
+util::Status ParallelForecastEngine::set_degradation_policy(
+    DegradationPolicy policy) {
+  // A NaN deadline fails every `deadline > 0.0` comparison in forecast(),
+  // and a negative one is indistinguishable from "disabled": both would
+  // silently turn the deadline tier off, so reject them here instead.
+  if (!std::isfinite(policy.deadline_seconds) ||
+      policy.deadline_seconds < 0.0) {
+    return util::Status::invalid_argument(
+        "ParallelForecastEngine: deadline_seconds must be a finite value "
+        ">= 0 (0 disables the deadline tier), got " +
+        std::to_string(policy.deadline_seconds));
+  }
   PartitionableForecaster* fallback_part = nullptr;
   if (policy.fallback) {
     fallback_part =
         dynamic_cast<PartitionableForecaster*>(policy.fallback.get());
     if (fallback_part == nullptr) {
-      throw std::invalid_argument(
+      return util::Status::invalid_argument(
           "ParallelForecastEngine: fallback forecaster must implement "
           "PartitionableForecaster");
     }
   }
   policy_ = std::move(policy);
   fallback_part_ = fallback_part;
+  return {};
 }
 
 RaceSamples ParallelForecastEngine::forecast(const telemetry::RaceLog& race,

@@ -43,6 +43,7 @@
 
 #include "core/forecast_cache.hpp"
 #include "core/forecaster.hpp"
+#include "util/status.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ranknet::core {
@@ -108,9 +109,12 @@ class ParallelForecastEngine : public RaceForecaster {
   bool partitioned() const { return partitioned_ != nullptr; }
 
   /// Arm (or disarm, with a default-constructed policy) the degradation
-  /// ladder. Throws std::invalid_argument if a fallback is given that is
-  /// not a PartitionableForecaster.
-  void set_degradation_policy(DegradationPolicy policy);
+  /// ladder. Fails fast — leaving the current policy untouched — when the
+  /// fallback is not a PartitionableForecaster or when deadline_seconds is
+  /// not a finite value >= 0 (a NaN or negative deadline would otherwise
+  /// silently disable the deadline tier: every `deadline > 0.0` comparison
+  /// in the forecast path is false for them).
+  [[nodiscard]] util::Status set_degradation_policy(DegradationPolicy policy);
 
   /// Attach (or detach, with nullptr) a forecast cache. Only fully-primary
   /// partitioned forecasts are cached (no fallback, deadline, or error

@@ -1,0 +1,61 @@
+#include "serve/affine_model.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "core/baselines.hpp"
+#include "nn/serialize.hpp"
+#include "tensor/matrix.hpp"
+
+namespace ranknet::serve {
+
+AffineRankModel::AffineRankModel(double scale, double offset)
+    : affine_("affine", tensor::Matrix(1, 2)) {
+  affine_.value(0, 0) = scale;
+  affine_.value(0, 1) = offset;
+}
+
+std::vector<int> AffineRankModel::forecast_cars(
+    const telemetry::RaceLog& race, int origin_lap) {
+  return core::running_cars(race, origin_lap);
+}
+
+core::RaceSamples AffineRankModel::forecast(const telemetry::RaceLog& race,
+                                            int origin_lap, int horizon,
+                                            int num_samples, util::Rng& rng) {
+  prepare(race);
+  const std::uint64_t base = rng();
+  const auto cars = forecast_cars(race, origin_lap);
+  return forecast_partition(race, origin_lap, horizon, num_samples, base,
+                            cars);
+}
+
+core::RaceSamples AffineRankModel::forecast_partition(
+    const telemetry::RaceLog& race, int origin_lap, int horizon,
+    int num_samples, std::uint64_t /*base*/, std::span<const int> cars) {
+  if (partition_delay_us_ > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(partition_delay_us_));
+  }
+  (void)num_samples;  // point forecast: one row, engine broadcasts
+  core::RaceSamples out;
+  const auto idx = static_cast<std::size_t>(origin_lap - 1);
+  for (int car_id : cars) {
+    const auto& series = race.car(car_id);
+    const double pred = scale() * series.rank[idx] + offset();
+    tensor::Matrix m(1, static_cast<std::size_t>(horizon), pred);
+    out.emplace(car_id, std::move(m));
+  }
+  return out;
+}
+
+util::Status AffineRankModel::load_artifact(const std::string& path) {
+  return nn::try_load_params(path, params());
+}
+
+void AffineRankModel::save_artifact(const std::string& path, double scale,
+                                    double offset) {
+  AffineRankModel model(scale, offset);
+  nn::save_params(path, model.params());
+}
+
+}  // namespace ranknet::serve

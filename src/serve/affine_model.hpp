@@ -1,0 +1,64 @@
+// AffineRankModel: the serving layer's hot-swap vehicle — a point
+// forecaster whose prediction is an affine map of the origin rank,
+//   pred(car, step) = scale * rank_at_origin(car) + offset,
+// with both coefficients living in one nn::Parameter ("affine", 1x2). That
+// makes it a real checksummed v2 artifact citizen (nn::save_params /
+// try_load_params) at microsecond load cost, so registry swap / rollback /
+// corruption tests and the soak bench exercise the exact staged-commit +
+// shadow-gate path a heavyweight model would take. Identity coefficients
+// (scale=1, offset=0) reproduce CurRank bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/forecaster.hpp"
+#include "nn/param.hpp"
+#include "util/status.hpp"
+
+namespace ranknet::serve {
+
+class AffineRankModel : public core::RaceForecaster,
+                        public core::PartitionableForecaster,
+                        public nn::Layer {
+ public:
+  explicit AffineRankModel(double scale = 1.0, double offset = 0.0);
+
+  std::string name() const override { return "AffineRank"; }
+  core::RaceSamples forecast(const telemetry::RaceLog& race, int origin_lap,
+                             int horizon, int num_samples,
+                             util::Rng& rng) override;
+
+  void prepare(const telemetry::RaceLog&) override {}
+  std::vector<int> forecast_cars(const telemetry::RaceLog& race,
+                                 int origin_lap) override;
+  core::RaceSamples forecast_partition(const telemetry::RaceLog& race,
+                                       int origin_lap, int horizon,
+                                       int num_samples, std::uint64_t base,
+                                       std::span<const int> cars) override;
+
+  std::vector<nn::Parameter*> params() override { return {&affine_}; }
+
+  double scale() const { return affine_.value(0, 0); }
+  double offset() const { return affine_.value(0, 1); }
+
+  /// Staged-commit load of a v2 artifact; on error the current
+  /// coefficients are untouched (nn::try_load_params contract).
+  util::Status load_artifact(const std::string& path);
+
+  /// Write a v2 checksummed artifact holding the given coefficients —
+  /// the one-liner the registry tests and the soak bench build candidate
+  /// (and deliberately-broken) artifacts from.
+  static void save_artifact(const std::string& path, double scale,
+                            double offset);
+
+  /// Artificial per-partition-call delay, for deadline/latency-gate tests
+  /// (0 = none). Not part of the artifact.
+  void set_partition_delay_us(int delay_us) { partition_delay_us_ = delay_us; }
+
+ private:
+  nn::Parameter affine_;  // 1x2: [scale, offset]
+  int partition_delay_us_ = 0;
+};
+
+}  // namespace ranknet::serve

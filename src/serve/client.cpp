@@ -1,0 +1,161 @@
+#include "serve/client.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace ranknet::serve {
+
+using util::Result;
+using util::Status;
+
+ForecastClient::ForecastClient(ClientConfig config)
+    : config_(std::move(config)) {}
+
+Status ForecastClient::connect() {
+  auto stream = util::UnixStream::connect(config_.socket_path,
+                                          config_.connect_timeout_seconds);
+  if (!stream.ok()) return stream.status();
+  stream_ = std::move(stream).value();
+  return {};
+}
+
+Status ForecastClient::send_frame(wire::FrameType type,
+                                  std::span<const std::uint8_t> payload) {
+  auto frame = wire::encode_frame(type, payload);
+  std::optional<std::vector<std::uint8_t>> to_send(std::move(frame));
+  if (filter_) to_send = filter_(*to_send);
+  if (stall_) {
+    if (const int ms = stall_(); ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    }
+  }
+  if (!to_send) return {};  // "sent" into the void; the reply wait times out
+  return stream_.send_all(to_send->data(), to_send->size(),
+                          config_.send_timeout_seconds);
+}
+
+Result<std::pair<wire::FrameHeader, std::vector<std::uint8_t>>>
+ForecastClient::recv_frame(double timeout_seconds) {
+  std::uint8_t header_bytes[wire::kHeaderSize];
+  if (auto st = stream_.recv_all(header_bytes, sizeof(header_bytes),
+                                 timeout_seconds);
+      !st.ok()) {
+    return st;
+  }
+  auto header = wire::decode_header(header_bytes);
+  if (!header.ok()) return header.status();
+  std::vector<std::uint8_t> payload(header.value().payload_len);
+  if (!payload.empty()) {
+    if (auto st = stream_.recv_all(payload.data(), payload.size(),
+                                   timeout_seconds);
+        !st.ok()) {
+      return st;
+    }
+  }
+  if (auto st = wire::verify_payload(header.value(), payload); !st.ok()) {
+    return st;
+  }
+  return std::make_pair(header.value(), std::move(payload));
+}
+
+Result<std::vector<std::uint8_t>> ForecastClient::transact(
+    wire::FrameType request_type, std::span<const std::uint8_t> payload,
+    wire::FrameType response_type, std::optional<std::uint64_t> want_id) {
+  util::ExponentialBackoff backoff(config_.backoff,
+                                   config_.backoff_seed + backoff_nonce_++);
+  Status last = Status::unavailable("no attempt made");
+  for (;;) {
+    // (Re)connect + send + await the matching reply; any transport-level
+    // failure falls through to the backoff sleep and a fresh attempt.
+    do {
+      if (!connected()) {
+        if (last = connect(); !last.ok()) break;
+      }
+      if (last = send_frame(request_type, payload); !last.ok()) break;
+
+      const auto attempt_deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration<double>(config_.recv_timeout_seconds);
+      for (;;) {
+        const double remaining =
+            std::chrono::duration<double>(attempt_deadline -
+                                          std::chrono::steady_clock::now())
+                .count();
+        if (remaining <= 0.0) {
+          last = Status::unavailable("timed out waiting for response");
+          break;
+        }
+        auto frame = recv_frame(remaining);
+        if (!frame.ok()) {
+          last = frame.status();
+          break;
+        }
+        auto& [header, body] = frame.value();
+        if (header.type != response_type) continue;  // stale/other frame
+        if (want_id) {
+          // A kForecastResponse from a timed-out earlier attempt: match by
+          // id, never deliver someone else's answer.
+          std::uint64_t id = 0;
+          if (body.size() < sizeof(id)) continue;
+          std::memcpy(&id, body.data(), sizeof(id));
+          if (id != *want_id) continue;
+        }
+        return std::move(body);
+      }
+    } while (false);
+
+    disconnect();  // transport state is suspect after any failure
+    if (backoff.exhausted()) return last;
+    const double delay = backoff.next_delay();
+    ++retries_;
+    if (delay > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    }
+  }
+}
+
+Result<wire::ForecastResponse> ForecastClient::forecast(
+    const wire::ForecastRequest& request) {
+  auto body = transact(wire::FrameType::kForecastRequest,
+                       wire::encode_forecast_request(request),
+                       wire::FrameType::kForecastResponse, request.request_id);
+  if (!body.ok()) return body.status();
+  return wire::decode_forecast_response(body.value());
+}
+
+Status ForecastClient::load_race(const telemetry::RaceLog& race) {
+  auto body =
+      transact(wire::FrameType::kLoadRace, wire::encode_race(race),
+               wire::FrameType::kLoadRaceAck, std::nullopt);
+  if (!body.ok()) return body.status();
+  auto ack = wire::decode_status_ack(body.value());
+  if (!ack.ok()) return ack.status();
+  if (ack.value().first != 0) {
+    return Status(static_cast<util::StatusCode>(ack.value().first),
+                  ack.value().second);
+  }
+  return {};
+}
+
+Result<wire::SwapAck> ForecastClient::swap_model(
+    const std::string& artifact_path) {
+  wire::SwapRequest request{artifact_path};
+  auto body = transact(wire::FrameType::kSwapModel,
+                       wire::encode_swap_request(request),
+                       wire::FrameType::kSwapAck, std::nullopt);
+  if (!body.ok()) return body.status();
+  return wire::decode_swap_ack(body.value());
+}
+
+Status ForecastClient::shutdown_server() {
+  auto body = transact(wire::FrameType::kShutdown, {},
+                       wire::FrameType::kShutdownAck, std::nullopt);
+  if (!body.ok()) return body.status();
+  auto ack = wire::decode_status_ack(body.value());
+  if (!ack.ok()) return ack.status();
+  return {};
+}
+
+}  // namespace ranknet::serve

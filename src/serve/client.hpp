@@ -1,0 +1,96 @@
+// ForecastClient: the serving front end's client library — one persistent
+// connection, synchronous request/response, and retry with exponential
+// backoff + jitter (util::ExponentialBackoff) around every transient
+// transport failure: connection refused while the server (re)starts, a
+// response that never arrives because the request frame was dropped or
+// corrupted in flight, a connection reset mid-exchange.
+//
+// Retry correctness: a retried forecast resends the SAME request (same
+// request_id, same seed). The server's answer is a pure function of
+// (race state, seed, model version), so the retry either hits the forecast
+// cache (the first attempt computed it) or recomputes identical bytes —
+// at-least-once delivery with idempotent requests. Responses are matched by
+// request_id, so a late response from a timed-out earlier attempt is
+// skipped, never mis-delivered.
+//
+// Fault-injection seam: set_send_filter routes every outgoing frame through
+// a caller hook (tests plug in sim::WireFaultInjector) and set_stall_hook
+// lets tests emulate a stalled client — the adversary the server's
+// slow-client guard is proven against.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "serve/wire.hpp"
+#include "telemetry/race_log.hpp"
+#include "util/backoff.hpp"
+#include "util/socket.hpp"
+#include "util/status.hpp"
+
+namespace ranknet::serve {
+
+struct ClientConfig {
+  std::string socket_path;
+  double connect_timeout_seconds = 1.0;
+  double send_timeout_seconds = 1.0;
+  /// Per-attempt wait for the matching response; a drop/ignore surfaces
+  /// here as kUnavailable and triggers the retry path.
+  double recv_timeout_seconds = 1.0;
+  util::BackoffConfig backoff;
+  std::uint64_t backoff_seed = 0xb0ff;
+};
+
+class ForecastClient {
+ public:
+  explicit ForecastClient(ClientConfig config);
+
+  /// Mutate/drop outgoing frames (nullopt = frame never sent). The client
+  /// behaves as if the network did it: it still waits for the reply and
+  /// retries on timeout.
+  using SendFilter = std::function<std::optional<std::vector<std::uint8_t>>(
+      std::span<const std::uint8_t>)>;
+  /// Milliseconds to stall before each send (0 = none).
+  using StallHook = std::function<int()>;
+  void set_send_filter(SendFilter filter) { filter_ = std::move(filter); }
+  void set_stall_hook(StallHook hook) { stall_ = std::move(hook); }
+
+  util::Status connect();
+  void disconnect() { stream_.close(); }
+  bool connected() const { return stream_.valid(); }
+
+  util::Result<wire::ForecastResponse> forecast(
+      const wire::ForecastRequest& request);
+  util::Status load_race(const telemetry::RaceLog& race);
+  util::Result<wire::SwapAck> swap_model(const std::string& artifact_path);
+  util::Status shutdown_server();
+
+  /// Transport attempts beyond the first, summed over this client's life.
+  std::uint64_t retries() const { return retries_; }
+
+ private:
+  /// One request/response exchange with the full retry loop. `want_id`
+  /// filters kForecastResponse frames by request id; acks match on type.
+  util::Result<std::vector<std::uint8_t>> transact(
+      wire::FrameType request_type, std::span<const std::uint8_t> payload,
+      wire::FrameType response_type, std::optional<std::uint64_t> want_id);
+
+  util::Status send_frame(wire::FrameType type,
+                          std::span<const std::uint8_t> payload);
+  /// Read one whole verified frame off the stream.
+  util::Result<std::pair<wire::FrameHeader, std::vector<std::uint8_t>>>
+  recv_frame(double timeout_seconds);
+
+  ClientConfig config_;
+  util::UnixStream stream_;
+  SendFilter filter_;
+  StallHook stall_;
+  std::uint64_t backoff_nonce_ = 0;
+  std::uint64_t retries_ = 0;
+};
+
+}  // namespace ranknet::serve

@@ -1,0 +1,569 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "core/forecast_cache.hpp"
+#include "core/forecaster.hpp"
+#include "tensor/simd_kernels.hpp"
+#include "util/rng.hpp"
+
+namespace ranknet::serve {
+
+using util::Status;
+
+namespace {
+
+/// Medians a client may actually act on: finite and inside a generous rank
+/// band. This is the serving-side health signal that feeds probation
+/// rollback — a model that passed its (configurable) shadow gate but emits
+/// garbage in production gets caught here.
+bool response_healthy(const wire::ForecastResponse& response) {
+  for (const auto& car : response.cars) {
+    for (double v : car.median) {
+      if (!std::isfinite(v) || v < -1e4 || v > 1e4) return false;
+    }
+  }
+  return true;
+}
+
+double seconds_until(std::chrono::steady_clock::time_point deadline,
+                     std::chrono::steady_clock::time_point now) {
+  return std::chrono::duration<double>(deadline - now).count();
+}
+
+}  // namespace
+
+ForecastServer::ForecastServer(ModelRegistry& registry, ServerConfig config)
+    : registry_(registry), config_(std::move(config)) {
+  auto& reg = obs::Registry::instance();
+  m_.conns_accepted = &reg.counter("serve.conn.accepted");
+  m_.conns_rejected = &reg.counter("serve.conn.rejected");
+  m_.conns_slow_dropped = &reg.counter("serve.conn.slow_dropped");
+  m_.frames_received = &reg.counter("serve.frames.received");
+  m_.frames_corrupt_skipped = &reg.counter("serve.frames.corrupt_skipped");
+  m_.frames_bad_header = &reg.counter("serve.frames.bad_header");
+  m_.requests_received = &reg.counter("serve.requests.received");
+  m_.requests_bad = &reg.counter("serve.requests.bad");
+  m_.shed_queue_full = &reg.counter("serve.admission.shed_queue_full");
+  m_.admitted_degraded = &reg.counter("serve.admission.degraded");
+  m_.unknown_race = &reg.counter("serve.admission.unknown_race");
+  m_.expired_in_queue = &reg.counter("serve.deadline.expired_in_queue");
+  m_.tier_full = &reg.counter("serve.tier.full");
+  m_.tier_cached = &reg.counter("serve.tier.cached");
+  m_.tier_partial = &reg.counter("serve.tier.partial");
+  m_.tier_fallback = &reg.counter("serve.tier.fallback");
+  m_.tier_rejected = &reg.counter("serve.tier.rejected");
+  m_.batch_groups = &reg.counter("serve.batch.groups");
+  m_.batch_dedup_hits = &reg.counter("serve.batch.dedup_hits");
+  m_.write_failures = &reg.counter("serve.write.failures");
+  m_.request_latency = &reg.latency_histogram("serve.request.latency");
+  static const double kBatchBounds[] = {1, 2, 4, 8, 16, 32, 64};
+  m_.batch_size = &reg.histogram("serve.batch.size", kBatchBounds);
+}
+
+ForecastServer::~ForecastServer() { stop(); }
+
+Status ForecastServer::start() {
+  if (running_.load()) {
+    return Status::failed_precondition("server already running");
+  }
+  auto bound = util::UnixListener::bind(config_.socket_path);
+  if (!bound.ok()) return bound.status();
+  listener_ = std::move(bound).value();
+  stop_requested_.store(false);
+  running_.store(true, std::memory_order_release);
+  io_thread_ = std::thread([this] { io_loop(); });
+  worker_thread_ = std::thread([this] { worker_loop(); });
+  return {};
+}
+
+void ForecastServer::stop() {
+  stop_requested_.store(true);
+  queue_cv_.notify_all();
+  if (io_thread_.joinable()) io_thread_.join();
+  if (worker_thread_.joinable()) worker_thread_.join();
+  conns_.clear();
+  listener_.close();
+  running_.store(false, std::memory_order_release);
+}
+
+void ForecastServer::add_race(telemetry::RaceLog race) {
+  RaceEntry entry;
+  entry.digest = core::race_state_digest(race);
+  auto id = race.id();
+  entry.race = std::make_shared<const telemetry::RaceLog>(std::move(race));
+  std::lock_guard<std::mutex> lock(races_mutex_);
+  races_[std::move(id)] = std::move(entry);
+}
+
+// --- I/O thread ------------------------------------------------------------
+
+void ForecastServer::io_loop() {
+  std::vector<pollfd> fds;
+  std::vector<std::uint8_t> scratch(64 * 1024);
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    fds.clear();
+    fds.push_back({listener_.fd(), POLLIN, 0});
+    for (const auto& conn : conns_) {
+      fds.push_back({conn->stream.fd(), POLLIN, 0});
+    }
+    int rc = ::poll(fds.data(), fds.size(), /*timeout_ms=*/5);
+    if (rc < 0 && errno != EINTR) break;
+    const auto now = Clock::now();
+    // fds indexes the pre-accept connection list; remember its size so a
+    // connection accepted below is not polled against a stale pollfd.
+    const std::size_t polled = conns_.size();
+
+    if (fds[0].revents & POLLIN) {
+      auto accepted = listener_.accept(0.0);
+      if (accepted.ok()) {
+        if (conns_.size() >= config_.max_connections) {
+          m_.conns_rejected->add(1);  // stream closes on scope exit
+        } else {
+          auto conn = std::make_shared<Conn>();
+          conn->stream = std::move(accepted).value();
+          conn->last_progress = now;
+          conns_.push_back(std::move(conn));
+          m_.conns_accepted->add(1);
+        }
+      }
+    }
+
+    for (std::size_t i = 0; i < polled; ++i) {
+      auto& conn = conns_[i];
+      if (fds[i + 1].revents & (POLLIN | POLLHUP | POLLERR)) {
+        auto got = conn->stream.recv_some(scratch.data(), scratch.size(), 0.0);
+        if (!got.ok() || got.value() == 0) {
+          if (!got.ok() &&
+              got.status().code() == util::StatusCode::kUnavailable &&
+              !(fds[i + 1].revents & (POLLHUP | POLLERR))) {
+            continue;  // spurious wakeup, not a close
+          }
+          conn->dead.store(true);
+          continue;
+        }
+        conn->buf.insert(conn->buf.end(), scratch.data(),
+                         scratch.data() + got.value());
+        conn->last_progress = now;
+        if (!drain_frames(conn)) conn->dead.store(true);
+      }
+      // Slow-client guard: a partial frame parked with no progress holds
+      // reassembly memory hostage — cut it loose.
+      if (!conn->buf.empty() &&
+          seconds_until(now, conn->last_progress) >
+              config_.slow_client_timeout_seconds) {
+        m_.conns_slow_dropped->add(1);
+        conn->dead.store(true);
+      }
+    }
+
+    conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                [](const std::shared_ptr<Conn>& c) {
+                                  return c->dead.load();
+                                }),
+                 conns_.end());
+  }
+}
+
+bool ForecastServer::drain_frames(const std::shared_ptr<Conn>& conn) {
+  auto& buf = conn->buf;
+  while (buf.size() >= wire::kHeaderSize) {
+    auto header = wire::decode_header(buf);
+    if (!header.ok()) {
+      // Bad magic/version/length: the byte stream is no longer a frame
+      // stream; nothing after this point can be trusted.
+      m_.frames_bad_header->add(1);
+      return false;
+    }
+    const std::size_t frame_size =
+        wire::kHeaderSize + header.value().payload_len;
+    if (buf.size() < frame_size) return true;  // incomplete, wait for more
+    const std::span<const std::uint8_t> payload(
+        buf.data() + wire::kHeaderSize, header.value().payload_len);
+    m_.frames_received->add(1);
+    if (auto st = wire::verify_payload(header.value(), payload); !st.ok()) {
+      // One corrupt payload costs one frame, not the connection: framing
+      // is still aligned thanks to the length prefix.
+      m_.frames_corrupt_skipped->add(1);
+      buf.erase(buf.begin(),
+                buf.begin() + static_cast<std::ptrdiff_t>(frame_size));
+      continue;
+    }
+    switch (header.value().type) {
+      case wire::FrameType::kForecastRequest:
+        handle_forecast_frame(conn, payload);
+        break;
+      case wire::FrameType::kLoadRace:
+        handle_load_race(conn, payload);
+        break;
+      case wire::FrameType::kSwapModel: {
+        auto req = wire::decode_swap_request(payload);
+        if (req.ok()) {
+          std::lock_guard<std::mutex> lock(queue_mutex_);
+          admin_.push_back(AdminOp{conn, std::move(req).value()});
+          queue_cv_.notify_one();
+        } else {
+          wire::SwapAck ack;
+          ack.status_code = static_cast<std::uint8_t>(req.status().code());
+          ack.message = req.status().message();
+          send_frame(conn, wire::FrameType::kSwapAck,
+                     wire::encode_swap_ack(ack));
+        }
+        break;
+      }
+      case wire::FrameType::kShutdown:
+        send_frame(conn, wire::FrameType::kShutdownAck,
+                   wire::encode_status_ack(0, "stopping"));
+        stop_requested_.store(true, std::memory_order_release);
+        queue_cv_.notify_all();
+        break;
+      default:
+        // A well-formed frame of a type only the server sends; ignore.
+        break;
+    }
+    buf.erase(buf.begin(),
+              buf.begin() + static_cast<std::ptrdiff_t>(frame_size));
+  }
+  return true;
+}
+
+void ForecastServer::handle_forecast_frame(
+    const std::shared_ptr<Conn>& conn, std::span<const std::uint8_t> payload) {
+  m_.requests_received->add(1);
+  auto decoded = wire::decode_forecast_request(payload);
+  if (!decoded.ok()) {
+    m_.requests_bad->add(1);
+    wire::ForecastResponse response;
+    // Best effort to echo the id so the client can match the failure.
+    if (payload.size() >= 8) {
+      std::memcpy(&response.request_id, payload.data(), 8);
+    }
+    response.status_code =
+        static_cast<std::uint8_t>(decoded.status().code());
+    response.message = decoded.status().message();
+    respond(conn, response);
+    return;
+  }
+  Pending item;
+  item.conn = conn;
+  item.req = std::move(decoded).value();
+  item.arrival = Clock::now();
+
+  {
+    std::lock_guard<std::mutex> lock(races_mutex_);
+    if (races_.find(item.req.race_id) == races_.end()) {
+      m_.unknown_race->add(1);
+      reject(item, Status::not_found("unknown race '" + item.req.race_id +
+                                     "' (kLoadRace it first)"));
+      return;
+    }
+  }
+
+  std::uint32_t deadline_us = item.req.deadline_us == 0
+                                  ? config_.default_deadline_us
+                                  : item.req.deadline_us;
+  deadline_us = std::min(deadline_us, config_.max_deadline_us);
+  item.deadline = item.arrival + std::chrono::microseconds(deadline_us);
+
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  if (queue_.size() >= config_.queue_capacity) {
+    m_.shed_queue_full->add(1);
+    reject(item, Status::unavailable("queue full (capacity " +
+                                     std::to_string(config_.queue_capacity) +
+                                     ")"));
+    return;
+  }
+  if (queue_.size() >= config_.overload_watermark) {
+    item.degraded = true;
+    m_.admitted_degraded->add(1);
+  }
+  queue_.push_back(std::move(item));
+  queue_cv_.notify_one();
+}
+
+void ForecastServer::handle_load_race(const std::shared_ptr<Conn>& conn,
+                                      std::span<const std::uint8_t> payload) {
+  auto race = wire::decode_race(payload);
+  if (!race.ok()) {
+    send_frame(conn, wire::FrameType::kLoadRaceAck,
+               wire::encode_status_ack(
+                   static_cast<std::uint8_t>(race.status().code()),
+                   race.status().message()));
+    return;
+  }
+  add_race(std::move(race).value());
+  send_frame(conn, wire::FrameType::kLoadRaceAck,
+             wire::encode_status_ack(0, "loaded"));
+}
+
+// --- worker thread ---------------------------------------------------------
+
+void ForecastServer::worker_loop() {
+  while (true) {
+    std::vector<Pending> batch;
+    std::vector<AdminOp> admin;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] {
+        return stop_requested_.load(std::memory_order_acquire) ||
+               !queue_.empty() || !admin_.empty();
+      });
+      while (!admin_.empty()) {
+        admin.push_back(std::move(admin_.front()));
+        admin_.pop_front();
+      }
+      const bool stopping = stop_requested_.load(std::memory_order_acquire);
+      const std::size_t take =
+          stopping ? queue_.size()
+                   : std::min(queue_.size(), config_.batch_max);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      if (stopping && batch.empty() && admin.empty()) return;
+    }
+
+    // Admin ops first: a swap must not sit behind a long batch, and the
+    // single worker thread is exactly what makes swap-vs-serve ordering
+    // deterministic.
+    for (auto& op : admin) {
+      const auto outcome = registry_.swap(op.swap.artifact_path);
+      wire::SwapAck ack;
+      ack.status_code = static_cast<std::uint8_t>(outcome.status.code());
+      ack.action = outcome.action;
+      ack.active_version = outcome.active_version;
+      ack.message = outcome.status.message();
+      send_frame(op.conn, wire::FrameType::kSwapAck,
+                 wire::encode_swap_ack(ack));
+    }
+
+    if (batch.empty()) continue;
+    if (stop_requested_.load(std::memory_order_acquire)) {
+      // Drain with explicit rejections — a shutdown sheds, it never hangs.
+      for (auto& item : batch) {
+        reject(item, Status::unavailable("server shutting down"));
+      }
+      continue;
+    }
+    m_.batch_size->observe(static_cast<double>(batch.size()));
+
+    // Micro-batch grouping: identical (race, origin, horizon, samples,
+    // seed) requests are one compute. Degraded admissions group separately
+    // — they must not trigger a full primary forecast.
+    std::map<std::tuple<std::string, std::int32_t, std::int32_t, std::int32_t,
+                        std::uint64_t, bool>,
+             std::vector<Pending>>
+        groups;
+    for (auto& item : batch) {
+      groups[{item.req.race_id, item.req.origin_lap, item.req.horizon,
+              item.req.num_samples, item.req.seed, item.degraded}]
+          .push_back(std::move(item));
+    }
+    for (auto& [key, members] : groups) {
+      m_.batch_groups->add(1);
+      if (members.size() > 1) m_.batch_dedup_hits->add(members.size() - 1);
+      process_group(members);
+    }
+  }
+}
+
+void ForecastServer::process_group(std::vector<Pending>& members) {
+  const auto now = Clock::now();
+  // Requests whose budget evaporated in the queue are explicit sheds.
+  std::vector<Pending> live;
+  for (auto& item : members) {
+    if (item.deadline <= now) {
+      m_.expired_in_queue->add(1);
+      reject(item, Status::deadline_exceeded("deadline expired in queue"));
+    } else {
+      live.push_back(std::move(item));
+    }
+  }
+  if (live.empty()) return;
+  const auto& req = live.front().req;
+
+  auto model = registry_.active();
+  if (!model) {
+    for (auto& item : live) {
+      reject(item, Status::failed_precondition("no model published"));
+    }
+    return;
+  }
+
+  RaceEntry entry;
+  {
+    std::lock_guard<std::mutex> lock(races_mutex_);
+    auto it = races_.find(req.race_id);
+    if (it == races_.end()) {
+      for (auto& item : live) {
+        reject(item, Status::not_found("race vanished: " + req.race_id));
+      }
+      return;
+    }
+    entry = it->second;
+  }
+  if (req.origin_lap >= entry.race->num_laps()) {
+    for (auto& item : live) {
+      reject(item, Status::out_of_range(
+                       "origin_lap " + std::to_string(req.origin_lap) +
+                       " beyond race (" +
+                       std::to_string(entry.race->num_laps()) + " laps)"));
+    }
+    return;
+  }
+
+  wire::ForecastResponse response;
+  response.model_version = model->version;
+  wire::Tier tier = wire::Tier::kFull;
+
+  // The engine's base draw is the caller rng's first u64, so the key's
+  // `base` — and with it cache/dedup identity — is a pure function of the
+  // request's seed.
+  util::Rng rng(req.seed);
+
+  if (live.front().degraded) {
+    // Overload tier: answer from the cache if the bytes already exist,
+    // else from the cheap fallback model. Never the primary engine.
+    const std::uint64_t base = util::Rng(req.seed)();
+    core::RaceSamples samples;
+    bool cached = false;
+    if (const auto& cache = model->engine->forecast_cache()) {
+      core::ForecastCacheKey key{
+          entry.digest,
+          base,
+          model->engine->model_version(),
+          req.origin_lap,
+          req.horizon,
+          req.num_samples,
+          static_cast<int>(tensor::kernels::active_variant())};
+      if (auto hit = cache->get(key)) {
+        samples = *std::move(hit);
+        cached = true;
+      }
+    }
+    if (!cached) {
+      samples = registry_.fallback()->forecast(*entry.race, req.origin_lap,
+                                               req.horizon, req.num_samples,
+                                               rng);
+    }
+    tier = cached ? wire::Tier::kCached : wire::Tier::kFallback;
+    for (const auto& [car_id, m] : samples) {
+      response.cars.push_back({car_id, core::median_trajectory(m)});
+    }
+  } else {
+    // Per-request budget rides the engine's deadline tier: the tightest
+    // remaining deadline in the group bounds the whole compute, and a
+    // blown budget degrades to a partial-sample merge instead of a stall.
+    double budget_seconds = 1e9;
+    for (const auto& item : live) {
+      budget_seconds =
+          std::min(budget_seconds, seconds_until(item.deadline, now));
+    }
+    core::ParallelForecastEngine::DegradationPolicy policy;
+    policy.deadline_seconds = budget_seconds;
+    policy.fallback = registry_.fallback();
+    if (auto st = model->engine->set_degradation_policy(std::move(policy));
+        !st.ok()) {
+      for (auto& item : live) reject(item, st);
+      return;
+    }
+
+    const auto deg_before = model->engine->degradation();
+    const auto hits_before = core::CacheCounters::instance().hits();
+    core::RaceSamples samples;
+    try {
+      samples = model->engine->forecast(*entry.race, req.origin_lap,
+                                        req.horizon, req.num_samples, rng);
+    } catch (const std::exception& e) {
+      for (auto& item : live) {
+        reject(item, Status::failed_precondition(
+                         std::string("forecast failed: ") + e.what()));
+      }
+      return;
+    }
+    const auto deg_after = model->engine->degradation();
+    const bool cache_hit =
+        core::CacheCounters::instance().hits() > hits_before;
+    const auto fallback_delta =
+        deg_after.fallback_cars() - deg_before.fallback_cars();
+    const auto full_delta = deg_after.full_cars - deg_before.full_cars;
+    if (cache_hit) {
+      tier = wire::Tier::kCached;
+    } else if (fallback_delta > 0) {
+      tier = full_delta > 0 ? wire::Tier::kPartial : wire::Tier::kFallback;
+    }
+    for (const auto& [car_id, m] : samples) {
+      response.cars.push_back({car_id, core::median_trajectory(m)});
+    }
+  }
+
+  response.tier = tier;
+  const bool healthy = response_healthy(response);
+  if (!healthy) {
+    response.status_code =
+        static_cast<std::uint8_t>(util::StatusCode::kFailedPrecondition);
+    response.message = "model emitted non-finite or implausible medians";
+  }
+  // Serving feedback: probation rollback triggers here when a freshly
+  // promoted model misbehaves on real traffic.
+  if (tier == wire::Tier::kFull || tier == wire::Tier::kPartial) {
+    registry_.record_serving_result(model->version, healthy);
+  }
+
+  for (auto& item : live) {
+    response.request_id = item.req.request_id;
+    // Book metrics BEFORE the send: anyone who has observed the response is
+    // guaranteed the counters already include it (the soak test snapshots
+    // tier counters the instant the last response arrives).
+    switch (tier) {
+      case wire::Tier::kFull: m_.tier_full->add(1); break;
+      case wire::Tier::kCached: m_.tier_cached->add(1); break;
+      case wire::Tier::kPartial: m_.tier_partial->add(1); break;
+      case wire::Tier::kFallback: m_.tier_fallback->add(1); break;
+      case wire::Tier::kRejected: break;  // unreachable here
+    }
+    m_.request_latency->observe(
+        std::chrono::duration<double>(Clock::now() - item.arrival).count());
+    respond(item.conn, response);
+  }
+}
+
+void ForecastServer::reject(const Pending& item, Status status) {
+  wire::ForecastResponse response;
+  response.request_id = item.req.request_id;
+  response.status_code = static_cast<std::uint8_t>(status.code());
+  response.tier = wire::Tier::kRejected;
+  response.message = status.message();
+  m_.tier_rejected->add(1);
+  respond(item.conn, response);
+}
+
+void ForecastServer::respond(const std::shared_ptr<Conn>& conn,
+                             const wire::ForecastResponse& response) {
+  send_frame(conn, wire::FrameType::kForecastResponse,
+             wire::encode_forecast_response(response));
+}
+
+void ForecastServer::send_frame(const std::shared_ptr<Conn>& conn,
+                                wire::FrameType type,
+                                std::span<const std::uint8_t> payload) {
+  if (conn->dead.load()) return;
+  const auto frame = wire::encode_frame(type, payload);
+  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  if (auto st = conn->stream.send_all(frame.data(), frame.size(),
+                                      config_.write_timeout_seconds);
+      !st.ok()) {
+    m_.write_failures->add(1);
+    conn->dead.store(true);
+  }
+}
+
+}  // namespace ranknet::serve

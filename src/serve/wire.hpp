@@ -1,0 +1,155 @@
+// Length-prefixed binary wire protocol of the forecast-serving front end.
+//
+// Frame layout (little-endian, local-socket hop only):
+//   u32 magic 'RNKS' | u8 version | u8 type | u32 payload_len
+//   | u64 payload FNV-1a checksum | payload bytes
+// The checksum catches in-flight corruption (sim::WireFaultInjector's
+// bit flips) before any payload field is trusted; the length prefix keeps
+// framing recoverable, so one corrupt payload costs one request, not the
+// connection. Decoding follows the PR-2 artifact-loader discipline: every
+// size is bounds-checked against a hard cap *before* allocation, every
+// read is range-checked, and all failures surface as util::Status — the
+// peer is untrusted bytes, never a trusted caller.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "telemetry/race_log.hpp"
+#include "util/status.hpp"
+
+namespace ranknet::serve::wire {
+
+inline constexpr std::uint32_t kMagic = 0x534B4E52u;  // "RNKS" little-endian
+inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::size_t kHeaderSize = 4 + 1 + 1 + 4 + 8;
+/// Hard cap on one frame's payload; a race upload of ~100k records fits
+/// with an order of magnitude to spare.
+inline constexpr std::uint32_t kMaxPayload = 16u << 20;
+
+enum class FrameType : std::uint8_t {
+  kForecastRequest = 1,
+  kForecastResponse = 2,
+  kLoadRace = 3,
+  kLoadRaceAck = 4,
+  kSwapModel = 5,
+  kSwapAck = 6,
+  kShutdown = 7,
+  kShutdownAck = 8,
+};
+
+struct FrameHeader {
+  FrameType type = FrameType::kForecastRequest;
+  std::uint32_t payload_len = 0;
+  std::uint64_t checksum = 0;
+};
+
+/// Admission/service tier a request was answered at (the degradation
+/// ladder's serving-side vocabulary; see DESIGN.md "Serving & overload
+/// policy").
+enum class Tier : std::uint8_t {
+  kRejected = 0,  // explicit shed: queue full or deadline unmeetable
+  kFull = 1,      // primary model, full sample budget
+  kCached = 2,    // byte-identical replay from the forecast cache
+  kPartial = 3,   // primary, deadline partial-merge (some cars fallback)
+  kFallback = 4,  // fallback model (overload or primary failure)
+};
+
+const char* tier_name(Tier tier);
+
+struct ForecastRequest {
+  std::uint64_t request_id = 0;
+  /// Rng seed for the forecast; the sample noise is a pure function of it
+  /// (same seed + same race state => byte-identical response), so clients
+  /// that share a seed share cache entries and micro-batch slots.
+  std::uint64_t seed = 0;
+  std::string race_id;
+  std::int32_t origin_lap = 0;
+  std::int32_t horizon = 0;
+  std::int32_t num_samples = 0;
+  /// Per-request budget; 0 = server default. The server spends it across
+  /// queue wait + decode via the engine's deadline tier.
+  std::uint32_t deadline_us = 0;
+};
+
+struct CarForecast {
+  std::int32_t car_id = 0;
+  std::vector<double> median;  // per-horizon-step median rank value
+};
+
+struct ForecastResponse {
+  std::uint64_t request_id = 0;
+  std::uint8_t status_code = 0;  // util::StatusCode
+  Tier tier = Tier::kRejected;
+  std::uint64_t model_version = 0;
+  std::vector<CarForecast> cars;
+  std::string message;  // failure detail when status_code != kOk
+
+  bool ok() const { return status_code == 0; }
+};
+
+struct SwapRequest {
+  std::string artifact_path;
+};
+
+enum class SwapAction : std::uint8_t {
+  kPromoted = 1,    // candidate passed checksum + gates, now active
+  kRejected = 2,    // candidate never became active (stage/gate failure)
+  kRolledBack = 3,  // active reverted to the previous version
+};
+
+struct SwapAck {
+  std::uint8_t status_code = 0;
+  SwapAction action = SwapAction::kRejected;
+  std::uint64_t active_version = 0;
+  std::string message;
+};
+
+// --- frame level -----------------------------------------------------------
+
+/// Header + checksummed payload, ready to write to a stream.
+std::vector<std::uint8_t> encode_frame(FrameType type,
+                                       std::span<const std::uint8_t> payload);
+
+/// Parse the fixed-size header. Rejects bad magic/version (unrecoverable:
+/// drop the connection) and payloads above kMaxPayload.
+util::Result<FrameHeader> decode_header(std::span<const std::uint8_t> bytes);
+
+/// Checksum the payload against its header. kCorruptData on mismatch
+/// (recoverable: skip this frame, keep the connection).
+util::Status verify_payload(const FrameHeader& header,
+                            std::span<const std::uint8_t> payload);
+
+// --- payload codecs --------------------------------------------------------
+
+std::vector<std::uint8_t> encode_forecast_request(const ForecastRequest& req);
+util::Result<ForecastRequest> decode_forecast_request(
+    std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_forecast_response(
+    const ForecastResponse& res);
+util::Result<ForecastResponse> decode_forecast_response(
+    std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_race(const telemetry::RaceLog& race);
+/// Rebuilds the RaceLog (structural invariant violations — e.g.
+/// non-contiguous laps — surface as Status, not exceptions).
+util::Result<telemetry::RaceLog> decode_race(
+    std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_swap_request(const SwapRequest& req);
+util::Result<SwapRequest> decode_swap_request(
+    std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_swap_ack(const SwapAck& ack);
+util::Result<SwapAck> decode_swap_ack(std::span<const std::uint8_t> payload);
+
+/// LoadRaceAck / ShutdownAck share one tiny codec: status code + message.
+std::vector<std::uint8_t> encode_status_ack(std::uint8_t status_code,
+                                            const std::string& message);
+util::Result<std::pair<std::uint8_t, std::string>> decode_status_ack(
+    std::span<const std::uint8_t> payload);
+
+}  // namespace ranknet::serve::wire

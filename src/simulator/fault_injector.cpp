@@ -79,6 +79,50 @@ std::optional<LapRecord> FaultInjector::next() {
   return out;
 }
 
+WireFaultInjector::WireFaultInjector(WireFaultProfile profile,
+                                     std::uint64_t seed)
+    : profile_(profile), rng_(seed) {}
+
+std::optional<std::vector<std::uint8_t>> WireFaultInjector::apply(
+    std::span<const std::uint8_t> frame) {
+  ++counters_.frames;
+  if (profile_.drop_rate > 0.0 && rng_.bernoulli(profile_.drop_rate)) {
+    ++counters_.dropped;
+    return std::nullopt;
+  }
+  std::vector<std::uint8_t> out(frame.begin(), frame.end());
+  if (!out.empty() && profile_.truncate_rate > 0.0 &&
+      rng_.bernoulli(profile_.truncate_rate)) {
+    // Cut anywhere from "only the first byte survives" to "one byte short":
+    // both leave the receiver holding a partial frame behind an intact
+    // length prefix — the case the slow-client timeout must clean up.
+    const auto keep = static_cast<std::size_t>(
+        rng_.uniform_int(1, static_cast<std::int64_t>(out.size()) - 1 > 0
+                                ? static_cast<std::int64_t>(out.size()) - 1
+                                : 1));
+    out.resize(keep);
+    ++counters_.truncated;
+  } else if (!out.empty() && profile_.corrupt_rate > 0.0 &&
+             rng_.bernoulli(profile_.corrupt_rate)) {
+    // One flipped bit in one byte — must trip the frame checksum, never
+    // reach the decoder as valid payload.
+    const auto idx = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(out.size()) - 1));
+    out[idx] ^= static_cast<std::uint8_t>(1u << rng_.uniform_int(0, 7));
+    ++counters_.corrupted;
+  }
+  ++counters_.delivered;
+  return out;
+}
+
+int WireFaultInjector::stall_before_send_ms() {
+  if (profile_.stall_rate > 0.0 && rng_.bernoulli(profile_.stall_rate)) {
+    ++counters_.stalls;
+    return profile_.stall_ms;
+  }
+  return 0;
+}
+
 std::vector<LapRecord> FaultInjector::drain() {
   std::vector<LapRecord> out;
   out.reserve(clean_.size());

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "telemetry/record.hpp"
@@ -72,6 +73,64 @@ class FaultInjector {
   std::vector<InFlight> buffer_;
   std::size_t pos_ = 0;
   int stalling_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Wire-level faults (the serving path's adversary)
+// ---------------------------------------------------------------------------
+
+/// Failure modes of the serving front end's transport hop: whole frames
+/// lost, cut short mid-write, bit-flipped in flight, or preceded by a
+/// client that simply stops sending for a while. Mirrors FaultProfile but
+/// operates on opaque byte frames (src/serve wire frames), so the same
+/// seeded-adversary pattern covers both the telemetry feed and the request
+/// loop.
+struct WireFaultProfile {
+  double drop_rate = 0.0;      // P(frame never sent)
+  double truncate_rate = 0.0;  // P(frame cut short mid-write)
+  double corrupt_rate = 0.0;   // P(one byte of the frame flipped)
+  double stall_rate = 0.0;     // P(sender goes quiet before this frame)
+  int stall_ms = 20;           // quiet time per stall
+};
+
+struct WireFaultCounters {
+  std::uint64_t frames = 0;     // frames offered to the injector
+  std::uint64_t delivered = 0;  // emitted (possibly mutated)
+  std::uint64_t dropped = 0;
+  std::uint64_t truncated = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t stalls = 0;
+};
+
+/// Seeded mutator for outgoing byte frames. The test/bench client harness
+/// routes every encoded wire frame through apply() before writing it to the
+/// socket, which makes the server-side robustness claims reproducible:
+/// the exact same frames are mangled the exact same way for a given seed.
+///
+/// Contract: with an all-zero profile, apply() returns every frame
+/// byte-identical and stall_before_send_ms() is always 0 (property-tested
+/// in test_fault_injection.cpp).
+class WireFaultInjector {
+ public:
+  WireFaultInjector(WireFaultProfile profile, std::uint64_t seed);
+
+  /// The bytes to actually send for this frame: unchanged, truncated, or
+  /// corrupted — or nullopt when the frame is dropped entirely.
+  std::optional<std::vector<std::uint8_t>> apply(
+      std::span<const std::uint8_t> frame);
+
+  /// Milliseconds the sender should stay quiet before the next send
+  /// (drawn per frame, 0 when not stalling). Simulates a stalled client
+  /// holding a connection open — the server's slow-client guard's target.
+  int stall_before_send_ms();
+
+  const WireFaultCounters& counters() const { return counters_; }
+  const WireFaultProfile& profile() const { return profile_; }
+
+ private:
+  WireFaultProfile profile_;
+  util::Rng rng_;
+  WireFaultCounters counters_;
 };
 
 }  // namespace ranknet::sim

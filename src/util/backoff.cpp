@@ -1,0 +1,28 @@
+#include "util/backoff.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ranknet::util {
+
+ExponentialBackoff::ExponentialBackoff(BackoffConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  config_.initial_seconds = std::max(0.0, config_.initial_seconds);
+  config_.multiplier = std::max(1.0, config_.multiplier);
+  config_.max_seconds = std::max(config_.initial_seconds, config_.max_seconds);
+  config_.jitter = std::clamp(config_.jitter, 0.0, 1.0);
+  config_.max_attempts = std::max(0, config_.max_attempts);
+}
+
+double ExponentialBackoff::next_delay() {
+  if (exhausted()) return 0.0;
+  const double raw =
+      config_.initial_seconds * std::pow(config_.multiplier, attempt_);
+  const double capped = std::min(raw, config_.max_seconds);
+  ++attempt_;
+  // Jitter shrinks the delay (never grows it): the ceiling stays honest and
+  // a fleet of clients with identical configs still spreads out.
+  return capped * (1.0 - config_.jitter * rng_.uniform());
+}
+
+}  // namespace ranknet::util

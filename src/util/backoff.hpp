@@ -1,0 +1,50 @@
+// Exponential backoff with jitter for client-side retry loops.
+//
+// The serving client retries transient transport failures (connection
+// refused while the server restarts, a dropped connection mid-request) and
+// must not do so in lockstep with every other client: thousands of
+// identical retry timers produce synchronized thundering herds exactly when
+// the server is least able to absorb them. Each retry delay is
+//   min(initial * multiplier^attempt, max_delay) * (1 - jitter * u),
+// with u drawn uniformly from [0, 1) off an explicit util::Rng — so tests
+// that seed the rng get reproducible schedules, matching the repo-wide
+// determinism contract.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace ranknet::util {
+
+struct BackoffConfig {
+  double initial_seconds = 0.01;  // first retry delay
+  double multiplier = 2.0;        // growth per attempt
+  double max_seconds = 1.0;       // delay ceiling
+  double jitter = 0.5;            // fraction of the delay randomized away
+  int max_attempts = 5;           // retries before exhausted()
+};
+
+class ExponentialBackoff {
+ public:
+  explicit ExponentialBackoff(BackoffConfig config, std::uint64_t seed = 1);
+
+  /// Delay in seconds to sleep before the next retry, advancing the
+  /// attempt counter. Returns 0.0 once exhausted.
+  double next_delay();
+
+  /// True after max_attempts delays have been handed out.
+  bool exhausted() const { return attempt_ >= config_.max_attempts; }
+
+  int attempt() const { return attempt_; }
+  void reset() { attempt_ = 0; }
+
+  const BackoffConfig& config() const { return config_; }
+
+ private:
+  BackoffConfig config_;
+  Rng rng_;
+  int attempt_ = 0;
+};
+
+}  // namespace ranknet::util

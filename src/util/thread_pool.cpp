@@ -14,12 +14,19 @@ ThreadPool::ThreadPool(std::size_t threads) {
 }
 
 ThreadPool::~ThreadPool() {
+  std::deque<std::function<void()>> abandoned;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stop_ = true;
+    // Abandon the not-yet-started backlog (bounded-wait teardown, see
+    // header). Destroying a packaged_task breaks its promise, which is how
+    // the abandonment is reported — destroy outside the lock since future
+    // continuations could be arbitrary code.
+    abandoned.swap(queue_);
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
+  abandoned.clear();
 }
 
 void ThreadPool::worker_loop() {
@@ -33,7 +40,8 @@ void ThreadPool::worker_loop() {
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and drained
+      if (stop_) return;  // backlog was abandoned by the destructor
+      if (queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
     }

@@ -29,6 +29,14 @@ class ThreadPool {
  public:
   /// Spawns `threads` workers; 0 means "run tasks inline on submit".
   explicit ThreadPool(std::size_t threads);
+
+  /// Bounded-wait teardown: waits only for tasks already *running* on a
+  /// worker, never for the backlog. Tasks still queued are abandoned — their
+  /// packaged_task is destroyed, so a held future reports
+  /// std::future_error(broken_promise) instead of hanging or silently
+  /// losing the work (regression-tested in test_util.cpp). A serving loop
+  /// shutting down behind one stalled task therefore tears down in
+  /// O(longest running task), not O(queue depth).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;

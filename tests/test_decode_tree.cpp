@@ -412,7 +412,7 @@ TEST_F(DecodeTreeTest, DegradedForecastsAreNeverCached) {
   core::ParallelForecastEngine::DegradationPolicy policy;
   policy.fallback = std::make_shared<core::CurRankForecaster>();
   policy.series_damaged = [](int car_id, int) { return car_id % 2 == 1; };
-  engine.set_degradation_policy(policy);
+  ASSERT_TRUE(engine.set_degradation_policy(policy).ok());
 
   util::Rng rng(9);
   const auto out = engine.forecast(*race_, 30, 4, 5, rng);

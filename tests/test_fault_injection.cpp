@@ -9,14 +9,18 @@
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <fstream>
 #include <limits>
 #include <memory>
+#include <span>
 #include <thread>
 #include <vector>
 
 #include "core/baselines.hpp"
 #include "core/device_model.hpp"
 #include "core/parallel_engine.hpp"
+#include "serve/affine_model.hpp"
+#include "serve/model_registry.hpp"
 #include "simulator/fault_injector.hpp"
 #include "simulator/season.hpp"
 #include "telemetry/stream_ingestor.hpp"
@@ -458,7 +462,7 @@ TEST_F(DegradationTest, DamagedSeriesRouteToFallback) {
   core::ParallelForecastEngine::DegradationPolicy policy;
   policy.fallback = std::make_shared<ConstForecaster>(7.0);
   policy.series_damaged = [](int car_id, int) { return car_id % 2 == 1; };
-  engine.set_degradation_policy(std::move(policy));
+  ASSERT_TRUE(engine.set_degradation_policy(std::move(policy)).ok());
 
   util::Rng rng(3);
   const auto out = engine.forecast(*race_, 30, 5, 4, rng);
@@ -495,7 +499,7 @@ TEST_F(DegradationTest, PartialFallbackOutputHasUniformSampleRows) {
   core::ParallelForecastEngine::DegradationPolicy policy;
   policy.fallback = std::make_shared<core::CurRankForecaster>();
   policy.series_damaged = [](int car_id, int) { return car_id % 2 == 1; };
-  engine.set_degradation_policy(std::move(policy));
+  ASSERT_TRUE(engine.set_degradation_policy(std::move(policy)).ok());
 
   util::Rng rng(21);
   const int kSamples = 6, kHorizon = 5;
@@ -542,7 +546,7 @@ TEST_F(DegradationTest, ArmedButIdlePolicyIsBitIdentical) {
   core::ParallelForecastEngine::DegradationPolicy policy;
   policy.fallback = std::make_shared<ConstForecaster>(7.0);
   policy.series_damaged = [](int, int) { return false; };
-  armed.set_degradation_policy(std::move(policy));
+  ASSERT_TRUE(armed.set_degradation_policy(std::move(policy)).ok());
 
   util::Rng rng_a(11), rng_b(11);
   const auto a = plain.forecast(*race_, 30, 5, 9, rng_a);
@@ -567,7 +571,7 @@ TEST_F(DegradationTest, DeadlineOverrunFallsBackAndStillServesEveryCar) {
   core::ParallelForecastEngine::DegradationPolicy policy;
   policy.deadline_seconds = 1e-4;  // far below one partition's sleep
   policy.fallback = std::make_shared<ConstForecaster>(7.0);
-  engine.set_degradation_policy(std::move(policy));
+  ASSERT_TRUE(engine.set_degradation_policy(std::move(policy)).ok());
 
   util::Rng rng(5);
   const auto out = engine.forecast(*race_, 30, 5, 4, rng);
@@ -597,7 +601,7 @@ TEST_F(DegradationTest, TimedOutBlockIsNotCountedAsFullEvenIfItFinishes) {
   core::ParallelForecastEngine::DegradationPolicy policy;
   policy.deadline_seconds = 1e-4;  // far below the single block's sleep
   policy.fallback = std::make_shared<ConstForecaster>(7.0);
-  engine.set_degradation_policy(std::move(policy));
+  ASSERT_TRUE(engine.set_degradation_policy(std::move(policy)).ok());
 
   util::Rng rng(5);
   const auto out = engine.forecast(*race_, 30, 5, 4, rng);
@@ -621,7 +625,7 @@ TEST_F(DegradationTest, TaskExceptionFallsBackWhenConfigured) {
   core::ParallelForecastEngine engine(primary, 2);
   core::ParallelForecastEngine::DegradationPolicy policy;
   policy.fallback = std::make_shared<ConstForecaster>(7.0);
-  engine.set_degradation_policy(std::move(policy));
+  ASSERT_TRUE(engine.set_degradation_policy(std::move(policy)).ok());
 
   util::Rng rng(5);
   const auto out = engine.forecast(*race_, 30, 5, 4, rng);
@@ -659,8 +663,50 @@ TEST_F(DegradationTest, NonPartitionableFallbackIsRejected) {
     }
   };
   policy.fallback = std::make_shared<PlainForecaster>();
-  EXPECT_THROW(engine.set_degradation_policy(std::move(policy)),
-               std::invalid_argument);
+  const auto st = engine.set_degradation_policy(std::move(policy));
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), util::StatusCode::kInvalidArgument);
+}
+
+// A negative or NaN deadline would make every `deadline > 0.0` comparison
+// in the forecast path false — silently disabling the deadline tier while
+// the caller believes it is armed. The setter must reject such policies
+// and leave the previously armed policy in force.
+TEST_F(DegradationTest, InvalidDeadlineIsRejectedNotSilentlyDisabled) {
+  ConstForecaster primary(42.0, /*sleep_ms=*/30);
+  core::ParallelForecastEngine engine(primary, 2);
+
+  for (const double bad :
+       {-1.0, -1e-9, std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity()}) {
+    core::ParallelForecastEngine::DegradationPolicy policy;
+    policy.deadline_seconds = bad;
+    policy.fallback = std::make_shared<ConstForecaster>(7.0);
+    const auto st = engine.set_degradation_policy(std::move(policy));
+    EXPECT_FALSE(st.ok()) << "deadline " << bad << " accepted";
+    EXPECT_EQ(st.code(), util::StatusCode::kInvalidArgument);
+  }
+
+  // A rejected policy must not clobber a previously armed valid one: the
+  // deadline tier armed below still fires after the failed updates above.
+  {
+    core::ParallelForecastEngine::DegradationPolicy policy;
+    policy.deadline_seconds = 1e-4;  // far below one partition's sleep
+    policy.fallback = std::make_shared<ConstForecaster>(7.0);
+    ASSERT_TRUE(engine.set_degradation_policy(std::move(policy)).ok());
+  }
+  {
+    core::ParallelForecastEngine::DegradationPolicy policy;
+    policy.deadline_seconds = std::numeric_limits<double>::quiet_NaN();
+    policy.fallback = std::make_shared<ConstForecaster>(7.0);
+    EXPECT_FALSE(engine.set_degradation_policy(std::move(policy)).ok());
+  }
+  util::Rng rng(5);
+  const auto out = engine.forecast(*race_, 30, 5, 4, rng);
+  ASSERT_FALSE(out.empty());
+  EXPECT_GT(engine.degradation().deadline_hits, 0u)
+      << "armed deadline tier was lost after a rejected policy update";
 }
 
 TEST_F(DegradationTest, GlobalCountersMirrorEngineTallies) {
@@ -670,7 +716,7 @@ TEST_F(DegradationTest, GlobalCountersMirrorEngineTallies) {
   core::ParallelForecastEngine::DegradationPolicy policy;
   policy.fallback = std::make_shared<ConstForecaster>(7.0);
   policy.series_damaged = [](int car_id, int) { return car_id % 3 == 0; };
-  engine.set_degradation_policy(std::move(policy));
+  ASSERT_TRUE(engine.set_degradation_policy(std::move(policy)).ok());
 
   util::Rng rng(8);
   (void)engine.forecast(*race_, 30, 5, 4, rng);
@@ -680,6 +726,194 @@ TEST_F(DegradationTest, GlobalCountersMirrorEngineTallies) {
   EXPECT_EQ(global.damaged_fallback_cars(), deg.damaged_fallback_cars);
   EXPECT_EQ(global.fallback_cars(), deg.fallback_cars());
   EXPECT_EQ(global.task_failures(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// WireFaultInjector: the serving path's transport adversary
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> test_frame(std::size_t n, std::uint8_t fill) {
+  std::vector<std::uint8_t> frame(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    frame[i] = static_cast<std::uint8_t>(fill + i);
+  }
+  return frame;
+}
+
+TEST(WireFaultInjector, ZeroProfileIsByteIdenticalPassthrough) {
+  sim::WireFaultInjector injector({}, 1234);
+  for (int i = 0; i < 500; ++i) {
+    const auto frame = test_frame(1 + (i % 64), static_cast<std::uint8_t>(i));
+    const auto out = injector.apply(frame);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, frame);
+    EXPECT_EQ(injector.stall_before_send_ms(), 0);
+  }
+  const auto& c = injector.counters();
+  EXPECT_EQ(c.frames, 500u);
+  EXPECT_EQ(c.delivered, 500u);
+  EXPECT_EQ(c.dropped + c.truncated + c.corrupted + c.stalls, 0u);
+}
+
+TEST(WireFaultInjector, SameSeedSameMangling) {
+  sim::WireFaultProfile profile;
+  profile.drop_rate = 0.2;
+  profile.truncate_rate = 0.2;
+  profile.corrupt_rate = 0.2;
+  profile.stall_rate = 0.1;
+  sim::WireFaultInjector a(profile, 7), b(profile, 7);
+  for (int i = 0; i < 300; ++i) {
+    const auto frame = test_frame(32, static_cast<std::uint8_t>(i));
+    const auto out_a = a.apply(frame);
+    const auto out_b = b.apply(frame);
+    ASSERT_EQ(out_a.has_value(), out_b.has_value());
+    if (out_a) EXPECT_EQ(*out_a, *out_b);
+    EXPECT_EQ(a.stall_before_send_ms(), b.stall_before_send_ms());
+  }
+  EXPECT_EQ(a.counters().dropped, b.counters().dropped);
+  EXPECT_EQ(a.counters().truncated, b.counters().truncated);
+  EXPECT_EQ(a.counters().corrupted, b.counters().corrupted);
+}
+
+TEST(WireFaultInjector, TruncationKeepsAtLeastOneByteAndNeverAll) {
+  sim::WireFaultProfile profile;
+  profile.truncate_rate = 1.0;
+  sim::WireFaultInjector injector(profile, 3);
+  for (int i = 0; i < 200; ++i) {
+    const auto frame = test_frame(40, 0);
+    const auto out = injector.apply(frame);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_GE(out->size(), 1u);
+    EXPECT_LT(out->size(), frame.size());
+    // The surviving prefix is untouched — truncation, not corruption.
+    EXPECT_TRUE(std::equal(out->begin(), out->end(), frame.begin()));
+  }
+  EXPECT_EQ(injector.counters().truncated, 200u);
+  EXPECT_EQ(injector.counters().delivered, 200u);
+}
+
+TEST(WireFaultInjector, CorruptionFlipsExactlyOneBit) {
+  sim::WireFaultProfile profile;
+  profile.corrupt_rate = 1.0;
+  sim::WireFaultInjector injector(profile, 11);
+  for (int i = 0; i < 200; ++i) {
+    const auto frame = test_frame(24, static_cast<std::uint8_t>(i));
+    const auto out = injector.apply(frame);
+    ASSERT_TRUE(out.has_value());
+    ASSERT_EQ(out->size(), frame.size());
+    int bits_flipped = 0;
+    for (std::size_t j = 0; j < frame.size(); ++j) {
+      bits_flipped += __builtin_popcount((*out)[j] ^ frame[j]);
+    }
+    EXPECT_EQ(bits_flipped, 1);
+  }
+  EXPECT_EQ(injector.counters().corrupted, 200u);
+}
+
+TEST(WireFaultInjector, CountersAccountForEveryFrame) {
+  sim::WireFaultProfile profile;
+  profile.drop_rate = 0.3;
+  profile.truncate_rate = 0.2;
+  profile.corrupt_rate = 0.2;
+  sim::WireFaultInjector injector(profile, 21);
+  for (int i = 0; i < 1000; ++i) {
+    (void)injector.apply(test_frame(16, static_cast<std::uint8_t>(i)));
+  }
+  const auto& c = injector.counters();
+  EXPECT_EQ(c.frames, 1000u);
+  EXPECT_EQ(c.delivered + c.dropped, 1000u);
+  EXPECT_GT(c.dropped, 0u);
+  EXPECT_GT(c.truncated, 0u);
+  EXPECT_GT(c.corrupted, 0u);
+  // A frame is truncated OR corrupted, never both (one fault per frame).
+  EXPECT_LE(c.truncated + c.corrupted, c.delivered);
+}
+
+// Artifact corruption "mid-swap": the candidate file is damaged between
+// being written by the trainer and being staged by the registry — the
+// window the v2 checksum exists for. The swap must reject, the active
+// model must keep serving bit-identical forecasts, and a later probation
+// failure must still roll back cleanly.
+TEST(WireFaultInjector, ArtifactCorruptionMidSwapIsContainedAndRollbackFires) {
+  const auto race =
+      sim::simulate_race({"Indy500", 2019, 60, sim::Usage::kTest});
+  const std::string good = "/tmp/ranknet_fault_swap_good.bin";
+  const std::string cand = "/tmp/ranknet_fault_swap_cand.bin";
+  serve::AffineRankModel::save_artifact(good, 1.0, 0.0);
+  serve::AffineRankModel::save_artifact(cand, 1.2, 0.5);
+
+  serve::RegistryConfig cfg;
+  cfg.gate.probe_origin_lap = 30;
+  cfg.gate.probe_horizon = 5;
+  cfg.gate.probe_num_samples = 4;
+  cfg.gate.max_prediction_failure_rate = 1.0;  // probation is under test
+  serve::ModelRegistry registry(
+      [](const std::string& path)
+          -> util::Result<std::shared_ptr<core::RaceForecaster>> {
+        auto model = std::make_shared<serve::AffineRankModel>();
+        if (auto st = model->load_artifact(path); !st.ok()) return st;
+        return std::shared_ptr<core::RaceForecaster>(std::move(model));
+      },
+      cfg);
+  registry.set_probe_race(race);
+  ASSERT_TRUE(registry.init(good).ok());
+
+  auto serve_bytes = [&race, &registry] {
+    util::Rng rng(9);
+    const auto samples =
+        registry.active()->engine->forecast(race, 30, 5, 4, rng);
+    std::vector<double> flat;
+    for (const auto& [car, m] : samples) {
+      for (double v : m.flat()) flat.push_back(v);
+    }
+    return flat;
+  };
+  const auto baseline = serve_bytes();
+
+  // Mangle the candidate's bytes with the same seeded adversary the wire
+  // tests use — a bit flip and a truncation, applied to the file.
+  std::vector<char> clean;
+  {
+    std::ifstream in(cand, std::ios::binary);
+    clean.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  sim::WireFaultProfile corrupt_only;
+  corrupt_only.corrupt_rate = 1.0;
+  sim::WireFaultInjector injector(corrupt_only, 5);
+  const auto mangled = injector.apply(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(clean.data()), clean.size()));
+  ASSERT_TRUE(mangled.has_value());
+  for (const auto& bytes :
+       {std::vector<char>(mangled->begin(), mangled->end()),
+        std::vector<char>(clean.begin(),
+                          clean.begin() + static_cast<std::ptrdiff_t>(
+                                              clean.size() / 2))}) {
+    std::ofstream out(cand, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    const auto outcome = registry.swap(cand);
+    EXPECT_EQ(outcome.action, serve::wire::SwapAction::kRejected);
+    EXPECT_EQ(registry.active_version(), 1u);
+    const auto now = serve_bytes();
+    ASSERT_EQ(now.size(), baseline.size());
+    EXPECT_EQ(std::memcmp(now.data(), baseline.data(),
+                          now.size() * sizeof(double)),
+              0);
+  }
+
+  // Healthy candidate promotes; a probation failure rolls straight back.
+  {
+    std::ofstream out(cand, std::ios::binary | std::ios::trunc);
+    out.write(clean.data(), static_cast<std::streamsize>(clean.size()));
+  }
+  ASSERT_EQ(registry.swap(cand).action, serve::wire::SwapAction::kPromoted);
+  ASSERT_EQ(registry.active_version(), 2u);
+  EXPECT_TRUE(registry.record_serving_result(2, /*ok=*/false));
+  EXPECT_EQ(registry.active_version(), 1u);
+  EXPECT_EQ(std::memcmp(serve_bytes().data(), baseline.data(),
+                        baseline.size() * sizeof(double)),
+            0) << "post-rollback serving differs from the original model";
 }
 
 TEST(DegradationCountersTest, WorkspaceRecordsAccumulateAndReset) {

@@ -1,15 +1,31 @@
 // Tests of the model zoo: canonical configurations, cache-key behavior and
 // validation splitting. Training itself is covered by test_integration.
+// Also: the serving ModelRegistry's hot-swap fault coverage — a corrupt or
+// truncated candidate artifact must never disturb the active model, a wild
+// candidate must die at the shadow gate, and a bad model that slips through
+// a permissive gate must be auto-rolled-back by probation.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "core/registry.hpp"
+#include "obs/metrics.hpp"
+#include "serve/affine_model.hpp"
+#include "serve/model_registry.hpp"
+#include "simulator/season.hpp"
 
 namespace {
 
 using namespace ranknet;
 using core::ModelZoo;
+namespace wire = serve::wire;
 
 TEST(ZooConfig, ArtifactsDirDefaultsAndEnvOverride) {
   core::ZooConfig cfg;
@@ -80,6 +96,197 @@ TEST(DefaultTrainConfig, FastEnvShrinksBudget) {
   ::unsetenv("RANKNET_FAST");
   EXPECT_LT(fast.max_epochs, base.max_epochs);
   EXPECT_LT(fast.max_windows, base.max_windows);
+}
+
+// ---------------------------------------------------------------------------
+// ModelRegistry hot-swap fault coverage
+// ---------------------------------------------------------------------------
+
+serve::ModelFactory affine_factory() {
+  return [](const std::string& path)
+             -> util::Result<std::shared_ptr<core::RaceForecaster>> {
+    auto model = std::make_shared<serve::AffineRankModel>();
+    if (auto st = model->load_artifact(path); !st.ok()) return st;
+    return std::shared_ptr<core::RaceForecaster>(std::move(model));
+  };
+}
+
+std::vector<char> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+class HotSwapFaultTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    race_ = new telemetry::RaceLog(
+        sim::simulate_race({"Indy500", 2019, 60, sim::Usage::kTest}));
+  }
+  static void TearDownTestSuite() {
+    delete race_;
+    race_ = nullptr;
+  }
+
+  std::unique_ptr<serve::ModelRegistry> make_registry(
+      double max_failure_rate = 0.0) {
+    serve::RegistryConfig cfg;
+    cfg.engine_threads = 0;  // inline: these tests probe policy, not speed
+    cfg.gate.probe_origin_lap = 30;
+    cfg.gate.probe_horizon = 5;
+    cfg.gate.probe_num_samples = 4;
+    cfg.gate.max_prediction_failure_rate = max_failure_rate;
+    cfg.probation_requests = 8;
+    auto registry =
+        std::make_unique<serve::ModelRegistry>(affine_factory(), cfg);
+    registry->set_probe_race(*race_);
+    return registry;
+  }
+
+  /// Serialized medians of a forecast through the active engine — the
+  /// byte-level "what clients are being served right now" probe.
+  static std::vector<double> serve_once(serve::ModelRegistry& registry) {
+    auto model = registry.active();
+    EXPECT_NE(model, nullptr);
+    util::Rng rng(77);
+    const auto samples = model->engine->forecast(*race_, 30, 5, 4, rng);
+    std::vector<double> flat;
+    for (const auto& [car_id, m] : samples) {
+      const auto median = core::median_trajectory(m);
+      flat.insert(flat.end(), median.begin(), median.end());
+    }
+    EXPECT_FALSE(flat.empty());
+    return flat;
+  }
+
+  static telemetry::RaceLog* race_;
+};
+
+telemetry::RaceLog* HotSwapFaultTest::race_ = nullptr;
+
+TEST_F(HotSwapFaultTest, BitFlippedCandidateIsRejectedAndActiveKeepsServing) {
+  const std::string good = "/tmp/ranknet_swap_good.bin";
+  const std::string cand = "/tmp/ranknet_swap_flip.bin";
+  serve::AffineRankModel::save_artifact(good, 1.0, 0.0);
+  auto registry = make_registry();
+  ASSERT_TRUE(registry->init(good).ok());
+  const auto baseline = serve_once(*registry);
+
+  serve::AffineRankModel::save_artifact(cand, 2.0, 1.0);
+  const auto clean = read_file(cand);
+  ASSERT_FALSE(clean.empty());
+  // Flip one bit at several offsets spanning header, checksum and payload:
+  // every one must die in the stage step, before publish.
+  for (std::size_t pos : {std::size_t{0}, clean.size() / 3, clean.size() / 2,
+                          clean.size() - 1}) {
+    auto corrupt = clean;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x10);
+    write_file(cand, corrupt);
+    const auto outcome = registry->swap(cand);
+    EXPECT_EQ(outcome.action, wire::SwapAction::kRejected) << "pos " << pos;
+    EXPECT_FALSE(outcome.status.ok());
+    EXPECT_EQ(registry->active_version(), 1u);
+    // The active model still serves byte-identical forecasts.
+    const auto now = serve_once(*registry);
+    ASSERT_EQ(now.size(), baseline.size());
+    EXPECT_EQ(std::memcmp(now.data(), baseline.data(),
+                          now.size() * sizeof(double)),
+              0) << "serving output changed after rejected swap at " << pos;
+  }
+
+  // The intact candidate still promotes — the rejections above were the
+  // artifact's fault, not a wedged registry.
+  write_file(cand, clean);
+  const auto outcome = registry->swap(cand);
+  EXPECT_EQ(outcome.action, wire::SwapAction::kPromoted);
+  EXPECT_EQ(registry->active_version(), 2u);
+}
+
+TEST_F(HotSwapFaultTest, TruncatedCandidateIsRejectedAndActiveKeepsServing) {
+  const std::string good = "/tmp/ranknet_swap_good2.bin";
+  const std::string cand = "/tmp/ranknet_swap_trunc.bin";
+  serve::AffineRankModel::save_artifact(good, 1.0, 0.0);
+  auto registry = make_registry();
+  ASSERT_TRUE(registry->init(good).ok());
+  const auto baseline = serve_once(*registry);
+
+  serve::AffineRankModel::save_artifact(cand, 0.5, 2.0);
+  const auto clean = read_file(cand);
+  for (std::size_t keep : {std::size_t{0}, std::size_t{3}, clean.size() / 2,
+                           clean.size() - 1}) {
+    write_file(cand, {clean.begin(), clean.begin() +
+                                         static_cast<std::ptrdiff_t>(keep)});
+    const auto outcome = registry->swap(cand);
+    EXPECT_EQ(outcome.action, wire::SwapAction::kRejected) << "keep " << keep;
+    EXPECT_EQ(registry->active_version(), 1u);
+    const auto now = serve_once(*registry);
+    EXPECT_EQ(std::memcmp(now.data(), baseline.data(),
+                          now.size() * sizeof(double)),
+              0);
+  }
+  EXPECT_EQ(registry->swap("/tmp/ranknet_swap_missing_file.bin").action,
+            wire::SwapAction::kRejected);
+  EXPECT_EQ(registry->active_version(), 1u);
+}
+
+TEST_F(HotSwapFaultTest, ShadowGateRejectsWildCoefficients) {
+  const std::string good = "/tmp/ranknet_swap_good3.bin";
+  const std::string wild = "/tmp/ranknet_swap_wild.bin";
+  serve::AffineRankModel::save_artifact(good, 1.0, 0.0);
+  // Checksums fine, coefficients insane: only the shadow gate catches it.
+  serve::AffineRankModel::save_artifact(wild, 1.0, 1e9);
+  auto registry = make_registry(/*max_failure_rate=*/0.0);
+  ASSERT_TRUE(registry->init(good).ok());
+  const auto before = obs::Registry::instance()
+                          .counter("serve.registry.rejected_gate")
+                          .value();
+  const auto outcome = registry->swap(wild);
+  EXPECT_EQ(outcome.action, wire::SwapAction::kRejected);
+  EXPECT_EQ(outcome.status.code(), util::StatusCode::kFailedPrecondition);
+  EXPECT_EQ(registry->active_version(), 1u);
+  EXPECT_GT(obs::Registry::instance()
+                .counter("serve.registry.rejected_gate")
+                .value(),
+            before);
+}
+
+TEST_F(HotSwapFaultTest, ProbationFailureAutoRollsBackToPreviousVersion) {
+  const std::string v1 = "/tmp/ranknet_swap_v1.bin";
+  const std::string v2 = "/tmp/ranknet_swap_v2.bin";
+  const std::string bad = "/tmp/ranknet_swap_nan.bin";
+  serve::AffineRankModel::save_artifact(v1, 1.0, 0.0);
+  serve::AffineRankModel::save_artifact(v2, 1.1, 0.0);
+  serve::AffineRankModel::save_artifact(
+      bad, std::numeric_limits<double>::quiet_NaN(), 0.0);
+  // Permissive gate: the NaN model slips through — production feedback is
+  // the last line of defense.
+  auto registry = make_registry(/*max_failure_rate=*/1.0);
+  ASSERT_TRUE(registry->init(v1).ok());
+  ASSERT_EQ(registry->swap(v2).action, wire::SwapAction::kPromoted);
+  ASSERT_EQ(registry->active_version(), 2u);
+  ASSERT_EQ(registry->swap(bad).action, wire::SwapAction::kPromoted);
+  ASSERT_EQ(registry->active_version(), 3u);
+
+  const auto rolled_before = obs::Registry::instance()
+                                 .counter("serve.registry.rolled_back")
+                                 .value();
+  // First unhealthy serving result inside the probation window fires the
+  // rollback; the restored version serves finite forecasts again.
+  EXPECT_TRUE(registry->record_serving_result(3, /*ok=*/false));
+  EXPECT_EQ(registry->active_version(), 2u);
+  EXPECT_GT(obs::Registry::instance()
+                .counter("serve.registry.rolled_back")
+                .value(),
+            rolled_before);
+  for (double v : serve_once(*registry)) EXPECT_TRUE(std::isfinite(v));
+
+  // Stale feedback about the rolled-back version is ignored.
+  EXPECT_FALSE(registry->record_serving_result(3, false));
+  EXPECT_EQ(registry->active_version(), 2u);
 }
 
 }  // namespace

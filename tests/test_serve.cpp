@@ -1,0 +1,717 @@
+// Forecast-serving front end: wire protocol strictness, the
+// ForecastServer's admission/batching/degradation behaviour, client retry,
+// and zero-downtime hot-swap with automatic rollback — all over real AF_UNIX
+// sockets against a live server. This binary is also the `serve` sanitizer
+// gate (serve-tsan preset): every test tears its server down cleanly.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/baselines.hpp"
+#include "core/forecast_cache.hpp"
+#include "obs/metrics.hpp"
+#include "serve/affine_model.hpp"
+#include "serve/client.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/server.hpp"
+#include "serve/wire.hpp"
+#include "simulator/fault_injector.hpp"
+#include "simulator/season.hpp"
+#include "util/socket.hpp"
+
+namespace {
+
+using namespace ranknet;
+namespace wire = serve::wire;
+
+std::uint64_t counter_value(const char* name) {
+  return obs::Registry::instance().counter(name).value();
+}
+
+serve::ModelFactory affine_factory(int partition_delay_us = 0) {
+  return [partition_delay_us](const std::string& path)
+             -> util::Result<std::shared_ptr<core::RaceForecaster>> {
+    auto model = std::make_shared<serve::AffineRankModel>();
+    if (auto st = model->load_artifact(path); !st.ok()) return st;
+    model->set_partition_delay_us(partition_delay_us);
+    return std::shared_ptr<core::RaceForecaster>(std::move(model));
+  };
+}
+
+// One live server + registry + preloaded race per test.
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    race_ = new telemetry::RaceLog(
+        sim::simulate_race({"Indy500", 2019, 60, sim::Usage::kTest}));
+    serve::AffineRankModel::save_artifact(kIdentityArtifact, 1.0, 0.0);
+    serve::AffineRankModel::save_artifact(kScaledArtifact, 2.0, 3.0);
+    serve::AffineRankModel::save_artifact(
+        kNanArtifact, std::numeric_limits<double>::quiet_NaN(), 0.0);
+  }
+  static void TearDownTestSuite() {
+    delete race_;
+    race_ = nullptr;
+  }
+
+  void boot(serve::ServerConfig config, serve::RegistryConfig reg_cfg = {},
+            int partition_delay_us = 0) {
+    reg_cfg.gate.probe_origin_lap = 30;
+    reg_cfg.gate.probe_horizon = 5;
+    reg_cfg.gate.probe_num_samples = 4;
+    registry_ = std::make_unique<serve::ModelRegistry>(
+        affine_factory(partition_delay_us), reg_cfg);
+    registry_->set_probe_race(*race_);
+    registry_->set_forecast_cache(std::make_shared<core::ForecastCache>(256));
+    ASSERT_TRUE(registry_->init(kIdentityArtifact).ok());
+    server_ = std::make_unique<serve::ForecastServer>(*registry_, config);
+    server_->add_race(*race_);
+    ASSERT_TRUE(server_->start().ok());
+    socket_path_ = config.socket_path;
+  }
+
+  void TearDown() override {
+    if (server_) server_->stop();
+  }
+
+  serve::ClientConfig client_config() const {
+    serve::ClientConfig cfg;
+    cfg.socket_path = socket_path_;
+    cfg.recv_timeout_seconds = 2.0;
+    cfg.backoff.initial_seconds = 0.002;
+    cfg.backoff.max_seconds = 0.02;
+    return cfg;
+  }
+
+  static wire::ForecastRequest make_request(std::uint64_t id,
+                                            std::uint64_t seed) {
+    wire::ForecastRequest req;
+    req.request_id = id;
+    req.seed = seed;
+    req.race_id = race_->id();
+    req.origin_lap = 30;
+    req.horizon = 5;
+    req.num_samples = 4;
+    return req;
+  }
+
+  static constexpr const char* kIdentityArtifact =
+      "/tmp/ranknet_serve_identity.bin";
+  static constexpr const char* kScaledArtifact =
+      "/tmp/ranknet_serve_scaled.bin";
+  static constexpr const char* kNanArtifact = "/tmp/ranknet_serve_nan.bin";
+
+  static telemetry::RaceLog* race_;
+  std::unique_ptr<serve::ModelRegistry> registry_;
+  std::unique_ptr<serve::ForecastServer> server_;
+  std::string socket_path_;
+};
+
+telemetry::RaceLog* ServeTest::race_ = nullptr;
+
+bool cars_identical(const std::vector<wire::CarForecast>& a,
+                    const std::vector<wire::CarForecast>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].car_id != b[i].car_id ||
+        a[i].median.size() != b[i].median.size() ||
+        std::memcmp(a[i].median.data(), b[i].median.data(),
+                    a[i].median.size() * sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- wire protocol ---------------------------------------------------------
+
+TEST(Wire, ForecastRequestRoundtrip) {
+  wire::ForecastRequest req;
+  req.request_id = 0x1122334455667788ull;
+  req.seed = 42;
+  req.race_id = "Indy500-2019";
+  req.origin_lap = 30;
+  req.horizon = 10;
+  req.num_samples = 16;
+  req.deadline_us = 5000;
+  auto decoded = wire::decode_forecast_request(
+      wire::encode_forecast_request(req));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded.value().request_id, req.request_id);
+  EXPECT_EQ(decoded.value().seed, req.seed);
+  EXPECT_EQ(decoded.value().race_id, req.race_id);
+  EXPECT_EQ(decoded.value().origin_lap, req.origin_lap);
+  EXPECT_EQ(decoded.value().horizon, req.horizon);
+  EXPECT_EQ(decoded.value().num_samples, req.num_samples);
+  EXPECT_EQ(decoded.value().deadline_us, req.deadline_us);
+}
+
+TEST(Wire, ForecastResponseRoundtripPreservesBits) {
+  wire::ForecastResponse res;
+  res.request_id = 7;
+  res.status_code = 0;
+  res.tier = wire::Tier::kPartial;
+  res.model_version = 3;
+  res.cars.push_back({12, {1.0, 2.5, -0.0, 3.25}});
+  res.cars.push_back({88, {17.0, std::nextafter(4.0, 5.0)}});
+  res.message = "ok";
+  auto decoded = wire::decode_forecast_response(
+      wire::encode_forecast_response(res));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().tier, wire::Tier::kPartial);
+  EXPECT_EQ(decoded.value().model_version, 3u);
+  EXPECT_TRUE(cars_identical(decoded.value().cars, res.cars));
+}
+
+TEST(Wire, StrictDecodeRejectsTrailingAndTruncatedBytes) {
+  auto bytes = wire::encode_forecast_request(wire::ForecastRequest{});
+  auto padded = bytes;
+  padded.push_back(0);
+  EXPECT_FALSE(wire::decode_forecast_request(padded).ok());
+  bytes.pop_back();
+  EXPECT_FALSE(wire::decode_forecast_request(bytes).ok());
+}
+
+TEST(Wire, HeaderRejectsBadMagicVersionAndOversize) {
+  const std::vector<std::uint8_t> payload = {1, 2, 3};
+  auto frame = wire::encode_frame(wire::FrameType::kForecastRequest, payload);
+  auto header = wire::decode_header(frame);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header.value().payload_len, 3u);
+  EXPECT_TRUE(wire::verify_payload(header.value(),
+                                   std::span(frame).subspan(wire::kHeaderSize))
+                  .ok());
+
+  auto bad_magic = frame;
+  bad_magic[0] ^= 0xff;
+  EXPECT_FALSE(wire::decode_header(bad_magic).ok());
+  auto bad_version = frame;
+  bad_version[4] = 99;
+  EXPECT_FALSE(wire::decode_header(bad_version).ok());
+}
+
+TEST(Wire, ChecksumCatchesEverySingleBitFlipInPayload) {
+  std::vector<std::uint8_t> payload(64);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  auto frame = wire::encode_frame(wire::FrameType::kLoadRace, payload);
+  const auto header = wire::decode_header(frame).value();
+  for (std::size_t byte = 0; byte < payload.size(); ++byte) {
+    auto mangled = payload;
+    mangled[byte] ^= 0x04;
+    EXPECT_FALSE(wire::verify_payload(header, mangled).ok())
+        << "bit flip at payload byte " << byte << " went undetected";
+  }
+}
+
+TEST(Wire, RaceLogRoundtripAndCorruptRaceIsStatusNotThrow) {
+  const auto race =
+      sim::simulate_race({"Indy500", 2019, 60, sim::Usage::kTest});
+  auto decoded = wire::decode_race(wire::encode_race(race));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded.value().id(), race.id());
+  EXPECT_EQ(decoded.value().num_records(), race.num_records());
+  EXPECT_EQ(decoded.value().num_laps(), race.num_laps());
+
+  // A payload that parses but violates RaceLog's structural invariants
+  // must come back as a Status, never an exception.
+  auto bytes = wire::encode_race(race);
+  EXPECT_FALSE(wire::decode_race(
+                   std::span(bytes).first(bytes.size() / 2))
+                   .ok());
+}
+
+TEST(Wire, SwapAckRoundtrip) {
+  wire::SwapAck ack;
+  ack.status_code = 8;
+  ack.action = wire::SwapAction::kRolledBack;
+  ack.active_version = 41;
+  ack.message = "probation";
+  auto decoded = wire::decode_swap_ack(wire::encode_swap_ack(ack));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().action, wire::SwapAction::kRolledBack);
+  EXPECT_EQ(decoded.value().active_version, 41u);
+  EXPECT_EQ(decoded.value().message, "probation");
+}
+
+// --- AffineRankModel -------------------------------------------------------
+
+TEST(AffineRankModel, IdentityCoefficientsReproduceCurRank) {
+  const auto race =
+      sim::simulate_race({"Indy500", 2019, 60, sim::Usage::kTest});
+  serve::AffineRankModel affine(1.0, 0.0);
+  core::CurRankForecaster cur;
+  util::Rng rng_a(5), rng_b(5);
+  const auto a = affine.forecast(race, 30, 5, 4, rng_a);
+  const auto b = cur.forecast(race, 30, 5, 4, rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [car, m] : a) {
+    const auto& n = b.at(car);
+    ASSERT_EQ(m.rows(), n.rows());
+    ASSERT_EQ(m.cols(), n.cols());
+    EXPECT_EQ(std::memcmp(m.flat().data(), n.flat().data(),
+                          m.flat().size() * sizeof(double)),
+              0);
+  }
+}
+
+TEST(AffineRankModel, ArtifactRoundtripAndStagedCommitOnCorruption) {
+  const std::string path = "/tmp/ranknet_affine_rt.bin";
+  serve::AffineRankModel::save_artifact(path, 1.5, -2.0);
+  serve::AffineRankModel model(1.0, 0.0);
+  ASSERT_TRUE(model.load_artifact(path).ok());
+  EXPECT_DOUBLE_EQ(model.scale(), 1.5);
+  EXPECT_DOUBLE_EQ(model.offset(), -2.0);
+  // Corrupt load leaves the previous coefficients untouched.
+  EXPECT_FALSE(model.load_artifact("/tmp/ranknet_affine_missing.bin").ok());
+  EXPECT_DOUBLE_EQ(model.scale(), 1.5);
+  EXPECT_DOUBLE_EQ(model.offset(), -2.0);
+}
+
+// --- end-to-end serving ----------------------------------------------------
+
+TEST_F(ServeTest, ForecastOverSocketThenByteIdenticalCacheHit) {
+  serve::ServerConfig cfg;
+  cfg.socket_path = "/tmp/ranknet_serve_e2e.sock";
+  boot(cfg);
+  serve::ForecastClient client(client_config());
+
+  auto first = client.forecast(make_request(1, 99));
+  ASSERT_TRUE(first.ok()) << first.status().to_string();
+  ASSERT_TRUE(first.value().ok()) << first.value().message;
+  EXPECT_EQ(first.value().tier, wire::Tier::kFull);
+  EXPECT_EQ(first.value().model_version, 1u);
+  ASSERT_FALSE(first.value().cars.empty());
+  for (const auto& car : first.value().cars) {
+    ASSERT_EQ(car.median.size(), 5u);
+    for (double v : car.median) EXPECT_TRUE(std::isfinite(v));
+  }
+
+  // Same seed + same race state => served from the forecast cache, and the
+  // replay is byte-identical to the cold compute.
+  auto replay = client.forecast(make_request(2, 99));
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay.value().tier, wire::Tier::kCached);
+  EXPECT_TRUE(cars_identical(replay.value().cars, first.value().cars));
+
+  // A different seed is a different forecast.
+  auto other = client.forecast(make_request(3, 100));
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(other.value().tier, wire::Tier::kFull);
+}
+
+TEST_F(ServeTest, LoadRaceOverWireAndUnknownRaceIsExplicitRejection) {
+  serve::ServerConfig cfg;
+  cfg.socket_path = "/tmp/ranknet_serve_load.sock";
+  boot(cfg);
+  serve::ForecastClient client(client_config());
+
+  auto req = make_request(1, 5);
+  req.race_id = "Indy500-2021";  // not loaded yet
+  auto missing = client.forecast(req);
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing.value().tier, wire::Tier::kRejected);
+  EXPECT_EQ(missing.value().status_code,
+            static_cast<std::uint8_t>(util::StatusCode::kNotFound));
+
+  auto uploaded =
+      sim::simulate_race({"Indy500", 2021, 60, sim::Usage::kTest});
+  ASSERT_EQ(uploaded.id(), "Indy500-2021");
+  ASSERT_TRUE(client.load_race(uploaded).ok());
+  auto served = client.forecast(req);
+  ASSERT_TRUE(served.ok());
+  EXPECT_TRUE(served.value().ok()) << served.value().message;
+  EXPECT_EQ(served.value().tier, wire::Tier::kFull);
+}
+
+TEST_F(ServeTest, PipelinedDuplicateRequestsGetIdenticalAnswers) {
+  serve::ServerConfig cfg;
+  cfg.socket_path = "/tmp/ranknet_serve_batch.sock";
+  boot(cfg);
+
+  // Raw pipelining: 6 identical-seed + 2 distinct requests written
+  // back-to-back before reading anything — the worker coalesces whatever
+  // is queued, duplicates dedup through grouping and the cache.
+  auto stream = util::UnixStream::connect(socket_path_, 1.0);
+  ASSERT_TRUE(stream.ok());
+  std::vector<std::uint8_t> out;
+  for (std::uint64_t id = 1; id <= 6; ++id) {
+    const auto frame =
+        wire::encode_frame(wire::FrameType::kForecastRequest,
+                           wire::encode_forecast_request(make_request(id, 7)));
+    out.insert(out.end(), frame.begin(), frame.end());
+  }
+  for (std::uint64_t id = 7; id <= 8; ++id) {
+    // Distinct requests: id 8 asks for a different horizon, so it cannot
+    // share a micro-batch group (and its answer is structurally different).
+    auto req = make_request(id, 100 + id);
+    if (id == 8) req.horizon = 3;
+    const auto frame = wire::encode_frame(
+        wire::FrameType::kForecastRequest, wire::encode_forecast_request(req));
+    out.insert(out.end(), frame.begin(), frame.end());
+  }
+  ASSERT_TRUE(stream.value().send_all(out.data(), out.size(), 2.0).ok());
+
+  std::map<std::uint64_t, wire::ForecastResponse> responses;
+  for (int i = 0; i < 8; ++i) {
+    std::uint8_t header_bytes[wire::kHeaderSize];
+    ASSERT_TRUE(stream.value()
+                    .recv_all(header_bytes, sizeof(header_bytes), 5.0)
+                    .ok());
+    const auto header = wire::decode_header(header_bytes);
+    ASSERT_TRUE(header.ok());
+    std::vector<std::uint8_t> payload(header.value().payload_len);
+    ASSERT_TRUE(
+        stream.value().recv_all(payload.data(), payload.size(), 5.0).ok());
+    ASSERT_TRUE(wire::verify_payload(header.value(), payload).ok());
+    auto response = wire::decode_forecast_response(payload);
+    ASSERT_TRUE(response.ok());
+    responses[response.value().request_id] = std::move(response).value();
+  }
+  ASSERT_EQ(responses.size(), 8u);
+  for (std::uint64_t id = 1; id <= 6; ++id) {
+    ASSERT_TRUE(responses[id].ok()) << responses[id].message;
+    EXPECT_TRUE(cars_identical(responses[id].cars, responses[1].cars))
+        << "duplicate request " << id << " got a different answer";
+  }
+  EXPECT_FALSE(cars_identical(responses[7].cars, responses[8].cars));
+}
+
+TEST_F(ServeTest, OverloadShedsExplicitlyAndMonotonically) {
+  serve::ServerConfig cfg;
+  cfg.socket_path = "/tmp/ranknet_serve_shed.sock";
+  cfg.queue_capacity = 4;
+  cfg.overload_watermark = 2;
+  cfg.batch_max = 2;
+  // A deliberately slow primary (2ms per partition task) so the queue
+  // actually backs up behind the worker.
+  boot(cfg, {}, /*partition_delay_us=*/2000);
+
+  const auto shed_before = counter_value("serve.admission.shed_queue_full");
+  const auto degraded_before = counter_value("serve.admission.degraded");
+
+  auto stream = util::UnixStream::connect(socket_path_, 1.0);
+  ASSERT_TRUE(stream.ok());
+  constexpr int kBurst = 40;
+  std::vector<std::uint8_t> out;
+  for (std::uint64_t id = 1; id <= kBurst; ++id) {
+    auto req = make_request(id, id);  // distinct seeds: no dedup relief
+    req.deadline_us = 1500000;
+    const auto frame = wire::encode_frame(
+        wire::FrameType::kForecastRequest, wire::encode_forecast_request(req));
+    out.insert(out.end(), frame.begin(), frame.end());
+  }
+  ASSERT_TRUE(stream.value().send_all(out.data(), out.size(), 5.0).ok());
+
+  int rejected = 0, served = 0, degraded_served = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    std::uint8_t header_bytes[wire::kHeaderSize];
+    ASSERT_TRUE(stream.value()
+                    .recv_all(header_bytes, sizeof(header_bytes), 10.0)
+                    .ok())
+        << "request " << i << " never answered — a hang, not a shed";
+    const auto header = wire::decode_header(header_bytes);
+    ASSERT_TRUE(header.ok());
+    std::vector<std::uint8_t> payload(header.value().payload_len);
+    ASSERT_TRUE(
+        stream.value().recv_all(payload.data(), payload.size(), 10.0).ok());
+    auto response = wire::decode_forecast_response(payload);
+    ASSERT_TRUE(response.ok());
+    if (response.value().tier == wire::Tier::kRejected) {
+      ++rejected;
+      EXPECT_NE(response.value().status_code, 0);
+    } else {
+      ++served;
+      if (response.value().tier == wire::Tier::kFallback ||
+          response.value().tier == wire::Tier::kCached) {
+        ++degraded_served;
+      }
+    }
+  }
+  // Every request came back; overload was shed explicitly, not absorbed.
+  EXPECT_EQ(rejected + served, kBurst);
+  EXPECT_GT(rejected, 0) << "queue of 4 absorbed a burst of 40";
+  EXPECT_GT(served, 0);
+  EXPECT_GT(degraded_served, 0) << "watermark admission never degraded";
+  EXPECT_GT(counter_value("serve.admission.shed_queue_full"), shed_before);
+  EXPECT_GT(counter_value("serve.admission.degraded"), degraded_before);
+}
+
+TEST_F(ServeTest, DeadlineExpiredInQueueIsExplicitRejection) {
+  serve::ServerConfig cfg;
+  cfg.socket_path = "/tmp/ranknet_serve_deadline.sock";
+  boot(cfg, {}, /*partition_delay_us=*/5000);  // ~45ms per cold forecast
+
+  auto stream = util::UnixStream::connect(socket_path_, 1.0);
+  ASSERT_TRUE(stream.ok());
+  // Request A: generous deadline, hogs the worker. Request B: 1ms deadline,
+  // guaranteed to die in the queue behind A.
+  auto a = make_request(1, 1);
+  a.deadline_us = 1500000;
+  auto b = make_request(2, 2);
+  b.deadline_us = 1000;
+  std::vector<std::uint8_t> out;
+  for (const auto* req : {&a, &b}) {
+    const auto frame =
+        wire::encode_frame(wire::FrameType::kForecastRequest,
+                           wire::encode_forecast_request(*req));
+    out.insert(out.end(), frame.begin(), frame.end());
+  }
+  ASSERT_TRUE(stream.value().send_all(out.data(), out.size(), 2.0).ok());
+
+  bool saw_deadline_rejection = false;
+  for (int i = 0; i < 2; ++i) {
+    std::uint8_t header_bytes[wire::kHeaderSize];
+    ASSERT_TRUE(stream.value()
+                    .recv_all(header_bytes, sizeof(header_bytes), 10.0)
+                    .ok());
+    const auto header = wire::decode_header(header_bytes);
+    ASSERT_TRUE(header.ok());
+    std::vector<std::uint8_t> payload(header.value().payload_len);
+    ASSERT_TRUE(
+        stream.value().recv_all(payload.data(), payload.size(), 10.0).ok());
+    auto response = wire::decode_forecast_response(payload);
+    ASSERT_TRUE(response.ok());
+    if (response.value().request_id == 2 &&
+        response.value().tier == wire::Tier::kRejected &&
+        response.value().status_code ==
+            static_cast<std::uint8_t>(util::StatusCode::kDeadlineExceeded)) {
+      saw_deadline_rejection = true;
+    }
+  }
+  EXPECT_TRUE(saw_deadline_rejection);
+}
+
+TEST_F(ServeTest, CorruptFrameIsSkippedAndConnectionSurvives) {
+  serve::ServerConfig cfg;
+  cfg.socket_path = "/tmp/ranknet_serve_corrupt.sock";
+  boot(cfg);
+  const auto skipped_before = counter_value("serve.frames.corrupt_skipped");
+
+  auto stream = util::UnixStream::connect(socket_path_, 1.0);
+  ASSERT_TRUE(stream.ok());
+  auto corrupt =
+      wire::encode_frame(wire::FrameType::kForecastRequest,
+                         wire::encode_forecast_request(make_request(1, 1)));
+  corrupt.back() ^= 0x01;  // payload no longer matches its checksum
+  const auto valid =
+      wire::encode_frame(wire::FrameType::kForecastRequest,
+                         wire::encode_forecast_request(make_request(2, 2)));
+  std::vector<std::uint8_t> out = corrupt;
+  out.insert(out.end(), valid.begin(), valid.end());
+  ASSERT_TRUE(stream.value().send_all(out.data(), out.size(), 2.0).ok());
+
+  // The corrupt frame vanished (checksum), the valid one on the SAME
+  // connection is answered.
+  std::uint8_t header_bytes[wire::kHeaderSize];
+  ASSERT_TRUE(
+      stream.value().recv_all(header_bytes, sizeof(header_bytes), 5.0).ok());
+  const auto header = wire::decode_header(header_bytes);
+  ASSERT_TRUE(header.ok());
+  std::vector<std::uint8_t> payload(header.value().payload_len);
+  ASSERT_TRUE(
+      stream.value().recv_all(payload.data(), payload.size(), 5.0).ok());
+  auto response = wire::decode_forecast_response(payload);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().request_id, 2u);
+  EXPECT_TRUE(response.value().ok());
+  EXPECT_GT(counter_value("serve.frames.corrupt_skipped"), skipped_before);
+}
+
+TEST_F(ServeTest, BadMagicDropsConnectionButServerKeepsServing) {
+  serve::ServerConfig cfg;
+  cfg.socket_path = "/tmp/ranknet_serve_magic.sock";
+  boot(cfg);
+
+  auto garbage_conn = util::UnixStream::connect(socket_path_, 1.0);
+  ASSERT_TRUE(garbage_conn.ok());
+  std::vector<std::uint8_t> garbage(64, 0xAB);
+  ASSERT_TRUE(
+      garbage_conn.value().send_all(garbage.data(), garbage.size(), 1.0).ok());
+  // The server cuts this connection: reads now report closed/err, never data.
+  char buf[16];
+  const auto st = garbage_conn.value().recv_all(buf, sizeof(buf), 1.0);
+  EXPECT_FALSE(st.ok());
+
+  serve::ForecastClient client(client_config());
+  auto ok = client.forecast(make_request(1, 3));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok.value().ok());
+}
+
+TEST_F(ServeTest, StalledClientHoldingPartialFrameIsDropped) {
+  serve::ServerConfig cfg;
+  cfg.socket_path = "/tmp/ranknet_serve_stall.sock";
+  cfg.slow_client_timeout_seconds = 0.05;
+  boot(cfg);
+  const auto dropped_before = counter_value("serve.conn.slow_dropped");
+
+  auto stalled = util::UnixStream::connect(socket_path_, 1.0);
+  ASSERT_TRUE(stalled.ok());
+  const auto frame =
+      wire::encode_frame(wire::FrameType::kForecastRequest,
+                         wire::encode_forecast_request(make_request(1, 4)));
+  // Send half a frame and go quiet — the signature of a stalled client.
+  ASSERT_TRUE(
+      stalled.value().send_all(frame.data(), frame.size() / 2, 1.0).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_GT(counter_value("serve.conn.slow_dropped"), dropped_before);
+
+  // A healthy client is untouched by the neighbor's demise.
+  serve::ForecastClient client(client_config());
+  auto ok = client.forecast(make_request(2, 4));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok.value().ok());
+}
+
+TEST_F(ServeTest, ClientRetriesThroughDroppedAndCorruptedFrames) {
+  serve::ServerConfig cfg;
+  cfg.socket_path = "/tmp/ranknet_serve_retry.sock";
+  boot(cfg);
+
+  auto client_cfg = client_config();
+  client_cfg.recv_timeout_seconds = 0.1;  // fail fast on eaten frames
+  client_cfg.backoff.max_attempts = 10;
+  serve::ForecastClient client(client_cfg);
+
+  sim::WireFaultProfile profile;
+  profile.drop_rate = 0.4;
+  profile.corrupt_rate = 0.2;
+  auto injector = std::make_shared<sim::WireFaultInjector>(profile, 17);
+  client.set_send_filter(
+      [injector](std::span<const std::uint8_t> frame) {
+        return injector->apply(frame);
+      });
+
+  // Every request eventually lands despite the hostile transport, and the
+  // answers stay byte-identical to a clean client's (idempotent retries:
+  // same seed => same bytes, via the cache).
+  serve::ForecastClient clean(client_config());
+  for (std::uint64_t id = 1; id <= 20; ++id) {
+    auto noisy = client.forecast(make_request(id, 1000 + id));
+    ASSERT_TRUE(noisy.ok()) << noisy.status().to_string();
+    ASSERT_TRUE(noisy.value().ok());
+    auto reference = clean.forecast(make_request(100 + id, 1000 + id));
+    ASSERT_TRUE(reference.ok());
+    EXPECT_TRUE(cars_identical(noisy.value().cars, reference.value().cars));
+  }
+  EXPECT_GT(client.retries(), 0u) << "fault profile never exercised retry";
+  EXPECT_GT(injector->counters().dropped + injector->counters().corrupted, 0u);
+}
+
+TEST_F(ServeTest, HotSwapPromotesServesNewBitsAndRejectsCorruptCandidate) {
+  serve::ServerConfig cfg;
+  cfg.socket_path = "/tmp/ranknet_serve_swap.sock";
+  boot(cfg);
+  serve::ForecastClient client(client_config());
+
+  auto before = client.forecast(make_request(1, 11));
+  ASSERT_TRUE(before.ok());
+  ASSERT_EQ(before.value().model_version, 1u);
+
+  auto ack = client.swap_model(kScaledArtifact);
+  ASSERT_TRUE(ack.ok()) << ack.status().to_string();
+  EXPECT_EQ(ack.value().action, wire::SwapAction::kPromoted);
+  EXPECT_EQ(ack.value().active_version, 2u);
+
+  auto after = client.forecast(make_request(2, 11));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().model_version, 2u);
+  // scale 2 / offset 3: same seed, provably different model bits.
+  ASSERT_EQ(after.value().cars.size(), before.value().cars.size());
+  EXPECT_FALSE(cars_identical(after.value().cars, before.value().cars));
+
+  // A corrupt candidate is rejected mid-flight and v2 keeps serving.
+  const std::string corrupt_path = "/tmp/ranknet_serve_corrupt_cand.bin";
+  serve::AffineRankModel::save_artifact(corrupt_path, 5.0, 5.0);
+  {
+    std::FILE* f = std::fopen(corrupt_path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 40, SEEK_SET);
+    std::fputc(0x5A, f);
+    std::fclose(f);
+  }
+  auto bad = client.swap_model(corrupt_path);
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad.value().action, wire::SwapAction::kRejected);
+  EXPECT_EQ(bad.value().active_version, 2u);
+  auto still = client.forecast(make_request(3, 11));
+  ASSERT_TRUE(still.ok());
+  EXPECT_EQ(still.value().model_version, 2u);
+  EXPECT_TRUE(cars_identical(still.value().cars, after.value().cars));
+}
+
+TEST_F(ServeTest, BadModelSlippingThroughGateIsAutoRolledBackUnderTraffic) {
+  serve::ServerConfig cfg;
+  cfg.socket_path = "/tmp/ranknet_serve_rollback.sock";
+  serve::RegistryConfig reg_cfg;
+  reg_cfg.gate.max_prediction_failure_rate = 1.0;  // gate off: probation's job
+  boot(cfg, reg_cfg);
+  serve::ForecastClient client(client_config());
+
+  ASSERT_TRUE(client.swap_model(kScaledArtifact).ok());  // healthy v2
+  const auto rolled_before = counter_value("serve.registry.rolled_back");
+  auto ack = client.swap_model(kNanArtifact);
+  ASSERT_TRUE(ack.ok());
+  ASSERT_EQ(ack.value().action, wire::SwapAction::kPromoted);  // v3, rotten
+
+  // The first full-tier serving result exposes the NaNs: the response
+  // carries an explicit failure and probation rolls back to v2.
+  auto poisoned = client.forecast(make_request(1, 21));
+  ASSERT_TRUE(poisoned.ok());
+  EXPECT_FALSE(poisoned.value().ok());
+  EXPECT_EQ(poisoned.value().model_version, 3u);
+
+  auto recovered = client.forecast(make_request(2, 22));
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(recovered.value().ok()) << recovered.value().message;
+  EXPECT_EQ(recovered.value().model_version, 2u);
+  for (const auto& car : recovered.value().cars) {
+    for (double v : car.median) EXPECT_TRUE(std::isfinite(v));
+  }
+  EXPECT_GT(counter_value("serve.registry.rolled_back"), rolled_before);
+}
+
+TEST_F(ServeTest, ShutdownFrameStopsTheServerCleanly) {
+  serve::ServerConfig cfg;
+  cfg.socket_path = "/tmp/ranknet_serve_shutdown.sock";
+  boot(cfg);
+  serve::ForecastClient client(client_config());
+  ASSERT_TRUE(client.forecast(make_request(1, 1)).ok());
+  EXPECT_TRUE(client.shutdown_server().ok());
+  server_->stop();  // joins promptly: both threads saw the stop flag
+  EXPECT_FALSE(server_->running());
+}
+
+TEST_F(ServeTest, EngineThreadsServeIdenticalBytesToInline) {
+  // Same request through a threads=2 registry and a threads=0 registry:
+  // the engine's determinism contract must survive the serving stack.
+  serve::ServerConfig cfg;
+  cfg.socket_path = "/tmp/ranknet_serve_threads.sock";
+  serve::RegistryConfig reg_cfg;
+  reg_cfg.engine_threads = 2;
+  boot(cfg, reg_cfg);
+  serve::ForecastClient client(client_config());
+  auto threaded = client.forecast(make_request(1, 33));
+  ASSERT_TRUE(threaded.ok());
+  ASSERT_TRUE(threaded.value().ok());
+  server_->stop();
+
+  serve::ServerConfig cfg2;
+  cfg2.socket_path = "/tmp/ranknet_serve_threads0.sock";
+  boot(cfg2);
+  serve::ForecastClient inline_client(client_config());
+  auto inline_res = inline_client.forecast(make_request(2, 33));
+  ASSERT_TRUE(inline_res.ok());
+  EXPECT_TRUE(cars_identical(threaded.value().cars, inline_res.value().cars));
+}
+
+}  // namespace

@@ -1,12 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <future>
+#include <thread>
 #include <set>
 #include <stdexcept>
 #include <vector>
 
+#include "util/backoff.hpp"
 #include "util/csv.hpp"
+#include "util/socket.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/status.hpp"
@@ -339,6 +344,186 @@ TEST(ThreadPool, ManyThrowingTasksDoNotWedgeTheQueue) {
   for (auto& f : futures) EXPECT_THROW(f.get(), int);
   auto alive = pool.submit([] { return true; });
   EXPECT_TRUE(alive.get());
+}
+
+// Bounded-wait teardown: a pool destroyed while a long task occupies its
+// only worker must wait for THAT task only — the backlog queued behind it
+// is abandoned, with every abandoned future reporting broken_promise
+// instead of silently losing its task (or, worse, the destructor running
+// the whole backlog and stalling shutdown behind a stalled client).
+TEST(ThreadPool, DestructorAbandonsBacklogBehindStalledTask) {
+  std::promise<void> release;
+  auto release_future = release.get_future().share();
+  std::atomic<int> backlog_ran{0};
+  std::future<void> stalled;
+  std::vector<std::future<int>> backlog;
+  // Released from a side thread well after the destructor has swapped the
+  // backlog out — the worker is provably still inside the stalled task when
+  // teardown begins.
+  std::thread releaser;
+  {
+    ThreadPool pool(1);
+    std::promise<void> started;
+    stalled = pool.submit([&started, release_future] {
+      started.set_value();
+      release_future.wait();
+    });
+    // Don't race teardown against dispatch: only once the worker is inside
+    // the stalled task is the backlog guaranteed to be "queued, not run".
+    started.get_future().wait();
+    for (int i = 0; i < 8; ++i) {
+      backlog.push_back(pool.submit([&backlog_ran] {
+        ++backlog_ran;
+        return 1;
+      }));
+    }
+    releaser = std::thread([&release] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      release.set_value();
+    });
+  }
+  releaser.join();
+  stalled.get();  // the running task completed normally
+  // Tasks that never started were abandoned, not run at teardown...
+  EXPECT_EQ(backlog_ran.load(), 0);
+  // ...and their futures fail loudly instead of hanging or vanishing.
+  for (auto& f : backlog) {
+    try {
+      f.get();
+      FAIL() << "abandoned task's future returned a value";
+    } catch (const std::future_error& e) {
+      EXPECT_EQ(e.code(), std::make_error_code(std::future_errc::broken_promise));
+    }
+  }
+}
+
+TEST(ThreadPool, DestructorDoesNotLoseExceptionsFromRunningTasks) {
+  std::future<void> thrower;
+  {
+    ThreadPool pool(1);
+    std::promise<void> started;
+    thrower = pool.submit([&started] {
+      started.set_value();
+      throw std::runtime_error("mid-teardown");
+    });
+    // Ensure the task is *running* when the destructor begins — a task
+    // still queued would be abandoned (broken_promise), which is the other
+    // test's contract, not this one's.
+    started.get_future().wait();
+  }
+  EXPECT_THROW(thrower.get(), std::runtime_error);
+}
+
+TEST(Backoff, DelaysGrowGeometricallyUpToTheCeiling) {
+  BackoffConfig cfg;
+  cfg.initial_seconds = 0.01;
+  cfg.multiplier = 2.0;
+  cfg.max_seconds = 0.05;
+  cfg.jitter = 0.0;  // deterministic schedule
+  cfg.max_attempts = 6;
+  ExponentialBackoff backoff(cfg, 1);
+  EXPECT_DOUBLE_EQ(backoff.next_delay(), 0.01);
+  EXPECT_DOUBLE_EQ(backoff.next_delay(), 0.02);
+  EXPECT_DOUBLE_EQ(backoff.next_delay(), 0.04);
+  EXPECT_DOUBLE_EQ(backoff.next_delay(), 0.05);  // clamped
+  EXPECT_DOUBLE_EQ(backoff.next_delay(), 0.05);
+  EXPECT_FALSE(backoff.exhausted());
+  EXPECT_DOUBLE_EQ(backoff.next_delay(), 0.05);
+  EXPECT_TRUE(backoff.exhausted());
+  EXPECT_DOUBLE_EQ(backoff.next_delay(), 0.0);
+}
+
+TEST(Backoff, JitterOnlyShrinksAndStaysWithinTheConfiguredFraction) {
+  BackoffConfig cfg;
+  cfg.initial_seconds = 0.1;
+  cfg.multiplier = 1.0;
+  cfg.max_seconds = 0.1;
+  cfg.jitter = 0.5;
+  cfg.max_attempts = 200;
+  ExponentialBackoff backoff(cfg, 99);
+  for (int i = 0; i < 200; ++i) {
+    const double d = backoff.next_delay();
+    EXPECT_GT(d, 0.05 - 1e-12);  // at most half jittered away
+    EXPECT_LE(d, 0.1);
+  }
+}
+
+TEST(Backoff, SameSeedSameSchedule) {
+  BackoffConfig cfg;
+  cfg.max_attempts = 50;
+  ExponentialBackoff a(cfg, 7), b(cfg, 7);
+  for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(a.next_delay(), b.next_delay());
+}
+
+TEST(UnixSocket, BindConnectRoundtrip) {
+  const std::string path = "/tmp/ranknet_test_util_rt.sock";
+  auto listener = UnixListener::bind(path);
+  ASSERT_TRUE(listener.ok()) << listener.status().to_string();
+
+  std::thread peer([&path] {
+    auto client = UnixStream::connect(path, 1.0);
+    ASSERT_TRUE(client.ok()) << client.status().to_string();
+    const char msg[] = "ping";
+    ASSERT_TRUE(client.value().send_all(msg, 4, 1.0).ok());
+    char reply[4] = {};
+    ASSERT_TRUE(client.value().recv_all(reply, 4, 1.0).ok());
+    EXPECT_EQ(std::string(reply, 4), "pong");
+  });
+
+  auto accepted = listener.value().accept(1.0);
+  ASSERT_TRUE(accepted.ok()) << accepted.status().to_string();
+  char buf[4] = {};
+  ASSERT_TRUE(accepted.value().recv_all(buf, 4, 1.0).ok());
+  EXPECT_EQ(std::string(buf, 4), "ping");
+  ASSERT_TRUE(accepted.value().send_all("pong", 4, 1.0).ok());
+  peer.join();
+}
+
+TEST(UnixSocket, ConnectToNobodyIsUnavailableNotException) {
+  auto r = UnixStream::connect("/tmp/ranknet_no_such_server.sock", 0.05);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(UnixSocket, RecvTimeoutIsUnavailable) {
+  const std::string path = "/tmp/ranknet_test_util_to.sock";
+  auto listener = UnixListener::bind(path);
+  ASSERT_TRUE(listener.ok());
+  auto client = UnixStream::connect(path, 1.0);
+  ASSERT_TRUE(client.ok());
+  auto accepted = listener.value().accept(1.0);
+  ASSERT_TRUE(accepted.ok());
+  char buf[8];
+  const auto st = client.value().recv_all(buf, sizeof(buf), 0.05);
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);  // silence, not corruption
+}
+
+TEST(UnixSocket, PeerClosingMidMessageIsCorruptData) {
+  const std::string path = "/tmp/ranknet_test_util_cut.sock";
+  auto listener = UnixListener::bind(path);
+  ASSERT_TRUE(listener.ok());
+  auto client = UnixStream::connect(path, 1.0);
+  ASSERT_TRUE(client.ok());
+  auto accepted = listener.value().accept(1.0);
+  ASSERT_TRUE(accepted.ok());
+  // Peer delivers 3 of the 10 promised bytes, then hangs up: a truncated
+  // message must be kCorruptData, distinct from a clean timeout.
+  ASSERT_TRUE(accepted.value().send_all("abc", 3, 1.0).ok());
+  accepted.value().close();
+  char buf[10];
+  const auto st = client.value().recv_all(buf, sizeof(buf), 1.0);
+  EXPECT_EQ(st.code(), StatusCode::kCorruptData);
+}
+
+TEST(Backoff, ResetRestartsTheSchedule) {
+  BackoffConfig cfg;
+  cfg.jitter = 0.0;
+  ExponentialBackoff backoff(cfg, 1);
+  const double first = backoff.next_delay();
+  backoff.next_delay();
+  backoff.reset();
+  EXPECT_DOUBLE_EQ(backoff.next_delay(), first);
+  EXPECT_EQ(backoff.attempt(), 1);
 }
 
 }  // namespace
