@@ -1,0 +1,151 @@
+// Season-fleet bench: replay every Table II race (all track/event/year
+// combinations, 2013-2019) through core::FleetEngine as ONE workload and
+// sweep the shard count. The headline number is races/s — how many whole
+// races the fleet forecasts end-to-end per second of wall clock — plus
+// jobs/s over the (race, origin) forecast jobs.
+//
+// Correctness rides along: for every shard count the bench digests every
+// job's sample bytes and requires the digest to be identical to the 1-shard
+// reference — the byte-identity contract (bases are job-keyed, routing
+// never touches bytes) checked at bench scale, not just unit-test scale.
+//
+// Output: BENCH_season.json with a "season_fleet" array, gated by
+// tests/check_bench_regression.py (understands the season_fleet key).
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/baselines.hpp"
+#include "core/fleet_engine.hpp"
+#include "simulator/season.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace ranknet;
+
+/// FNV-1a over the exact double bit patterns of every (car, sample, lap)
+/// cell, car ids and shapes included — two digests match iff the forecasts
+/// are byte-identical.
+std::uint64_t samples_digest(const core::RaceSamples& samples) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](const void* p, std::size_t n) {
+    const auto* bytes = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= bytes[i];
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const auto& [car_id, m] : samples) {
+    mix(&car_id, sizeof(car_id));
+    const std::size_t rows = m.rows(), cols = m.cols();
+    mix(&rows, sizeof(rows));
+    mix(&cols, sizeof(cols));
+    mix(m.data(), rows * cols * sizeof(double));
+  }
+  return h;
+}
+
+struct SweepResult {
+  std::size_t shards;
+  std::size_t races;
+  std::size_t jobs;
+  double seconds;
+  double races_per_sec;
+  double jobs_per_sec;
+};
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kSeasonSeed = 0x5ea50u;
+  constexpr int kOriginStride = 10;
+  constexpr int kHorizon = 10;
+  constexpr int kNumSamples = 64;
+
+  std::printf("simulating the Table II season (25 races, 2013-2019)...\n");
+  std::vector<std::shared_ptr<const telemetry::RaceLog>> races;
+  for (auto& race : sim::simulate_season()) {
+    races.push_back(
+        std::make_shared<const telemetry::RaceLog>(std::move(race)));
+  }
+
+  // One forecast job per (race, origin) with a fixed stride — the same
+  // whole-season replay a deployment would run between live events.
+  std::vector<core::FleetEngine::SeasonJob> jobs;
+  for (const auto& race : races) {
+    for (int origin = kOriginStride; origin < race->num_laps() - kHorizon;
+         origin += kOriginStride) {
+      jobs.push_back({race, origin, kHorizon, kNumSamples});
+    }
+  }
+  std::printf("season workload: %zu races, %zu forecast jobs\n", races.size(),
+              jobs.size());
+
+  std::vector<SweepResult> results;
+  std::vector<std::uint64_t> reference;  // 1-shard digests, per job
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    core::FleetConfig cfg;
+    cfg.shards = shards;
+    core::FleetEngine fleet(
+        [] { return std::make_shared<core::ArimaForecaster>(); }, cfg);
+
+    // Warm-up pass (prepare caches, pool spin-up), then the timed pass.
+    (void)fleet.run_season({jobs.data(), std::min<std::size_t>(jobs.size(),
+                                                               shards)},
+                           kSeasonSeed);
+    util::Timer timer;
+    const auto samples = fleet.run_season(jobs, kSeasonSeed);
+    const double seconds = timer.seconds();
+
+    std::vector<std::uint64_t> digests;
+    digests.reserve(samples.size());
+    for (const auto& s : samples) digests.push_back(samples_digest(s));
+    if (reference.empty()) {
+      reference = digests;
+    } else if (digests != reference) {
+      std::fprintf(stderr,
+                   "FATAL: %zu-shard season bytes differ from the 1-shard "
+                   "reference — byte-identity contract violated\n",
+                   shards);
+      return 1;
+    }
+
+    SweepResult r;
+    r.shards = shards;
+    r.races = races.size();
+    r.jobs = jobs.size();
+    r.seconds = seconds;
+    r.races_per_sec = static_cast<double>(races.size()) / seconds;
+    r.jobs_per_sec = static_cast<double>(jobs.size()) / seconds;
+    results.push_back(r);
+    std::printf(
+        "shards=%zu  %7.3fs  %8.2f races/s  %9.2f jobs/s  (bytes == "
+        "1-shard reference)\n",
+        shards, seconds, r.races_per_sec, r.jobs_per_sec);
+  }
+
+  std::FILE* f = std::fopen("BENCH_season.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_season.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"season_fleet\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(f,
+                 "    {\"shards\": %zu, \"races\": %zu, \"jobs\": %zu, "
+                 "\"seconds\": %.6f, \"races_per_sec\": %.3f, "
+                 "\"jobs_per_sec\": %.3f}%s\n",
+                 r.shards, r.races, r.jobs, r.seconds, r.races_per_sec,
+                 r.jobs_per_sec, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_season.json (%zu shard counts)\n",
+              results.size());
+  return 0;
+}

@@ -1,0 +1,143 @@
+// FleetEngine: N RaceShards serving thousands of races as one workload.
+//
+// The season-fleet coordinator the ROADMAP north star asks for: instead of
+// one ParallelForecastEngine with one pool and one cache that every layer
+// serializes on, the fleet owns N shards (core/race_shard.hpp) and routes
+// every forecast to the shard picked by a stable hash of the race id. Each
+// shard has its own forecaster instance, engine pool, cache slice and a
+// single-threaded driver — so distinct races proceed fully concurrently
+// while per-race state stays single-writer.
+//
+// The byte-identity contract (the hard part, and the point):
+//   * routing never touches bytes — a forecast is a pure function of
+//     (model, race, origin, horizon, num_samples, rng base), computed via
+//     ParallelForecastEngine::forecast_with_base, so WHICH shard runs it
+//     cannot matter;
+//   * season batch bases are keyed, not drawn — run_season derives each
+//     job's base as Rng::stream(season_seed, race_key, job_shape_key)'s
+//     first draw, a pure function of the job tuple. Shard count, shard
+//     assignment, execution order and live resharding are therefore all
+//     invisible in the output bytes (tests/test_fleet_engine.cpp proves
+//     {1, 2, 8} shards and a mid-workload reshard bit-identical, for both
+//     kernel variants);
+//   * the caller-rng surface stays protocol-compatible — forecast(rng)
+//     consumes exactly one u64 regardless of shard count, so caller rng
+//     end states are reshard-invariant too.
+//
+// Resharding is live: reshard(n) rebuilds the shard set under a writer
+// lock while in-flight forecasts finish on the old shards (they hold
+// shared_ptrs; old shards die when the last job drops its reference).
+// Shard-local caches are discarded with their shards — byte-safe, because
+// a cache hit replays exactly the bytes a cold compute would produce.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/race_shard.hpp"
+#include "util/status.hpp"
+
+namespace ranknet::core {
+
+/// Builds one shard's forecaster instance. Called once per shard, in shard
+/// index order, from the constructing/resharding thread (never
+/// concurrently). Every invocation must yield a model with identical
+/// weights — same artifact, same config — or byte identity across shard
+/// counts is forfeit. Must return non-null; throw to abort construction.
+using ForecasterFactory = std::function<std::shared_ptr<RaceForecaster>()>;
+
+struct FleetConfig {
+  std::size_t shards = 1;
+  ShardConfig shard;
+  /// Non-null: every shard uses this one (striped) cache instead of a
+  /// shard-local slice — the serving registry's cross-generation dedup.
+  std::shared_ptr<ForecastCache> shared_cache;
+};
+
+class FleetEngine {
+ public:
+  FleetEngine(ForecasterFactory factory, FleetConfig config);
+
+  /// Stable route key for a race: FNV-1a of the race id. Pure function of
+  /// the id string — survives process restarts and reshards.
+  static std::uint64_t race_key(std::string_view race_id);
+
+  /// Rng stream base for one season job — a pure function of
+  /// (season_seed, race_key, origin, horizon, num_samples), derived via
+  /// the keyed three-key Rng::stream so no generator state is consumed.
+  static std::uint64_t job_base(std::uint64_t season_seed,
+                                std::uint64_t race_key, int origin_lap,
+                                int horizon, int num_samples);
+
+  std::size_t num_shards() const;
+  std::size_t shard_index(std::string_view race_id) const;
+  /// Shards are handed out as shared_ptrs: holders keep a shard alive
+  /// across a concurrent reshard (jobs drain on the old generation).
+  std::shared_ptr<RaceShard> shard(std::size_t index) const;
+  std::shared_ptr<RaceShard> shard_for(std::string_view race_id) const;
+
+  /// Same surface and rng protocol as ParallelForecastEngine::forecast:
+  /// consumes exactly one u64 from `rng`, routes by race id.
+  RaceSamples forecast(const telemetry::RaceLog& race, int origin_lap,
+                       int horizon, int num_samples, util::Rng& rng);
+
+  /// Keyed single forecast (no caller generator): routes by race id and
+  /// computes on the target shard's driver-free calling thread.
+  RaceSamples forecast_keyed(const telemetry::RaceLog& race, int origin_lap,
+                             int horizon, int num_samples,
+                             std::uint64_t base);
+
+  struct SeasonJob {
+    std::shared_ptr<const telemetry::RaceLog> race;
+    int origin_lap = 0;
+    int horizon = 10;
+    int num_samples = 16;
+  };
+
+  /// Run a whole season (any mix of races/origins) as one workload: jobs
+  /// are grouped by shard and each shard drains its group on its own
+  /// driver thread, so wall clock scales with min(shards, distinct races).
+  /// results[i] corresponds to jobs[i]. Bases are job-keyed (see job_base),
+  /// so the result bytes are invariant to shard count and resharding.
+  std::vector<RaceSamples> run_season(std::span<const SeasonJob> jobs,
+                                      std::uint64_t season_seed);
+
+  /// Live reshard: rebuild the shard set with `new_shards` shards (new
+  /// forecaster instances from the factory, fresh pools, fresh shard-local
+  /// caches). Concurrent forecasts drain on the shards they already hold.
+  /// Model version and degradation policy are re-applied to the new set.
+  void reshard(std::size_t new_shards);
+
+  /// Forwarded to every shard engine (and re-applied after reshard).
+  void set_model_version(std::uint64_t version);
+  [[nodiscard]] util::Status set_degradation_policy(
+      ParallelForecastEngine::DegradationPolicy policy);
+
+  /// Aggregated engine stats across current shards.
+  ParallelForecastEngine::Stats stats() const;
+  ParallelForecastEngine::Degradation degradation() const;
+
+ private:
+  std::vector<std::shared_ptr<RaceShard>> build_shards(std::size_t n) const;
+
+  ForecasterFactory factory_;
+  FleetConfig config_;
+  std::optional<std::uint64_t> model_version_;  // re-applied on reshard
+  std::optional<ParallelForecastEngine::DegradationPolicy> policy_;
+
+  mutable std::shared_mutex mutex_;  // guards shards_ (reshard = writer)
+  std::vector<std::shared_ptr<RaceShard>> shards_;
+
+  obs::Counter* reshards_;       // fleet.reshards
+  obs::Counter* season_jobs_;    // fleet.season.jobs
+  obs::Counter* season_runs_;    // fleet.season.runs
+};
+
+}  // namespace ranknet::core

@@ -43,48 +43,77 @@ void CacheCounters::reset() {
   evictions_->reset();
 }
 
-ForecastCache::ForecastCache(std::size_t capacity)
-    : capacity_(capacity == 0 ? 1 : capacity) {}
+ForecastCache::ForecastCache(std::size_t capacity, std::size_t stripes)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  const std::size_t n = stripes == 0 ? 1 : stripes;
+  // Split capacity evenly; every stripe holds at least one entry so a
+  // heavily-striped small cache still caches something on every stripe.
+  stripe_capacity_ = (capacity_ + n - 1) / n;
+  if (stripe_capacity_ == 0) stripe_capacity_ = 1;
+  stripes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+}
+
+std::size_t ForecastCache::stripe_of(const ForecastCacheKey& key) const {
+  // Remix the key hash before taking the modulus: the unordered_map inside
+  // each stripe buckets by the same hash, and reusing the low bits for both
+  // decisions would correlate stripe choice with bucket occupancy.
+  std::uint64_t h = key.hash();
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return static_cast<std::size_t>(h % stripes_.size());
+}
 
 std::optional<RaceSamples> ForecastCache::get(const ForecastCacheKey& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = index_.find(key);
-  if (it == index_.end()) {
+  Stripe& s = stripe_for(key);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.index.find(key);
+  if (it == s.index.end()) {
     CacheCounters::instance().record_miss();
     return std::nullopt;
   }
-  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  s.lru.splice(s.lru.begin(), s.lru, it->second);  // refresh recency
   CacheCounters::instance().record_hit();
   return it->second->second;  // deep copy out
 }
 
 void ForecastCache::put(const ForecastCacheKey& key, const RaceSamples& value) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = index_.find(key);
-  if (it != index_.end()) {
+  Stripe& s = stripe_for(key);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.index.find(key);
+  if (it != s.index.end()) {
     it->second->second = value;
-    lru_.splice(lru_.begin(), lru_, it->second);
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
     return;
   }
-  while (lru_.size() >= capacity_) {
-    index_.erase(lru_.back().first);
-    lru_.pop_back();
+  while (s.lru.size() >= stripe_capacity_) {
+    s.index.erase(s.lru.back().first);
+    s.lru.pop_back();
     CacheCounters::instance().record_evict();
   }
-  lru_.emplace_front(key, value);
-  index_.emplace(key, lru_.begin());
+  s.lru.emplace_front(key, value);
+  s.index.emplace(key, s.lru.begin());
   CacheCounters::instance().record_insert();
 }
 
 std::size_t ForecastCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return lru_.size();
+  std::size_t total = 0;
+  for (const auto& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s->mutex);
+    total += s->lru.size();
+  }
+  return total;
 }
 
 void ForecastCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  lru_.clear();
-  index_.clear();
+  for (const auto& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s->mutex);
+    s->lru.clear();
+    s->index.clear();
+  }
 }
 
 }  // namespace ranknet::core

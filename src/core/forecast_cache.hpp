@@ -23,18 +23,29 @@
 //                     results differ by reassociation ULPs, so they must
 //                     never share an entry.
 //
-// Thread safety: every method is safe to call concurrently (one mutex; the
-// engine pool's workers and multiple engines may share one cache). Hits,
-// misses, insertions and evictions are booked into the obs::Registry
-// ("forecast_cache.*") via the CacheCounters shim below, same pattern as
-// WorkspaceCounters.
+// Thread safety: every method is safe to call concurrently (the engine
+// pool's workers and multiple engines may share one cache). The store is
+// lock-striped: keys are partitioned across `stripes` independent
+// (mutex, LRU list, index) units by a remix of the key hash, so concurrent
+// shards hitting different stripes never contend on one global mutex. With
+// the default single stripe the semantics are exactly the pre-striping
+// global LRU. Capacity is split evenly across stripes (eviction is
+// per-stripe LRU — a globally-exact LRU order is traded for lock
+// independence). Hits, misses, insertions and evictions are booked into
+// the obs::Registry ("forecast_cache.*") via the CacheCounters shim below,
+// same pattern as WorkspaceCounters; the accounting identity
+//   insertions - evictions == size()   and   hits + misses == gets
+// holds exactly even under fully concurrent mixed access
+// (tests/test_forecast_cache.cpp, StripedAccountingExactUnderConcurrency).
 #pragma once
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "core/forecaster.hpp"
 #include "obs/metrics.hpp"
@@ -128,21 +139,27 @@ class CacheCounters {
 
 class ForecastCache {
  public:
-  /// `capacity` bounds the number of cached forecasts (LRU eviction);
-  /// at least 1.
-  explicit ForecastCache(std::size_t capacity = 64);
+  /// `capacity` bounds the total number of cached forecasts (at least 1),
+  /// split evenly across `stripes` independent LRU partitions (at least 1
+  /// entry each). `stripes` = 1 (the default) reproduces the original
+  /// single-mutex global-LRU behaviour exactly.
+  explicit ForecastCache(std::size_t capacity = 64, std::size_t stripes = 1);
 
   /// Deep copy out on hit (the cached bytes stay untouched, so every hit
   /// returns the exact bytes of the original cold compute); nullopt on
-  /// miss. Refreshes the entry's LRU position.
+  /// miss. Refreshes the entry's LRU position within its stripe.
   std::optional<RaceSamples> get(const ForecastCacheKey& key);
 
-  /// Insert (or refresh) a forecast; evicts the least-recently-used entry
-  /// when full. Values are deep-copied in.
+  /// Insert (or refresh) a forecast; evicts the stripe's least-recently-
+  /// used entry when the stripe is full. Values are deep-copied in.
   void put(const ForecastCacheKey& key, const RaceSamples& value);
 
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
+  std::size_t stripes() const { return stripes_.size(); }
+  /// Which stripe a key lives in — a pure function of the key, exposed so
+  /// tests can prove partitioning is stable.
+  std::size_t stripe_of(const ForecastCacheKey& key) const;
   void clear();
 
  private:
@@ -153,11 +170,20 @@ class ForecastCache {
   };
   using Entry = std::pair<ForecastCacheKey, RaceSamples>;
 
-  std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::list<Entry> lru_;  // front = most recent
-  std::unordered_map<ForecastCacheKey, std::list<Entry>::iterator, KeyHash>
-      index_;
+  struct Stripe {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<ForecastCacheKey, std::list<Entry>::iterator, KeyHash>
+        index;
+  };
+
+  Stripe& stripe_for(const ForecastCacheKey& key) {
+    return *stripes_[stripe_of(key)];
+  }
+
+  std::size_t capacity_;         // total, across all stripes
+  std::size_t stripe_capacity_;  // per-stripe bound (>= 1)
+  std::vector<std::unique_ptr<Stripe>> stripes_;
 };
 
 }  // namespace ranknet::core

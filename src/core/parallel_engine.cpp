@@ -112,36 +112,58 @@ util::Status ParallelForecastEngine::set_degradation_policy(
   return {};
 }
 
+RaceSamples ParallelForecastEngine::delegate_forecast(
+    const telemetry::RaceLog& race, int origin_lap, int horizon,
+    int num_samples, util::Rng& rng) {
+  util::Timer wall;
+  const auto ws_before = tensor::WorkspaceCounters::instance().snapshot();
+  auto out = wrapped_.forecast(race, origin_lap, horizon, num_samples, rng);
+  const double secs = wall.seconds();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.forecasts;
+    ++stats_.tasks;
+    stats_.task_seconds += secs;
+    stats_.wall_seconds += secs;
+  }
+  EngineCounters::instance().record_task(secs);
+  EngineCounters::instance().record_forecast(secs);
+  record_workspace_delta(ws_before);
+  return out;
+}
+
 RaceSamples ParallelForecastEngine::forecast(const telemetry::RaceLog& race,
                                              int origin_lap, int horizon,
                                              int num_samples, util::Rng& rng) {
+  if (partitioned_ == nullptr) {
+    // Not partitionable: plain delegation on the calling thread, consuming
+    // the caller's generator exactly as the wrapped forecaster would.
+    return delegate_forecast(race, origin_lap, horizon, num_samples, rng);
+  }
+  // Same rng protocol as the wrapped forecaster's own forecast(): consume
+  // exactly one u64 as the stream base (prepare(), which runs inside
+  // forecast_with_base, never touches the caller's generator, so drawing
+  // first is byte-equivalent to the historical prepare-then-draw order).
+  // This is what makes engine output identical to a direct forecast() call
+  // — and, because the fallback tiers derive from the same base, what
+  // keeps degraded forecasts deterministic too.
+  return forecast_with_base(race, origin_lap, horizon, num_samples, rng());
+}
+
+RaceSamples ParallelForecastEngine::forecast_with_base(
+    const telemetry::RaceLog& race, int origin_lap, int horizon,
+    int num_samples, std::uint64_t base) {
   util::Timer wall;
   const auto ws_before = tensor::WorkspaceCounters::instance().snapshot();
   if (partitioned_ == nullptr) {
-    // Not partitionable: plain delegation on the calling thread.
-    auto out = wrapped_.forecast(race, origin_lap, horizon, num_samples, rng);
-    const double secs = wall.seconds();
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.forecasts;
-      ++stats_.tasks;
-      stats_.task_seconds += secs;
-      stats_.wall_seconds += secs;
-    }
-    EngineCounters::instance().record_task(secs);
-    EngineCounters::instance().record_forecast(secs);
-    record_workspace_delta(ws_before);
-    return out;
+    // Keyed delegation: derive a generator from the base so the result is
+    // still a pure function of (model, race, request, base).
+    util::Rng rng = util::Rng::stream(base, /*k1=*/0x666c6565756e70ULL);
+    return delegate_forecast(race, origin_lap, horizon, num_samples, rng);
   }
 
-  // Same rng protocol as the wrapped forecaster's own forecast(): warm the
-  // per-race cache, then consume exactly one u64 as the stream base. This is
-  // what makes engine output identical to a direct forecast() call — and,
-  // because the fallback tiers derive from the same base, what keeps
-  // degraded forecasts deterministic too.
   obs::SpanScope prepare_span(obs::Stage::kPrepare);
   partitioned_->prepare(race);
-  const std::uint64_t base = rng();
 
   // Forecast cache: the key covers every input the computation below is a
   // pure function of (see forecast_cache.hpp), so a hit can return the

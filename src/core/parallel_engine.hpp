@@ -104,6 +104,20 @@ class ParallelForecastEngine : public RaceForecaster {
   RaceSamples forecast(const telemetry::RaceLog& race, int origin_lap,
                        int horizon, int num_samples, util::Rng& rng) override;
 
+  /// Keyed entry point: forecast from an explicit rng stream base instead
+  /// of drawing one from a caller generator. For a partitionable wrapped
+  /// forecaster, `forecast(rng)` is exactly `forecast_with_base(rng())` —
+  /// so any caller that derives `base` as a pure function of a job key
+  /// (race, origin, shape, season seed) gets bytes that are independent of
+  /// which engine/shard/thread runs the job, which is the contract the
+  /// fleet's reshard invariance rests on (core/fleet_engine.hpp).
+  /// Non-partitionable forecasters are delegated to with a generator
+  /// derived from `base` via util::Rng::stream (documented divergence from
+  /// forecast(rng), which hands them the caller's generator).
+  RaceSamples forecast_with_base(const telemetry::RaceLog& race,
+                                 int origin_lap, int horizon, int num_samples,
+                                 std::uint64_t base);
+
   std::size_t threads() const { return pool_.size(); }
   /// True when the wrapped forecaster supports partitioned fan-out.
   bool partitioned() const { return partitioned_ != nullptr; }
@@ -141,6 +155,11 @@ class ParallelForecastEngine : public RaceForecaster {
   void reset_stats();
 
  private:
+  /// Plain delegation for non-partitionable forecasters (calling thread,
+  /// caller-supplied generator).
+  RaceSamples delegate_forecast(const telemetry::RaceLog& race, int origin_lap,
+                                int horizon, int num_samples, util::Rng& rng);
+
   std::shared_ptr<RaceForecaster> owned_;  // null for the non-owning ctor
   RaceForecaster& wrapped_;
   PartitionableForecaster* partitioned_;  // null -> sequential delegation

@@ -72,15 +72,47 @@ Result<std::shared_ptr<ServingModel>> ModelRegistry::build_candidate(
   auto model = std::make_shared<ServingModel>();
   model->version = version;
   model->artifact_path = artifact_path;
-  model->forecaster = std::move(loaded).value();
-  model->engine = std::make_shared<core::ParallelForecastEngine>(
-      model->forecaster, config_.engine_threads, config_.max_cars_per_task);
-  model->engine->set_model_version(version);
-  if (cache_) model->engine->set_forecast_cache(cache_);
+
+  // Fleet factory: shard 0 reuses the forecaster staged above; later
+  // shards re-load the same validated artifact so every shard serves an
+  // independent instance of identical weights (prepare() caches never
+  // cross shards). A load that fails after the first succeeded is a
+  // genuine stage failure (e.g. the file changed underneath us) and
+  // rejects the candidate.
+  auto first = std::move(loaded).value();
+  auto used_first = std::make_shared<bool>(false);
+  core::FleetConfig fleet_cfg;
+  fleet_cfg.shards = config_.shards == 0 ? 1 : config_.shards;
+  fleet_cfg.shard.engine_threads = config_.engine_threads;
+  fleet_cfg.shard.max_cars_per_task = config_.max_cars_per_task;
+  fleet_cfg.shared_cache = cache_;  // version-keyed cross-generation dedup
+  try {
+    model->fleet = std::make_shared<core::FleetEngine>(
+        [factory = factory_, path = artifact_path, first, used_first]()
+            -> std::shared_ptr<core::RaceForecaster> {
+          if (!*used_first) {
+            *used_first = true;
+            return first;
+          }
+          auto re = factory(path);
+          if (!re.ok()) {
+            throw std::runtime_error(re.status().message());
+          }
+          return std::move(re).value();
+        },
+        fleet_cfg);
+  } catch (const std::exception& e) {
+    rejected_stage_->add(1);
+    return Status::corrupt_data(
+        std::string("registry: shard artifact reload failed: ") + e.what());
+  }
+  model->fleet->set_model_version(version);
+  model->forecaster = model->fleet->shard(0)->forecaster();
+  model->engine = model->fleet->shard(0)->engine();
   core::ParallelForecastEngine::DegradationPolicy policy;
   policy.deadline_seconds = engine_deadline_seconds_;
   policy.fallback = fallback_;
-  if (auto st = model->engine->set_degradation_policy(std::move(policy));
+  if (auto st = model->fleet->set_degradation_policy(std::move(policy));
       !st.ok()) {
     rejected_stage_->add(1);
     return st;

@@ -32,6 +32,7 @@
 #include <string>
 
 #include "core/baselines.hpp"
+#include "core/fleet_engine.hpp"
 #include "core/forecast_cache.hpp"
 #include "core/parallel_engine.hpp"
 #include "serve/wire.hpp"
@@ -46,13 +47,19 @@ using ModelFactory =
     std::function<util::Result<std::shared_ptr<core::RaceForecaster>>(
         const std::string& artifact_path)>;
 
-/// One published model generation: the forecaster plus the engine serving
-/// it. Immutable after publish except for the engine's internal stats; the
-/// server takes a shared_ptr per batch and the refcount is the drain.
+/// One published model generation: a race-sharded fleet of engines serving
+/// per-shard forecaster instances built from one artifact. Immutable after
+/// publish except for the engines' internal stats; the server takes a
+/// shared_ptr per batch and the refcount is the drain.
 struct ServingModel {
   std::uint64_t version = 0;
   std::string artifact_path;
+  /// Shard-0 forecaster instance — the shadow gate's probe target (every
+  /// shard's instance has identical weights, loaded from one artifact).
   std::shared_ptr<core::RaceForecaster> forecaster;
+  /// The serving fleet: requests route to shards by race id.
+  std::shared_ptr<core::FleetEngine> fleet;
+  /// Shard-0 engine, kept for single-engine consumers (probes, tests).
   std::shared_ptr<core::ParallelForecastEngine> engine;
 };
 
@@ -75,7 +82,11 @@ struct GateConfig {
 };
 
 struct RegistryConfig {
-  std::size_t engine_threads = 0;  // 0 = inline (sequential mode)
+  /// Race shards per generation; each shard gets its own forecaster
+  /// instance (loaded from the same artifact), engine pool and driver
+  /// thread. 1 = the pre-fleet single-engine layout.
+  std::size_t shards = 1;
+  std::size_t engine_threads = 0;  // 0 = inline (sequential mode), per shard
   std::size_t max_cars_per_task = 4;
   GateConfig gate;
   /// Serving results watched after a promotion; a failure inside the

@@ -6,12 +6,15 @@
 #include <cerrno>
 #include <cmath>
 #include <cstring>
+#include <future>
 #include <map>
 #include <tuple>
 #include <utility>
 
+#include "core/fleet_engine.hpp"
 #include "core/forecast_cache.hpp"
 #include "core/forecaster.hpp"
+#include "core/race_shard.hpp"
 #include "tensor/simd_kernels.hpp"
 #include "util/rng.hpp"
 
@@ -96,12 +99,9 @@ void ForecastServer::stop() {
 }
 
 void ForecastServer::add_race(telemetry::RaceLog race) {
-  RaceEntry entry;
-  entry.digest = core::race_state_digest(race);
-  auto id = race.id();
-  entry.race = std::make_shared<const telemetry::RaceLog>(std::move(race));
-  std::lock_guard<std::mutex> lock(races_mutex_);
-  races_[std::move(id)] = std::move(entry);
+  // Bucket-sharded insert: loading race N+1 never blocks admission lookups
+  // for races already being served out of other buckets.
+  races_.insert(std::move(race));
 }
 
 // --- I/O thread ------------------------------------------------------------
@@ -257,14 +257,14 @@ void ForecastServer::handle_forecast_frame(
   item.req = std::move(decoded).value();
   item.arrival = Clock::now();
 
-  {
-    std::lock_guard<std::mutex> lock(races_mutex_);
-    if (races_.find(item.req.race_id) == races_.end()) {
-      m_.unknown_race->add(1);
-      reject(item, Status::not_found("unknown race '" + item.req.race_id +
-                                     "' (kLoadRace it first)"));
-      return;
-    }
+  // Resolve the race once, here, and pin the immutable snapshot in the
+  // queued request. The worker hot path never touches the race table.
+  item.race = races_.find(item.req.race_id);
+  if (!item.race) {
+    m_.unknown_race->add(1);
+    reject(item, Status::not_found("unknown race '" + item.req.race_id +
+                                   "' (kLoadRace it first)"));
+    return;
   }
 
   std::uint32_t deadline_us = item.req.deadline_us == 0
@@ -367,15 +367,50 @@ void ForecastServer::worker_loop() {
               item.req.num_samples, item.req.seed, item.degraded}]
           .push_back(std::move(item));
     }
+    // Route every group to its race's shard and run them concurrently on
+    // the shard drivers; one race's groups stay serialized on their shard
+    // while different races overlap. The model shared_ptr pinned here is
+    // the drain token — a swap mid-batch cannot destroy engines we are
+    // forecasting on — and joining every future before the next iteration
+    // keeps swap-vs-serve ordering deterministic.
+    const auto model = registry_.active();
+    // `pinned` holds the routed shards until every future below completes
+    // (RaceShard::submit's lifetime contract: jobs never own their shard).
+    std::vector<std::shared_ptr<core::RaceShard>> pinned;
+    std::vector<std::future<void>> dispatched;
+    pinned.reserve(groups.size());
+    dispatched.reserve(groups.size());
     for (auto& [key, members] : groups) {
       m_.batch_groups->add(1);
       if (members.size() > 1) m_.batch_dedup_hits->add(members.size() - 1);
-      process_group(members);
+      std::shared_ptr<core::RaceShard> shard;
+      if (model && model->fleet) {
+        shard = model->fleet->shard_for(std::get<0>(key));
+      }
+      if (shard) {
+        core::RaceShard* const s = shard.get();
+        pinned.push_back(std::move(shard));
+        dispatched.push_back(s->submit(
+            [this, &members, &model, s] { process_group(members, model, s); }));
+      } else {
+        process_group(members, model, nullptr);  // reject path: no model
+      }
+    }
+    for (auto& f : dispatched) {
+      try {
+        f.get();
+      } catch (...) {
+        // A torn-down driver surfaces broken_promise here; the affected
+        // requests were already answered or their connections are dead.
+      }
     }
   }
 }
 
-void ForecastServer::process_group(std::vector<Pending>& members) {
+void ForecastServer::process_group(
+    std::vector<Pending>& members,
+    const std::shared_ptr<const ServingModel>& model,
+    core::RaceShard* shard) {
   const auto now = Clock::now();
   // Requests whose budget evaporated in the queue are explicit sheds.
   std::vector<Pending> live;
@@ -390,7 +425,6 @@ void ForecastServer::process_group(std::vector<Pending>& members) {
   if (live.empty()) return;
   const auto& req = live.front().req;
 
-  auto model = registry_.active();
   if (!model) {
     for (auto& item : live) {
       reject(item, Status::failed_precondition("no model published"));
@@ -398,26 +432,32 @@ void ForecastServer::process_group(std::vector<Pending>& members) {
     return;
   }
 
-  RaceEntry entry;
-  {
-    std::lock_guard<std::mutex> lock(races_mutex_);
-    auto it = races_.find(req.race_id);
-    if (it == races_.end()) {
-      for (auto& item : live) {
-        reject(item, Status::not_found("race vanished: " + req.race_id));
-      }
-      return;
-    }
-    entry = it->second;
-  }
-  if (req.origin_lap >= entry.race->num_laps()) {
+  // The race snapshot was pinned at admission; there is no re-lookup (and
+  // no lock) here, and no "race vanished" path — an admitted request is
+  // always answered against the state it was admitted with.
+  const std::shared_ptr<const RaceEntry>& entry = live.front().race;
+  if (req.origin_lap >= entry->race->num_laps()) {
     for (auto& item : live) {
       reject(item, Status::out_of_range(
                        "origin_lap " + std::to_string(req.origin_lap) +
                        " beyond race (" +
-                       std::to_string(entry.race->num_laps()) + " laps)"));
+                       std::to_string(entry->race->num_laps()) + " laps)"));
     }
     return;
+  }
+
+  // One engine per shard: only this shard's driver thread mutates its
+  // policy, so the per-group deadline arm below is single-writer. Without
+  // a fleet (pre-init) fall back to the shard-0 alias.
+  const auto& engine = shard ? shard->engine() : model->engine;
+  if (shard) {
+    // serve.shard.<i>.* booking: find-or-create costs one registry lookup
+    // per *group*, not per request; the add itself is lock-free.
+    auto& reg = obs::Registry::instance();
+    const std::string prefix =
+        "serve.shard." + std::to_string(shard->index()) + ".";
+    reg.counter(prefix + "groups").add(1);
+    reg.counter(prefix + "requests").add(live.size());
   }
 
   wire::ForecastResponse response;
@@ -435,11 +475,11 @@ void ForecastServer::process_group(std::vector<Pending>& members) {
     const std::uint64_t base = util::Rng(req.seed)();
     core::RaceSamples samples;
     bool cached = false;
-    if (const auto& cache = model->engine->forecast_cache()) {
+    if (const auto& cache = engine->forecast_cache()) {
       core::ForecastCacheKey key{
-          entry.digest,
+          entry->digest,
           base,
-          model->engine->model_version(),
+          engine->model_version(),
           req.origin_lap,
           req.horizon,
           req.num_samples,
@@ -450,7 +490,7 @@ void ForecastServer::process_group(std::vector<Pending>& members) {
       }
     }
     if (!cached) {
-      samples = registry_.fallback()->forecast(*entry.race, req.origin_lap,
+      samples = registry_.fallback()->forecast(*entry->race, req.origin_lap,
                                                req.horizon, req.num_samples,
                                                rng);
     }
@@ -470,18 +510,18 @@ void ForecastServer::process_group(std::vector<Pending>& members) {
     core::ParallelForecastEngine::DegradationPolicy policy;
     policy.deadline_seconds = budget_seconds;
     policy.fallback = registry_.fallback();
-    if (auto st = model->engine->set_degradation_policy(std::move(policy));
+    if (auto st = engine->set_degradation_policy(std::move(policy));
         !st.ok()) {
       for (auto& item : live) reject(item, st);
       return;
     }
 
-    const auto deg_before = model->engine->degradation();
+    const auto deg_before = engine->degradation();
     const auto hits_before = core::CacheCounters::instance().hits();
     core::RaceSamples samples;
     try {
-      samples = model->engine->forecast(*entry.race, req.origin_lap,
-                                        req.horizon, req.num_samples, rng);
+      samples = engine->forecast(*entry->race, req.origin_lap, req.horizon,
+                                 req.num_samples, rng);
     } catch (const std::exception& e) {
       for (auto& item : live) {
         reject(item, Status::failed_precondition(
@@ -489,7 +529,7 @@ void ForecastServer::process_group(std::vector<Pending>& members) {
       }
       return;
     }
-    const auto deg_after = model->engine->degradation();
+    const auto deg_after = engine->degradation();
     const bool cache_hit =
         core::CacheCounters::instance().hits() > hits_before;
     const auto fallback_delta =

@@ -9,8 +9,18 @@
 //   * worker thread — pops up to batch_max admitted requests, groups the
 //     compatible ones (same race/origin/horizon/samples/seed) into one
 //     engine call each (cross-request micro-batching; duplicates ride the
-//     PR-6 forecast cache for free), arms the engine's deadline ladder with
-//     the group's tightest remaining budget, and fans the answer back out.
+//     PR-6 forecast cache for free), routes each group to the active
+//     model's RaceShard by race id (core/fleet_engine.hpp) and runs it on
+//     that shard's driver — so groups for different races compute
+//     concurrently, each armed with its group's tightest remaining budget,
+//     while per-shard engine state stays single-writer. The worker joins
+//     every dispatched group before taking the next batch, which keeps
+//     swap-vs-serve ordering deterministic.
+//
+// Race lookups are admission-time only: the io thread resolves the race to
+// an immutable RaceEntry snapshot from the bucket-sharded RaceTable and
+// pins it in the queued request, so the worker hot path takes no race-table
+// lock at all (serve/race_table.hpp).
 //
 // Overload policy (the degradation ladder, serving-side):
 //   queue full            -> Tier::kRejected   (kUnavailable, immediate)
@@ -43,6 +53,7 @@
 
 #include "obs/metrics.hpp"
 #include "serve/model_registry.hpp"
+#include "serve/race_table.hpp"
 #include "serve/wire.hpp"
 #include "telemetry/race_log.hpp"
 #include "util/socket.hpp"
@@ -101,14 +112,13 @@ class ForecastServer {
     std::atomic<bool> dead{false};
   };
 
-  struct RaceEntry {
-    std::shared_ptr<const telemetry::RaceLog> race;
-    std::uint64_t digest = 0;  // race_state_digest, computed once at load
-  };
-
   struct Pending {
     std::shared_ptr<Conn> conn;
     wire::ForecastRequest req;
+    /// Race snapshot pinned at admission: the worker never re-locks the
+    /// race table, and a concurrent add_race cannot change the state this
+    /// request is answered against.
+    std::shared_ptr<const RaceEntry> race;
     Clock::time_point arrival;
     Clock::time_point deadline;
     bool degraded = false;  // admitted above the watermark
@@ -131,9 +141,15 @@ class ForecastServer {
                         std::span<const std::uint8_t> payload);
 
   /// Serve one micro-batch group (identical request parameters) with one
-  /// engine call; `members` all receive the same payload under their own
-  /// request ids.
-  void process_group(std::vector<Pending>& members);
+  /// engine call on `shard`; `members` all receive the same payload under
+  /// their own request ids. Runs on the shard's driver thread (or the
+  /// worker thread itself when no model/shard is available to route to —
+  /// then `shard` is null). The worker loop pins the shard shared_ptrs for
+  /// the whole batch, so a raw pointer is safe here and the job never owns
+  /// the shard (RaceShard::submit's lifetime contract).
+  void process_group(std::vector<Pending>& members,
+                     const std::shared_ptr<const ServingModel>& model,
+                     core::RaceShard* shard);
   void respond(const std::shared_ptr<Conn>& conn,
                const wire::ForecastResponse& response);
   void send_frame(const std::shared_ptr<Conn>& conn, wire::FrameType type,
@@ -152,8 +168,7 @@ class ForecastServer {
 
   std::vector<std::shared_ptr<Conn>> conns_;  // io thread only
 
-  std::mutex races_mutex_;
-  std::unordered_map<std::string, RaceEntry> races_;
+  RaceTable races_;
 
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;

@@ -55,6 +55,16 @@ telemetry::RaceLog simulate_race(const RaceSpec& spec,
   return RaceSimulator(params).run();
 }
 
+std::vector<telemetry::RaceLog> simulate_season(std::uint64_t base_seed) {
+  std::vector<telemetry::RaceLog> races;
+  const auto specs = table2_specs();
+  races.reserve(specs.size());
+  for (const auto& spec : specs) {
+    races.push_back(simulate_race(spec, base_seed));
+  }
+  return races;
+}
+
 std::size_t EventDataset::total_records() const {
   std::size_t n = 0;
   for (const auto* group : {&train, &validation, &test}) {

@@ -38,6 +38,12 @@ inline constexpr int kSimulatorVersion = 2;
 telemetry::RaceLog simulate_race(const RaceSpec& spec,
                                  std::uint64_t base_seed = kDefaultDatasetSeed);
 
+/// Deterministically simulate every Table II race (all 25 track/event/year
+/// combinations, 2013-2019), in table2_specs() order — the season-fleet
+/// workload (bench/season_fleet.cpp replays all of them concurrently).
+std::vector<telemetry::RaceLog> simulate_season(
+    std::uint64_t base_seed = kDefaultDatasetSeed);
+
 /// One event's races grouped by usage.
 struct EventDataset {
   std::string event;

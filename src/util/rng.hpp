@@ -170,6 +170,26 @@ class Rng {
     return Rng(s);
   }
 
+  /// Three-key stream derivation for fleet workloads: the child stream for
+  /// (base, k1, k2, k3) is a pure function of the full key tuple, so a
+  /// season job keyed by (season seed, race key, job shape) gets the same
+  /// stream no matter which shard, thread, or reshard generation runs it.
+  /// Folds k3 with one more keyed splitmix64 round on top of the two-key
+  /// derivation (the two-key result for (base, k1, k2) is NOT a prefix of
+  /// this one — the tuples live in disjoint families).
+  static Rng stream(std::uint64_t base, std::uint64_t k1, std::uint64_t k2,
+                    std::uint64_t k3) {
+    auto mix = [](std::uint64_t z) {
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return z ^ (z >> 31);
+    };
+    std::uint64_t s = mix(base + 0x9e3779b97f4a7c15ULL * (k1 + 1));
+    s = mix(s ^ (0xa5a5a5a5a5a5a5a5ULL + 0x9e3779b97f4a7c15ULL * (k2 + 1)));
+    s = mix(s ^ (0xc2b2ae3d27d4eb4fULL + 0x9e3779b97f4a7c15ULL * (k3 + 1)));
+    return Rng(s);
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -44,6 +44,15 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Tasks submitted but not yet picked up by a worker (0 in inline mode,
+  /// where submit() runs the task before returning). A load signal for
+  /// shard routing / shed decisions, not a synchronization primitive: the
+  /// value is stale the moment it is returned.
+  std::size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
   /// Exceptions that escaped a raw queued callable (not routed through a
   /// future). submit() can never trigger this — packaged_task captures the
   /// exception into the future — so a nonzero count flags a misuse bug
@@ -85,7 +94,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::atomic<std::uint64_t> escaped_exceptions_{0};
   bool stop_ = false;

@@ -20,6 +20,11 @@ Three input formats are understood:
     "bigger = slower" matches every other entry), "serve_p50/<cfg>" and
     "serve_p99/<cfg>" (request latency quantiles, ns, straight from the
     server's serve.request.latency obs histogram).
+  * the season_fleet bench's JSON ("season_fleet" key): per shard count,
+    synthesized entries "season_ns_per_job/shards<N>" (1e9 /
+    jobs_per_sec, same big-is-slow inversion as serve_load), gating the
+    whole-season fleet path. The races/s headline is derived, so gating
+    ns/job gates it too.
 
 Compares each entry (e.g. "BM_GemmLstmGates<avx2>/256") against
 tests/bench_baseline.json and fails — exit code 1 — when any entry is more
@@ -63,6 +68,10 @@ def load_times(path):
                 1e9 / float(row["forecasts_per_sec"]))
             out[f"serve_p50/{cfg}"] = float(row["p50_us"]) * 1e3
             out[f"serve_p99/{cfg}"] = float(row["p99_us"]) * 1e3
+    if "season_fleet" in doc:  # season_fleet bench output
+        for row in doc["season_fleet"]:
+            name = f"season_ns_per_job/shards{row['shards']}"
+            out[name] = 1e9 / float(row["jobs_per_sec"])
     for b in doc.get("benchmarks", []):
         if b.get("run_type", "iteration") != "iteration":
             continue

@@ -269,4 +269,111 @@ TEST(ForecastCacheStress, ConcurrentGetPutEvictClear) {
   EXPECT_GT(hits.load(), 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Lock striping (the fleet's cache partitioning). A striped cache must keep
+// the single-stripe semantics per key — stable partition, exact byte
+// replay, bounded size — and its global counters must stay EXACTLY
+// consistent under concurrency, not just approximately.
+
+TEST(ForecastCacheStriped, StripeOfIsPureAndInRange) {
+  core::ForecastCache cache(64, /*stripes=*/8);
+  EXPECT_EQ(cache.stripes(), 8u);
+  for (std::uint64_t b = 0; b < 256; ++b) {
+    const auto k = key(b);
+    const auto s = cache.stripe_of(k);
+    EXPECT_LT(s, 8u);
+    EXPECT_EQ(s, cache.stripe_of(k));  // pure function of the key
+  }
+  // Single stripe: everything maps to stripe 0 (legacy layout).
+  core::ForecastCache single(64);
+  EXPECT_EQ(single.stripes(), 1u);
+  EXPECT_EQ(single.stripe_of(key(123)), 0u);
+}
+
+TEST(ForecastCacheStriped, KeysActuallySpreadAcrossStripes) {
+  core::ForecastCache cache(64, /*stripes=*/8);
+  std::vector<int> occupancy(8, 0);
+  for (std::uint64_t b = 0; b < 256; ++b) {
+    occupancy[cache.stripe_of(key(b))]++;
+  }
+  // The remixed hash must not collapse; every stripe sees some keys.
+  for (int n : occupancy) EXPECT_GT(n, 0);
+}
+
+TEST(ForecastCacheStriped, HitReplaysExactBytesAndSizeStaysBounded) {
+  core::ForecastCache cache(8, /*stripes=*/4);
+  EXPECT_EQ(cache.capacity(), 8u);
+  for (std::uint64_t b = 0; b < 64; ++b) {
+    cache.put(key(b), make_samples(static_cast<double>(b)));
+  }
+  // Per-stripe LRU: total occupancy never exceeds total capacity.
+  EXPECT_LE(cache.size(), cache.capacity());
+  // Whatever survived must replay exact bytes.
+  std::size_t hits = 0;
+  for (std::uint64_t b = 0; b < 64; ++b) {
+    if (auto hit = cache.get(key(b))) {
+      ++hits;
+      EXPECT_TRUE(same_bytes(*hit, make_samples(static_cast<double>(b))));
+    }
+  }
+  EXPECT_GT(hits, 0u);
+}
+
+// The fleet satellite's regression test: 8 threads (one per "shard")
+// hammering one striped cache with mixed get/put, and the global
+// forecast_cache.* counters must balance EXACTLY afterwards:
+//   hits + misses == gets issued      (every get books exactly one)
+//   insertions - evictions == size()  (every insert/evict books exactly one;
+//                                      no clear() in this test)
+// A lost or double-counted event under stripe concurrency fails this test
+// deterministically, whatever the interleaving.
+TEST(ForecastCacheStriped, StripedAccountingExactUnderConcurrency) {
+  core::ForecastCache cache(16, /*stripes=*/8);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 500;
+  constexpr int kKeySpace = 48;  // 3x capacity -> steady eviction churn
+
+  std::vector<core::RaceSamples> values;
+  values.reserve(kKeySpace);
+  for (int i = 0; i < kKeySpace; ++i) {
+    values.push_back(make_samples(static_cast<double>(i)));
+  }
+
+  auto& counters = core::CacheCounters::instance();
+  const auto hits0 = counters.hits();
+  const auto misses0 = counters.misses();
+  const auto inserts0 = counters.insertions();
+  const auto evicts0 = counters.evictions();
+
+  std::atomic<std::uint64_t> gets{0};
+  util::ThreadPool pool(kThreads);
+  std::vector<std::future<void>> futures;
+  for (int t = 0; t < kThreads; ++t) {
+    futures.push_back(pool.submit([&, t] {
+      util::Rng rng(static_cast<std::uint64_t>(t) + 99);
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        const int i = static_cast<int>(rng() % kKeySpace);
+        const auto k = key(static_cast<std::uint64_t>(i));
+        if (rng() % 3 == 0) {
+          cache.put(k, values[static_cast<std::size_t>(i)]);
+        } else {
+          gets.fetch_add(1, std::memory_order_relaxed);
+          (void)cache.get(k);
+        }
+      }
+    }));
+  }
+  for (auto& f : futures) f.get();
+
+  const auto hits = counters.hits() - hits0;
+  const auto misses = counters.misses() - misses0;
+  const auto inserts = counters.insertions() - inserts0;
+  const auto evicts = counters.evictions() - evicts0;
+  EXPECT_EQ(hits + misses, gets.load());
+  EXPECT_EQ(inserts - evicts, static_cast<std::uint64_t>(cache.size()));
+  EXPECT_LE(cache.size(), cache.capacity());
+  EXPECT_GT(inserts, 0u);
+  EXPECT_GT(evicts, 0u);  // 3x key space must actually churn
+}
+
 }  // namespace

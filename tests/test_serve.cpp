@@ -5,6 +5,7 @@
 // gate (serve-tsan preset): every test tears its server down cleanly.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstring>
@@ -712,6 +713,139 @@ TEST_F(ServeTest, EngineThreadsServeIdenticalBytesToInline) {
   auto inline_res = inline_client.forecast(make_request(2, 33));
   ASSERT_TRUE(inline_res.ok());
   EXPECT_TRUE(cars_identical(threaded.value().cars, inline_res.value().cars));
+}
+
+// --- race table & fleet-sharded serving ------------------------------------
+
+TEST(RaceTable, SnapshotFindSurvivesConcurrentReplacement) {
+  serve::RaceTable table(4);
+  EXPECT_EQ(table.buckets(), 4u);
+  auto race = sim::simulate_race({"Iowa", 2018, 40, sim::Usage::kTest});
+  const std::string id = race.id();
+  table.insert(race);
+  ASSERT_EQ(table.size(), 1u);
+
+  auto snapshot = table.find(id);
+  ASSERT_NE(snapshot, nullptr);
+  const auto digest_before = snapshot->digest;
+
+  // Writers replacing the entry and readers resolving it, concurrently.
+  // Every successful find must return a coherent entry (race + matching
+  // digest); the snapshot taken above must stay untouched.
+  std::atomic<int> bad{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 200; ++i) {
+        if (t % 2 == 0) {
+          table.insert(sim::simulate_race(
+              {"Iowa", 2018, 40, sim::Usage::kTest},
+              /*base_seed=*/static_cast<std::uint64_t>(i)));
+        } else {
+          auto e = table.find(id);
+          if (!e || !e->race || e->race->id() != id) bad.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(snapshot->digest, digest_before);  // snapshot is immutable
+  EXPECT_EQ(table.find("no-such-race"), nullptr);
+  EXPECT_EQ(table.size(), 1u);  // replacements, not duplicates
+}
+
+TEST_F(ServeTest, ShardedServingBytesMatchSingleShard) {
+  // The same request answered by a 4-shard fleet and the pre-fleet
+  // single-shard layout must be byte-identical: routing is load placement,
+  // never math.
+  serve::ServerConfig cfg;
+  cfg.socket_path = "/tmp/ranknet_serve_shards4.sock";
+  serve::RegistryConfig reg_cfg;
+  reg_cfg.shards = 4;
+  boot(cfg, reg_cfg);
+  serve::ForecastClient sharded_client(client_config());
+  auto sharded = sharded_client.forecast(make_request(1, 55));
+  ASSERT_TRUE(sharded.ok());
+  ASSERT_TRUE(sharded.value().ok()) << sharded.value().message;
+  server_->stop();
+
+  serve::ServerConfig cfg1;
+  cfg1.socket_path = "/tmp/ranknet_serve_shards1.sock";
+  boot(cfg1);  // default RegistryConfig: shards = 1
+  serve::ForecastClient single_client(client_config());
+  auto single = single_client.forecast(make_request(2, 55));
+  ASSERT_TRUE(single.ok());
+  EXPECT_TRUE(cars_identical(sharded.value().cars, single.value().cars));
+}
+
+TEST_F(ServeTest, AddRaceUnderLoadNeverBlocksOrDropsServing) {
+  // The PR-7 hot path took one global races_mutex_ on every worker
+  // iteration, so loading race N+1 contended with serving race N. Now
+  // admission resolves a bucket-sharded snapshot once and the worker takes
+  // no race-table lock at all. This test drives sustained forecasts for
+  // two races across client threads WHILE a loader thread hammers
+  // add_race, and requires every single request answered healthily.
+  serve::ServerConfig cfg;
+  cfg.socket_path = "/tmp/ranknet_serve_contention.sock";
+  cfg.queue_capacity = 256;
+  cfg.overload_watermark = 240;
+  serve::RegistryConfig reg_cfg;
+  reg_cfg.shards = 4;
+  boot(cfg, reg_cfg);
+
+  auto second = sim::simulate_race({"Pocono", 2019, 60, sim::Usage::kTest});
+  server_->add_race(second);
+  const std::string ids[2] = {race_->id(), second.id()};
+
+  std::atomic<bool> stop_loader{false};
+  std::thread loader([&] {
+    // Distinct ids: the table grows while buckets churn.
+    int n = 0;
+    while (!stop_loader.load()) {
+      auto extra =
+          sim::simulate_race({"Texas", 2013 + (n % 7), 40, sim::Usage::kTest},
+                             static_cast<std::uint64_t>(n));
+      server_->add_race(std::move(extra));
+      ++n;
+    }
+  });
+
+  constexpr int kClients = 3;
+  constexpr int kPerClient = 25;
+  std::atomic<int> answered{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      serve::ForecastClient client(client_config());
+      for (int i = 0; i < kPerClient; ++i) {
+        auto req = make_request(static_cast<std::uint64_t>(c * 1000 + i),
+                                static_cast<std::uint64_t>(i));
+        req.race_id = ids[(c + i) % 2];
+        auto res = client.forecast(req);
+        if (res.ok() && res.value().ok()) {
+          answered.fetch_add(1);
+        } else {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+  stop_loader.store(true);
+  loader.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(answered.load(), kClients * kPerClient);
+  // Both races routed through the fleet: at least one serve.shard.* group
+  // counter moved.
+  std::uint64_t shard_groups = 0;
+  for (std::size_t s = 0; s < 4; ++s) {
+    shard_groups += counter_value(
+        ("serve.shard." + std::to_string(s) + ".groups").c_str());
+  }
+  EXPECT_GT(shard_groups, 0u);
 }
 
 }  // namespace

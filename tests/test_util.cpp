@@ -397,6 +397,53 @@ TEST(ThreadPool, DestructorAbandonsBacklogBehindStalledTask) {
   }
 }
 
+TEST(RngStream, ThreeKeyStreamIsPureAndKeySensitive) {
+  // The fleet's job-base derivation (FleetEngine::job_base) rides this
+  // overload: same keys -> same stream, any key nudged -> decorrelated.
+  Rng a = Rng::stream(7, 1, 2, 3);
+  Rng b = Rng::stream(7, 1, 2, 3);
+  EXPECT_EQ(a(), b());
+  const std::uint64_t base = Rng::stream(7, 1, 2, 3)();
+  EXPECT_NE(base, Rng::stream(8, 1, 2, 3)());
+  EXPECT_NE(base, Rng::stream(7, 2, 2, 3)());
+  EXPECT_NE(base, Rng::stream(7, 1, 3, 3)());
+  EXPECT_NE(base, Rng::stream(7, 1, 2, 4)());
+  // The 3-key stream must not collide with the 2-key stream on shared
+  // prefixes (distinct derivation chains).
+  EXPECT_NE(base, Rng::stream(7, 1)());
+}
+
+TEST(ThreadPool, QueueDepthCountsOnlyUnstartedTasks) {
+  std::promise<void> release;
+  auto release_future = release.get_future().share();
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  std::promise<void> started;
+  auto stalled = pool.submit([&started, release_future] {
+    started.set_value();
+    release_future.wait();
+  });
+  started.get_future().wait();  // the worker is INSIDE the stalled task
+  // A running task is not "queued"; everything submitted behind it is.
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  std::vector<std::future<int>> backlog;
+  for (int i = 0; i < 5; ++i) {
+    backlog.push_back(pool.submit([] { return 1; }));
+  }
+  EXPECT_EQ(pool.queue_depth(), 5u);
+  release.set_value();
+  stalled.get();
+  for (auto& f : backlog) EXPECT_EQ(f.get(), 1);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(ThreadPool, QueueDepthIsZeroInInlineMode) {
+  ThreadPool pool(0);
+  auto f = pool.submit([] { return 2; });
+  EXPECT_EQ(f.get(), 2);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
 TEST(ThreadPool, DestructorDoesNotLoseExceptionsFromRunningTasks) {
   std::future<void> thrower;
   {
