@@ -1,5 +1,6 @@
 #include "core/forecast_cache.hpp"
 
+#include <algorithm>
 #include <string>
 
 namespace ranknet::core {
@@ -46,10 +47,16 @@ void CacheCounters::reset() {
 ForecastCache::ForecastCache(std::size_t capacity, std::size_t stripes)
     : capacity_(capacity == 0 ? 1 : capacity) {
   const std::size_t n = stripes == 0 ? 1 : stripes;
-  // Split capacity evenly; every stripe holds at least one entry so a
-  // heavily-striped small cache still caches something on every stripe.
-  stripe_capacity_ = (capacity_ + n - 1) / n;
-  if (stripe_capacity_ == 0) stripe_capacity_ = 1;
+  // Distribute capacity so the per-stripe bounds SUM to the configured
+  // total: the first (capacity % n) stripes get one extra slot. Every
+  // stripe keeps a >= 1 floor — the documented capacity < stripes
+  // exception where the total bound becomes n (see header).
+  stripe_capacity_.resize(n);
+  const std::size_t base = capacity_ / n;
+  const std::size_t extra = capacity_ % n;
+  for (std::size_t i = 0; i < n; ++i) {
+    stripe_capacity_[i] = std::max<std::size_t>(1, base + (i < extra ? 1 : 0));
+  }
   stripes_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     stripes_.push_back(std::make_unique<Stripe>());
@@ -81,7 +88,8 @@ std::optional<RaceSamples> ForecastCache::get(const ForecastCacheKey& key) {
 }
 
 void ForecastCache::put(const ForecastCacheKey& key, const RaceSamples& value) {
-  Stripe& s = stripe_for(key);
+  const std::size_t idx = stripe_of(key);
+  Stripe& s = *stripes_[idx];
   std::lock_guard<std::mutex> lock(s.mutex);
   const auto it = s.index.find(key);
   if (it != s.index.end()) {
@@ -89,7 +97,7 @@ void ForecastCache::put(const ForecastCacheKey& key, const RaceSamples& value) {
     s.lru.splice(s.lru.begin(), s.lru, it->second);
     return;
   }
-  while (s.lru.size() >= stripe_capacity_) {
+  while (s.lru.size() >= stripe_capacity_[idx]) {
     s.index.erase(s.lru.back().first);
     s.lru.pop_back();
     CacheCounters::instance().record_evict();

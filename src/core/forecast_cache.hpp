@@ -39,7 +39,9 @@
 // (tests/test_forecast_cache.cpp, StripedAccountingExactUnderConcurrency).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -64,9 +66,22 @@ class Fnv1a {
     }
   }
   void update_u64(std::uint64_t v) { update_bytes(&v, sizeof(v)); }
-  /// Hashes the bit pattern (distinguishes -0.0/0.0 and NaN payloads —
-  /// exactly what byte-identity caching needs).
-  void update_double(double v) { update_bytes(&v, sizeof(v)); }
+  /// Hashes the bit pattern of the CANONICALIZED value: -0.0 hashes as
+  /// 0.0 and every NaN as one canonical quiet NaN, so numerically
+  /// identical race states digest identically (raw-bit hashing silently
+  /// split cache entries on sign-of-zero / NaN-payload noise). Digest
+  /// consumers that need byte-level resolution — the decode tree's branch
+  /// grouping — already confirm digest matches with an exact bit
+  /// comparison, so a canonicalization-induced digest merge can only group
+  /// candidates, never wrongly share them.
+  void update_double(double v) {
+    if (v == 0.0) {
+      v = 0.0;  // +0.0 == -0.0 compares true; hash the +0.0 bits for both
+    } else if (std::isnan(v)) {
+      v = std::numeric_limits<double>::quiet_NaN();
+    }
+    update_bytes(&v, sizeof(v));
+  }
   std::uint64_t digest() const { return state_; }
 
  private:
@@ -140,8 +155,11 @@ class CacheCounters {
 class ForecastCache {
  public:
   /// `capacity` bounds the total number of cached forecasts (at least 1),
-  /// split evenly across `stripes` independent LRU partitions (at least 1
-  /// entry each). `stripes` = 1 (the default) reproduces the original
+  /// distributed across `stripes` independent LRU partitions so the
+  /// per-stripe bounds sum to `capacity`. Every stripe keeps at least one
+  /// slot, so when capacity < stripes the total bound is `stripes` instead
+  /// (a heavily-striped tiny cache still caches something on every
+  /// stripe). `stripes` = 1 (the default) reproduces the original
   /// single-mutex global-LRU behaviour exactly.
   explicit ForecastCache(std::size_t capacity = 64, std::size_t stripes = 1);
 
@@ -181,8 +199,14 @@ class ForecastCache {
     return *stripes_[stripe_of(key)];
   }
 
-  std::size_t capacity_;         // total, across all stripes
-  std::size_t stripe_capacity_;  // per-stripe bound (>= 1)
+  std::size_t capacity_;  // total, across all stripes
+  // Per-stripe bounds summing to capacity_ (floor/remainder split). Every
+  // stripe keeps a >= 1 floor, so when capacity < stripes the effective
+  // total is `stripes` — the documented exception to the total bound. The
+  // previous ceil(capacity/stripes)-for-all split overshot the configured
+  // capacity whenever capacity % stripes != 0 (capacity=10, stripes=8
+  // admitted 16 entries).
+  std::vector<std::size_t> stripe_capacity_;
   std::vector<std::unique_ptr<Stripe>> stripes_;
 };
 

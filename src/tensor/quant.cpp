@@ -1,0 +1,237 @@
+// Pack registry + calibration recorder for the reduced-precision variants.
+// The GEMM inner loops that consume the packs live in
+// simd_kernels_quant.cpp; this TU owns the (pointer -> pack) maps, the
+// name annotations, and the process-wide calibration.
+#include "tensor/quant.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "obs/metrics.hpp"
+
+namespace ranknet::tensor::quant {
+
+namespace {
+
+double absmax(const double* p, std::size_t n) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = std::abs(p[i]);
+    if (std::isfinite(a) && a > m) m = a;
+  }
+  return m;
+}
+
+/// Sampled FNV-1a fingerprint over <= 16 strided elements — cheap
+/// defense-in-depth against a weight mutation that missed its
+/// invalidate() call. Pure function of (pointer contents, size).
+std::uint64_t sampled_fingerprint(const double* w, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ull;
+  const std::size_t step = n <= 16 ? 1 : n / 16;
+  for (std::size_t i = 0; i < n; i += step) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &w[i], sizeof(bits));
+    h = (h ^ bits) * 1099511628211ull;
+  }
+  return h;
+}
+
+struct Bf16Entry {
+  std::uint64_t fingerprint = 0;
+  std::shared_ptr<const PackedBf16> pack;
+};
+struct Int8Entry {
+  std::uint64_t fingerprint = 0;
+  std::shared_ptr<const PackedInt8> pack;
+};
+
+struct Registry {
+  std::shared_mutex mu;
+  std::unordered_map<const double*, Bf16Entry> bf16;
+  std::unordered_map<const double*, Int8Entry> int8;
+  std::unordered_map<const double*, std::string> names;
+  Calibration calibration;
+
+  obs::Counter* packs_built;
+  obs::Counter* pack_hits;
+  Registry() {
+    auto& reg = obs::Registry::instance();
+    packs_built = &reg.counter("tensor.quant.packs_built");
+    pack_hits = &reg.counter("tensor.quant.pack_hits");
+  }
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+// A runaway caller packing unbounded distinct pointers (large training
+// sweeps under a reduced variant) must not grow the maps without bound.
+constexpr std::size_t kMaxEntriesPerFormat = 256;
+
+// ---- calibration recorder -------------------------------------------------
+
+std::atomic<bool> g_recording{false};
+std::mutex g_record_mu;
+Calibration g_recorded;
+
+}  // namespace
+
+std::shared_ptr<const PackedBf16> acquire_bf16(const double* w,
+                                               std::size_t rows,
+                                               std::size_t cols) {
+  Registry& r = registry();
+  const std::size_t n = rows * cols;
+  const std::uint64_t fp = sampled_fingerprint(w, n);
+  {
+    std::shared_lock lock(r.mu);
+    const auto it = r.bf16.find(w);
+    if (it != r.bf16.end() && it->second.pack->rows == rows &&
+        it->second.pack->cols == cols && it->second.fingerprint == fp) {
+      r.pack_hits->add(1);
+      return it->second.pack;
+    }
+  }
+  auto pack = std::make_shared<PackedBf16>();
+  pack->rows = rows;
+  pack->cols = cols;
+  pack->data.resize(n);
+  for (std::size_t i = 0; i < n; ++i) pack->data[i] = to_bf16(w[i]);
+  {
+    std::unique_lock lock(r.mu);
+    if (r.bf16.size() >= kMaxEntriesPerFormat) r.bf16.clear();
+    r.bf16[w] = Bf16Entry{fp, pack};
+  }
+  r.packs_built->add(1);
+  return pack;
+}
+
+std::shared_ptr<const PackedInt8> acquire_int8(const double* w,
+                                               std::size_t rows,
+                                               std::size_t cols) {
+  Registry& r = registry();
+  const std::size_t n = rows * cols;
+  const std::uint64_t fp = sampled_fingerprint(w, n);
+  {
+    std::shared_lock lock(r.mu);
+    const auto it = r.int8.find(w);
+    if (it != r.int8.end() && it->second.pack->rows == rows &&
+        it->second.pack->cols == cols && it->second.fingerprint == fp) {
+      r.pack_hits->add(1);
+      return it->second.pack;
+    }
+  }
+  auto pack = std::make_shared<PackedInt8>();
+  pack->rows = rows;
+  pack->cols = cols;
+  const double m = absmax(w, n);
+  pack->scale = m > 0.0 ? m / 127.0 : 1.0;
+  const double inv = 1.0 / pack->scale;
+  pack->data.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pack->data[i] = quantize_int8(w[i], inv);
+  }
+  {
+    std::unique_lock lock(r.mu);
+    // Calibrated activation range, if this pointer has a name bound and the
+    // installed calibration covers it.
+    const auto nit = r.names.find(w);
+    if (nit != r.names.end()) {
+      const auto cit = r.calibration.find(nit->second);
+      if (cit != r.calibration.end() && cit->second > 0.0 &&
+          std::isfinite(cit->second)) {
+        pack->act_absmax = cit->second;
+      }
+    }
+    if (r.int8.size() >= kMaxEntriesPerFormat) r.int8.clear();
+    r.int8[w] = Int8Entry{fp, pack};
+  }
+  r.packs_built->add(1);
+  return pack;
+}
+
+void invalidate(const double* w) {
+  Registry& r = registry();
+  std::unique_lock lock(r.mu);
+  r.bf16.erase(w);
+  r.int8.erase(w);
+}
+
+void clear_packs() {
+  Registry& r = registry();
+  std::unique_lock lock(r.mu);
+  r.bf16.clear();
+  r.int8.clear();
+  r.names.clear();
+}
+
+std::size_t pack_count() {
+  Registry& r = registry();
+  std::shared_lock lock(r.mu);
+  return r.bf16.size() + r.int8.size();
+}
+
+void annotate(const double* w, std::string_view name) {
+  Registry& r = registry();
+  std::unique_lock lock(r.mu);
+  auto it = r.names.find(w);
+  if (it != r.names.end()) {
+    if (it->second == name) return;
+    // Pointer re-bound to a different tensor: its packs are stale.
+    r.bf16.erase(w);
+    r.int8.erase(w);
+    it->second = std::string(name);
+    return;
+  }
+  r.names.emplace(w, std::string(name));
+}
+
+bool recording_active() {
+  return g_recording.load(std::memory_order_relaxed);
+}
+
+void recording_begin() {
+  std::lock_guard lock(g_record_mu);
+  g_recorded.clear();
+  g_recording.store(true, std::memory_order_relaxed);
+}
+
+Calibration recording_end() {
+  std::lock_guard lock(g_record_mu);
+  g_recording.store(false, std::memory_order_relaxed);
+  Calibration out = std::move(g_recorded);
+  g_recorded.clear();
+  return out;
+}
+
+void record_activation(std::string_view name, const double* a,
+                       std::size_t n) {
+  if (!recording_active()) return;
+  const double m = absmax(a, n);
+  std::lock_guard lock(g_record_mu);
+  auto [it, inserted] = g_recorded.emplace(std::string(name), m);
+  if (!inserted && m > it->second) it->second = m;
+}
+
+void set_activation_calibration(Calibration c) {
+  Registry& r = registry();
+  std::unique_lock lock(r.mu);
+  r.calibration = std::move(c);
+  // New scales must take effect: packed int8 sidecars bake act_absmax in.
+  r.int8.clear();
+}
+
+Calibration activation_calibration() {
+  Registry& r = registry();
+  std::shared_lock lock(r.mu);
+  return r.calibration;
+}
+
+}  // namespace ranknet::tensor::quant

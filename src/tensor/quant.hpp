@@ -1,0 +1,166 @@
+// Reduced-precision weight packing + activation calibration for the bf16
+// and int8 dispatch variants (tensor::kernels::Variant::{kBf16, kInt8}).
+//
+// The MC-decode GEMMs are memory-bandwidth-bound at decode shapes (paper
+// Figs. 10-12; DESIGN.md roofline chapter), so the reduced-precision
+// variants attack bytes-per-weight: the weight operand of every dispatched
+// non-transposed GEMM is packed once into a 16-bit (bf16) or 8-bit
+// (symmetric int8) sidecar and the inner loop streams the packed bytes,
+// up-converting into f64 accumulators. Activations are rounded (bf16) or
+// quantized (int8) on the fly per row; biases and every epilogue stay f64.
+//
+// Determinism contract (same bar as the other variants, enforced by
+// tests/test_quant_kernels.cpp):
+//   * Packing is a pure element-wise function of the source weights
+//     (round-to-nearest-even for bf16; per-tensor symmetric absmax scale
+//     for int8), so a warm pack and a cold pack hold identical bytes.
+//   * int8 activation scales are per-row (a pure function of that row
+//     alone) or fixed by calibration — NEVER per-batch — so batching rows
+//     differently (decode tree vs independent decode, engine partitioning)
+//     cannot perturb a single output bit.
+//   * int8 accumulation is exact integer arithmetic; bf16 accumulates in
+//     f64 strictly sequentially along k. Both are row-independent.
+//
+// Cache coherence: packs are keyed by the weight pointer and invalidated
+// at every in-repo weight mutation point (LstmInferenceSession repack,
+// serialize load commit, Adam step); a sampled content fingerprint at
+// acquire time is defense-in-depth against out-of-band writes. Packing is
+// not synchronized against concurrent mutation of the SAME weights — the
+// standing rule that you never train the weights you are serving.
+//
+// Calibration: sessions record per-tensor input-activation absmax while
+// recording_active() (one probe-race forecast — see
+// core::calibrate_forecaster), keyed by the weight parameter's name. The
+// resulting map is persisted in the v3 model artifact (nn/serialize) and
+// applied process-wide with set_activation_calibration(); packs pick the
+// calibrated scale up by name at pack time. Without calibration the int8
+// variant falls back to per-row dynamic scales — bit-stable either way,
+// just a different (documented) numerics point.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ranknet::tensor::quant {
+
+// ---- bf16 scalar conversions ---------------------------------------------
+// Defined inline: these sit in the GEMM inner loops, where an out-of-line
+// call per element costs ~10x the multiply-add it feeds (measured on the
+// fig10 rollout — the compiler must see the bodies to vectorize the loop).
+
+/// Round a double to bf16 (via float, then round-to-nearest-even on the
+/// top 16 float bits). NaNs map to one canonical quiet NaN so packed bytes
+/// are a pure function of numeric value.
+inline std::uint16_t to_bf16(double v) {
+  const float f = static_cast<float>(v);
+  if (std::isnan(f)) return 0x7fc0;  // canonical quiet NaN
+  std::uint32_t u = std::bit_cast<std::uint32_t>(f);
+  // Round-to-nearest-even on the truncated 16 mantissa bits.
+  const std::uint32_t lsb = (u >> 16) & 1u;
+  u += 0x7fffu + lsb;
+  return static_cast<std::uint16_t>(u >> 16);
+}
+
+/// Exact widening bf16 -> double (every bf16 is exactly representable).
+inline double from_bf16(std::uint16_t b) {
+  const std::uint32_t u = static_cast<std::uint32_t>(b) << 16;
+  return static_cast<double>(std::bit_cast<float>(u));
+}
+
+/// Quantize one value to int8 with saturation, round-half-away-from-zero.
+/// NaN maps to 0 (a NaN weight or activation carries no magnitude
+/// information; a deterministic map beats lround's UB on non-finite
+/// input). Shared by the pack builder and the per-row activation
+/// quantizer in the GEMM hot loop — the two MUST agree bit-for-bit, and
+/// the hot loop cannot afford a libm call per element.
+inline std::int8_t quantize_int8(double v, double inv_scale) {
+  const double q = v * inv_scale;
+  if (std::isnan(q)) return 0;
+  if (q >= 127.0) return 127;
+  if (q <= -127.0) return -127;
+  return static_cast<std::int8_t>(q >= 0.0 ? q + 0.5 : q - 0.5);
+}
+
+// ---- packed weight sidecars ----------------------------------------------
+
+struct PackedBf16 {
+  std::size_t rows = 0, cols = 0;
+  std::vector<std::uint16_t> data;  // row-major, to_bf16(w)
+};
+
+struct PackedInt8 {
+  std::size_t rows = 0, cols = 0;
+  double scale = 1.0;       // absmax/127; 1.0 for an all-zero tensor
+  double zero_point = 0.0;  // symmetric quantization: always 0 (persisted
+                            // in the calibration artifact for format
+                            // completeness)
+  double act_absmax = 0.0;  // calibrated input absmax; 0 => per-row dynamic
+  std::vector<std::int8_t> data;  // row-major, clamp(round(w/scale), ±127)
+};
+
+/// Pack (or return the cached pack of) `w` (rows x cols, row-major). The
+/// returned shared_ptr keeps the pack alive across a concurrent
+/// invalidate(). Thread-safe.
+std::shared_ptr<const PackedBf16> acquire_bf16(const double* w,
+                                               std::size_t rows,
+                                               std::size_t cols);
+std::shared_ptr<const PackedInt8> acquire_int8(const double* w,
+                                               std::size_t rows,
+                                               std::size_t cols);
+
+/// Drop any packs for `w`. Writers call this after mutating weights in
+/// place (session repack, artifact load commit, optimizer step).
+void invalidate(const double* w);
+
+/// Drop every pack and name annotation (tests; artifact swaps go through
+/// invalidate()).
+void clear_packs();
+
+/// Number of live pack entries across both formats (tests/obs).
+std::size_t pack_count();
+
+/// Bind a tensor name to a weight pointer so int8 packs can look up their
+/// calibrated activation range. Re-annotating a pointer with a different
+/// name drops its packs (the pointer now holds a different tensor).
+void annotate(const double* w, std::string_view name);
+
+// ---- activation calibration ----------------------------------------------
+
+/// Per-tensor activation ranges, keyed by weight parameter name (e.g.
+/// "lstm0.wx" holds the absmax of the packed [x | h] GEMM input). The
+/// int8 activation scale for tensor t is calibration[t] / 127.
+using Calibration = std::map<std::string, double>;
+
+/// True while a calibration pass is recording (one relaxed atomic load —
+/// cheap enough for the decode hot path).
+bool recording_active();
+
+/// Begin recording: sessions fold input absmax into the recorder under
+/// their weight tensor's name. Not reentrant; single-threaded calibration
+/// passes only.
+void recording_begin();
+
+/// Stop recording and return the recorded ranges.
+Calibration recording_end();
+
+/// Fold |a[0..n)| max into the recorder under `name` (no-op unless
+/// recording). Non-finite values are ignored (a NaN activation must not
+/// poison the calibrated range).
+void record_activation(std::string_view name, const double* a, std::size_t n);
+
+/// Install `c` as the process-wide calibration used by future int8 packs
+/// (drops existing packs so new scales take effect). An empty map reverts
+/// to per-row dynamic scales. Callers must bump the serving
+/// model_version when changing calibration — cache keys do not see it.
+void set_activation_calibration(Calibration c);
+
+/// The currently installed calibration (copy).
+Calibration activation_calibration();
+
+}  // namespace ranknet::tensor::quant

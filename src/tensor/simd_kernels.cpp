@@ -19,13 +19,14 @@ namespace {
 std::atomic<const Dispatch*> g_active{nullptr};
 
 struct VariantCounters {
-  obs::Counter* scalar;
-  obs::Counter* avx2;
+  obs::Counter* calls[4];
   obs::Gauge* active;
   VariantCounters() {
     auto& reg = obs::Registry::instance();
-    scalar = &reg.counter("tensor.kernel.scalar.calls");
-    avx2 = &reg.counter("tensor.kernel.avx2.calls");
+    calls[0] = &reg.counter("tensor.kernel.scalar.calls");
+    calls[1] = &reg.counter("tensor.kernel.avx2.calls");
+    calls[2] = &reg.counter("tensor.kernel.bf16.calls");
+    calls[3] = &reg.counter("tensor.kernel.int8.calls");
     active = &reg.gauge("tensor.kernel.active_variant");
   }
 };
@@ -35,6 +36,9 @@ VariantCounters& counters() {
   return c;
 }
 
+/// Auto-detection only ever picks a FULL-PRECISION variant: the reduced-
+/// precision tables change numerics, so they are opt-in (RANKNET_KERNEL or
+/// set_variant), never a silent default.
 Variant best_supported() {
   return cpu_supports(Variant::kAvx2) ? Variant::kAvx2 : Variant::kScalar;
 }
@@ -59,11 +63,24 @@ const Dispatch* resolve_initial() {
 }  // namespace
 
 const char* variant_name(Variant v) {
-  return v == Variant::kAvx2 ? "avx2" : "scalar";
+  switch (v) {
+    case Variant::kAvx2:
+      return "avx2";
+    case Variant::kBf16:
+      return "bf16";
+    case Variant::kInt8:
+      return "int8";
+    case Variant::kScalar:
+      break;
+  }
+  return "scalar";
 }
 
 bool cpu_supports(Variant v) {
-  if (v == Variant::kScalar) return true;
+  // The reduced-precision variants are portable emulations: their GEMMs
+  // are plain C++ and their remaining entries inherit from whichever
+  // full-precision table the CPU supports.
+  if (v != Variant::kAvx2) return true;
 #if defined(__x86_64__) || defined(__i386__)
   return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
 #else
@@ -72,7 +89,17 @@ bool cpu_supports(Variant v) {
 }
 
 const Dispatch& table(Variant v) {
-  return v == Variant::kAvx2 ? detail::avx2_table() : detail::scalar_table();
+  switch (v) {
+    case Variant::kAvx2:
+      return detail::avx2_table();
+    case Variant::kBf16:
+      return detail::bf16_table();
+    case Variant::kInt8:
+      return detail::int8_table();
+    case Variant::kScalar:
+      break;
+  }
+  return detail::scalar_table();
 }
 
 const Dispatch& dispatch() {
@@ -98,9 +125,11 @@ util::Status set_variant(Variant v) {
 util::Result<Variant> parse_variant(std::string_view s) {
   if (s == "scalar") return Variant::kScalar;
   if (s == "avx2") return Variant::kAvx2;
+  if (s == "bf16") return Variant::kBf16;
+  if (s == "int8") return Variant::kInt8;
   return util::Status::invalid_argument(
       "RANKNET_KERNEL: unknown kernel variant '" + std::string(s) +
-      "' (expected 'scalar' or 'avx2')");
+      "' (expected 'scalar', 'avx2', 'bf16' or 'int8')");
 }
 
 util::Status apply_env_override(const char* value) {
@@ -114,8 +143,7 @@ util::Status apply_env_override(const char* value) {
 }
 
 void note_call(Variant v) {
-  auto& c = counters();
-  (v == Variant::kAvx2 ? c.avx2 : c.scalar)->add(1);
+  counters().calls[static_cast<int>(v) & 3]->add(1);
 }
 
 }  // namespace ranknet::tensor::kernels

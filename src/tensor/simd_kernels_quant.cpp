@@ -1,0 +1,171 @@
+// Reduced-precision GEMM kernels behind the bf16/int8 dispatch variants.
+//
+// Both variants attack the memory-bandwidth bound of the MC-decode GEMMs
+// (DESIGN.md roofline chapter): the weight operand streams as 2 bytes
+// (bf16) or 1 byte (int8) per element instead of 8, through the pack
+// registry in quant.cpp. Everything around the inner loop stays f64 — the
+// C tile, alpha/beta handling, and the fused LSTM/dense epilogues
+// inherited from the best-supported base table.
+//
+// Determinism (same contract as the scalar/avx2 variants, enforced by
+// tests/test_quant_kernels.cpp):
+//   * bf16: both operands are pre-rounded element-wise (a pure
+//     per-element function) into f64 scratch, then the tuned
+//     full-precision base GEMM runs on the rounded values. The base GEMM
+//     is row-independent and batch-invariant (the decode-tree bit-identity
+//     suite proves this for scalar/avx2), so batching/partitioning rows
+//     cannot change any bit of the bf16 result either.
+//   * int8: accumulation is EXACT int32 arithmetic (order-independent);
+//     the activation scale is per-row (a pure function of that row) or
+//     fixed by calibration — never per-batch — so the variant is
+//     bit-stable across decode-tree vs independent batching by
+//     construction. int32 is overflow-safe for k < 130000 (127*127*k <
+//     2^31), far above any model dimension here.
+//
+// Performance shape: at decode sizes the weight tensors are cache-resident,
+// so the f64 FMA kernels — not DRAM bandwidth — set the floor. The bf16
+// path therefore pays O(m*k + k*n) pure up-conversion and reuses the
+// fastest f64 GEMM for the O(m*k*n) part, instead of fusing a per-element
+// decode into the inner loop (measured ~2.5x slower at LSTM-gate shapes).
+// The 2-byte pack remains the storage format; the widened scratch is
+// per-thread and steady-state allocation-free.
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "tensor/quant.hpp"
+#include "tensor/simd_kernels.hpp"
+#include "tensor/simd_kernels_detail.hpp"
+
+namespace ranknet::tensor::detail {
+
+namespace {
+
+namespace kq = ::ranknet::tensor::quant;
+
+/// Per-thread scratch: rounded/widened operand copies for bf16, quantized
+/// activations and the int32 accumulator row for int8. Grows once per
+/// thread to the largest shape seen; steady-state decode allocates nothing.
+struct QuantScratch {
+  std::vector<double> a_f64;       // bf16-rounded activations (m x k)
+  std::vector<double> b_f64;       // widened bf16 weight pack (k x n)
+  std::vector<std::int8_t> a_q8;   // quantized activation row (k)
+  std::vector<std::int32_t> acc;   // int accumulator row (n)
+};
+
+QuantScratch& scratch() {
+  thread_local QuantScratch s;
+  return s;
+}
+
+/// Base table the reduced-precision variants delegate to for everything
+/// but the operand treatment: avx2's GEMM and fused f64 epilogues when the
+/// CPU has them, else the staged scalar reference.
+const kernels::Dispatch& base_table() {
+  return kernels::cpu_supports(kernels::Variant::kAvx2) ? avx2_table()
+                                                        : scalar_table();
+}
+
+void gemm_nn_bf16(double alpha, const double* a, const double* b, double beta,
+                  double* c, std::size_t m, std::size_t k, std::size_t n) {
+  const auto pack = kq::acquire_bf16(b, k, n);
+  const std::uint16_t* bq = pack->data.data();
+  auto& s = scratch();
+  const std::size_t mk = m * k, kn = k * n;
+  if (s.a_f64.size() < mk) s.a_f64.resize(mk);
+  if (s.b_f64.size() < kn) s.b_f64.resize(kn);
+
+  // Pure element-wise operand treatment: round A through bf16, widen the
+  // packed B. Rounding is per-element, so how rows are later batched or
+  // partitioned cannot perturb any value.
+  for (std::size_t i = 0; i < mk; ++i) {
+    s.a_f64[i] = kq::from_bf16(kq::to_bf16(a[i]));
+  }
+  for (std::size_t i = 0; i < kn; ++i) {
+    s.b_f64[i] = kq::from_bf16(bq[i]);
+  }
+  // The O(m*k*n) part runs on the tuned full-precision kernel, which is
+  // row-independent and batch-invariant — bf16 inherits both.
+  base_table().gemm_nn(alpha, s.a_f64.data(), s.b_f64.data(), beta, c, m, k,
+                       n);
+}
+
+void gemm_nn_int8(double alpha, const double* a, const double* b, double beta,
+                  double* c, std::size_t m, std::size_t k, std::size_t n) {
+  const auto pack = kq::acquire_int8(b, k, n);
+  const std::int8_t* bq = pack->data.data();
+  auto& s = scratch();
+  if (s.a_q8.size() < k) s.a_q8.resize(k);
+  if (s.acc.size() < n) s.acc.resize(n);
+  std::int8_t* aq = s.a_q8.data();
+  std::int32_t* acc = s.acc.data();
+
+  // Calibrated activation scale is fixed per tensor; otherwise each row
+  // derives its own scale from its own absmax (never from the batch).
+  const double calib_scale =
+      pack->act_absmax > 0.0 ? pack->act_absmax / 127.0 : 0.0;
+
+  for (std::size_t i = 0; i < m; ++i) {
+    double* ci = c + i * n;
+    const double* ai = a + i * k;
+
+    double sa = calib_scale;
+    if (sa == 0.0) {
+      double mrow = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        const double v = std::abs(ai[p]);
+        if (v > mrow && v <= std::numeric_limits<double>::max()) mrow = v;
+      }
+      sa = mrow > 0.0 ? mrow / 127.0 : 1.0;
+    }
+    const double inv_sa = 1.0 / sa;
+    for (std::size_t p = 0; p < k; ++p) {
+      aq[p] = kq::quantize_int8(ai[p], inv_sa);
+    }
+
+    for (std::size_t j = 0; j < n; ++j) acc[j] = 0;
+    for (std::size_t p = 0; p < k; ++p) {
+      const std::int32_t av = aq[p];
+      const std::int8_t* bp = bq + p * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        acc[j] += av * static_cast<std::int32_t>(bp[j]);
+      }
+    }
+
+    const double rescale = alpha * sa * pack->scale;
+    if (beta == 0.0) {
+      for (std::size_t j = 0; j < n; ++j) {
+        ci[j] = rescale * static_cast<double>(acc[j]);
+      }
+    } else {
+      for (std::size_t j = 0; j < n; ++j) {
+        ci[j] = beta * ci[j] + rescale * static_cast<double>(acc[j]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const kernels::Dispatch& bf16_table() {
+  static const kernels::Dispatch t = [] {
+    kernels::Dispatch d = base_table();
+    d.variant = kernels::Variant::kBf16;
+    d.gemm_nn = &gemm_nn_bf16;
+    return d;
+  }();
+  return t;
+}
+
+const kernels::Dispatch& int8_table() {
+  static const kernels::Dispatch t = [] {
+    kernels::Dispatch d = base_table();
+    d.variant = kernels::Variant::kInt8;
+    d.gemm_nn = &gemm_nn_int8;
+    return d;
+  }();
+  return t;
+}
+
+}  // namespace ranknet::tensor::detail

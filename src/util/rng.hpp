@@ -97,11 +97,20 @@ class Rng {
   bool bernoulli(double p) { return uniform() < p; }
 
   /// Poisson draw (Knuth for small lambda, normal approx for large).
+  /// Degenerate lambdas (NaN, ±inf, <= 0) deterministically yield 0 events
+  /// without consuming generator state, extending the existing lambda <= 0
+  /// early-out; pre-hardening, lambda = +inf fed NaN through std::lround
+  /// (UB) and NaN silently burned one draw. Huge finite lambdas saturate at
+  /// INT_MAX instead of overflowing the int conversion.
   int poisson(double lambda) {
-    if (lambda <= 0.0) return 0;
+    if (!std::isfinite(lambda) || lambda <= 0.0) return 0;
     if (lambda > 30.0) {
       const double x = normal(lambda, std::sqrt(lambda));
-      return x < 0.0 ? 0 : static_cast<int>(std::lround(x));
+      if (x < 0.0) return 0;
+      if (x >= static_cast<double>(std::numeric_limits<int>::max())) {
+        return std::numeric_limits<int>::max();
+      }
+      return static_cast<int>(std::lround(x));
     }
     const double limit = std::exp(-lambda);
     double prod = uniform();
@@ -113,9 +122,16 @@ class Rng {
     return n;
   }
 
-  /// Exponential draw with given rate (mean = 1/rate).
+  /// Exponential draw with given rate (mean = 1/rate). A degenerate rate
+  /// (NaN or <= 0) reads "the event never fires": the draw is +inf, never
+  /// negative or NaN (pre-hardening, rate < 0 produced negative delays).
+  /// The guard still consumes exactly one uniform so a degenerate call
+  /// cannot shift the position of later draws in a keyed stream. rate =
+  /// +inf naturally yields 0 (the event fires immediately).
   double exponential(double rate) {
-    return -std::log(1.0 - uniform()) / rate;
+    const double u = uniform();
+    if (!(rate > 0.0)) return std::numeric_limits<double>::infinity();
+    return -std::log(1.0 - u) / rate;
   }
 
   /// Truncated normal on [lo, hi] by rejection (assumes reasonable overlap).
@@ -176,7 +192,13 @@ class Rng {
   /// stream no matter which shard, thread, or reshard generation runs it.
   /// Folds k3 with one more keyed splitmix64 round on top of the two-key
   /// derivation (the two-key result for (base, k1, k2) is NOT a prefix of
-  /// this one — the tuples live in disjoint families).
+  /// this one — the tuples live in disjoint families; the property test
+  /// Rng.StreamFamiliesDisjointAcrossNearbyKeyTuples hammers both families
+  /// over nearby tuples). Caveat: the base/k1 fold is affine in base, so
+  /// two bases planted exactly golden-ratio steps apart alias ((base +
+  /// 0x9e3779b97f4a7c15, k1) == (base, k1 + 1)). Bases are independent
+  /// seeds (race digests, user seeds), not members of one keyed family —
+  /// the disjointness claim is over key tuples under a fixed base.
   static Rng stream(std::uint64_t base, std::uint64_t k1, std::uint64_t k2,
                     std::uint64_t k3) {
     auto mix = [](std::uint64_t z) {

@@ -248,11 +248,16 @@ class DecodeTreeKernelVariants : public DecodeTreeTest {
   tk::Variant saved_ = tk::Variant::kScalar;
 };
 
-TEST_F(DecodeTreeKernelVariants, TreeBitIdenticalUnderBothVariants) {
+TEST_F(DecodeTreeKernelVariants, TreeBitIdenticalUnderAllVariants) {
   core::RankNetForecaster f(model_, pit_, *vocab_,
                             features::CovariateConfig{},
                             core::StatusSource::kPitModel, "mlp");
-  for (const tk::Variant v : {tk::Variant::kScalar, tk::Variant::kAvx2}) {
+  // The reduced-precision variants are included on purpose: per-row (or
+  // calibration-fixed) int8 activation scales and row-pure bf16 rounding
+  // are exactly what keeps tree == independent under quantization
+  // (tensor/quant.hpp determinism contract).
+  for (const tk::Variant v : {tk::Variant::kScalar, tk::Variant::kAvx2,
+                              tk::Variant::kBf16, tk::Variant::kInt8}) {
     ASSERT_TRUE(tk::set_variant(v).ok());
     ExpectTreeMatchesIndependent(f, 60, 4, 6, 2026);
   }

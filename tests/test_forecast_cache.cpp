@@ -10,11 +10,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <vector>
 
 #include "core/forecast_cache.hpp"
 #include "simulator/season.hpp"
+#include "telemetry/race_log.hpp"
+#include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -374,6 +378,108 @@ TEST(ForecastCacheStriped, StripedAccountingExactUnderConcurrency) {
   EXPECT_LE(cache.size(), cache.capacity());
   EXPECT_GT(inserts, 0u);
   EXPECT_GT(evicts, 0u);  // 3x key space must actually churn
+}
+
+// ---------------------------------------------------------------------------
+// Striped-capacity regression suite. The original ctor gave every stripe
+// ceil(capacity / stripes) slots, so any (capacity % stripes != 0) combo
+// admitted more entries than configured — capacity=10, stripes=8 held 16.
+
+// Fill far past capacity with keys that spread over all stripes; the cache
+// must never hold more than the configured total (or, when capacity <
+// stripes, more than one entry per stripe — the documented floor).
+TEST(ForecastCacheStriped, TotalSizeNeverExceedsConfiguredCapacity) {
+  const struct {
+    std::size_t capacity, stripes;
+  } combos[] = {{10, 8}, {1, 8}, {4, 3}, {7, 2}, {64, 7}, {8, 8}, {3, 16}};
+  for (const auto& cfg : combos) {
+    core::ForecastCache cache(cfg.capacity, cfg.stripes);
+    for (std::uint64_t i = 0; i < 50 * (cfg.capacity + cfg.stripes); ++i) {
+      cache.put(key(i), make_samples(static_cast<double>(i), 1, 1, 1));
+    }
+    const std::size_t bound = std::max(cfg.capacity, cfg.stripes);
+    EXPECT_LE(cache.size(), bound)
+        << "capacity=" << cfg.capacity << " stripes=" << cfg.stripes;
+    if (cfg.capacity >= cfg.stripes) {
+      // Enough keys hit every stripe to fill it, so the bound is tight.
+      EXPECT_EQ(cache.size(), cfg.capacity)
+          << "capacity=" << cfg.capacity << " stripes=" << cfg.stripes;
+    }
+  }
+}
+
+// Accounting identity at the exact capacity boundary of an uneven split
+// (the satellite's "accounting identities at the new capacity boundary"):
+// insertions - evictions == size() must hold through the fill, at the
+// boundary, and through the post-boundary churn.
+TEST(ForecastCacheStriped, AccountingIdentityAtCapacityBoundary) {
+  auto& counters = core::CacheCounters::instance();
+  core::ForecastCache cache(10, /*stripes=*/8);
+  const auto inserts0 = counters.insertions();
+  const auto evicts0 = counters.evictions();
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    cache.put(key(i), make_samples(static_cast<double>(i), 1, 1, 1));
+    EXPECT_EQ(counters.insertions() - inserts0 -
+                  (counters.evictions() - evicts0),
+              static_cast<std::uint64_t>(cache.size()));
+    EXPECT_LE(cache.size(), cache.capacity());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Digest canonicalization regression suite. update_double used to hash the
+// raw bit pattern, so numerically identical race states whose doubles
+// differed only as -0.0 vs 0.0 (or in NaN payload bits) digested
+// differently and silently split cache entries.
+
+TEST(ForecastCacheDigest, UpdateDoubleCanonicalizesSignedZero) {
+  core::Fnv1a a, b;
+  a.update_double(0.0);
+  b.update_double(-0.0);
+  EXPECT_EQ(a.digest(), b.digest());
+  // Nonzero values must still hash their exact bits.
+  core::Fnv1a c, d;
+  c.update_double(1.0);
+  d.update_double(std::nextafter(1.0, 2.0));
+  EXPECT_NE(c.digest(), d.digest());
+}
+
+TEST(ForecastCacheDigest, UpdateDoubleCanonicalizesNanPayloads) {
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  // A NaN with different payload bits (still a NaN after the bit surgery).
+  std::uint64_t bits;
+  std::memcpy(&bits, &qnan, sizeof(bits));
+  bits ^= 0x5ull;  // perturb low mantissa bits, keep exponent all-ones
+  double other_nan;
+  std::memcpy(&other_nan, &bits, sizeof(other_nan));
+  ASSERT_TRUE(std::isnan(other_nan));
+
+  core::Fnv1a a, b;
+  a.update_double(qnan);
+  b.update_double(other_nan);
+  EXPECT_EQ(a.digest(), b.digest());
+  // ... but a NaN must not collide with a plain value.
+  core::Fnv1a c;
+  c.update_double(1.0);
+  EXPECT_NE(a.digest(), c.digest());
+}
+
+TEST(ForecastCacheDigest, RaceStateDigestIgnoresZeroSignInLapTimes) {
+  // Two one-car, one-lap races identical except lap_time -0.0 vs 0.0 —
+  // numerically the same race state must produce the same digest.
+  telemetry::EventInfo info;
+  info.name = "Unit";
+  info.year = 2026;
+  info.total_laps = 1;
+  telemetry::LapRecord rec;
+  rec.rank = 1;
+  rec.car_id = 7;
+  rec.lap = 1;
+  rec.lap_time = 0.0;
+  telemetry::RaceLog pos(info, {rec});
+  rec.lap_time = -0.0;
+  telemetry::RaceLog neg(info, {rec});
+  EXPECT_EQ(core::race_state_digest(pos), core::race_state_digest(neg));
 }
 
 }  // namespace

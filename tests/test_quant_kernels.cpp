@@ -1,0 +1,658 @@
+// Differential harness for the reduced-precision dispatch variants
+// (tensor::kernels::Variant::{kBf16, kInt8}; tensor/quant.hpp) — the
+// precision axis of the PR-5 kernel-equivalence harness.
+//
+// Guarantee layers, strongest first:
+//   1. WITHIN each reduced variant: bit-identity. Warm and cold packs hold
+//      identical bytes, repeated GEMMs agree byte-for-byte, batched rows
+//      equal the same rows computed alone (the property that makes the
+//      decode tree and engine partitioning safe), and end-to-end forecasts
+//      are run-to-run byte-stable with tree == independent decode.
+//   2. ACROSS precision (reduced vs f64 scalar): analytic per-element GEMM
+//      error fences derived from the quantization step sizes, an exact-
+//      representability case that must match f64 bit-for-bit, and
+//      end-to-end forecast MAE fences (bf16 tight, int8 looser).
+//   3. PLUMBING: parse/dispatch/counters for the new variants, calibration
+//      recording + application, and v3 artifact round-trip.
+//
+// Every fixture restores the entry variant and clears pack/calibration
+// state on teardown so test order never leaks a numerics point.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include "core/ranknet.hpp"
+#include "core/registry.hpp"
+#include "nn/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "simulator/season.hpp"
+#include "tensor/kernels.hpp"
+#include "tensor/quant.hpp"
+#include "tensor/simd_kernels.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ranknet;
+namespace tk = tensor::kernels;
+namespace tq = tensor::quant;
+
+constexpr tk::Variant kReduced[] = {tk::Variant::kBf16, tk::Variant::kInt8};
+
+std::vector<double> random_vec(std::size_t n, util::Rng& rng, double lo = -2.0,
+                               double hi = 2.0) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = lo + (hi - lo) * rng.uniform();
+  return v;
+}
+
+::testing::AssertionResult BitEqual(const std::vector<double>& a,
+                                    const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure() << "size mismatch";
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::bit_cast<std::uint64_t>(a[i]) !=
+        std::bit_cast<std::uint64_t>(b[i])) {
+      return ::testing::AssertionFailure()
+             << "element " << i << ": " << a[i] << " vs " << b[i]
+             << " differ in bits";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Save/restore the active variant and wipe quant state so packs or a
+/// calibration installed by one test never leak into another.
+class QuantKernels : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_ = tk::active_variant();
+    tq::set_activation_calibration({});
+    tq::clear_packs();
+  }
+  void TearDown() override {
+    tq::set_activation_calibration({});
+    tq::clear_packs();
+    if (tk::cpu_supports(saved_)) {
+      ASSERT_TRUE(tk::set_variant(saved_).ok());
+    }
+  }
+  tk::Variant saved_ = tk::Variant::kScalar;
+};
+
+// ---- bf16 scalar conversions ---------------------------------------------
+
+TEST_F(QuantKernels, Bf16RoundTripsRepresentableValues) {
+  // Every value with <= 8 significand bits survives the round trip exactly.
+  for (const double v : {0.0, 1.0, -1.0, 0.5, -0.375, 2.0, 128.0, -0.0078125,
+                         3.140625, -255.0}) {
+    EXPECT_EQ(tq::from_bf16(tq::to_bf16(v)), v) << v;
+  }
+  // Signed zero is preserved (bf16 keeps the sign bit).
+  EXPECT_TRUE(std::signbit(tq::from_bf16(tq::to_bf16(-0.0))));
+  EXPECT_FALSE(std::signbit(tq::from_bf16(tq::to_bf16(0.0))));
+  // Infinities widen back exactly.
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(tq::from_bf16(tq::to_bf16(inf)), inf);
+  EXPECT_EQ(tq::from_bf16(tq::to_bf16(-inf)), -inf);
+}
+
+TEST_F(QuantKernels, Bf16RoundsToNearestEven) {
+  // bf16 holds 8 significand bits, so the step inside [1, 2) is 2^-7 and
+  // the neighbours of 1.0 are 1.0 and 1.0078125. The exact midpoint
+  // 1 + 2^-8 rounds to the even significand (1.0); a nudge above it must
+  // round up.
+  EXPECT_EQ(tq::from_bf16(tq::to_bf16(1.0 + 0x1p-8)), 1.0);
+  EXPECT_EQ(tq::from_bf16(tq::to_bf16(1.0 + 0x1p-8 + 0x1p-20)), 1.0078125);
+  // 1 + 3*2^-8 is the midpoint above an ODD significand: rounds up to the
+  // even neighbour 1.015625 instead of truncating.
+  EXPECT_EQ(tq::from_bf16(tq::to_bf16(1.0 + 3 * 0x1p-8)), 1.015625);
+  // Relative error of RNE is at most half a step (2^-8) for normal values.
+  util::Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = (rng.uniform() - 0.5) * 100.0;
+    const double r = tq::from_bf16(tq::to_bf16(v));
+    EXPECT_LE(std::abs(r - v), std::abs(v) * 0x1p-8) << v;
+  }
+}
+
+TEST_F(QuantKernels, Bf16NanCanonicalizes) {
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  double payload = qnan;
+  auto bits = std::bit_cast<std::uint64_t>(payload);
+  bits ^= 0x5;  // different NaN payload, still a NaN
+  payload = std::bit_cast<double>(bits);
+  ASSERT_TRUE(std::isnan(payload));
+  // All NaNs pack to the one canonical bf16 NaN: packed bytes stay a pure
+  // function of numeric value.
+  EXPECT_EQ(tq::to_bf16(qnan), tq::to_bf16(payload));
+  EXPECT_EQ(tq::to_bf16(qnan), 0x7fc0);
+  EXPECT_TRUE(std::isnan(tq::from_bf16(tq::to_bf16(qnan))));
+}
+
+// ---- pack registry: purity, invalidation, fingerprint defense ------------
+
+TEST_F(QuantKernels, WarmAndColdPacksHoldIdenticalBytes) {
+  util::Rng rng(11);
+  const auto w = random_vec(13 * 9, rng);
+  const auto cold = tq::acquire_bf16(w.data(), 13, 9);
+  const auto warm = tq::acquire_bf16(w.data(), 13, 9);
+  EXPECT_EQ(cold.get(), warm.get()) << "second acquire must hit the cache";
+  tq::clear_packs();
+  const auto recold = tq::acquire_bf16(w.data(), 13, 9);
+  ASSERT_EQ(cold->data.size(), recold->data.size());
+  EXPECT_EQ(cold->data, recold->data) << "packing is not a pure function";
+
+  const auto i_cold = tq::acquire_int8(w.data(), 13, 9);
+  tq::clear_packs();
+  const auto i_recold = tq::acquire_int8(w.data(), 13, 9);
+  EXPECT_EQ(i_cold->data, i_recold->data);
+  EXPECT_EQ(i_cold->scale, i_recold->scale);
+  EXPECT_EQ(i_cold->zero_point, 0.0) << "symmetric quantization only";
+}
+
+TEST_F(QuantKernels, InvalidateDropsPacksAndSurvivingRefsStayUsable) {
+  util::Rng rng(13);
+  const auto w = random_vec(8 * 8, rng);
+  const auto pack = tq::acquire_int8(w.data(), 8, 8);
+  const std::size_t before = tq::pack_count();
+  tq::invalidate(w.data());
+  EXPECT_LT(tq::pack_count(), before);
+  // The shared_ptr keeps the dropped pack alive for in-flight readers.
+  EXPECT_EQ(pack->rows, 8u);
+  EXPECT_EQ(pack->data.size(), 64u);
+}
+
+TEST_F(QuantKernels, FingerprintCatchesOutOfBandWeightMutation) {
+  util::Rng rng(17);
+  auto w = random_vec(6 * 6, rng);
+  const auto pack = tq::acquire_bf16(w.data(), 6, 6);
+  // Mutate without calling invalidate() — the sampled content fingerprint
+  // must notice at the next acquire and rebuild.
+  w[0] += 1.0;
+  const auto repack = tq::acquire_bf16(w.data(), 6, 6);
+  EXPECT_NE(pack.get(), repack.get());
+  EXPECT_EQ(repack->data[0], tq::to_bf16(w[0]));
+}
+
+// ---- GEMM differentials vs f64 scalar ------------------------------------
+
+// Analytic per-element error fences. With per-row activation step ea and
+// weight step eb, |err(c_ij)| <= sum_k (|a|*eb + |b|*ea + ea*eb); we bound
+// it by k * amax * bmax * tol with tol derived from the step sizes plus
+// 2x headroom:
+//   bf16: both operands RNE-rounded, relative step 2^-9 each -> 2^-8 * 2.
+//   int8: steps amax/254 and bmax/254 -> 1/127 * 2.
+double gemm_error_bound(tk::Variant v, std::size_t k, double amax,
+                        double bmax) {
+  const double tol = v == tk::Variant::kBf16 ? 2.0 * 0x1p-8 : 2.0 / 127.0;
+  return static_cast<double>(k) * amax * bmax * tol;
+}
+
+TEST_F(QuantKernels, GemmErrorWithinAnalyticFenceAcrossShapes) {
+  const struct {
+    std::size_t m, k, n;
+  } shapes[] = {{1, 3, 1}, {1, 8, 1},  {2, 8, 4},  {3, 5, 33},
+                {5, 13, 9}, {7, 37, 12}, {13, 7, 21}, {4, 160, 8}};
+  util::Rng rng(23);
+  for (const auto& s : shapes) {
+    const auto a = random_vec(s.m * s.k, rng);
+    const auto b = random_vec(s.k * s.n, rng);
+    const auto c_init = random_vec(s.m * s.n, rng);
+    auto c_ref = c_init;
+    tk::table(tk::Variant::kScalar)
+        .gemm_nn(1.0, a.data(), b.data(), 1.0, c_ref.data(), s.m, s.k, s.n);
+    for (const auto v : kReduced) {
+      auto c = c_init;
+      tk::table(v).gemm_nn(1.0, a.data(), b.data(), 1.0, c.data(), s.m, s.k,
+                           s.n);
+      const double bound = gemm_error_bound(v, s.k, 2.0, 2.0);
+      for (std::size_t i = 0; i < c.size(); ++i) {
+        ASSERT_TRUE(std::isfinite(c[i]));
+        EXPECT_LE(std::abs(c[i] - c_ref[i]), bound)
+            << tk::variant_name(v) << " " << s.m << "x" << s.k << "x" << s.n
+            << " element " << i;
+      }
+    }
+  }
+}
+
+TEST_F(QuantKernels, GemmAlphaBetaHandledExactlyLikeScalar) {
+  // Exact-representability case: integer operands whose absmax is exactly
+  // 127 make every quantization scale exactly 1.0 (int8) and are
+  // bf16-exact (integers below 256 carry <= 8 significand bits), alpha
+  // and beta are powers of two, and all partial sums are exact in f64 —
+  // so BOTH reduced variants must reproduce the f64 scalar GEMM to the
+  // bit. This pins the alpha/beta/epilogue plumbing with zero tolerance.
+  const std::size_t m = 3, k = 4, n = 5;
+  std::vector<double> a(m * k), b(k * n);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<double>(static_cast<int>(i * 37 % 201) - 100);
+  }
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = static_cast<double>(static_cast<int>(i * 53 % 201) - 100);
+  }
+  // Force every per-row activation absmax and the weight absmax to 127.
+  for (std::size_t r = 0; r < m; ++r) a[r * k] = (r % 2 != 0) ? -127.0 : 127.0;
+  b[0] = -127.0;
+  std::vector<double> c_init(m * n);
+  for (std::size_t i = 0; i < c_init.size(); ++i) {
+    c_init[i] = static_cast<double>(static_cast<int>(i % 11) - 5);
+  }
+  for (const auto& [alpha, beta] :
+       {std::pair{1.0, 0.0}, {0.5, 1.0}, {2.0, -1.0}, {0.0, 0.5}}) {
+    auto c_ref = c_init;
+    tk::table(tk::Variant::kScalar)
+        .gemm_nn(alpha, a.data(), b.data(), beta, c_ref.data(), m, k, n);
+    for (const auto v : kReduced) {
+      tq::clear_packs();
+      auto c = c_init;
+      tk::table(v).gemm_nn(alpha, a.data(), b.data(), beta, c.data(), m, k, n);
+      EXPECT_TRUE(BitEqual(c, c_ref))
+          << tk::variant_name(v) << " alpha=" << alpha << " beta=" << beta;
+    }
+  }
+}
+
+TEST_F(QuantKernels, GemmRepeatCallsBitIdentical) {
+  util::Rng rng(31);
+  const std::size_t m = 5, k = 16, n = 7;
+  const auto a = random_vec(m * k, rng);
+  const auto b = random_vec(k * n, rng);
+  for (const auto v : kReduced) {
+    std::vector<double> c1(m * n, 0.0), c2(m * n, 0.0);
+    tk::table(v).gemm_nn(1.0, a.data(), b.data(), 0.0, c1.data(), m, k, n);
+    tq::clear_packs();  // cold vs warm pack must not change a bit either
+    tk::table(v).gemm_nn(1.0, a.data(), b.data(), 0.0, c2.data(), m, k, n);
+    EXPECT_TRUE(BitEqual(c1, c2)) << tk::variant_name(v);
+  }
+}
+
+TEST_F(QuantKernels, BatchedRowsBitIdenticalToSingleRows) {
+  // THE decode-tree / partitioning safety property: row r inside a batch
+  // must produce the same bits as row r alone. For int8 this is exactly
+  // why activation scales are per-row, never per-batch — rows here have
+  // wildly different magnitudes to catch any cross-row coupling.
+  util::Rng rng(37);
+  const std::size_t m = 6, k = 13, n = 9;
+  auto a = random_vec(m * k, rng);
+  for (std::size_t r = 0; r < m; ++r) {
+    const double scale = std::pow(10.0, static_cast<double>(r) - 3.0);
+    for (std::size_t j = 0; j < k; ++j) a[r * k + j] *= scale;
+  }
+  const auto b = random_vec(k * n, rng);
+  for (const auto v : kReduced) {
+    std::vector<double> c_batch(m * n, 0.0);
+    tk::table(v).gemm_nn(1.0, a.data(), b.data(), 0.0, c_batch.data(), m, k,
+                         n);
+    for (std::size_t r = 0; r < m; ++r) {
+      std::vector<double> c_row(n, 0.0);
+      tk::table(v).gemm_nn(1.0, a.data() + r * k, b.data(), 0.0, c_row.data(),
+                           1, k, n);
+      const std::vector<double> batch_row(c_batch.begin() + r * n,
+                                          c_batch.begin() + (r + 1) * n);
+      EXPECT_TRUE(BitEqual(batch_row, c_row))
+          << tk::variant_name(v) << " row " << r;
+    }
+  }
+}
+
+TEST_F(QuantKernels, NonGemmKernelsInheritedFromFullPrecisionBase) {
+  // Only the non-transposed GEMM is reduced; every other entry (pointwise,
+  // fused epilogues) is the base table's f64 implementation — same
+  // function pointers, so equivalence is structural, not statistical.
+  const auto& base = tk::cpu_supports(tk::Variant::kAvx2)
+                         ? tk::table(tk::Variant::kAvx2)
+                         : tk::table(tk::Variant::kScalar);
+  for (const auto v : kReduced) {
+    const auto& t = tk::table(v);
+    EXPECT_EQ(t.variant, v);
+    EXPECT_NE(t.gemm_nn, base.gemm_nn) << tk::variant_name(v);
+    EXPECT_EQ(t.sigmoid, base.sigmoid);
+    EXPECT_EQ(t.tanh, base.tanh);
+    EXPECT_EQ(t.hadamard, base.hadamard);
+    EXPECT_EQ(t.hadamard_add, base.hadamard_add);
+    EXPECT_EQ(t.add_bias_rows, base.add_bias_rows);
+    EXPECT_EQ(t.lstm_gates, base.lstm_gates);
+    EXPECT_EQ(t.dense_epilogue, base.dense_epilogue);
+  }
+}
+
+// ---- dispatch plumbing ---------------------------------------------------
+
+TEST_F(QuantKernels, ParseAndDispatchReducedVariants) {
+  for (const auto& [name, v] : {std::pair{"bf16", tk::Variant::kBf16},
+                                {"int8", tk::Variant::kInt8}}) {
+    const auto parsed = tk::parse_variant(name);
+    ASSERT_TRUE(parsed.ok()) << name;
+    EXPECT_EQ(parsed.value(), v);
+    EXPECT_STREQ(tk::variant_name(v), name);
+    EXPECT_TRUE(tk::cpu_supports(v)) << "reduced variants are portable";
+    ASSERT_TRUE(tk::apply_env_override(name).ok());
+    EXPECT_EQ(tk::active_variant(), v);
+  }
+  // Auto-detection must never opt into reduced precision.
+  ASSERT_TRUE(tk::apply_env_override(nullptr).ok());
+  const auto best = tk::active_variant();
+  EXPECT_TRUE(best == tk::Variant::kScalar || best == tk::Variant::kAvx2);
+}
+
+TEST_F(QuantKernels, ObsCountersProveReducedVariantRan) {
+  auto& reg = obs::Registry::instance();
+  util::Rng rng(41);
+  tensor::Matrix a(2, 3), b(3, 4), c(2, 4);
+  for (auto& x : a.flat()) x = rng.uniform();
+  for (auto& x : b.flat()) x = rng.uniform();
+  for (const auto v : kReduced) {
+    auto& calls = reg.counter(std::string("tensor.kernel.") +
+                              tk::variant_name(v) + ".calls");
+    ASSERT_TRUE(tk::set_variant(v).ok());
+    const auto c0 = calls.value();
+    tensor::gemm(1.0, a, false, b, false, 0.0, c);
+    EXPECT_GT(calls.value(), c0) << tk::variant_name(v);
+    EXPECT_EQ(
+        static_cast<int>(reg.gauge("tensor.kernel.active_variant").value()),
+        static_cast<int>(v));
+  }
+}
+
+// ---- calibration ---------------------------------------------------------
+
+TEST_F(QuantKernels, CalibrationRecorderFoldsAbsmaxByName) {
+  tq::recording_begin();
+  ASSERT_TRUE(tq::recording_active());
+  const double a1[] = {0.5, -3.0, 1.0};
+  const double a2[] = {2.0, std::numeric_limits<double>::quiet_NaN(), -1.0};
+  tq::record_activation("probe.weight", a1, 3);
+  tq::record_activation("probe.weight", a2, 3);  // NaN must be ignored
+  tq::record_activation("other.weight", a1, 1);
+  const auto calib = tq::recording_end();
+  EXPECT_FALSE(tq::recording_active());
+  ASSERT_EQ(calib.count("probe.weight"), 1u);
+  EXPECT_EQ(calib.at("probe.weight"), 3.0);
+  EXPECT_EQ(calib.at("other.weight"), 0.5);
+}
+
+TEST_F(QuantKernels, CalibratedScaleReachesInt8PackByName) {
+  util::Rng rng(43);
+  const auto w = random_vec(4 * 4, rng);
+  tq::annotate(w.data(), "calib.weight");
+  const auto dynamic_pack = tq::acquire_int8(w.data(), 4, 4);
+  EXPECT_EQ(dynamic_pack->act_absmax, 0.0) << "no calibration yet";
+
+  tq::set_activation_calibration({{"calib.weight", 6.5}});
+  const auto calibrated = tq::acquire_int8(w.data(), 4, 4);
+  EXPECT_EQ(calibrated->act_absmax, 6.5);
+
+  // Reverting to the empty calibration restores dynamic scales.
+  tq::set_activation_calibration({});
+  EXPECT_EQ(tq::acquire_int8(w.data(), 4, 4)->act_absmax, 0.0);
+}
+
+TEST_F(QuantKernels, CalibratedGemmStaysInsideFenceAndRowPure) {
+  util::Rng rng(47);
+  const std::size_t m = 4, k = 13, n = 6;
+  const auto a = random_vec(m * k, rng);
+  const auto b = random_vec(k * n, rng);
+  std::vector<double> c_ref(m * n, 0.0);
+  tk::table(tk::Variant::kScalar)
+      .gemm_nn(1.0, a.data(), b.data(), 0.0, c_ref.data(), m, k, n);
+
+  tq::annotate(b.data(), "fence.weight");
+  tq::set_activation_calibration({{"fence.weight", 2.0}});
+  std::vector<double> c_batch(m * n, 0.0);
+  tk::table(tk::Variant::kInt8)
+      .gemm_nn(1.0, a.data(), b.data(), 0.0, c_batch.data(), m, k, n);
+  for (std::size_t i = 0; i < c_batch.size(); ++i) {
+    EXPECT_LE(std::abs(c_batch[i] - c_ref[i]),
+              gemm_error_bound(tk::Variant::kInt8, k, 2.0, 2.0));
+  }
+  // Fixed scale is trivially row-pure; batching must still not matter.
+  for (std::size_t r = 0; r < m; ++r) {
+    std::vector<double> c_row(n, 0.0);
+    tk::table(tk::Variant::kInt8)
+        .gemm_nn(1.0, a.data() + r * k, b.data(), 0.0, c_row.data(), 1, k, n);
+    const std::vector<double> batch_row(c_batch.begin() + r * n,
+                                        c_batch.begin() + (r + 1) * n);
+    EXPECT_TRUE(BitEqual(batch_row, c_row)) << "calibrated row " << r;
+  }
+}
+
+// ---- v3 artifact round-trip ----------------------------------------------
+
+class QuantSerialize : public QuantKernels {
+ protected:
+  std::string TempPath(const char* name) {
+    const auto dir = std::filesystem::temp_directory_path() / "ranknet_quant";
+    std::filesystem::create_directories(dir);
+    return (dir / name).string();
+  }
+  static nn::Parameter MakeParam(const char* name, std::size_t rows,
+                                 std::size_t cols, util::Rng& rng) {
+    tensor::Matrix m(rows, cols);
+    for (auto& v : m.flat()) v = rng.uniform() - 0.5;
+    return nn::Parameter(name, std::move(m));
+  }
+};
+
+TEST_F(QuantSerialize, CalibrationRoundTripsThroughV3Artifact) {
+  util::Rng rng(53);
+  nn::Parameter p = MakeParam("roundtrip.weight", 3, 4, rng);
+  const std::string path = TempPath("v3.bin");
+  const tq::Calibration calib{{"lstm0.wx", 4.25}, {"head.mu.weight", 1.5}};
+  nn::save_params(path, {&p}, calib);
+
+  nn::Parameter q = MakeParam("roundtrip.weight", 3, 4, rng);
+  tq::Calibration loaded;
+  ASSERT_TRUE(nn::try_load_params(path, {&q}, &loaded).ok());
+  EXPECT_EQ(loaded, calib);
+  for (std::size_t i = 0; i < p.value.size(); ++i) {
+    EXPECT_EQ(q.value.flat()[i], p.value.flat()[i]);
+  }
+  // The calibration-blind overload still reads v3 weights.
+  nn::Parameter r = MakeParam("roundtrip.weight", 3, 4, rng);
+  ASSERT_TRUE(nn::try_load_params(path, {&r}).ok());
+  EXPECT_EQ(r.value.flat()[0], p.value.flat()[0]);
+  std::filesystem::remove(path);
+}
+
+TEST_F(QuantSerialize, V2ArtifactLoadsWithEmptyCalibration) {
+  util::Rng rng(59);
+  nn::Parameter p = MakeParam("plain.weight", 2, 2, rng);
+  const std::string path = TempPath("v2.bin");
+  nn::save_params(path, {&p});
+  tq::Calibration loaded{{"stale", 1.0}};
+  nn::Parameter q = MakeParam("plain.weight", 2, 2, rng);
+  ASSERT_TRUE(nn::try_load_params(path, {&q}, &loaded).ok());
+  EXPECT_TRUE(loaded.empty()) << "v2 must clear, not keep, stale calibration";
+  std::filesystem::remove(path);
+}
+
+TEST_F(QuantSerialize, TruncatedCalibrationSectionRejectedWithoutCommit) {
+  util::Rng rng(61);
+  nn::Parameter p = MakeParam("trunc.weight", 2, 3, rng);
+  const std::string path = TempPath("v3_trunc.bin");
+  nn::save_params(path, {&p}, {{"trunc.weight", 2.0}});
+  // Chop the calibration tail off the payload; the size/checksum envelope
+  // catches it before the parser even runs.
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full - 8);
+  nn::Parameter q = MakeParam("trunc.weight", 2, 3, rng);
+  const auto before = q.value.flat()[0];
+  tq::Calibration loaded;
+  EXPECT_FALSE(nn::try_load_params(path, {&q}, &loaded).ok());
+  EXPECT_EQ(q.value.flat()[0], before) << "failed load must not touch params";
+  std::filesystem::remove(path);
+}
+
+TEST_F(QuantSerialize, LoadCommitInvalidatesStalePacks) {
+  util::Rng rng(67);
+  nn::Parameter p = MakeParam("swap.weight", 4, 4, rng);
+  const std::string path = TempPath("swap.bin");
+  nn::save_params(path, {&p});
+
+  // Mutate, pack the mutated weights, then load the artifact back: the
+  // pack keyed to this pointer must be rebuilt from the restored bytes.
+  for (auto& v : p.value.flat()) v += 1.0;
+  const auto stale = tq::acquire_bf16(p.value.data(), 4, 4);
+  ASSERT_TRUE(nn::try_load_params(path, {&p}, nullptr).ok());
+  const auto fresh = tq::acquire_bf16(p.value.data(), 4, 4);
+  EXPECT_EQ(fresh->data[0], tq::to_bf16(p.value.flat()[0]));
+  EXPECT_NE(stale->data[0], fresh->data[0]);
+  std::filesystem::remove(path);
+}
+
+// ---- end-to-end forecast fences ------------------------------------------
+
+class QuantForecast : public QuantKernels {
+ protected:
+  static void SetUpTestSuite() {
+    race_ = new telemetry::RaceLog(
+        sim::simulate_race({"Indy500", 2019, 200, sim::Usage::kTest}));
+    vocab_ = new features::CarVocab({*race_});
+    core::SeqModelConfig cfg;
+    cfg.cov_dim = features::CovariateConfig{}.dim();
+    cfg.hidden = 13;
+    cfg.embed_dim = 2;
+    cfg.vocab = vocab_->size();
+    model_ = std::make_shared<core::LstmSeqModel>(cfg);
+    model_->set_scaler(features::StandardScaler(17.0, 9.0));
+  }
+  static void TearDownTestSuite() {
+    model_.reset();
+    delete vocab_;
+    delete race_;
+  }
+
+  static core::RaceSamples Forecast(std::uint64_t seed,
+                                    core::DecodeMode mode) {
+    core::RankNetForecaster f(model_, nullptr, *vocab_,
+                              features::CovariateConfig{},
+                              core::StatusSource::kOracle, "quanttest");
+    f.set_decode_mode(mode);
+    util::Rng rng(seed);
+    return f.forecast(*race_, 50, 4, 6, rng);
+  }
+
+  static double ForecastMae(const core::RaceSamples& x,
+                            const core::RaceSamples& y) {
+    double abs_sum = 0.0;
+    std::size_t count = 0;
+    for (const auto& [car_id, m] : x) {
+      const auto& n = y.at(car_id);
+      EXPECT_EQ(m.rows(), n.rows());
+      EXPECT_EQ(m.cols(), n.cols());
+      for (std::size_t i = 0; i < m.size(); ++i) {
+        EXPECT_TRUE(std::isfinite(n.flat()[i]));
+        abs_sum += std::abs(m.flat()[i] - n.flat()[i]);
+        ++count;
+      }
+    }
+    return count == 0 ? 0.0 : abs_sum / static_cast<double>(count);
+  }
+
+  static telemetry::RaceLog* race_;
+  static features::CarVocab* vocab_;
+  static std::shared_ptr<core::LstmSeqModel> model_;
+};
+telemetry::RaceLog* QuantForecast::race_ = nullptr;
+features::CarVocab* QuantForecast::vocab_ = nullptr;
+std::shared_ptr<core::LstmSeqModel> QuantForecast::model_;
+
+TEST_F(QuantForecast, CrossPrecisionForecastMaeBounded) {
+  ASSERT_TRUE(tk::set_variant(tk::Variant::kScalar).ok());
+  const auto ref = Forecast(97, core::DecodeMode::kIndependent);
+  ASSERT_FALSE(ref.empty());
+  // Rank positions live on roughly [1, 33]; ancestral feedback amplifies
+  // kernel-level drift, so these are forecast-level fences (empirically
+  // ~0.01 for bf16 and ~0.2 for int8 on this probe), not kernel ULPs.
+  // bf16 must stay an order of magnitude tighter than int8.
+  const struct {
+    tk::Variant v;
+    double fence;
+  } cases[] = {{tk::Variant::kBf16, 0.15}, {tk::Variant::kInt8, 1.5}};
+  for (const auto& c : cases) {
+    ASSERT_TRUE(tk::set_variant(c.v).ok());
+    const auto out = Forecast(97, core::DecodeMode::kIndependent);
+    ASSERT_EQ(out.size(), ref.size());
+    const double mae = ForecastMae(ref, out);
+    EXPECT_LT(mae, c.fence) << tk::variant_name(c.v);
+    EXPECT_GT(mae, 0.0) << tk::variant_name(c.v)
+                        << " suspicious: reduced precision changed nothing";
+  }
+}
+
+TEST_F(QuantForecast, ReducedVariantsRunToRunBitIdentical) {
+  for (const auto v : kReduced) {
+    ASSERT_TRUE(tk::set_variant(v).ok());
+    const auto a = Forecast(101, core::DecodeMode::kIndependent);
+    tq::clear_packs();  // force a repack between runs
+    const auto b = Forecast(101, core::DecodeMode::kIndependent);
+    ASSERT_FALSE(a.empty());
+    for (const auto& [car_id, m] : a) {
+      const auto& n = b.at(car_id);
+      for (std::size_t i = 0; i < m.size(); ++i) {
+        ASSERT_EQ(std::bit_cast<std::uint64_t>(m.flat()[i]),
+                  std::bit_cast<std::uint64_t>(n.flat()[i]))
+            << tk::variant_name(v) << " car " << car_id;
+      }
+    }
+  }
+}
+
+TEST_F(QuantForecast, DecodeTreeBitIdenticalUnderReducedPrecision) {
+  // The PR-6 tree == independent proof must survive the precision axis:
+  // per-row (or calibration-fixed) int8 scales and row-pure bf16 rounding
+  // are exactly what keeps branch-width batching invisible.
+  for (const auto v : kReduced) {
+    ASSERT_TRUE(tk::set_variant(v).ok());
+    const auto indep = Forecast(113, core::DecodeMode::kIndependent);
+    const auto tree = Forecast(113, core::DecodeMode::kTree);
+    ASSERT_FALSE(indep.empty());
+    ASSERT_EQ(indep.size(), tree.size());
+    for (const auto& [car_id, m] : indep) {
+      const auto& n = tree.at(car_id);
+      for (std::size_t i = 0; i < m.size(); ++i) {
+        ASSERT_EQ(std::bit_cast<std::uint64_t>(m.flat()[i]),
+                  std::bit_cast<std::uint64_t>(n.flat()[i]))
+            << tk::variant_name(v) << " car " << car_id;
+      }
+    }
+  }
+}
+
+TEST_F(QuantForecast, CalibrationPassRecordsEveryGemmTensor) {
+  ASSERT_TRUE(tk::set_variant(tk::Variant::kScalar).ok());
+  core::RankNetForecaster f(model_, nullptr, *vocab_,
+                            features::CovariateConfig{},
+                            core::StatusSource::kOracle, "quanttest");
+  const auto calib = core::calibrate_forecaster(f, *race_, 50, 4, 6);
+  // Every GEMM the decode touches must have a recorded, positive range:
+  // both LSTM layers and both Gaussian head denses.
+  for (const char* name :
+       {"lstm0.wx", "lstm1.wx", "head.mu.weight", "head.sigma.weight"}) {
+    ASSERT_EQ(calib.count(name), 1u) << name;
+    EXPECT_GT(calib.at(name), 0.0) << name;
+  }
+  // calibrate_forecaster installs the result process-wide.
+  EXPECT_EQ(tq::activation_calibration(), calib);
+
+  // A calibrated int8 forecast stays inside the (looser) int8 fence and
+  // remains tree == independent.
+  ASSERT_TRUE(tk::set_variant(tk::Variant::kScalar).ok());
+  const auto ref = Forecast(131, core::DecodeMode::kIndependent);
+  ASSERT_TRUE(tk::set_variant(tk::Variant::kInt8).ok());
+  const auto calibrated = Forecast(131, core::DecodeMode::kIndependent);
+  EXPECT_LT(ForecastMae(ref, calibrated), 1.5);
+  const auto tree = Forecast(131, core::DecodeMode::kTree);
+  EXPECT_EQ(ForecastMae(calibrated, tree), 0.0);
+}
+
+}  // namespace

@@ -4,8 +4,10 @@
 #include <chrono>
 #include <cmath>
 #include <future>
+#include <limits>
 #include <thread>
 #include <set>
+#include <utility>
 #include <stdexcept>
 #include <vector>
 
@@ -97,6 +99,98 @@ TEST(Rng, ShuffleIsPermutation) {
   rng.shuffle(w);
   std::sort(w.begin(), w.end());
   EXPECT_EQ(v, w);
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate-parameter hardening (satellite of the reduced-precision PR,
+// matching the NaN-deadline guard pattern in serve). Pre-fix behaviour:
+// exponential(rate<0) returned a NEGATIVE delay, exponential(NaN) returned
+// NaN, and poisson(+inf) fed NaN through std::lround (UB).
+
+TEST(Rng, ExponentialDegenerateRateIsInfiniteDelay) {
+  Rng rng(11);
+  // rate <= 0 or NaN: "the event never fires" — +inf, never negative/NaN.
+  EXPECT_EQ(rng.exponential(0.0), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(rng.exponential(-3.0), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(rng.exponential(std::numeric_limits<double>::quiet_NaN()),
+            std::numeric_limits<double>::infinity());
+  // rate = +inf: the event fires immediately.
+  EXPECT_EQ(rng.exponential(std::numeric_limits<double>::infinity()), 0.0);
+  // Regular rates keep working.
+  const double d = rng.exponential(1.5);
+  EXPECT_TRUE(std::isfinite(d));
+  EXPECT_GE(d, 0.0);
+}
+
+TEST(Rng, ExponentialGuardPreservesStreamPosition) {
+  // The guard must consume exactly one uniform (like the regular path), so
+  // a degenerate draw does not shift every later draw of the stream.
+  Rng a(21), b(21);
+  (void)a.exponential(0.0);
+  (void)b.exponential(1.0);
+  EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, PoissonDegenerateLambdaIsZeroWithoutDraws) {
+  Rng a(31), b(31);
+  EXPECT_EQ(a.poisson(std::numeric_limits<double>::quiet_NaN()), 0);
+  EXPECT_EQ(a.poisson(std::numeric_limits<double>::infinity()), 0);
+  EXPECT_EQ(a.poisson(-std::numeric_limits<double>::infinity()), 0);
+  EXPECT_EQ(a.poisson(-2.0), 0);
+  // Degenerate lambdas consume no generator state, exactly like the
+  // existing lambda <= 0 early-out.
+  EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, PoissonHugeLambdaSaturatesInsteadOfOverflowing) {
+  Rng rng(41);
+  // Pre-fix, normal(1e18, 1e9) -> lround on a value far outside int range
+  // (UB). Now it saturates deterministically.
+  EXPECT_EQ(rng.poisson(1e18), std::numeric_limits<int>::max());
+}
+
+// ---------------------------------------------------------------------------
+// Rng::stream disjoint-family property test: the 3-key overload's doc
+// claims 2-key and 3-key derivations never produce the same stream, and
+// that nearby key tuples get independent streams. Hammer a dense grid of
+// nearby tuples and require every derived stream's 128-bit signature
+// (first two outputs) to be unique across BOTH families. (The claim is per
+// key tuple under independently chosen bases; the (base, k1) fold is affine
+// in base, so bases planted exactly golden-ratio steps apart alias — see
+// the caveat on stream() — which is why the bases here are generic.)
+
+TEST(Rng, StreamFamiliesDisjointAcrossNearbyKeyTuples) {
+  std::set<std::pair<std::uint64_t, std::uint64_t>> signatures;
+  std::size_t streams = 0;
+  const std::uint64_t bases[] = {0, 1, 0xdeadbeefcafef00dULL};
+  for (const std::uint64_t base : bases) {
+    for (std::uint64_t k1 = 0; k1 < 8; ++k1) {
+      for (std::uint64_t k2 = 0; k2 < 8; ++k2) {
+        Rng two = Rng::stream(base, k1, k2);
+        ASSERT_TRUE(signatures.emplace(two(), two()).second)
+            << "2-key collision at base=" << base << " k1=" << k1
+            << " k2=" << k2;
+        ++streams;
+        for (std::uint64_t k3 = 0; k3 < 4; ++k3) {
+          Rng three = Rng::stream(base, k1, k2, k3);
+          ASSERT_TRUE(signatures.emplace(three(), three()).second)
+              << "3-key collision at base=" << base << " k1=" << k1
+              << " k2=" << k2 << " k3=" << k3;
+          ++streams;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(signatures.size(), streams);
+}
+
+TEST(Rng, StreamIsPureFunctionOfKeyTuple) {
+  Rng a = Rng::stream(7, 3, 5);
+  Rng b = Rng::stream(7, 3, 5);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a(), b());
+  Rng c = Rng::stream(7, 3, 5, 0);
+  Rng d = Rng::stream(7, 3, 5, 0);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(c(), d());
 }
 
 TEST(Stats, MeanVarianceStddev) {
