@@ -1,0 +1,142 @@
+// Online learning quickstart: a registry serving a deliberately stale model,
+// a stream of fault-injected races arriving one by one, and the online
+// trainer refitting / gating / promoting candidates as the data lands —
+// then a sabotaged fit slipping through a loosened gate and probation
+// rolling it back.
+//
+//   ./build/examples/online_loop
+//
+// Everything is seeded, so two runs print the same promote/rollback trace
+// (the property tests/test_online_soak.cpp proves across engine thread
+// counts). Counters land in the obs registry under "serve.online.*".
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "serve/affine_model.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/online_loop.hpp"
+#include "simulator/fault_injector.hpp"
+#include "simulator/season.hpp"
+
+using namespace ranknet;
+
+int main() {
+  // --- a registry serving a stale champion -------------------------------
+  // The champion predicts rank@origin + 4: plausible enough to pass the
+  // serving gates, consistently beatable by any honest refit.
+  const char* champion_artifact = "/tmp/ranknet_online_example_champion.bin";
+  serve::AffineRankModel::save_artifact(champion_artifact, 1.0, 4.0);
+
+  serve::ModelRegistry registry(
+      [](const std::string& path)
+          -> util::Result<std::shared_ptr<core::RaceForecaster>> {
+        auto model = std::make_shared<serve::AffineRankModel>();
+        if (auto st = model->load_artifact(path); !st.ok()) return st;
+        return std::shared_ptr<core::RaceForecaster>(std::move(model));
+      },
+      serve::RegistryConfig{});
+  if (auto st = registry.init(champion_artifact); !st.ok()) {
+    std::fprintf(stderr, "registry init: %s\n", st.to_string().c_str());
+    return 1;
+  }
+
+  // --- the online loop ---------------------------------------------------
+  // Ingest -> replay -> fit (affine refit on the newest 3 races) -> shadow
+  // score on the 2 held-out races before them -> gate -> registry promote,
+  // with 2 probation steps after every promotion.
+  serve::OnlineLoopConfig loop_cfg;
+  loop_cfg.trainer.train_window = 3;
+  loop_cfg.trainer.probe_window = 2;
+  loop_cfg.trainer.probation_steps = 2;
+  loop_cfg.trainer.artifact_dir = "/tmp";
+  loop_cfg.trainer.gate.max_mae_delta = 0.0;  // must beat the champion
+
+  // The fitter is the honest affine refit — except when `sabotage` is
+  // armed, in which case it emits a grossly biased model (standing in for
+  // a diverged fit or poisoned data) for the probation demo below.
+  auto sabotage = std::make_shared<bool>(false);
+  auto honest = serve::make_affine_fitter();
+  core::CandidateFitter fitter =
+      [sabotage, honest](const telemetry::RaceWindow& train,
+                         std::uint64_t seed, const std::string& path)
+      -> util::Result<core::FittedCandidate> {
+    if (!*sabotage) return honest(train, seed, path);
+    serve::AffineRankModel::save_artifact(path, 1.0, 40.0);
+    core::FittedCandidate bad;
+    bad.forecaster = std::make_shared<serve::AffineRankModel>(1.0, 40.0);
+    bad.artifact_path = path;
+    bad.summary = "sabotaged affine offset=40";
+    return bad;
+  };
+  serve::OnlineLoop loop(registry, fitter, loop_cfg);
+
+  // --- feed a season of faulty race streams ------------------------------
+  for (int k = 0; k < 6; ++k) {
+    const auto race =
+        sim::simulate_race({"Indy500", 2013 + k, 60, sim::Usage::kTest});
+    sim::FaultProfile faults;
+    faults.drop_rate = 0.02;
+    faults.duplicate_rate = 0.02;
+    faults.reorder_depth = 2;
+    sim::FaultInjector feed(race.records(), faults,
+                            static_cast<std::uint64_t>(700 + k));
+    if (auto st = loop.ingest_race(race.info(), feed.drain()); !st.ok()) {
+      std::printf("race %d rejected by ingest: %s\n", 2013 + k,
+                  st.to_string().c_str());
+      continue;
+    }
+    const auto event = loop.step();
+    std::printf("race %d  ->  %s (v%llu) %s\n", 2013 + k,
+                core::trace_action_name(event.action),
+                static_cast<unsigned long long>(event.version),
+                event.detail.c_str());
+  }
+
+  // --- sabotage + probation ---------------------------------------------
+  // Arm the sabotaged fitter and loosen the gate: the degraded candidate
+  // promotes. Then disarm and re-tighten — the next step's probation check
+  // re-scores the displaced (good) champion on fresh data, sees it clearly
+  // beating the degraded model, and rolls the registry back.
+  std::printf("\nloosening the gate and promoting a degraded candidate...\n");
+  auto& gate = loop.trainer().gate();
+  const auto strict = gate.config();
+  auto permissive = strict;
+  permissive.max_nll_delta = 1e9;
+  permissive.max_mae_delta = 1e9;
+  permissive.max_prediction_failure_rate = 1.0;
+  gate.set_config(permissive);
+  *sabotage = true;
+
+  for (int k = 0; k < 2; ++k) {
+    const auto race =
+        sim::simulate_race({"Indy500", 2019 + k, 60, sim::Usage::kTest});
+    sim::FaultInjector feed(race.records(), sim::FaultProfile{},
+                            static_cast<std::uint64_t>(800 + k));
+    (void)loop.ingest_race(race.info(), feed.drain());
+    const auto event = loop.step();
+    std::printf("race %d  ->  %s (v%llu)\n", 2019 + k,
+                core::trace_action_name(event.action),
+                static_cast<unsigned long long>(event.version));
+    // After the bad promotion, hand control back to the honest loop.
+    *sabotage = false;
+    gate.set_config(strict);
+  }
+
+  // --- the trace and the books ------------------------------------------
+  std::printf("\nfull trainer trace:\n%s", loop.trainer().trace_string().c_str());
+  auto& obs = obs::Registry::instance();
+  std::printf("\nserve.online.promoted      = %llu\n",
+              static_cast<unsigned long long>(
+                  obs.counter("serve.online.promoted").value()));
+  std::printf("serve.online.rejected_gate = %llu\n",
+              static_cast<unsigned long long>(
+                  obs.counter("serve.online.rejected_gate").value()));
+  std::printf("serve.online.rolled_back   = %llu\n",
+              static_cast<unsigned long long>(
+                  obs.counter("serve.online.rolled_back").value()));
+  std::printf("registry active version    = %llu\n",
+              static_cast<unsigned long long>(registry.active_version()));
+  return 0;
+}

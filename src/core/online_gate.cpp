@@ -1,0 +1,138 @@
+#include "core/online_gate.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <utility>
+
+#include "util/string_util.hpp"
+
+namespace ranknet::core {
+
+std::string ShadowMetrics::to_string() const {
+  return util::format(
+      "points=%zu nll=%.6g mae=%.6g fail=%.6g sat=%.6g lat=%.6g",
+      probe_points, nll, mae, prediction_failure_rate, sigma_saturation_rate,
+      latency_seconds);
+}
+
+ShadowScorer::ShadowScorer(ProbeConfig config, util::ClockFn clock)
+    : probe_(std::move(config)), clock_(std::move(clock)) {}
+
+ShadowMetrics ShadowScorer::score(RaceForecaster& forecaster,
+                                  const telemetry::RaceWindow& probe) const {
+  // Exactly two clock reads per score, in every path — a scripted clock can
+  // therefore assign candidate/champion latencies by call position.
+  const double t0 = clock_();
+
+  std::size_t points = 0, failures = 0, saturated = 0;
+  double abs_err_sum = 0.0, nll_sum = 0.0;
+  bool threw = false;
+
+  for (std::size_t race_idx = 0; race_idx < probe.size() && !threw;
+       ++race_idx) {
+    const telemetry::RaceLog& race = *probe[race_idx];
+    for (int origin : probe_.origin_laps) {
+      if (origin < 1 || origin >= race.num_laps()) continue;
+      RaceSamples samples;
+      try {
+        util::Rng rng = util::Rng::stream(
+            probe_.seed, race_idx, static_cast<std::uint64_t>(origin));
+        samples = forecaster.forecast(race, origin, probe_.horizon,
+                                      probe_.num_samples, rng);
+      } catch (const std::exception&) {
+        threw = true;
+        break;
+      }
+      for (const auto& [car_id, mat] : samples) {
+        const auto& series = race.car(car_id).rank;
+        const auto cols = static_cast<std::size_t>(mat.cols());
+        const auto rows = static_cast<std::size_t>(mat.rows());
+        for (std::size_t h = 0; h < cols; ++h) {
+          // Step h predicts lap origin + h + 1 -> series index origin + h.
+          const std::size_t lap_idx = static_cast<std::size_t>(origin) + h;
+          if (lap_idx >= series.size()) continue;  // car retired: no truth
+          const double actual = series[lap_idx];
+          ++points;
+
+          double mean = 0.0;
+          for (std::size_t s = 0; s < rows; ++s) mean += mat(s, h);
+          mean /= static_cast<double>(rows);
+          double var = 0.0;
+          for (std::size_t s = 0; s < rows; ++s) {
+            const double d = mat(s, h) - mean;
+            var += d * d;
+          }
+          var /= static_cast<double>(rows);
+          const double sigma_raw = std::sqrt(var);
+          const double median = sample_quantile(mat, h, 0.5);
+
+          if (!std::isfinite(median) || median < probe_.min_rank ||
+              median > probe_.max_rank || !std::isfinite(sigma_raw)) {
+            ++failures;
+            continue;  // a failed point contributes no quality signal
+          }
+          if (sigma_raw >= probe_.sigma_saturation) ++saturated;
+          const double sigma = std::max(sigma_raw, probe_.sigma_floor);
+          abs_err_sum += std::abs(median - actual);
+          const double z = (actual - mean) / sigma;
+          nll_sum += 0.5 * z * z + std::log(sigma) +
+                     0.5 * std::log(2.0 * std::numbers::pi);
+        }
+      }
+    }
+  }
+
+  ShadowMetrics m;
+  if (threw) {
+    // A forecaster that throws on the probe is unfit to serve, full stop.
+    m.probe_points = 0;
+    m.prediction_failure_rate = 1.0;
+  } else {
+    m.probe_points = points;
+    const auto scored = static_cast<double>(points - failures);
+    m.mae = scored > 0 ? abs_err_sum / scored : 0.0;
+    m.nll = scored > 0 ? nll_sum / scored : 0.0;
+    m.prediction_failure_rate =
+        points > 0 ? static_cast<double>(failures) / points : 0.0;
+    m.sigma_saturation_rate =
+        points > 0 ? static_cast<double>(saturated) / points : 0.0;
+  }
+  m.latency_seconds = clock_() - t0;
+  return m;
+}
+
+ChampionChallengerGate::ChampionChallengerGate(OnlineGateConfig config)
+    : config_(config) {}
+
+GateDecision ChampionChallengerGate::evaluate(
+    const ShadowMetrics& champion, const ShadowMetrics& challenger) const {
+  // Every gate has the form "challenger metric <= bound(champion, config)",
+  // written as !(x <= bound) so NaN fails. Bounds never depend on the
+  // challenger, which is what makes admission monotone: lowering any
+  // challenger metric can only flip checks from fail to pass.
+  if (challenger.probe_points < config_.min_probe_points) {
+    return {false, "probe_points"};
+  }
+  if (!(challenger.prediction_failure_rate <=
+        config_.max_prediction_failure_rate)) {
+    return {false, "failure_rate"};
+  }
+  if (!(challenger.sigma_saturation_rate <=
+        config_.max_sigma_saturation_rate)) {
+    return {false, "saturation"};
+  }
+  if (!(challenger.nll <= champion.nll + config_.max_nll_delta)) {
+    return {false, "nll"};
+  }
+  if (!(challenger.mae <= champion.mae + config_.max_mae_delta)) {
+    return {false, "mae"};
+  }
+  if (config_.max_latency_factor > 0.0 &&
+      !(challenger.latency_seconds <=
+        config_.max_latency_factor * champion.latency_seconds)) {
+    return {false, "latency"};
+  }
+  return {true, "pass"};
+}
+
+}  // namespace ranknet::core

@@ -1,0 +1,117 @@
+// Shadow scoring and the champion/challenger promotion gate of the online
+// learning loop (DESIGN.md "Online learning & promotion gates").
+//
+// A candidate model never reaches traffic on faith: the ShadowScorer runs
+// champion and challenger over the same held-out probe window of recently
+// ingested races and reduces each to a ShadowMetrics vector — NLL, MAE,
+// prediction-failure rate, σ-saturation rate, probe latency. The
+// ChampionChallengerGate is then a *pure function* of the two metric
+// vectors: quality gates are deltas against the champion (promotion must be
+// judged on the recent window, not all-time averages — model quality drifts
+// as the underlying driver/car factors drift across a season), serving
+// gates are absolute ceilings. Purity is what makes the gate property-
+// testable: a challenger that dominates another on every axis can never be
+// admitted less readily (tests/test_online_trainer.cpp hammers this).
+//
+// Latency is read through an injectable util::ClockFn so gate decisions are
+// byte-reproducible under a scripted clock; with the production clock the
+// latency gate defaults off (wall-clock gates flap on shared boxes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/forecaster.hpp"
+#include "telemetry/replay_buffer.hpp"
+#include "util/clock.hpp"
+
+namespace ranknet::core {
+
+/// One model's report card over a probe window. Every field is "lower is
+/// better" except probe_points (the evidence count).
+struct ShadowMetrics {
+  std::size_t probe_points = 0;  // (car, step) pairs actually scored
+  double nll = 0.0;   // mean Gaussian NLL of actuals under (μ̂, σ̂)
+  double mae = 0.0;   // mean |median − actual|
+  double prediction_failure_rate = 0.0;  // nonfinite / out-of-band medians
+  double sigma_saturation_rate = 0.0;    // σ̂ blown past the saturation bound
+  double latency_seconds = 0.0;          // clock delta across the probe
+
+  /// Deterministic rendering (%.6g) for promote/rollback traces.
+  std::string to_string() const;
+};
+
+struct ProbeConfig {
+  /// Forecast origins tried per probe race; origins that do not fit the
+  /// race (too early / past the end) are skipped.
+  std::vector<int> origin_laps = {30, 45};
+  int horizon = 5;
+  int num_samples = 8;
+  /// Base seed; the per-(race, origin) forecast rng derives from it via
+  /// util::Rng::stream, so scores are independent of probe-window order.
+  std::uint64_t seed = 0x0a11;
+  /// Plausible rank band for the failure-rate gate.
+  double min_rank = 0.0;
+  double max_rank = 200.0;
+  /// σ̂ floor used in the NLL (point forecasters have σ̂ = 0).
+  double sigma_floor = 0.25;
+  /// σ̂ at or above this counts as saturated — the forecast is too diffuse
+  /// to rank cars with.
+  double sigma_saturation = 64.0;
+};
+
+class ShadowScorer {
+ public:
+  explicit ShadowScorer(ProbeConfig config,
+                        util::ClockFn clock = util::steady_clock_fn());
+
+  /// Score one forecaster over the probe races. Scoring never throws: a
+  /// forecaster that throws on a probe is reported as probe_points = 0 and
+  /// prediction_failure_rate = 1 (the gate then refuses it).
+  ShadowMetrics score(RaceForecaster& forecaster,
+                      const telemetry::RaceWindow& probe) const;
+
+  const ProbeConfig& config() const { return probe_; }
+
+ private:
+  ProbeConfig probe_;
+  util::ClockFn clock_;
+};
+
+/// Promotion thresholds. Quality gates (nll/mae) are deltas challenger −
+/// champion; serving gates (failure, saturation) are absolute; the latency
+/// gate is a factor of the champion's probe latency (0 disables it).
+struct OnlineGateConfig {
+  double max_nll_delta = 0.0;
+  double max_mae_delta = 0.0;
+  double max_prediction_failure_rate = 0.0;
+  double max_sigma_saturation_rate = 1.0;  // 1 = off
+  double max_latency_factor = 0.0;         // 0 = off
+  std::size_t min_probe_points = 1;
+};
+
+struct GateDecision {
+  bool promote = false;
+  /// First failing gate ("nll", "mae", "failure_rate", "saturation",
+  /// "latency", "probe_points"), or "pass". Deterministic check order.
+  std::string reason;
+};
+
+class ChampionChallengerGate {
+ public:
+  explicit ChampionChallengerGate(OnlineGateConfig config);
+
+  /// Pure decision: no clocks, no RNG, no state. NaN in any challenger
+  /// metric fails the corresponding gate (NaN never promotes).
+  GateDecision evaluate(const ShadowMetrics& champion,
+                        const ShadowMetrics& challenger) const;
+
+  const OnlineGateConfig& config() const { return config_; }
+  void set_config(OnlineGateConfig config) { config_ = config; }
+
+ private:
+  OnlineGateConfig config_;
+};
+
+}  // namespace ranknet::core

@@ -1,0 +1,236 @@
+#include "core/online_trainer.hpp"
+
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/string_util.hpp"
+
+namespace ranknet::core {
+
+const char* trace_action_name(TraceEvent::Action action) {
+  switch (action) {
+    case TraceEvent::Action::kSkipped: return "skipped";
+    case TraceEvent::Action::kFitFailed: return "fit_failed";
+    case TraceEvent::Action::kRejectedGate: return "rejected_gate";
+    case TraceEvent::Action::kRejectedTarget: return "rejected_target";
+    case TraceEvent::Action::kPromoted: return "promoted";
+    case TraceEvent::Action::kRolledBack: return "rolled_back";
+  }
+  return "unknown";
+}
+
+OnlineTrainer::OnlineTrainer(
+    OnlineTrainerConfig config, telemetry::ReplayBuffer& replay,
+    CandidateFitter fitter, PromotionTarget& target,
+    std::function<std::shared_ptr<RaceForecaster>()> champion_view)
+    : config_(std::move(config)),
+      replay_(replay),
+      fitter_(std::move(fitter)),
+      target_(target),
+      champion_view_(std::move(champion_view)),
+      gate_(config_.gate),
+      clock_(util::steady_clock_fn()) {
+  auto& reg = obs::Registry::instance();
+  c_steps_ = &reg.counter("serve.online.steps");
+  c_skipped_ = &reg.counter("serve.online.skipped");
+  c_fit_failures_ = &reg.counter("serve.online.fit_failures");
+  c_fitted_ = &reg.counter("serve.online.candidates_fitted");
+  c_rejected_gate_ = &reg.counter("serve.online.rejected_gate");
+  c_rejected_target_ = &reg.counter("serve.online.rejected_target");
+  c_promoted_ = &reg.counter("serve.online.promoted");
+  c_rolled_back_ = &reg.counter("serve.online.rolled_back");
+  c_probation_checks_ = &reg.counter("serve.online.probation_checks");
+  c_probe_points_ = &reg.counter("serve.online.probe_points");
+  g_champion_version_ = &reg.gauge("serve.online.champion_version");
+}
+
+OnlineTrainer::~OnlineTrainer() { stop(); }
+
+void OnlineTrainer::set_clock(util::ClockFn clock) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  clock_ = std::move(clock);
+}
+
+TraceEvent OnlineTrainer::book(TraceEvent event) {
+  switch (event.action) {
+    case TraceEvent::Action::kSkipped: c_skipped_->add(); break;
+    case TraceEvent::Action::kFitFailed: c_fit_failures_->add(); break;
+    case TraceEvent::Action::kRejectedGate: c_rejected_gate_->add(); break;
+    case TraceEvent::Action::kRejectedTarget: c_rejected_target_->add(); break;
+    case TraceEvent::Action::kPromoted:
+      c_promoted_->add();
+      g_champion_version_->set(static_cast<double>(event.version));
+      break;
+    case TraceEvent::Action::kRolledBack:
+      c_rolled_back_->add();
+      g_champion_version_->set(static_cast<double>(event.version));
+      break;
+  }
+  trace_.push_back(event);
+  return event;
+}
+
+TraceEvent OnlineTrainer::step() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return step_locked();
+}
+
+TraceEvent OnlineTrainer::step_locked() {
+  c_steps_->add();
+  TraceEvent event;
+  event.step = ++steps_run_;
+
+  const telemetry::RaceWindow probe =
+      replay_.window(config_.train_window, config_.probe_window);
+
+  // Probation check first: a bad promotion must be reversible before the
+  // trainer spends a fit on the next candidate.
+  if (probation_remaining_ > 0 && displaced_ && !probe.empty()) {
+    c_probation_checks_->add();
+    ShadowScorer scorer(config_.probe, clock_);
+    auto champion = champion_view_();
+    const ShadowMetrics now = scorer.score(*champion, probe);
+    const ShadowMetrics before = scorer.score(*displaced_, probe);
+    c_probe_points_->add(now.probe_points + before.probe_points);
+    if (before.probe_points > 0 &&
+        before.mae + config_.rollback_mae_margin < now.mae) {
+      const std::string why = util::format(
+          "probation: displaced mae=%.6g beats champion mae=%.6g", before.mae,
+          now.mae);
+      auto restored = target_.rollback(why);
+      if (restored.ok()) {
+        event.action = TraceEvent::Action::kRolledBack;
+        event.version = restored.value();
+        event.detail = why;
+        displaced_.reset();
+        probation_remaining_ = 0;
+        return book(event);
+      }
+      // A failed rollback leaves the (suspect) champion serving; keep
+      // probation open so the next step retries.
+      event.action = TraceEvent::Action::kRejectedTarget;
+      event.detail = "rollback failed: " + restored.status().message();
+      return book(event);
+    }
+    if (--probation_remaining_ == 0) displaced_.reset();
+  }
+
+  const telemetry::RaceWindow train = replay_.newest(config_.train_window);
+  if (train.size() < config_.train_window ||
+      probe.size() < config_.probe_window) {
+    event.action = TraceEvent::Action::kSkipped;
+    event.detail = util::format("buffered=%zu need=%zu", replay_.size(),
+                                config_.train_window + config_.probe_window);
+    return book(event);
+  }
+
+  const std::uint64_t fit_idx = ++fits_attempted_;
+  const std::string artifact_path =
+      config_.artifact_dir +
+      util::format("/candidate_%llu.bin",
+                   static_cast<unsigned long long>(fit_idx));
+  auto fitted = fitter_(train, util::Rng::stream(config_.seed, fit_idx)(),
+                        artifact_path);
+  if (!fitted.ok()) {
+    event.action = TraceEvent::Action::kFitFailed;
+    event.detail = fitted.status().message();
+    return book(event);
+  }
+  c_fitted_->add();
+
+  ShadowScorer scorer(config_.probe, clock_);
+  auto champion = champion_view_();
+  const ShadowMetrics champ = scorer.score(*champion, probe);
+  const ShadowMetrics cand = scorer.score(*fitted.value().forecaster, probe);
+  c_probe_points_->add(champ.probe_points + cand.probe_points);
+
+  const GateDecision decision = gate_.evaluate(champ, cand);
+  if (!decision.promote) {
+    event.action = TraceEvent::Action::kRejectedGate;
+    event.detail = decision.reason + " | champ " + champ.to_string() +
+                   " | cand " + cand.to_string();
+    return book(event);
+  }
+
+  auto installed = target_.promote(fitted.value().artifact_path);
+  if (!installed.ok()) {
+    event.action = TraceEvent::Action::kRejectedTarget;
+    event.detail = installed.status().message();
+    return book(event);
+  }
+  // Pin the pre-swap champion for probation re-scoring: `champion` was
+  // captured before promote(), so it still views the displaced model.
+  displaced_ = std::move(champion);
+  probation_remaining_ = config_.probation_steps;
+  event.action = TraceEvent::Action::kPromoted;
+  event.version = installed.value();
+  event.detail = fitted.value().summary + " | champ " + champ.to_string() +
+                 " | cand " + cand.to_string();
+  return book(event);
+}
+
+void OnlineTrainer::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (worker_running_) return;
+  stopping_ = false;
+  pending_steps_ = 0;
+  worker_running_ = true;
+  worker_ = std::thread([this] { worker_main(); });
+}
+
+void OnlineTrainer::notify() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pending_steps_;
+  }
+  cv_.notify_one();
+}
+
+void OnlineTrainer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!worker_running_) return;
+    stopping_ = true;
+  }
+  cv_.notify_one();
+  worker_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  worker_running_ = false;
+}
+
+void OnlineTrainer::worker_main() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [this] { return pending_steps_ > 0 || stopping_; });
+    // Drain every enqueued step before honoring stop, so stop() after N
+    // notifies always observes N steps (async trace == sync trace).
+    if (pending_steps_ == 0 && stopping_) return;
+    --pending_steps_;
+    step_locked();
+  }
+}
+
+std::vector<TraceEvent> OnlineTrainer::trace() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return trace_;
+}
+
+std::string OnlineTrainer::trace_string() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& e : trace_) {
+    out += util::format("step=%llu action=%s version=%llu detail=%s\n",
+                        static_cast<unsigned long long>(e.step),
+                        trace_action_name(e.action),
+                        static_cast<unsigned long long>(e.version),
+                        e.detail.c_str());
+  }
+  return out;
+}
+
+std::size_t OnlineTrainer::probation_remaining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return probation_remaining_;
+}
+
+}  // namespace ranknet::core

@@ -1,0 +1,197 @@
+// OnlineTrainer: the background champion/challenger training loop.
+//
+// Each step() pulls two disjoint windows from the replay buffer — the
+// newest `train_window` races to fit on, and the `probe_window` races just
+// before them as a held-out probe — fits a candidate through a pluggable
+// CandidateFitter (affine refit, incremental LSTM update, ...), saves the
+// candidate as a checksummed v3 artifact, shadow-scores champion and
+// candidate on the probe, and asks the ChampionChallengerGate whether to
+// promote. Promotion goes through an abstract PromotionTarget (in serving
+// builds, serve::RegistryPromotionTarget wraps the ModelRegistry — core
+// cannot link serve, so the dependency points this way). Every promotion
+// opens a probation of `probation_steps` further steps during which the
+// displaced champion is re-scored against the new one on each fresh probe
+// window; if the displaced model is clearly better (MAE margin), the
+// trainer rolls the target back.
+//
+// Determinism contract: with a seeded fitter, scripted clock, and a fixed
+// ingest sequence, the full promote/rollback trace (trace_string()) is
+// byte-identical across runs and across serving thread counts — the soak
+// test (tests/test_online_soak.cpp) asserts exactly that. The trace
+// therefore never embeds wall-clock times or filesystem paths.
+//
+// Threading: step() may be driven synchronously (tests) or from the
+// background worker (start()/notify()/stop()). The worker runs the same
+// step() under the same mutex, so an async run's trace equals the sync
+// trace for the same notify count.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/online_gate.hpp"
+#include "telemetry/replay_buffer.hpp"
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace ranknet::obs {
+class Counter;
+class Gauge;
+}  // namespace ranknet::obs
+
+namespace ranknet::core {
+
+/// A fitted challenger: the in-memory forecaster to shadow-score, the v3
+/// artifact it was serialized to (what the PromotionTarget installs), and a
+/// deterministic one-line fit summary for the trace.
+struct FittedCandidate {
+  std::shared_ptr<RaceForecaster> forecaster;
+  std::string artifact_path;
+  std::string summary;
+};
+
+/// Fits one candidate on a train window. `seed` is derived per fit attempt
+/// from the trainer seed; `artifact_path` is where the fitter must emit the
+/// packed-weight artifact (nn::save_params v3). Returning a non-OK Result
+/// books a fit failure and skips the step.
+using CandidateFitter = std::function<util::Result<FittedCandidate>(
+    const telemetry::RaceWindow& train, std::uint64_t seed,
+    const std::string& artifact_path)>;
+
+/// Where promoted candidates go. Implementations install the artifact into
+/// serving (registry swap) and must be all-or-nothing: on a non-OK Result
+/// the previous champion keeps serving. Returns the installed version.
+class PromotionTarget {
+ public:
+  virtual ~PromotionTarget() = default;
+  virtual util::Result<std::uint64_t> promote(
+      const std::string& artifact_path) = 0;
+  virtual util::Result<std::uint64_t> rollback(const std::string& reason) = 0;
+};
+
+struct OnlineTrainerConfig {
+  /// Newest races fitted on; the `probe_window` races before them are the
+  /// held-out probe. A step with fewer than train_window + probe_window
+  /// races buffered is skipped (not an error — the feed is still warming).
+  std::size_t train_window = 4;
+  std::size_t probe_window = 2;
+  ProbeConfig probe;
+  OnlineGateConfig gate;
+  /// Probation: steps after a promotion during which the displaced champion
+  /// is re-scored; rollback fires when displaced MAE + margin < champion
+  /// MAE on the fresh probe.
+  std::size_t probation_steps = 2;
+  double rollback_mae_margin = 0.5;
+  /// Directory candidate artifacts are written into (must exist).
+  std::string artifact_dir = ".";
+  std::uint64_t seed = 0x70a1;
+};
+
+/// One trace line per step. `version` is the target's version after the
+/// action (0 when the action installed nothing).
+struct TraceEvent {
+  enum class Action {
+    kSkipped,        // not enough buffered races
+    kFitFailed,      // fitter returned an error
+    kRejectedGate,   // gate said no
+    kRejectedTarget, // gate said yes, target.promote failed
+    kPromoted,
+    kRolledBack,
+  };
+  std::uint64_t step = 0;
+  Action action = Action::kSkipped;
+  std::uint64_t version = 0;
+  std::string detail;
+};
+
+const char* trace_action_name(TraceEvent::Action action);
+
+class OnlineTrainer {
+ public:
+  /// `champion_view` yields the forecaster currently serving (the probe
+  /// opponent); in serving builds this is the registry's active engine, so
+  /// champion scores inherit the engine's thread-count invariance.
+  OnlineTrainer(OnlineTrainerConfig config, telemetry::ReplayBuffer& replay,
+                CandidateFitter fitter, PromotionTarget& target,
+                std::function<std::shared_ptr<RaceForecaster>()> champion_view);
+  ~OnlineTrainer();
+
+  OnlineTrainer(const OnlineTrainer&) = delete;
+  OnlineTrainer& operator=(const OnlineTrainer&) = delete;
+
+  /// Swap the time source feeding both shadow scorers (tests script it).
+  void set_clock(util::ClockFn clock);
+
+  /// Run one synchronous train/score/gate step and return its trace event.
+  TraceEvent step();
+
+  /// Background mode: start() spawns the worker, notify() enqueues one
+  /// step (steps never coalesce — N notifies run N steps, so async traces
+  /// match a sync loop), stop() drains and joins.
+  void start();
+  void notify();
+  void stop();
+
+  std::vector<TraceEvent> trace() const;
+  /// Deterministic rendering of the full trace, one line per step — the
+  /// byte-exactness witness the soak test compares across thread counts.
+  std::string trace_string() const;
+
+  /// Steps remaining in the current probation window (0 = not on probation).
+  std::size_t probation_remaining() const;
+
+  const OnlineTrainerConfig& config() const { return config_; }
+  /// Live gate handle (the soak test loosens/re-tightens thresholds).
+  ChampionChallengerGate& gate() { return gate_; }
+
+ private:
+  TraceEvent step_locked();
+  void worker_main();
+  TraceEvent book(TraceEvent event);
+
+  OnlineTrainerConfig config_;
+  telemetry::ReplayBuffer& replay_;
+  CandidateFitter fitter_;
+  PromotionTarget& target_;
+  std::function<std::shared_ptr<RaceForecaster>()> champion_view_;
+  ChampionChallengerGate gate_;
+  util::ClockFn clock_;
+
+  mutable std::mutex mutex_;
+  std::uint64_t steps_run_ = 0;
+  std::uint64_t fits_attempted_ = 0;
+  std::vector<TraceEvent> trace_;
+  // Probation state: the forecaster displaced by the last promotion, kept
+  // alive for re-scoring until probation closes or rollback restores it.
+  std::shared_ptr<RaceForecaster> displaced_;
+  std::size_t probation_remaining_ = 0;
+
+  // Background worker: a pending-step count, not a flag, so notifies are
+  // never lost or merged.
+  std::thread worker_;
+  std::condition_variable cv_;
+  std::size_t pending_steps_ = 0;
+  bool stopping_ = false;
+  bool worker_running_ = false;
+
+  // serve.online.* handles, resolved once at construction.
+  obs::Counter* c_steps_;
+  obs::Counter* c_skipped_;
+  obs::Counter* c_fit_failures_;
+  obs::Counter* c_fitted_;
+  obs::Counter* c_rejected_gate_;
+  obs::Counter* c_rejected_target_;
+  obs::Counter* c_promoted_;
+  obs::Counter* c_rolled_back_;
+  obs::Counter* c_probation_checks_;
+  obs::Counter* c_probe_points_;
+  obs::Gauge* g_champion_version_;
+};
+
+}  // namespace ranknet::core

@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "nn/adam.hpp"
+#include "nn/serialize.hpp"
 #include "util/logging.hpp"
 #include "util/string_util.hpp"
 #include "util/timer.hpp"
@@ -165,6 +166,101 @@ TrainStats train_sequence_model(
     const features::CarVocab& vocab, const features::WindowConfig& wcfg,
     const TrainConfig& tcfg) {
   return run_training(model, train_races, val_races, vocab, wcfg, tcfg);
+}
+
+IncrementalStats incremental_update_sequence_model(
+    LstmSeqModel& model, const std::vector<telemetry::RaceLog>& fresh_races,
+    const features::CarVocab& vocab, const features::WindowConfig& wcfg,
+    const IncrementalConfig& icfg) {
+  IncrementalStats stats;
+  util::Rng rng(icfg.seed);
+  // Deliberately no set_scaler here: the fresh window is small and recent,
+  // and re-normalizing under already-trained weights would look like a
+  // distribution shift to the network.
+  auto windows = subsample(features::build_windows(fresh_races, vocab, wcfg),
+                           icfg.max_windows, rng);
+  stats.windows = windows.size();
+  if (windows.empty()) return stats;
+
+  const auto dec_len = static_cast<std::size_t>(wcfg.decoder_length);
+  std::vector<const features::SeqExample*> all_ptrs;
+  all_ptrs.reserve(windows.size());
+  for (const auto& w : windows) all_ptrs.push_back(&w);
+  const auto full_batch = model.make_batch(all_ptrs, dec_len);
+  stats.nll_before = model.evaluate(full_batch);
+
+  nn::AdamConfig adam_config;
+  adam_config.lr = icfg.lr;
+  nn::Adam adam(model.params(), adam_config);
+
+  std::vector<std::size_t> order(windows.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::size_t cursor = 0;
+  for (int step = 0; step < icfg.steps; ++step) {
+    if (cursor >= order.size()) cursor = 0;
+    if (cursor == 0) rng.shuffle(order);
+    const std::size_t end =
+        std::min(order.size(), cursor + icfg.batch_size);
+    std::vector<const features::SeqExample*> ptrs;
+    ptrs.reserve(end - cursor);
+    for (std::size_t i = cursor; i < end; ++i) {
+      ptrs.push_back(&windows[order[i]]);
+    }
+    cursor = end;
+    if (ptrs.size() < 2) continue;  // a 1-row batch destabilizes the stats
+    const auto batch = model.make_batch(ptrs, dec_len);
+    model.train_step(batch);
+    adam.step();
+    ++stats.steps_run;
+  }
+  stats.nll_after = model.evaluate(full_batch);
+  return stats;
+}
+
+CandidateFitter make_incremental_lstm_fitter(
+    std::shared_ptr<LstmSeqModel> base, features::CarVocab vocab,
+    features::WindowConfig wcfg, IncrementalConfig icfg, StatusSource source) {
+  return [base = std::move(base), vocab = std::move(vocab),
+          wcfg = std::move(wcfg), icfg,
+          source](const telemetry::RaceWindow& train, std::uint64_t seed,
+                  const std::string& artifact_path)
+             -> util::Result<FittedCandidate> {
+    // Clone the champion weights into a fresh model; the candidate must
+    // never mutate what is serving.
+    auto candidate = std::make_shared<LstmSeqModel>(base->config());
+    const auto src = base->params();
+    auto dst = candidate->params();
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      dst[i]->value = src[i]->value;
+    }
+    candidate->set_scaler(base->scaler());
+    candidate->set_calibration(base->calibration());
+
+    std::vector<telemetry::RaceLog> fresh;
+    fresh.reserve(train.size());
+    for (const auto& race : train) fresh.push_back(*race);
+
+    IncrementalConfig run_cfg = icfg;
+    run_cfg.seed = seed;
+    const IncrementalStats stats = incremental_update_sequence_model(
+        *candidate, fresh, vocab, wcfg, run_cfg);
+    if (stats.windows == 0) {
+      return util::Status::failed_precondition(
+          "incremental fit: no windows from the train races");
+    }
+    nn::save_params(artifact_path, candidate->params(),
+                    candidate->calibration());
+
+    FittedCandidate out;
+    out.forecaster = std::make_shared<RankNetForecaster>(
+        candidate, nullptr, vocab, wcfg.covariates, source, "online-lstm");
+    out.artifact_path = artifact_path;
+    out.summary =
+        util::format("lstm nll %.4f->%.4f windows=%zu steps=%d",
+                     stats.nll_before, stats.nll_after, stats.windows,
+                     stats.steps_run);
+    return out;
+  };
 }
 
 TrainStats train_transformer_model(

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "core/ar_model.hpp"
+#include "core/online_trainer.hpp"
+#include "core/ranknet.hpp"
 #include "core/transformer_model.hpp"
 #include "features/window.hpp"
 #include "telemetry/race_log.hpp"
@@ -53,6 +55,40 @@ TrainStats train_sequence_model(
 /// the model cache recomputes it instead of persisting it).
 features::StandardScaler fit_rank_scaler(
     const std::vector<telemetry::RaceLog>& races);
+
+/// Small-step refinement of an already-trained model on freshly ingested
+/// races — the fit the online loop runs per candidate. Unlike full
+/// training it keeps the existing target scaler (refitting on a few fresh
+/// races would shift the input distribution under the trained weights) and
+/// runs a fixed number of Adam steps instead of epochs-to-convergence, so
+/// one call is bounded and deterministic.
+struct IncrementalConfig {
+  int steps = 8;
+  std::size_t batch_size = 32;
+  double lr = 2e-4;
+  std::size_t max_windows = 256;  // subsampled, seeded
+  std::uint64_t seed = 11;
+};
+
+struct IncrementalStats {
+  double nll_before = 0.0;  // on the fresh windows, pre-update
+  double nll_after = 0.0;
+  std::size_t windows = 0;
+  int steps_run = 0;
+};
+
+IncrementalStats incremental_update_sequence_model(
+    LstmSeqModel& model, const std::vector<telemetry::RaceLog>& fresh_races,
+    const features::CarVocab& vocab, const features::WindowConfig& wcfg,
+    const IncrementalConfig& icfg);
+
+/// CandidateFitter for the online trainer: clone `base`, refine the clone
+/// on the train window via incremental_update_sequence_model (seeded by the
+/// trainer's per-attempt seed), emit it as a v3 artifact, and return a
+/// RankNetForecaster over the clone. `base` itself is never mutated.
+CandidateFitter make_incremental_lstm_fitter(
+    std::shared_ptr<LstmSeqModel> base, features::CarVocab vocab,
+    features::WindowConfig wcfg, IncrementalConfig icfg, StatusSource source);
 
 /// Transformer counterpart (same loop; different batch type).
 TrainStats train_transformer_model(

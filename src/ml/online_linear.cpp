@@ -1,0 +1,56 @@
+#include "ml/online_linear.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ranknet::ml {
+
+void OnlineLinearFit::add(double x, double y) {
+  n_ += 1.0;
+  sum_x_ += x;
+  sum_y_ += y;
+  sum_xx_ += x * x;
+  sum_xy_ += x * y;
+  ++count_;
+}
+
+void OnlineLinearFit::decay(double gamma) {
+  const double g = std::clamp(gamma, 0.0, 1.0);
+  n_ *= g;
+  sum_x_ *= g;
+  sum_y_ *= g;
+  sum_xx_ *= g;
+  sum_xy_ *= g;
+}
+
+OnlineLinearFit::Coefficients OnlineLinearFit::fit(double ridge) const {
+  Coefficients c;
+  if (n_ <= 0.0) return c;
+  const double mean_y = sum_y_ / n_;
+  if (n_ < 2.0) {
+    c.intercept = mean_y;
+    return c;
+  }
+  const double mean_x = sum_x_ / n_;
+  // Centered normal equations: var_x * slope = cov_xy, damped by the ridge
+  // term so a nearly-constant feature column degrades gracefully toward the
+  // constant predictor instead of blowing the slope up.
+  const double var_x = sum_xx_ / n_ - mean_x * mean_x;
+  const double cov_xy = sum_xy_ / n_ - mean_x * mean_y;
+  const double denom = var_x + std::max(ridge, 0.0);
+  if (!(denom > 0.0) || !std::isfinite(denom)) {
+    c.intercept = mean_y;
+    return c;
+  }
+  c.slope = cov_xy / denom;
+  c.intercept = mean_y - c.slope * mean_x;
+  if (!std::isfinite(c.slope) || !std::isfinite(c.intercept)) {
+    c.slope = 0.0;
+    c.intercept = std::isfinite(mean_y) ? mean_y : 0.0;
+  }
+  return c;
+}
+
+void OnlineLinearFit::reset() { *this = OnlineLinearFit{}; }
+
+}  // namespace ranknet::ml

@@ -1,0 +1,57 @@
+// Exponentially-decayed online least squares for one-feature affine models,
+//   y ≈ slope * x + intercept,
+// maintained as running sufficient statistics (n, Σx, Σy, Σxx, Σxy) so an
+// online trainer can fold freshly ingested observations in without keeping
+// the raw data. decay() multiplies every statistic by γ ∈ (0, 1], which
+// turns the fit into a recency-weighted window — the knob the
+// champion/challenger loop uses to track drift (old races fade, the fit
+// follows the freshest telemetry).
+//
+// Deterministic: pure arithmetic over the observation sequence, no RNG, no
+// clocks. Two fitters fed the same observations in the same order produce
+// bit-identical coefficients.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace ranknet::ml {
+
+class OnlineLinearFit {
+ public:
+  struct Coefficients {
+    double slope = 0.0;
+    double intercept = 0.0;
+  };
+
+  /// Fold one (x, y) observation with unit weight.
+  void add(double x, double y);
+
+  /// Multiply every sufficient statistic by `gamma` (clamped to [0, 1]);
+  /// gamma = 1 keeps the plain all-time fit.
+  void decay(double gamma);
+
+  /// Solve the (ridge-damped) normal equations. With fewer than two
+  /// effective observations, or a degenerate design (all x equal), the fit
+  /// falls back to slope 0 / intercept = mean(y) — a constant predictor,
+  /// never NaN coefficients.
+  Coefficients fit(double ridge = 1e-9) const;
+
+  /// Effective observation count after decay (a real number: decayed
+  /// observations count fractionally).
+  double weight() const { return n_; }
+  /// Raw observations folded in since construction (undecayed).
+  std::uint64_t observations() const { return count_; }
+
+  void reset();
+
+ private:
+  double n_ = 0.0;
+  double sum_x_ = 0.0;
+  double sum_y_ = 0.0;
+  double sum_xx_ = 0.0;
+  double sum_xy_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace ranknet::ml

@@ -92,7 +92,7 @@ util::Status load_payload(std::istream& in,
                           const std::vector<Parameter*>& params,
                           std::uint32_t version,
                           tensor::quant::Calibration* calibration,
-                          const std::string& path) {
+                          const std::string& path, bool strict_tail) {
   std::uint64_t count = 0;
   in.read(reinterpret_cast<char*>(&count), sizeof(count));
   if (!in) return util::Status::corrupt_data("truncated header in " + path);
@@ -129,6 +129,16 @@ util::Status load_payload(std::istream& in,
   tensor::quant::Calibration calib;
   if (version >= kSchemaVersionCalibrated) {
     if (util::Status s = load_calibration(in, calib, path); !s.ok()) return s;
+  }
+  // The payload must end exactly where the last section does. Trailing
+  // bytes mean the writer and this parser disagree about the schema (e.g.
+  // a calibration section whose entry count was shrunk by corruption with
+  // an honestly regenerated checksum) — reject before committing anything
+  // rather than silently ignoring content we did not understand. v1 legacy
+  // files predate the sized-payload envelope and stay lenient.
+  if (strict_tail && in.peek() != std::istream::traits_type::eof()) {
+    return util::Status::corrupt_data("trailing bytes after payload in " +
+                                      path);
   }
   for (std::size_t i = 0; i < params.size(); ++i) {
     // The commit both frees the old weight storage and may land the new
@@ -204,7 +214,8 @@ util::Status try_load_params(const std::string& path,
 
   if (magic == kMagicV1) {
     // Legacy pre-checksum artifacts stay loadable (backward compat).
-    return load_payload(in, params, /*version=*/1, calibration, path);
+    return load_payload(in, params, /*version=*/1, calibration, path,
+                        /*strict_tail=*/false);
   }
   if (magic != kMagicV2) {
     return util::Status::corrupt_data("bad magic in " + path);
@@ -244,7 +255,8 @@ util::Status try_load_params(const std::string& path,
                                       " (artifact is corrupt)");
   }
   std::istringstream payload(bytes, std::ios::binary);
-  return load_payload(payload, params, version, calibration, path);
+  return load_payload(payload, params, version, calibration, path,
+                      /*strict_tail=*/true);
 }
 
 util::Status try_load_params(const std::string& path,

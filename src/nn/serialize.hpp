@@ -14,7 +14,8 @@
 //   artifact cache without re-probing.
 // v1 files (the pre-checksum format: bare magic + count + parameters) are
 // still readable so existing artifacts/*.bin caches keep working; v2 files
-// simply load with an empty calibration.
+// simply load with an empty calibration. v2+ payloads are parsed strictly:
+// bytes after the last declared section are corruption, not padding.
 #pragma once
 
 #include <string>

@@ -4,7 +4,6 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
-#include "util/timer.hpp"
 
 namespace ranknet::serve {
 
@@ -57,6 +56,11 @@ void ModelRegistry::set_forecast_cache(
 
 void ModelRegistry::set_engine_deadline(double seconds) {
   engine_deadline_seconds_ = seconds;
+}
+
+void ModelRegistry::set_clock(util::ClockFn clock) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  clock_ = std::move(clock);
 }
 
 Result<std::shared_ptr<ServingModel>> ModelRegistry::build_candidate(
@@ -123,7 +127,7 @@ Result<std::shared_ptr<ServingModel>> ModelRegistry::build_candidate(
   if (probe_race_) {
     const auto& gate = config_.gate;
     util::Rng rng(gate.probe_seed);
-    util::Timer timer;
+    const double probe_t0 = clock_();
     core::RaceSamples probe;
     try {
       probe = model->forecaster->forecast(*probe_race_, gate.probe_origin_lap,
@@ -135,7 +139,7 @@ Result<std::shared_ptr<ServingModel>> ModelRegistry::build_candidate(
           std::string("shadow gate: candidate threw on probe race: ") +
           e.what());
     }
-    const double probe_seconds = timer.seconds();
+    const double probe_seconds = clock_() - probe_t0;
     const double failure_rate = prediction_failure_rate(probe, gate);
     if (failure_rate > gate.max_prediction_failure_rate) {
       rejected_gate_->add(1);
@@ -163,6 +167,9 @@ void ModelRegistry::publish(std::shared_ptr<const ServingModel> model) {
   previous_ = std::move(active_);
   active_ = std::move(model);
   probation_remaining_ = config_.probation_requests;
+  probation_deadline_ = config_.probation_seconds > 0.0
+                            ? clock_() + config_.probation_seconds
+                            : 0.0;
   active_version_gauge_->set(static_cast<double>(active_->version));
 }
 
@@ -215,6 +222,7 @@ ModelRegistry::SwapOutcome ModelRegistry::rollback(const std::string& reason) {
   active_ = std::move(previous_);
   previous_ = nullptr;        // one level of undo, not a history
   probation_remaining_ = 0;   // the restored version already served cleanly
+  probation_deadline_ = 0.0;
   active_version_gauge_->set(static_cast<double>(active_->version));
   rolled_back_->add(1);
   out.action = wire::SwapAction::kRolledBack;
@@ -229,6 +237,13 @@ bool ModelRegistry::record_serving_result(std::uint64_t version, bool ok) {
     if (!active_ || version != active_->version ||
         probation_remaining_ == 0) {
       return false;  // stale generation or out of probation — not our call
+    }
+    // Time-bounded probation: once the window elapses the version is
+    // trusted, regardless of how few results trickled in.
+    if (probation_deadline_ > 0.0 && clock_() >= probation_deadline_) {
+      probation_remaining_ = 0;
+      probation_deadline_ = 0.0;
+      return false;
     }
     --probation_remaining_;
     if (ok) return false;

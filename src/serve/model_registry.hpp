@@ -37,6 +37,7 @@
 #include "core/parallel_engine.hpp"
 #include "serve/wire.hpp"
 #include "telemetry/race_log.hpp"
+#include "util/clock.hpp"
 #include "util/status.hpp"
 
 namespace ranknet::serve {
@@ -92,6 +93,12 @@ struct RegistryConfig {
   /// Serving results watched after a promotion; a failure inside the
   /// window triggers auto-rollback. 0 disables probation.
   std::uint64_t probation_requests = 64;
+  /// Time bound on the same probation window (seconds since publish); once
+  /// it elapses the version is trusted even if fewer than
+  /// probation_requests results arrived — a low-traffic deployment must not
+  /// stay on probation forever. 0 = request-count only. Measured by the
+  /// registry's clock (see set_clock), so tests script it.
+  double probation_seconds = 0.0;
 };
 
 class ModelRegistry {
@@ -107,6 +114,13 @@ class ModelRegistry {
   /// Degradation deadline armed on every generation's engine (seconds;
   /// 0 = none). The server overrides per request.
   void set_engine_deadline(double seconds);
+  /// Time source for the latency gate and the probation time window.
+  /// Defaults to the steady clock; tests inject a scripted clock so gate
+  /// decisions and probation expiry are deterministic. Pre-injection the
+  /// gate timed probes with util::Timer directly, which made the latency
+  /// gate untestable (and flaky if forced): wall time on a loaded CI box is
+  /// not a function of the candidate.
+  void set_clock(util::ClockFn clock);
 
   /// Load and publish the first model, gate included (no previous model
   /// means no rollback target — a failed init leaves the registry empty).
@@ -158,7 +172,9 @@ class ModelRegistry {
   std::shared_ptr<const ServingModel> previous_;  // rollback target
   std::uint64_t next_version_ = 1;
   std::uint64_t probation_remaining_ = 0;
+  double probation_deadline_ = 0.0;    // clock time; 0 = no time bound
   double active_probe_seconds_ = 0.0;  // latency-gate reference
+  util::ClockFn clock_ = util::steady_clock_fn();
 
   // serve.registry.* handles, resolved once.
   obs::Counter* swaps_attempted_;

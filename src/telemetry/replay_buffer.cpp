@@ -1,0 +1,57 @@
+#include "telemetry/replay_buffer.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace ranknet::telemetry {
+
+ReplayBuffer::ReplayBuffer(ReplayConfig config) : config_(config) {
+  if (config_.capacity == 0) config_.capacity = 1;
+  auto& reg = obs::Registry::instance();
+  pushed_ = &reg.counter("serve.online.replay.pushed");
+  evicted_ = &reg.counter("serve.online.replay.evicted");
+  records_ = &reg.counter("serve.online.replay.records");
+}
+
+void ReplayBuffer::push(RaceLog race) {
+  const auto records = static_cast<std::uint64_t>(race.num_records());
+  std::lock_guard<std::mutex> lock(mutex_);
+  races_.push_back(std::make_shared<const RaceLog>(std::move(race)));
+  ++total_pushed_;
+  pushed_->add(1);
+  records_->add(records);
+  while (races_.size() > config_.capacity) {
+    races_.pop_front();
+    evicted_->add(1);
+  }
+}
+
+std::size_t ReplayBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return races_.size();
+}
+
+std::uint64_t ReplayBuffer::total_pushed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_pushed_;
+}
+
+RaceWindow ReplayBuffer::newest(std::size_t count) const {
+  return window(0, count);
+}
+
+RaceWindow ReplayBuffer::window(std::size_t skip_newest,
+                                std::size_t count) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RaceWindow out;
+  if (skip_newest >= races_.size()) return out;
+  const std::size_t end = races_.size() - skip_newest;  // one past newest kept
+  const std::size_t begin = end > count ? end - count : 0;
+  out.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) out.push_back(races_[i]);
+  return out;
+}
+
+}  // namespace ranknet::telemetry

@@ -1,0 +1,68 @@
+// ReplayBuffer: the bounded store of recently ingested races that feeds the
+// online training loop (core/online_trainer.hpp).
+//
+// The StreamIngestor turns a faulty live feed into validated RaceLogs one
+// race at a time; the replay buffer keeps the newest `capacity` of them so
+// the trainer can fit candidates on a fresh window and hold out the races
+// just before it as a probe set. Races are stored behind shared_ptr so a
+// training step can pin its window while newer races keep arriving — a push
+// never invalidates a window handed out earlier.
+//
+// Thread-safe: the ingest thread pushes while the trainer thread reads.
+// Deterministic: contents are a pure function of the push sequence.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "telemetry/race_log.hpp"
+
+namespace ranknet::obs {
+class Counter;
+}
+
+namespace ranknet::telemetry {
+
+struct ReplayConfig {
+  /// Races retained; pushing beyond this evicts the oldest. Must be >= 1.
+  std::size_t capacity = 16;
+};
+
+/// A pinned read view: oldest -> newest order, safe to hold across pushes.
+using RaceWindow = std::vector<std::shared_ptr<const RaceLog>>;
+
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(ReplayConfig config = {});
+
+  /// Append one finalized race (evicting the oldest beyond capacity).
+  void push(RaceLog race);
+
+  std::size_t size() const;
+  std::uint64_t total_pushed() const;
+
+  /// The newest `count` races, oldest -> newest (fewer when the buffer
+  /// holds fewer).
+  RaceWindow newest(std::size_t count) const;
+
+  /// `count` races older than the newest `skip_newest` ones, oldest ->
+  /// newest — the trainer's held-out probe window selector. Returns fewer
+  /// (possibly none) when the buffer is short.
+  RaceWindow window(std::size_t skip_newest, std::size_t count) const;
+
+ private:
+  ReplayConfig config_;
+  mutable std::mutex mutex_;
+  std::deque<std::shared_ptr<const RaceLog>> races_;
+  std::uint64_t total_pushed_ = 0;
+
+  // serve.online.replay.* handles, resolved once.
+  obs::Counter* pushed_;
+  obs::Counter* evicted_;
+  obs::Counter* records_;
+};
+
+}  // namespace ranknet::telemetry

@@ -188,6 +188,41 @@ util::Result<RaceLog> StreamIngestor::finalize(const EventInfo& info) {
   return RaceLog(info, std::move(records));
 }
 
+void StreamIngestor::begin_race() {
+  // Fold the closing race's tallies into the session totals, then zero the
+  // per-race state so the next race's counters and damage report start
+  // clean. Works whether or not the previous race was finalized (a feed
+  // can be abandoned mid-race).
+  finished_totals_.accepted += counters_.accepted;
+  finished_totals_.duplicates += counters_.duplicates;
+  finished_totals_.reordered += counters_.reordered;
+  finished_totals_.imputed += counters_.imputed;
+  finished_totals_.quarantined_schema += counters_.quarantined_schema;
+  finished_totals_.quarantined_range += counters_.quarantined_range;
+  finished_totals_.quarantined_monotonic += counters_.quarantined_monotonic;
+  finished_totals_.quarantined_gap += counters_.quarantined_gap;
+  finished_totals_.trimmed_cars += counters_.trimmed_cars;
+  counters_ = IngestCounters{};
+  cars_.clear();
+  damage_.clear();
+  last_observed_.clear();
+  finalized_ = false;
+}
+
+IngestCounters StreamIngestor::session_counters() const {
+  IngestCounters total = finished_totals_;
+  total.accepted += counters_.accepted;
+  total.duplicates += counters_.duplicates;
+  total.reordered += counters_.reordered;
+  total.imputed += counters_.imputed;
+  total.quarantined_schema += counters_.quarantined_schema;
+  total.quarantined_range += counters_.quarantined_range;
+  total.quarantined_monotonic += counters_.quarantined_monotonic;
+  total.quarantined_gap += counters_.quarantined_gap;
+  total.trimmed_cars += counters_.trimmed_cars;
+  return total;
+}
+
 double StreamIngestor::damage_fraction(int car_id) const {
   const auto it = damage_.find(car_id);
   return it == damage_.end() ? 0.0 : it->second;

@@ -81,7 +81,18 @@ class StreamIngestor {
   /// repaired, and build the RaceLog. Fails if no usable records survived.
   util::Result<RaceLog> finalize(const EventInfo& info);
 
+  /// Re-arm a long-lived ingestor for the next race: clears the buffered
+  /// laps, damage metadata, the finalized flag AND the per-race counters.
+  /// Pre-fix, a session ingestor carried quarantine counters (and the
+  /// finalized latch) across races, so race N's damage report accused race
+  /// N+1's feed — counters() is per-race by contract; the lifetime totals
+  /// live in session_counters().
+  void begin_race();
+
   const IngestCounters& counters() const { return counters_; }
+  /// Counters accumulated across every race of the session (the per-race
+  /// counters of all finished races plus the current one).
+  IngestCounters session_counters() const;
 
   // Damage metadata for the degradation ladder (valid after finalize) -----
   /// Fraction of the car's observed lap span that is not real telemetry:
@@ -101,7 +112,8 @@ class StreamIngestor {
   util::Status validate(const LapRecord& rec) const;
 
   IngestConfig cfg_;
-  IngestCounters counters_;
+  IngestCounters counters_;          // current race only
+  IngestCounters finished_totals_;   // races closed out by begin_race()
   std::map<int, CarBuffer> cars_;
   std::map<int, double> damage_;         // car -> imputed fraction
   std::map<int, int> last_observed_;     // car -> newest real lap kept

@@ -1,0 +1,28 @@
+// Injectable time source.
+//
+// Everything in the serving/online-learning stack that reads a clock for a
+// *decision* (latency gates, probation windows) takes a ClockFn instead of
+// calling std::chrono directly, so tests can script time and make those
+// decisions byte-reproducible. Pure measurement (bench timers, span
+// histograms) keeps using util::Timer — nothing downstream branches on it.
+#pragma once
+
+#include <chrono>
+#include <functional>
+
+namespace ranknet::util {
+
+/// Monotonic seconds. The absolute origin is unspecified; only deltas and
+/// orderings are meaningful.
+using ClockFn = std::function<double()>;
+
+/// The production clock: steady_clock seconds since an arbitrary origin.
+inline ClockFn steady_clock_fn() {
+  return [] {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  };
+}
+
+}  // namespace ranknet::util

@@ -332,6 +332,46 @@ TEST(StreamIngestor, EmptyStreamIsUnavailable) {
   EXPECT_EQ(out.status().code(), util::StatusCode::kUnavailable);
 }
 
+TEST(StreamIngestor, BeginRaceResetsPerRaceCountersAndFinalizedLatch) {
+  // Regression: a session-long ingestor (the online loop keeps one alive
+  // across races) used to carry quarantine counters and the finalized latch
+  // from race to race, so race N's damage was billed to race N+1 and the
+  // second race could not be ingested at all. begin_race() re-arms the
+  // ingestor; counters() is per-race, session_counters() is the lifetime
+  // total.
+  telemetry::StreamIngestor ing;
+  // Race 1: two good records, one schema-corrupt one.
+  ASSERT_TRUE(ing.push(MakeRecord(1, 1)).ok());
+  ASSERT_TRUE(ing.push(MakeRecord(1, 2)).ok());
+  auto nan_rec = MakeRecord(1, 3);
+  nan_rec.lap_time = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(ing.push(nan_rec).ok());
+  ASSERT_TRUE(ing.finalize(telemetry::EventInfo{"A", 2019}).ok());
+  EXPECT_EQ(ing.counters().accepted, 2u);
+  EXPECT_EQ(ing.counters().quarantined_schema, 1u);
+
+  // Without begin_race the ingestor is spent (PushAfterFinalizeFails); with
+  // it, the next race starts from a zeroed per-race ledger.
+  ing.begin_race();
+  EXPECT_EQ(ing.counters().accepted, 0u);
+  EXPECT_EQ(ing.counters().quarantined(), 0u);
+  ASSERT_TRUE(ing.push(MakeRecord(2, 1)).ok());
+  ASSERT_TRUE(ing.push(MakeRecord(2, 2)).ok());
+  auto second = ing.finalize(telemetry::EventInfo{"B", 2019});
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(ing.counters().accepted, 2u);
+  EXPECT_EQ(ing.counters().quarantined_schema, 0u)
+      << "race A's quarantine leaked into race B's damage report";
+
+  // The session ledger still remembers both races.
+  const auto session = ing.session_counters();
+  EXPECT_EQ(session.accepted, 4u);
+  EXPECT_EQ(session.quarantined_schema, 1u);
+
+  // Damage metadata is also per-race: race B never saw car 1.
+  EXPECT_EQ(ing.last_observed_lap(1), 0);
+}
+
 // ---------------------------------------------------------------------------
 // End-to-end pipeline properties
 // ---------------------------------------------------------------------------

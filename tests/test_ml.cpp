@@ -5,6 +5,7 @@
 #include "ml/arima.hpp"
 #include "ml/decision_tree.hpp"
 #include "ml/gbdt.hpp"
+#include "ml/online_linear.hpp"
 #include "ml/random_forest.hpp"
 #include "ml/svr.hpp"
 #include "util/rng.hpp"
@@ -212,6 +213,94 @@ TEST(Arima, ShortSeriesDegradeGracefully) {
   const auto fc = model.forecast(3);
   ASSERT_EQ(fc.size(), 3u);
   for (double v : fc) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(OnlineLinearFit, RecoversLineFromNoisyStream) {
+  Rng rng(21);
+  ml::OnlineLinearFit fit;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.uniform(0.0, 20.0);
+    fit.add(x, 0.8 * x + 3.0 + rng.normal(0.0, 0.1));
+  }
+  EXPECT_EQ(fit.observations(), 2000u);
+  const auto c = fit.fit();
+  EXPECT_NEAR(c.slope, 0.8, 0.01);
+  EXPECT_NEAR(c.intercept, 3.0, 0.1);
+}
+
+TEST(OnlineLinearFit, DecayTracksDrift) {
+  // First regime y = x, second regime y = -x + 10. With heavy decay between
+  // the regimes, the fit must follow the recent one; without decay the
+  // all-time fit is pulled toward the stale regime.
+  auto feed = [](ml::OnlineLinearFit& fit, bool with_decay) {
+    Rng rng(22);
+    for (int i = 0; i < 500; ++i) {
+      const double x = rng.uniform(0.0, 10.0);
+      fit.add(x, x + rng.normal(0.0, 0.05));
+    }
+    if (with_decay) fit.decay(0.01);
+    for (int i = 0; i < 500; ++i) {
+      const double x = rng.uniform(0.0, 10.0);
+      fit.add(x, -x + 10.0 + rng.normal(0.0, 0.05));
+    }
+  };
+  ml::OnlineLinearFit decayed, stale;
+  feed(decayed, true);
+  feed(stale, false);
+  EXPECT_NEAR(decayed.fit().slope, -1.0, 0.02);
+  EXPECT_GT(stale.fit().slope, -0.6) << "undecayed fit should stay blended";
+  EXPECT_LT(decayed.weight(), stale.weight());
+}
+
+TEST(OnlineLinearFit, DegenerateInputsNeverProduceNanCoefficients) {
+  // Empty, single-point, and all-x-equal designs fall back to a constant
+  // predictor — the online loop must never emit a NaN-coefficient artifact.
+  ml::OnlineLinearFit empty;
+  auto c = empty.fit();
+  EXPECT_EQ(c.slope, 0.0);
+  EXPECT_TRUE(std::isfinite(c.intercept));
+
+  ml::OnlineLinearFit single;
+  single.add(4.0, 7.0);
+  c = single.fit();
+  EXPECT_EQ(c.slope, 0.0);
+  EXPECT_NEAR(c.intercept, 7.0, 1e-9);
+
+  ml::OnlineLinearFit flat;
+  for (int i = 0; i < 10; ++i) flat.add(2.0, static_cast<double>(i));
+  c = flat.fit();
+  EXPECT_TRUE(std::isfinite(c.slope));
+  EXPECT_TRUE(std::isfinite(c.intercept));
+  EXPECT_NEAR(c.slope * 2.0 + c.intercept, 4.5, 0.1);
+
+  // Fully decayed statistics are as good as empty — still finite.
+  ml::OnlineLinearFit decayed_out;
+  decayed_out.add(1.0, 1.0);
+  decayed_out.add(2.0, 2.0);
+  decayed_out.decay(0.0);
+  c = decayed_out.fit();
+  EXPECT_TRUE(std::isfinite(c.slope));
+  EXPECT_TRUE(std::isfinite(c.intercept));
+
+  decayed_out.reset();
+  EXPECT_EQ(decayed_out.observations(), 0u);
+  EXPECT_EQ(decayed_out.weight(), 0.0);
+}
+
+TEST(OnlineLinearFit, DeterministicOverReplayedStream) {
+  auto run = [] {
+    Rng rng(23);
+    ml::OnlineLinearFit fit;
+    for (int i = 0; i < 300; ++i) {
+      fit.add(rng.uniform(0.0, 5.0), rng.uniform(0.0, 5.0));
+      if (i % 50 == 49) fit.decay(0.9);
+    }
+    return fit.fit();
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.slope, b.slope);
+  EXPECT_EQ(a.intercept, b.intercept);
 }
 
 }  // namespace

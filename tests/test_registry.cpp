@@ -289,4 +289,93 @@ TEST_F(HotSwapFaultTest, ProbationFailureAutoRollsBackToPreviousVersion) {
   EXPECT_EQ(registry->active_version(), 2u);
 }
 
+TEST_F(HotSwapFaultTest, LatencyGateRejectsSlowCandidateUnderScriptedClock) {
+  // Regression for the clock injection (set_clock): pre-fix the gate timed
+  // probes with util::Timer directly, so this test was impossible — wall
+  // time on a shared box is not a function of the candidate, and any forced
+  // version (spin in the forecaster) was flaky by construction. With the
+  // scripted clock, probe latency is exactly the per-call step we choose.
+  const std::string good = "/tmp/ranknet_swap_lat_good.bin";
+  const std::string cand = "/tmp/ranknet_swap_lat_cand.bin";
+  serve::AffineRankModel::save_artifact(good, 1.0, 0.0);
+  serve::AffineRankModel::save_artifact(cand, 1.0, 0.5);
+
+  serve::RegistryConfig cfg;
+  cfg.engine_threads = 0;
+  cfg.gate.probe_origin_lap = 30;
+  cfg.gate.probe_horizon = 5;
+  cfg.gate.probe_num_samples = 4;
+  cfg.gate.max_prediction_failure_rate = 1.0;
+  cfg.gate.max_latency_factor = 3.0;
+  auto registry = std::make_unique<serve::ModelRegistry>(affine_factory(), cfg);
+  registry->set_probe_race(*race_);
+  auto now = std::make_shared<double>(0.0);
+  auto step = std::make_shared<double>(1e-3);
+  registry->set_clock([now, step] { return *now += *step; });
+
+  // Init's probe (2 clock reads) books the active latency reference: 1ms.
+  ASSERT_TRUE(registry->init(good).ok());
+
+  // A candidate whose probe takes 1s blows the 3x budget and is rejected
+  // with the latency verdict in the status.
+  *step = 1.0;
+  const auto slow = registry->swap(cand);
+  EXPECT_EQ(slow.action, wire::SwapAction::kRejected);
+  EXPECT_NE(slow.status.message().find("latency"), std::string::npos)
+      << slow.status.to_string();
+  EXPECT_EQ(registry->active_version(), 1u);
+
+  // The same artifact probed at champion speed promotes: the rejection was
+  // the latency, not the bytes.
+  *step = 1e-3;
+  EXPECT_EQ(registry->swap(cand).action, wire::SwapAction::kPromoted);
+}
+
+TEST_F(HotSwapFaultTest, ProbationTimeWindowExpiresUnderScriptedClock) {
+  // probation_seconds bounds the probation window in time: once it elapses,
+  // the version is trusted even though fewer than probation_requests
+  // results arrived — a low-traffic deployment must not sit on probation
+  // (and keep a rollback hair-trigger armed) forever.
+  const std::string v1 = "/tmp/ranknet_swap_ptime1.bin";
+  const std::string v2 = "/tmp/ranknet_swap_ptime2.bin";
+  serve::AffineRankModel::save_artifact(v1, 1.0, 0.0);
+  serve::AffineRankModel::save_artifact(v2, 1.1, 0.0);
+
+  serve::RegistryConfig cfg;
+  cfg.engine_threads = 0;
+  cfg.probation_requests = 1000;  // request count alone would never close it
+  cfg.probation_seconds = 10.0;
+  // No probe race: the shadow gate is skipped, so the scripted clock is
+  // consumed only by the probation machinery.
+  auto registry = std::make_unique<serve::ModelRegistry>(affine_factory(), cfg);
+  auto now = std::make_shared<double>(0.0);
+  registry->set_clock([now] { return *now; });
+
+  ASSERT_TRUE(registry->init(v1).ok());
+  ASSERT_EQ(registry->swap(v2).action, wire::SwapAction::kPromoted);
+  ASSERT_EQ(registry->active_version(), 2u);
+
+  // Inside the window a failure still trips the rollback hair-trigger...
+  *now = 5.0;
+  // ...which we prove by NOT failing: healthy results keep the version.
+  EXPECT_FALSE(registry->record_serving_result(2, /*ok=*/true));
+  EXPECT_EQ(registry->active_version(), 2u);
+
+  // Past the deadline the version is trusted: even an unhealthy result no
+  // longer rolls back (probation is over, the failure is ordinary ops).
+  *now = 10.0;
+  EXPECT_FALSE(registry->record_serving_result(2, /*ok=*/false));
+  EXPECT_EQ(registry->active_version(), 2u);
+
+  // And a fresh promotion re-arms the window relative to the new publish:
+  // an in-window failure on the new version does roll back.
+  const std::string v3 = "/tmp/ranknet_swap_ptime3.bin";
+  serve::AffineRankModel::save_artifact(v3, 0.9, 0.0);
+  ASSERT_EQ(registry->swap(v3).action, wire::SwapAction::kPromoted);
+  ASSERT_EQ(registry->active_version(), 3u);
+  *now = 15.0;  // publish was at 10.0; deadline is 20.0
+  EXPECT_TRUE(registry->record_serving_result(3, /*ok=*/false));
+  EXPECT_EQ(registry->active_version(), 2u);
+}
+
 }  // namespace
